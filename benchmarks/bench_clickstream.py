@@ -1,0 +1,113 @@
+"""E11: the eBay clickstream as a 1-D array with nested arrays
+(Section 2.14).
+
+"This application is nearly impossible in current RDBMSs; however, it can
+be effectively modelled as a one-dimensional array (i.e. a time series)
+with embedded arrays to represent the search results at each step."
+
+Measured: the paper's two analyses (ignored content, click ranks) on the
+array model, against the same analyses on a flattened relational encoding
+(an events table plus an impressions table, joined per query) — plus the
+search-quality signal itself.
+"""
+
+import pytest
+
+from repro.baseline import TableDB
+from repro.workloads.clickstream import (
+    ClickstreamGenerator,
+    click_ranks,
+    ignored_content,
+    sessions_to_array,
+)
+
+N_SESSIONS = 60
+
+
+@pytest.fixture(scope="module")
+def event_log():
+    gen = ClickstreamGenerator(seed=0, relevance_decay=0.6)
+    return sessions_to_array(list(gen.sessions(N_SESSIONS)))
+
+
+@pytest.fixture(scope="module")
+def relational(event_log):
+    """The flattened RDBMS encoding: events + impressions tables."""
+    db = TableDB()
+    events = db.create_table("events", ["t", "kind", "item"])
+    impressions = db.create_table("impressions", ["t", "rank", "item"])
+    for (t,), cell in event_log.cells(include_null=False):
+        events.insert((t, cell.kind, cell.item))
+        if cell.kind == "search" and cell.results is not None:
+            for (rank,), r in cell.results.cells(include_null=False):
+                impressions.insert((t, rank, r.item))
+    events.create_index(["kind"])
+    return db
+
+
+class TestIgnoredContent:
+    def test_array_model(self, benchmark, event_log):
+        ignored = benchmark(lambda: ignored_content(event_log))
+        assert len(ignored) > 0
+
+    def test_relational_model(self, benchmark, relational, event_log):
+        def query():
+            impressions = relational.table("impressions")
+            events = relational.table("events")
+            surfaced = {}
+            for _, _, item in impressions.scan():
+                surfaced[item] = surfaced.get(item, 0) + 1
+            clicked = {
+                row[2] for row in events.scan() if row[1] == "click"
+            }
+            return {i: n for i, n in surfaced.items() if i not in clicked}
+
+        got = benchmark(query)
+        assert got == ignored_content(event_log)
+
+
+class TestClickRanks:
+    def test_array_model(self, benchmark, event_log):
+        ranks = benchmark(lambda: click_ranks(event_log))
+        assert ranks and all(r >= 1 for r in ranks)
+
+    def test_relational_model(self, benchmark, relational, event_log):
+        def query():
+            events = relational.table("events")
+            impressions = relational.table("impressions")
+            # For each click, find the nearest preceding search's
+            # impressions and look the item up — a positional join an
+            # RDBMS must emulate with correlated scans.
+            search_ts = sorted(
+                row[0] for row in events.scan() if row[1] == "search"
+            )
+            ranks = []
+            for t, kind, item in sorted(events.scan()):
+                if kind != "click":
+                    continue
+                prev_search = max(s for s in search_ts if s < t)
+                for st, rank, sitem in impressions.scan():
+                    if st == prev_search and sitem == item:
+                        ranks.append(rank)
+                        break
+            return ranks
+
+        got = benchmark(query)
+        assert sorted(got) == sorted(click_ranks(event_log))
+
+
+class TestSearchQualitySignal:
+    def test_flawed_engine_detected(self, benchmark):
+        """'their search strategy for pre-war Gibson banjos is flawed,
+        since the top 6 items were not of interest' — mean click rank
+        separates a good ranking engine from a flawed one."""
+        def signal(decay):
+            gen = ClickstreamGenerator(seed=1, relevance_decay=decay)
+            log = sessions_to_array(list(gen.sessions(30)))
+            ranks = click_ranks(log)
+            return sum(ranks) / len(ranks)
+
+        good = signal(0.3)
+        flawed = signal(0.9)
+        assert flawed > good + 1.0
+        benchmark(lambda: signal(0.5))

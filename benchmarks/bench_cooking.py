@@ -1,0 +1,117 @@
+"""E13: in-engine cooking and per-region recooking (Sections 2.10, 2.11).
+
+Measured:
+
+* the cooking pipeline itself (decode -> calibrate -> regrid), with every
+  step logged for provenance — the overhead of that logging is part of
+  the price of in-engine cooking and is reported;
+* the named-version recook: re-compositing a study region into a version
+  costs time and space proportional to the *region*, not the array —
+  the operational content of "consumes essentially no space".
+"""
+
+import pytest
+
+from repro import define_array
+from repro.cooking import (
+    CookingPipeline,
+    calibrate,
+    composite_passes,
+    decode_counts,
+    recook_region,
+    regrid_step,
+)
+from repro.history import UpdatableArray, VersionTree
+from repro.provenance import ItemLineageStore, ProvenanceEngine
+from repro.workloads import SatelliteInstrument
+
+SIDE = 32
+
+
+@pytest.fixture(scope="module")
+def instrument():
+    return SatelliteInstrument(width=SIDE, height=SIDE, seed=0)
+
+
+def make_engine(instrument, itemstore=None):
+    eng = ProvenanceEngine(itemstore=itemstore)
+    eng.register_external(
+        "raw", instrument.acquire_raw_frame(1), program="downlink"
+    )
+    return eng
+
+
+def pipeline(engine):
+    return CookingPipeline(
+        engine,
+        [decode_counts(0.01, 100.0), calibrate(1.02, -0.1),
+         regrid_step([4, 4], "avg")],
+    )
+
+
+class TestPipelineCost:
+    def test_cook_with_log(self, benchmark, instrument):
+        def cook():
+            eng = make_engine(instrument)
+            return pipeline(eng).run("raw")
+
+        out = benchmark(cook)
+        assert out.bounds == (SIDE // 4, SIDE // 4)
+
+    def test_cook_with_trio_lineage(self, benchmark, instrument):
+        """Cooking while eagerly recording item lineage — the heavy
+        provenance option, for comparison."""
+        def cook():
+            eng = make_engine(instrument, itemstore=ItemLineageStore())
+            return pipeline(eng).run("raw")
+
+        out = benchmark(cook)
+        assert out.bounds == (SIDE // 4, SIDE // 4)
+
+
+@pytest.fixture(scope="module")
+def composite_base(instrument):
+    passes = [instrument.acquire_pass(k) for k in range(1, 4)]
+    default = composite_passes(*passes, strategy="least_cloud")
+    schema = define_array(
+        "E13Comp", {"value": "float", "source_pass": "int32"},
+        ["x", "y"], updatable=True,
+    )
+    base = UpdatableArray(schema, bounds=[SIDE, SIDE, "*"], name="composite")
+    with base.begin() as t:
+        for coords, cell in default.cells(include_null=False):
+            t.set(coords, (cell.value, cell.source_pass))
+    return base, passes
+
+
+class TestRecookRegion:
+    @pytest.mark.parametrize("region_side", [4, 8, 16])
+    def test_recook_cost_tracks_region(self, benchmark, composite_base,
+                                       region_side):
+        base, passes = composite_base
+        tree = VersionTree(base)
+
+        counter = iter(range(10**6))
+
+        def recook():
+            v = tree.create(f"study_{region_side}_{next(counter)}")
+            written = recook_region(
+                v, ((1, 1), (region_side, region_side)), passes,
+                strategy="most_overhead",
+            )
+            assert written == region_side * region_side
+            return v
+
+        v = benchmark(recook)
+        assert v.delta_count() == region_side * region_side
+
+    def test_space_proportional_to_region_not_array(self, benchmark,
+                                                    composite_base):
+        base, passes = composite_base
+        tree = VersionTree(base)
+        v = tree.create("tiny_study")
+        recook_region(v, ((1, 1), (4, 4)), passes)
+        assert v.delta_count() == 16
+        assert base.delta_count() >= SIDE * SIDE  # the base is 1024+ deltas
+        assert v.delta_count() < base.delta_count() / 50
+        benchmark(lambda: v.delta_count())

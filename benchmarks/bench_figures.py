@@ -1,0 +1,72 @@
+"""F1–F3: the paper's three figures as correctness-checked benchmarks.
+
+Each benchmark first asserts the exact figure result (the printed cells),
+then times the operator at figure scale and at a larger scale so the
+operator costs are on record.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SciArray, define_array
+from repro.core import ops
+from benchmarks.conftest import dense_1d, dense_2d
+
+
+def fig1_inputs():
+    schema = define_array("F1", {"v": "float"}, ["x"])
+    a = SciArray.from_numpy(schema, np.array([1.0, 2.0]), name="A")
+    b = SciArray.from_numpy(schema, np.array([1.0, 2.0]), name="B")
+    return a, b
+
+
+class TestFigure1Sjoin:
+    def test_fig1_sjoin(self, benchmark):
+        a, b = fig1_inputs()
+        out = benchmark(lambda: ops.sjoin(a, b, on=[("x", "x")]))
+        assert out.ndim == 1
+        assert out[1] == (1.0, 1.0)
+        assert out[2] == (2.0, 2.0)
+
+    def test_fig1_sjoin_scaled(self, benchmark):
+        a = dense_1d(2000, seed=1, name="A")
+        b = dense_1d(2000, seed=2, name="B")
+        out = benchmark(lambda: ops.sjoin(a, b, on=[("x", "x")]))
+        assert out.count_occupied() == 2000
+
+
+class TestFigure2Aggregate:
+    def test_fig2_aggregate(self, benchmark):
+        schema = define_array("F2", {"v": "float"}, ["x", "y"])
+        h = SciArray.from_numpy(
+            schema, np.array([[1.0, 3.0], [3.0, 4.0]]), name="H"
+        )
+        out = benchmark(lambda: ops.aggregate(h, ["y"], "sum"))
+        assert out[1] == 4.0 and out[2] == 7.0
+
+    def test_fig2_aggregate_scaled(self, benchmark):
+        h = dense_2d(100, seed=3, name="H")
+        out = benchmark(lambda: ops.aggregate(h, ["y"], "sum"))
+        np.testing.assert_allclose(
+            np.array([out[j].sum for j in range(1, 101)]),
+            h.to_numpy("v").sum(axis=0),
+        )
+
+
+class TestFigure3Cjoin:
+    def test_fig3_cjoin(self, benchmark):
+        schema = define_array("F3", {"val": "float"}, ["x"])
+        a = SciArray.from_numpy(schema, np.array([1.0, 2.0]), name="A")
+        b = SciArray.from_numpy(schema, np.array([1.0, 2.0]), name="B")
+        out = benchmark(lambda: ops.cjoin(a, b, lambda l, r: l.val == r.val))
+        assert out.ndim == 2
+        assert out[1, 1] == (1.0, 1.0)
+        assert out[1, 2] is None
+        assert out[2, 1] is None
+        assert out[2, 2] == (2.0, 2.0)
+
+    def test_fig3_cjoin_scaled(self, benchmark):
+        a = dense_1d(100, seed=4, name="A", attr="val")
+        b = dense_1d(100, seed=5, name="B", attr="val")
+        out = benchmark(lambda: ops.cjoin(a, b, lambda l, r: l.val < r.val))
+        assert out.count_occupied() == 100 * 100

@@ -1,0 +1,96 @@
+"""E3: the cost shape of no-overwrite storage (Section 2.5).
+
+The paper's design trades write amplification for total recall: every
+transaction appends deltas at a new history value.  Measured here:
+
+* commit throughput (cells/transaction held constant);
+* latest-value reads as history deepens (the read path walks back from
+  the newest history value until it finds a delta — cheap for hot cells,
+  linear in depth for cold ones);
+* delta storage growth: exactly one delta per written cell per commit —
+  old values are never reclaimed, by design.
+"""
+
+import pytest
+
+from repro import define_array
+from repro.history import UpdatableArray, snapshot
+
+
+def make_array(name="e3"):
+    schema = define_array(
+        "E3", {"v": "float"}, ["x", "y"], updatable=True
+    )
+    return UpdatableArray(schema, bounds=[32, 32, "*"], name=name)
+
+
+def commit_epochs(arr, epochs, cells_per_commit=64):
+    for e in range(epochs):
+        with arr.begin() as t:
+            for k in range(cells_per_commit):
+                x = 1 + (k % 8)
+                y = 1 + (k // 8)
+                t.set((x, y), float(e * 1000 + k))
+
+
+class TestCommitThroughput:
+    def test_commit_64_cells(self, benchmark):
+        arr = make_array()
+
+        def one_commit():
+            with arr.begin() as t:
+                for k in range(64):
+                    t.set((1 + k % 8, 1 + k // 8), float(k))
+
+        benchmark(one_commit)
+        assert arr.current_history > 0
+
+
+class TestReadVsHistoryDepth:
+    @pytest.mark.parametrize("depth", [1, 8, 32])
+    def test_hot_cell_read(self, benchmark, depth):
+        """Cells rewritten every commit: read cost is depth-independent
+        (the newest delta is found immediately)."""
+        arr = make_array()
+        commit_epochs(arr, depth)
+        out = benchmark(lambda: arr.get(1, 1))
+        assert out.v == (depth - 1) * 1000
+
+    @pytest.mark.parametrize("depth", [1, 8, 32])
+    def test_cold_cell_read(self, benchmark, depth):
+        """A cell written only at history 1: the read walks the whole
+        history — the linear-in-depth worst case."""
+        arr = make_array()
+        with arr.begin() as t:
+            t.set((30, 30), 7.0)  # written once, early
+        commit_epochs(arr, depth)
+        out = benchmark(lambda: arr.get(30, 30))
+        assert out.v == 7.0
+
+    @pytest.mark.parametrize("depth", [1, 8, 32])
+    def test_as_of_read(self, benchmark, depth):
+        arr = make_array()
+        commit_epochs(arr, depth)
+        out = benchmark(lambda: arr.get(1, 1, as_of=1))
+        assert out.v == 0.0
+
+
+class TestSnapshotCost:
+    @pytest.mark.parametrize("depth", [4, 16])
+    def test_snapshot_latest(self, benchmark, depth):
+        arr = make_array()
+        commit_epochs(arr, depth)
+        snap = benchmark(lambda: snapshot(arr))
+        assert snap.count_present() == 64
+
+
+class TestDeltaGrowth:
+    def test_storage_never_reclaimed(self, benchmark):
+        """delta_count == cells x commits: the no-overwrite space cost."""
+        arr = make_array()
+        commit_epochs(arr, 10, cells_per_commit=64)
+        assert arr.delta_count() == 10 * 64
+        # And every historical value remains addressable.
+        for h in range(1, 11):
+            assert arr.get(1, 1, as_of=h).v == (h - 1) * 1000
+        benchmark(lambda: arr.delta_count())

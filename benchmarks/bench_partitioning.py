@@ -1,0 +1,117 @@
+"""E6: fixed vs dynamic partitioning under steerable workloads
+(Section 2.7).
+
+The paper: fixed spatial partitioning "will probably work well" for
+periodic full-sky/full-earth scans, but "any science experimentation that
+is 'steerable' will be non-uniform" (the El Niño case) — hence
+partitioning that changes over time, chosen by the automatic designer.
+
+Measured on the oceanography workload: load imbalance (max/mean cells per
+node) for fixed-block, hash, and time-epoch dynamic partitioning, on a
+quiet (uniform) and an event (hotspot) campaign; plus the designer's
+recommendation and the repartitioning cost that buys the balance back.
+"""
+
+import pytest
+
+from repro.cluster import (
+    AutomaticDesigner,
+    BlockPartitioner,
+    Grid,
+    HashPartitioner,
+    TimeEpochPartitioner,
+)
+from repro.workloads.ocean import OCEAN_SCHEMA, OceanSimulation
+
+N_NODES = 4
+GRID_SHAPE = (64, 32)
+EPOCHS = 4
+
+
+def fixed_scheme():
+    return BlockPartitioner(
+        N_NODES, bounds=[*GRID_SHAPE, 10_000], blocks=[2, 2, 1]
+    )
+
+
+def dynamic_scheme(switch_epoch=2):
+    return TimeEpochPartitioner(
+        N_NODES, time_dim=2,
+        epochs=[(switch_epoch, fixed_scheme())],
+        final=HashPartitioner(N_NODES),
+    )
+
+
+def load(grid, name, scheme, event_epochs):
+    sim = OceanSimulation(
+        grid=GRID_SHAPE, event_epochs=event_epochs,
+        measurements_per_epoch=400, seed=7,
+    )
+    arr = grid.create_array(
+        name, OCEAN_SCHEMA.bind([*GRID_SHAPE, "*"]), scheme
+    )
+    arr.load(sim.load_records(EPOCHS))
+    return arr
+
+
+class TestLoadImbalance:
+    def test_fixed_on_uniform(self, benchmark, tmp_path):
+        grid = Grid(N_NODES, tmp_path / "a")
+        arr = load(grid, "sst", fixed_scheme(), event_epochs=[])
+        imb = benchmark(arr.imbalance)
+        assert imb < 1.6  # fixed blocks are fine when the sky is uniform
+
+    def test_fixed_on_hotspot(self, benchmark, tmp_path):
+        grid = Grid(N_NODES, tmp_path / "b")
+        arr = load(grid, "sst", fixed_scheme(), event_epochs=[3, 4])
+        imb = benchmark(arr.imbalance)
+        assert imb > 1.8  # the steered campaign swamps one block
+
+    def test_hash_on_hotspot(self, benchmark, tmp_path):
+        grid = Grid(N_NODES, tmp_path / "c")
+        arr = load(grid, "sst", HashPartitioner(N_NODES), event_epochs=[3, 4])
+        imb = benchmark(arr.imbalance)
+        assert imb < 1.3  # hash shrugs the hotspot off
+
+    def test_time_epoch_on_hotspot(self, benchmark, tmp_path):
+        """The paper's scheme: fixed for t <= T, different for t > T."""
+        grid = Grid(N_NODES, tmp_path / "d")
+        arr = load(grid, "sst", dynamic_scheme(2), event_epochs=[3, 4])
+        imb = benchmark(arr.imbalance)
+        # Pre-event epochs stay block-local; event epochs hash out.
+        assert imb < 1.8
+
+
+class TestDesignerRecommends:
+    def test_designer_flags_drift(self, benchmark):
+        sim = OceanSimulation(
+            grid=GRID_SHAPE, event_epochs=[3, 4],
+            measurements_per_epoch=400, seed=7,
+        )
+        quiet_cells = sim.cell_sample([1, 2])
+        event_cells = sim.cell_sample([3, 4])
+        pool = [fixed_scheme(), HashPartitioner(N_NODES)]
+        quiet_designer = AutomaticDesigner(quiet_cells, pool)
+        event_designer = AutomaticDesigner(event_cells, pool)
+        # On quiet data, keep the fixed scheme.
+        assert quiet_designer.recommend([], current=fixed_scheme()) is None
+        # After the event, the designer recommends changing.
+        rec = benchmark(
+            lambda: event_designer.recommend([], current=fixed_scheme())
+        )
+        assert rec is not None
+        assert rec.partitioner == HashPartitioner(N_NODES)
+
+
+class TestRepartitionCost:
+    def test_rebalance_moves_minority_of_cells(self, benchmark, tmp_path):
+        grid = Grid(N_NODES, tmp_path / "e")
+        arr = load(grid, "sst", fixed_scheme(), event_epochs=[3, 4])
+        before = arr.imbalance()
+        total = arr.cell_count()
+
+        moved = arr.repartition(HashPartitioner(N_NODES))
+        after = arr.imbalance()
+        assert after < before
+        assert 0 < moved <= total
+        benchmark(lambda: arr.imbalance())

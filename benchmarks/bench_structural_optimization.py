@@ -1,0 +1,95 @@
+"""E2: structural operators are data-agnostic → optimizable (Section 2.2.1).
+
+Two instances of the same principle:
+
+* **planner pushdown** — ``subsample(filter(A))`` is rewritten to
+  ``filter(subsample(A))``, shrinking the expensive per-cell predicate's
+  input (measured via the executor's cells_examined counter and time);
+* **R-tree bucket pruning** — a window scan over a persistent array reads
+  only intersecting buckets, vs a full scan reading all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import define_array
+from repro.query import Executor, Planner, array, attr, dim
+from repro.storage.manager import PersistentArray
+from benchmarks.conftest import dense_2d
+
+SIDE = 96
+
+
+@pytest.fixture(scope="module")
+def query_node():
+    return (
+        array("A")
+        .filter(attr("v") > 0.0)
+        .subsample((dim("x") >= 81) & (dim("y") >= 81))
+        .node
+    )
+
+
+def fresh_executor(pushdown: bool):
+    ex = Executor(planner=Planner(enable_pushdown=pushdown))
+    ex.register("A", dense_2d(SIDE, seed=0))
+    return ex
+
+
+class TestPlannerPushdown:
+    def test_pushdown_enabled(self, benchmark, query_node):
+        ex = fresh_executor(True)
+        result = benchmark(lambda: ex.run(query_node))
+        assert result.array.bounds == (16, 16)
+
+    def test_pushdown_disabled(self, benchmark, query_node):
+        ex = fresh_executor(False)
+        result = benchmark(lambda: ex.run(query_node))
+        assert result.array.bounds == (16, 16)
+
+    def test_cells_examined_shrink(self, benchmark, query_node):
+        opt = fresh_executor(True).run(query_node)
+        naive = fresh_executor(False).run(query_node)
+        assert opt.cells_examined == 16 * 16
+        assert naive.cells_examined == SIDE * SIDE
+        assert opt.array.content_equal(naive.array)
+        benchmark(lambda: None)
+
+
+@pytest.fixture(scope="module")
+def persistent(tmp_path_factory):
+    schema = define_array("E2", {"v": "float"}, ["x", "y"]).bind([512, 512])
+    pa = PersistentArray(
+        schema, tmp_path_factory.mktemp("e2"), memory_budget=1 << 30,
+        stride=(64, 64),
+    )
+    rng = np.random.default_rng(1)
+    for _ in range(4000):
+        pa.append(
+            (int(rng.integers(1, 513)), int(rng.integers(1, 513))),
+            (float(rng.normal()),),
+        )
+    pa.flush()
+    return pa
+
+
+class TestBucketPruning:
+    def test_window_scan_pruned(self, benchmark, persistent):
+        out = benchmark(lambda: list(persistent.scan(((1, 1), (64, 64)))))
+        assert all(c[0] <= 64 and c[1] <= 64 for c, _ in out)
+
+    def test_full_scan(self, benchmark, persistent):
+        out = benchmark(lambda: list(persistent.scan()))
+        assert len(out) > 0
+
+    def test_pruning_reads_fewer_buckets(self, benchmark, persistent):
+        total = persistent.bucket_count()
+        before = persistent.stats.buckets_read
+        list(persistent.scan(((1, 1), (64, 64))))
+        window_reads = persistent.stats.buckets_read - before
+        before = persistent.stats.buckets_read
+        list(persistent.scan())
+        full_reads = persistent.stats.buckets_read - before
+        assert full_reads == total
+        assert window_reads <= max(1, total // 8)
+        benchmark(lambda: None)

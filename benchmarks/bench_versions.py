@@ -1,0 +1,96 @@
+"""E4: named versions "consume essentially no space" (Section 2.11).
+
+Measured:
+
+* **space** — a fresh version stores zero cells regardless of the base's
+  size; delta cells grow with *divergence*, never with base size (compared
+  against the full-copy alternative);
+* **read cost vs chain depth** — reading through a version chain
+  (version -> parent -> ... -> base) is linear in depth for cells the
+  versions never touched, constant for cells in the nearest delta.
+"""
+
+import pytest
+
+from repro import define_array
+from repro.history import UpdatableArray, VersionTree
+
+BASE_SIDE = 32  # 1024 cells
+
+
+def make_base():
+    schema = define_array("E4", {"v": "float"}, ["x", "y"], updatable=True)
+    base = UpdatableArray(schema, bounds=[BASE_SIDE, BASE_SIDE, "*"], name="base")
+    with base.begin() as t:
+        for x in range(1, BASE_SIDE + 1):
+            for y in range(1, BASE_SIDE + 1):
+                t.set((x, y), float(x * 100 + y))
+    return base
+
+
+@pytest.fixture(scope="module")
+def base():
+    return make_base()
+
+
+class TestSpace:
+    def test_fresh_version_is_free(self, benchmark, base):
+        tree = VersionTree(base)
+        v = tree.create("free_v")
+        assert v.delta_count() == 0
+        benchmark(lambda: tree.create(f"v{len(tree.names())}").delta_count())
+
+    def test_space_tracks_divergence(self, benchmark):
+        base = make_base()
+        tree = VersionTree(base)
+        costs = {}
+        for frac, n_cells in (("1%", 10), ("10%", 102), ("50%", 512)):
+            v = tree.create(f"div_{frac}")
+            with v.begin() as t:
+                for k in range(n_cells):
+                    t.set((1 + k % BASE_SIDE, 1 + k // BASE_SIDE), -1.0)
+            costs[frac] = v.delta_count()
+        full_copy = base.delta_count()  # what a copy would store
+        assert costs["1%"] == 10
+        assert costs["10%"] == 102
+        assert costs["50%"] == 512
+        assert costs["10%"] < full_copy / 9
+        benchmark(lambda: None)
+
+
+class TestReadThroughChain:
+    def make_chain(self, depth):
+        base = make_base()
+        tree = VersionTree(base)
+        v = tree.create("v1")
+        for i in range(2, depth + 1):
+            v = tree.create(f"v{i}", parent=v)
+        return v
+
+    @pytest.mark.parametrize("depth", [1, 4, 16])
+    def test_untouched_cell_walks_chain(self, benchmark, depth):
+        v = self.make_chain(depth)
+        out = benchmark(lambda: v.get(5, 5))
+        assert out.v == 505.0
+
+    @pytest.mark.parametrize("depth", [1, 4, 16])
+    def test_delta_hit_is_depth_independent(self, benchmark, depth):
+        v = self.make_chain(depth)
+        with v.begin() as t:
+            t.set((5, 5), -9.0)
+        out = benchmark(lambda: v.get(5, 5))
+        assert out.v == -9.0
+
+
+class TestVersionIsolation:
+    def test_many_versions_share_base(self, benchmark):
+        """20 divergent versions cost their deltas, not 20 base copies."""
+        base = make_base()
+        tree = VersionTree(base)
+        for i in range(20):
+            v = tree.create(f"s{i}")
+            with v.begin() as t:
+                t.set((1 + i, 1), float(i))
+        assert tree.total_delta_cells() == 20
+        assert base.delta_count() == BASE_SIDE * BASE_SIDE
+        benchmark(lambda: tree.total_delta_cells())

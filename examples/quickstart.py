@@ -1,0 +1,107 @@
+"""Quickstart: the paper's running example, end to end.
+
+Walks Section 2.1's examples in order: define an array type, create an
+instance, address cells ``A[7, 8]`` / ``A[I = 7, J = 8]`` / ``A[7, 8].x``,
+enhance it with Scale10 and address through ``A{70, 80}``, run the
+structural and content operators of Section 2.2 (including the three
+figures), and store uncertain values (Section 2.13).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    SciArray,
+    UncertainValue,
+    define_array,
+    define_function,
+    enhance,
+)
+from repro.core import ops
+
+
+def main() -> None:
+    # -- define / create (Section 2.1) -------------------------------------
+    # define Remote (s1 = float, s2 = float, s3 = float) (I, J)
+    remote = define_array(
+        "Remote",
+        values={"s1": "float", "s2": "float", "s3": "float"},
+        dims=["I", "J"],
+    )
+    # create My_remote as Remote [1024, 1024]
+    my_remote = remote.create("My_remote", [1024, 1024])
+    print(f"created: {my_remote}")
+
+    # -- cell addressing ----------------------------------------------------
+    my_remote[7, 8] = (0.5, 1.5, 2.5)
+    print("A[7, 8]            =", my_remote[7, 8])
+    print("A[I = 7, J = 8]    =", my_remote[{"I": 7, "J": 8}])
+    print("A[7, 8].s1         =", my_remote[7, 8].s1)
+    print("Exists?[A, 7, 8]   =", my_remote.exists(7, 8))
+    print("Exists?[A, 9, 9]   =", my_remote.exists(9, 9))
+
+    # -- enhancement with Scale10 (Section 2.1) ------------------------------
+    define_function(
+        "Scale10",
+        inputs=[("I", "integer"), ("J", "integer")],
+        outputs=[("K", "integer"), ("L", "integer")],
+        fn=lambda i, j: (10 * i, 10 * j),
+        inverse=lambda k, l: (k // 10, l // 10),
+        replace=True,
+    )
+    enhance(my_remote, "Scale10")
+    print("A{70, 80}.s1       =", my_remote.mapped[70, 80].s1)
+
+    # -- structural operators (Section 2.2.1) ---------------------------------
+    f_schema = define_array("F", {"v": "float"}, ["X", "Y"])
+    f = SciArray.from_numpy(
+        f_schema, np.arange(1.0, 17.0).reshape(4, 4), name="F"
+    )
+    evens = ops.subsample(f, {"X": lambda x: x % 2 == 0})
+    print("\nSubsample(F, even(X)) ->", evens.bounds, "cells:",
+          [c.v for _, c in evens.cells()])
+
+    g_schema = define_array("G", {"v": "float"}, ["X", "Y", "Z"])
+    g = SciArray.from_numpy(
+        g_schema, np.arange(24.0).reshape(2, 3, 4), name="G"
+    )
+    reshaped = ops.reshape(g, ["X", "Z", "Y"], [("U", 8), ("V", 3)])
+    print("Reshape(G, [X,Z,Y], [U=1:8, V=1:3]) ->", reshaped.bounds)
+
+    # -- Figure 1: Sjoin ------------------------------------------------------
+    ab = define_array("AB", {"v": "float"}, ["x"])
+    a = SciArray.from_numpy(ab, np.array([1.0, 2.0]), name="A")
+    b = SciArray.from_numpy(ab, np.array([1.0, 2.0]), name="B")
+    sj = ops.sjoin(a, b, on=[("x", "x")])
+    print("\nFigure 1 Sjoin  : ", {c: tuple(cell) for c, cell in sj.cells()})
+
+    # -- Figure 2: Aggregate ----------------------------------------------------
+    h_schema = define_array("H", {"v": "float"}, ["x", "y"])
+    h = SciArray.from_numpy(
+        h_schema, np.array([[1.0, 3.0], [3.0, 4.0]]), name="H"
+    )
+    agg = ops.aggregate(h, ["y"], "sum")
+    print("Figure 2 Aggregate(H, {y}, Sum(*)):",
+          {c[0]: cell.sum for c, cell in agg.cells()})
+
+    # -- Figure 3: Cjoin ----------------------------------------------------------
+    cj = ops.cjoin(a, b, lambda l, r: l.v == r.v)
+    print("Figure 3 Cjoin  : ",
+          {c: (tuple(cell) if cell else None) for c, cell in cj.cells()})
+
+    # -- uncertainty (Section 2.13) -------------------------------------------------
+    u_schema = define_array("U", {"temp": "uncertain float"}, ["t"])
+    u = u_schema.create("u", [3])
+    u[1] = (20.0, 0.5)  # value with an error bar
+    u[2] = (21.0, 0.5)
+    total = u[1].temp + u[2].temp
+    print(f"\nuncertain sum   : {total} "
+          f"(sigma combines as sqrt(0.5^2 + 0.5^2))")
+    assert isinstance(total, UncertainValue)
+
+    print("\nquickstart OK")
+
+
+if __name__ == "__main__":
+    main()

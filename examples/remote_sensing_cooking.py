@@ -1,0 +1,98 @@
+"""Remote sensing: in-engine cooking, compositing, and a named-version
+recook (Sections 2.10, 2.11).
+
+The story the paper tells: satellite passes arrive as raw counts; the
+default cooking algorithm composites them by picking, per ground cell, the
+observation with the least cloud cover.  A scientist with a particular
+study area wants a different algorithm — the observation taken when the
+satellite was closest to directly overhead — *for part of the data*.  A
+named version gives them exactly that at delta-only cost, and the
+provenance log records how everything was derived.
+
+Run:  python examples/remote_sensing_cooking.py
+"""
+
+from repro import define_array
+from repro.cooking import (
+    CookingPipeline,
+    calibrate,
+    composite_passes,
+    decode_counts,
+    recook_region,
+)
+from repro.history import UpdatableArray, VersionTree
+from repro.provenance import ProvenanceEngine, trace_backward
+from repro.workloads import SatelliteInstrument
+
+SIDE = 32
+STUDY_REGION = ((5, 5), (12, 12))
+
+
+def main() -> None:
+    instrument = SatelliteInstrument(width=SIDE, height=SIDE, seed=11)
+    engine = ProvenanceEngine()
+
+    # -- ingest + cook one raw frame inside the engine ------------------------
+    engine.register_external(
+        "raw_pass_1",
+        instrument.acquire_raw_frame(1),
+        program="satellite_downlink",
+        parameters={"pass": 1, "band": "B4"},
+    )
+    cooked = CookingPipeline(
+        engine,
+        [decode_counts(gain=0.01, offset=100.0), calibrate(scale=1.02)],
+    ).run("raw_pass_1", output_name="cooked_pass_1")
+    print(f"cooked frame: {cooked}")
+    print("provenance log so far:")
+    print(engine.log.describe())
+
+    # -- multi-pass compositing (default algorithm: least cloud) ----------------
+    passes = [instrument.acquire_pass(k) for k in range(1, 4)]
+    default = composite_passes(*passes, strategy="least_cloud",
+                               name="composite_default")
+    print(f"\ndefault composite ({default.count_present()} cells), "
+          "strategy = least_cloud")
+
+    # Store the composite as an updatable (time-travelled) base array.
+    schema = define_array(
+        "Composite",
+        {"value": "float", "source_pass": "int32"},
+        ["x", "y"],
+        updatable=True,
+    )
+    base = UpdatableArray(schema, bounds=[SIDE, SIDE, "*"], name="composite")
+    with base.begin() as txn:
+        for coords, cell in default.cells(include_null=False):
+            txn.set(coords, (cell.value, cell.source_pass))
+    print(f"base array holds {base.delta_count()} deltas at history "
+          f"{base.current_history}")
+
+    # -- the dissenting scientist: recook the study region into a version --------
+    tree = VersionTree(base)
+    study = tree.create("overhead_study")
+    written = recook_region(study, STUDY_REGION, passes,
+                            strategy="most_overhead")
+    print(f"\nnamed version 'overhead_study': recooked {written} cells "
+          f"(delta = {study.delta_count()} cells; base untouched)")
+
+    inside, outside = (8, 8), (20, 20)
+    print(f"cell {inside}: base pass {base.get(*inside).source_pass} "
+          f"-> version pass {study.get(*inside).source_pass}")
+    print(f"cell {outside}: base pass {base.get(*outside).source_pass} "
+          f"== version pass {study.get(*outside).source_pass} (unchanged)")
+    assert study.get(*outside) == base.get(*outside)
+
+    # -- backward provenance of a cooked value -------------------------------------
+    steps = trace_backward(engine, ("cooked_pass_1", (3, 3)))
+    print("\nbackward trace of cooked_pass_1[3, 3]:")
+    for step in steps:
+        print(" ", step.command.describe())
+    origin = engine.repository.latest("raw_pass_1")
+    print("terminates at external derivation:", origin.describe())
+
+    print("\nremote sensing example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — a Python reproduction of SciDB as specified in
+"Requirements for Science Data Bases and SciDB" (CIDR 2009).
+
+The package is organised by the paper's requirement sections:
+
+* :mod:`repro.core` — array data model and operators (§2.1–2.3, 2.13)
+* :mod:`repro.storage` — within-node bucketed storage, bulk load, in-situ
+  adaptors (§2.8, 2.9)
+* :mod:`repro.cluster` — shared-nothing grid, partitioning, designer (§2.7)
+* :mod:`repro.history` — no-overwrite transactions, time travel, named
+  versions (§2.5, 2.11)
+* :mod:`repro.provenance` — command log, lineage tracing (§2.12)
+* :mod:`repro.query` — parse trees, textual language, planner, Python
+  binding (§2.4)
+* :mod:`repro.cooking` — in-engine cooking pipelines (§2.10)
+* :mod:`repro.baseline` — relational engine + array-on-table simulation
+  (the ASAP comparison, §2.1)
+* :mod:`repro.workloads` / :mod:`repro.bench` — synthetic instruments and
+  the science benchmark (§2.14, 2.15)
+
+Quickstart (the paper's running example)::
+
+    from repro import define_array
+
+    Remote = define_array(
+        "Remote", values={"s1": "float", "s2": "float", "s3": "float"},
+        dims=["I", "J"],
+    )
+    my_remote = Remote.create("My_remote", [1024, 1024])
+    my_remote[7, 8] = (0.5, 1.5, 2.5)
+    print(my_remote[7, 8].s1)
+"""
+
+from .core import *  # noqa: F401,F403
+from .core import __all__ as _core_all
+from .database import SciDB
+
+__version__ = "0.1.0"
+
+__all__ = list(_core_all) + ["SciDB", "__version__"]

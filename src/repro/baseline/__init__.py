@@ -1,0 +1,22 @@
+"""The relational comparator (Section 2.1).
+
+"The Sequoia 2000 project realized in the mid 1990s that ... simulating
+arrays on top of tables was difficult and resulted in poor performance.  A
+similar conclusion was reached in the ASAP prototype which found that the
+performance penalty of simulating arrays on top of tables was around two
+orders of magnitude."
+
+To regenerate that comparison *within one codebase* (so the ratio, not the
+absolute speed, is what's measured — see DESIGN.md §2), this package holds:
+
+* :mod:`repro.baseline.tabledb` — a small but genuine relational engine:
+  heap tables, hash indexes, scans, filters, hash joins, group-by;
+* :mod:`repro.baseline.arraysim` — arrays simulated as
+  ``(dim1, ..., dimk, val...)`` tables over it, exposing the same
+  operations the native array engine provides (experiment E1).
+"""
+
+from .tabledb import HashIndex, Table, TableDB
+from .arraysim import ArrayOnTable
+
+__all__ = ["Table", "HashIndex", "TableDB", "ArrayOnTable"]

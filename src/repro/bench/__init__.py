@@ -1,0 +1,25 @@
+"""Benchmark kit: the science benchmark and shared measurement helpers
+(Section 2.15).
+
+"To focus the DBMS community on science requirements, we are almost
+finished with a science benchmark."  The paper promises it; its published
+form is SS-DB (the Standard Science DBMS Benchmark), so
+:mod:`repro.bench.ssdb` implements that shape — raw imagery, a cooking
+stage, derived observations, and a fixed query set Q1–Q9 — runnable on
+both the native array engine and the table baseline.
+
+:mod:`repro.bench.harness` holds the timing/result-table utilities shared
+by every module under ``benchmarks/``.
+"""
+
+from .harness import Measurement, ResultTable, measure, ratio
+from .ssdb import SSDB, SSDB_QUERIES
+
+__all__ = [
+    "measure",
+    "ratio",
+    "Measurement",
+    "ResultTable",
+    "SSDB",
+    "SSDB_QUERIES",
+]

@@ -1,0 +1,46 @@
+"""Shared-nothing grid orientation (Section 2.7).
+
+LSST-scale data "must run on a grid (cloud) of shared-nothing computers";
+the open design questions the paper lists — which partitioning scheme, how
+to change it over time, how to co-partition arrays sharing a coordinate
+system so joins need no data movement, and how to auto-design partitionings
+from a sample workload — are all implemented here against a *simulated*
+cluster: in-process :class:`~repro.cluster.node.Node` objects, each with
+its own storage manager, connected by an explicitly metered message fabric
+(:class:`~repro.cluster.grid.DataMovementLedger`).
+
+The simulation substitutes for physical distribution (see DESIGN.md §2):
+every design question above is a question about data *placement and
+movement*, which the ledger accounts exactly and deterministically.
+"""
+
+from .node import Node
+from .partitioning import (
+    BlockCyclicPartitioner,
+    BlockPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    TimeEpochPartitioner,
+)
+from .grid import DataMovementLedger, DistributedArray, Grid
+from .copartition import copartition, is_copartitioned
+from .designer import DesignCandidate, WorkloadQuery, AutomaticDesigner
+
+__all__ = [
+    "Node",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "BlockPartitioner",
+    "BlockCyclicPartitioner",
+    "TimeEpochPartitioner",
+    "Grid",
+    "DistributedArray",
+    "DataMovementLedger",
+    "copartition",
+    "is_copartitioned",
+    "AutomaticDesigner",
+    "WorkloadQuery",
+    "DesignCandidate",
+]

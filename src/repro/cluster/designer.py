@@ -1,0 +1,186 @@
+"""The automatic database designer (Section 2.7).
+
+"Like C-Store and H-Store, we plan an automatic data base designer which
+will use a sample workload to do the partitioning.  This designer can be
+run periodically on the actual workload, and suggest modifications."
+
+The designer scores candidate partitioners against a sample workload —
+a weighted set of window queries and join declarations over a cell
+population — on two axes:
+
+* **balance**: max/mean stored cells per site (hot nodes slow everything);
+* **movement**: bytes a join would shuffle (zero when the joined arrays
+  land co-partitioned) plus the coordination cost of queries that touch
+  many sites.
+
+Scores combine into a single cost (lower is better); :meth:`suggest`
+returns candidates ranked by it.  Run it again later with fresh statistics
+and it will recommend a repartitioning when the workload has drifted —
+exactly the paper's periodic re-design loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..core.errors import PartitioningError
+from .partitioning import Partitioner
+
+__all__ = ["WorkloadQuery", "DesignCandidate", "AutomaticDesigner"]
+
+Coords = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One sample query: a window scan or a join, with a frequency weight.
+
+    ``kind`` is ``"window"`` (uses *window*) or ``"join"`` (uses
+    *join_with*: the name of the other array; joins shuffle unless
+    co-partitioned).
+    """
+
+    kind: str
+    weight: float = 1.0
+    window: Optional[tuple[Coords, Coords]] = None
+    join_with: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("window", "join"):
+            raise PartitioningError(f"unknown query kind {self.kind!r}")
+        if self.kind == "window" and self.window is None:
+            raise PartitioningError("window queries need a window")
+        if self.kind == "join" and self.join_with is None:
+            raise PartitioningError("join queries need join_with")
+
+
+@dataclass
+class DesignCandidate:
+    """A scored candidate partitioning."""
+
+    partitioner: Partitioner
+    balance: float
+    movement: float
+    cost: float
+
+    def __repr__(self) -> str:
+        return (
+            f"<DesignCandidate {self.partitioner!r} balance={self.balance:.3f} "
+            f"movement={self.movement:.1f} cost={self.cost:.3f}>"
+        )
+
+
+class AutomaticDesigner:
+    """Scores candidate partitioners against sampled cells and queries.
+
+    Parameters
+    ----------
+    cells:
+        A sample of stored cell coordinates (the data distribution).
+    partitioner_pool:
+        Candidate schemes to evaluate (all targeting the same site count).
+    balance_weight / movement_weight:
+        Relative importance of load balance vs data movement in the cost.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Coords],
+        partitioner_pool: Sequence[Partitioner],
+        balance_weight: float = 1.0,
+        movement_weight: float = 1.0,
+    ) -> None:
+        if not cells:
+            raise PartitioningError("designer needs a non-empty cell sample")
+        if not partitioner_pool:
+            raise PartitioningError("designer needs candidate partitioners")
+        sites = {p.n_sites for p in partitioner_pool}
+        if len(sites) != 1:
+            raise PartitioningError("candidates must target one site count")
+        self.cells = list(cells)
+        self.pool = list(partitioner_pool)
+        self.n_sites = sites.pop()
+        self.balance_weight = balance_weight
+        self.movement_weight = movement_weight
+
+    # -- scoring ------------------------------------------------------------------
+
+    def _balance(self, partitioner: Partitioner) -> float:
+        counts = [0] * self.n_sites
+        for c in self.cells:
+            counts[partitioner.site_of(c)] += 1
+        mean = len(self.cells) / self.n_sites
+        return max(counts) / mean if mean else 0.0
+
+    def _movement(
+        self,
+        partitioner: Partitioner,
+        workload: Sequence[WorkloadQuery],
+        partitioners_by_array: dict[str, Partitioner],
+    ) -> float:
+        movement = 0.0
+        for q in workload:
+            if q.kind == "join":
+                other = partitioners_by_array.get(q.join_with)
+                if other is None or other != partitioner:
+                    # Full shuffle of the sampled population, weighted.
+                    movement += q.weight * len(self.cells)
+            else:
+                lo, hi = q.window
+                touched = {
+                    partitioner.site_of(c)
+                    for c in self.cells
+                    if all(l <= v <= h for v, l, h in zip(c, lo, hi))
+                }
+                # Each extra site touched adds coordination traffic.
+                movement += q.weight * max(0, len(touched) - 1)
+        return movement
+
+    def score(
+        self,
+        partitioner: Partitioner,
+        workload: Sequence[WorkloadQuery],
+        partitioners_by_array: Optional[dict[str, Partitioner]] = None,
+    ) -> DesignCandidate:
+        balance = self._balance(partitioner)
+        movement = self._movement(
+            partitioner, workload, partitioners_by_array or {}
+        )
+        # Normalise movement by the sample size so the two axes are
+        # comparable; balance has a natural floor of 1.0.
+        cost = (
+            self.balance_weight * (balance - 1.0)
+            + self.movement_weight * movement / len(self.cells)
+        )
+        return DesignCandidate(partitioner, balance, movement, cost)
+
+    def suggest(
+        self,
+        workload: Sequence[WorkloadQuery],
+        partitioners_by_array: Optional[dict[str, Partitioner]] = None,
+    ) -> list[DesignCandidate]:
+        """Candidates ranked best-first."""
+        scored = [
+            self.score(p, workload, partitioners_by_array) for p in self.pool
+        ]
+        scored.sort(key=lambda c: c.cost)
+        return scored
+
+    def recommend(
+        self,
+        workload: Sequence[WorkloadQuery],
+        current: Optional[Partitioner] = None,
+        improvement_threshold: float = 0.05,
+        partitioners_by_array: Optional[dict[str, Partitioner]] = None,
+    ) -> Optional[DesignCandidate]:
+        """The periodic re-design loop: suggest a change only when the best
+        candidate beats the current scheme by *improvement_threshold*."""
+        ranked = self.suggest(workload, partitioners_by_array)
+        best = ranked[0]
+        if current is None:
+            return best
+        current_score = self.score(current, workload, partitioners_by_array)
+        if current_score.cost - best.cost > improvement_threshold:
+            return best
+        return None

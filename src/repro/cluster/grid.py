@@ -1,0 +1,569 @@
+"""The simulated shared-nothing grid and its movement ledger (Section 2.7).
+
+A :class:`Grid` owns N :class:`~repro.cluster.node.Node` workers and a
+:class:`DataMovementLedger`.  Every byte that crosses a node boundary —
+load routing, repartitioning, join shuffles, aggregate partials, result
+gathers, uncertainty replication — is recorded with a reason, so the
+partitioning experiments (E6/E7) report exact, deterministic movement
+instead of noisy wall-clock proxies.
+
+Distributed operators implemented on :class:`DistributedArray`:
+
+* ``load`` / ``write`` — route cells by the array's partitioner;
+* ``load_uncertain`` — PanSTARRS-style boundary replication: an
+  observation whose true position may fall in a neighbouring partition is
+  stored redundantly in every candidate partition, so "uncertain spatial
+  joins can be performed without moving data elements" (Section 2.13);
+* ``subsample`` — window scans with per-node R-tree pruning;
+* ``aggregate`` — local partial aggregation, coordinator merge (algebraic
+  aggregates move only partial states; holistic ones fall back to raw
+  shipment);
+* ``sjoin`` — local joins when the operands are co-partitioned, otherwise
+  an explicit repartition of the right operand first;
+* ``repartition`` — migrate to a new partitioning scheme, as the paper's
+  time-varying partitioning requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..core.array import SciArray
+from ..core.cells import Cell
+from ..core.datatypes import ScalarType
+from ..core.errors import PartitioningError, SchemaError
+from ..core.ops import content as content_ops
+from ..core.ops import structural as structural_ops
+from ..core.schema import ArraySchema
+from ..core.udf import UserAggregate, get_aggregate
+from ..core.uncertainty import PositionUncertainty
+from ..storage.loader import LoadRecord
+from .node import Node
+from .partitioning import Partitioner
+
+__all__ = ["Transfer", "DataMovementLedger", "DistributedArray", "Grid"]
+
+Coords = tuple[int, ...]
+
+#: Coordinator pseudo-site in ledger entries.
+COORDINATOR = -1
+
+#: Merge functions for algebraic built-in aggregates (state x state -> state).
+_ALGEBRAIC_MERGES: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "count": lambda a, b: a + b,
+    "avg": lambda a, b: (a[0] + b[0], a[1] + b[1]),
+    "min": lambda a, b: b if a is None else (a if b is None else min(a, b)),
+    "max": lambda a, b: b if a is None else (a if b is None else max(a, b)),
+    "stdev": lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]),
+}
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One metered inter-node transfer."""
+
+    src: int
+    dst: int
+    nbytes: int
+    reason: str
+
+
+class DataMovementLedger:
+    """Append-only record of all inter-node traffic."""
+
+    def __init__(self) -> None:
+        self.transfers: list[Transfer] = []
+
+    def record(self, src: int, dst: int, nbytes: int, reason: str) -> None:
+        if src != dst:  # local work is free by definition of shared-nothing
+            self.transfers.append(Transfer(src, dst, nbytes, reason))
+
+    def total_bytes(self, reason: Optional[str] = None) -> int:
+        return sum(
+            t.nbytes for t in self.transfers if reason is None or t.reason == reason
+        )
+
+    def by_reason(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for t in self.transfers:
+            out[t.reason] = out.get(t.reason, 0) + t.nbytes
+        return out
+
+    def reset(self) -> None:
+        self.transfers.clear()
+
+
+def _cell_nbytes(schema: ArraySchema) -> int:
+    """Wire-size estimate of one cell: coords + attribute payload."""
+    size = 8 * schema.ndim
+    for a in schema.attributes:
+        if isinstance(a.type, ScalarType) and a.type.numpy_dtype != object:
+            size += a.type.numpy_dtype.itemsize
+        else:
+            size += 32
+    return size
+
+
+class DistributedArray:
+    """One array partitioned across the grid's nodes."""
+
+    def __init__(
+        self,
+        grid: "Grid",
+        name: str,
+        schema: ArraySchema,
+        partitioner: Partitioner,
+    ) -> None:
+        if partitioner.n_sites != len(grid.nodes):
+            raise PartitioningError(
+                f"partitioner targets {partitioner.n_sites} sites, grid has "
+                f"{len(grid.nodes)} nodes"
+            )
+        self.grid = grid
+        self.name = name
+        self.schema = schema
+        self.partitioner = partitioner
+        self.cell_nbytes = _cell_nbytes(schema)
+
+    # -- writes ------------------------------------------------------------------
+
+    def write(self, coords: Coords, values: Optional[tuple]) -> None:
+        site = self.partitioner.site_of(coords)
+        self.grid.ledger.record(COORDINATOR, site, self.cell_nbytes, "load")
+        self.grid.nodes[site].store(self.name, coords, values)
+
+    def load(self, records: Iterable[LoadRecord]) -> int:
+        n = 0
+        for rec in records:
+            self.write(rec.coords, rec.values)
+            n += 1
+        self.flush()
+        return n
+
+    def load_uncertain(
+        self,
+        observations: Iterable[tuple[tuple[float, ...], tuple]],
+        uncertainty: PositionUncertainty,
+    ) -> int:
+        """Load (position, values) observations with boundary replication.
+
+        Each observation is stored in its home cell on every site that owns
+        one of its candidate cells; replicas beyond the home site are
+        metered with reason ``"replication"``.
+        """
+        n = 0
+        for position, values in observations:
+            home = uncertainty.home_cell(position)
+            sites = {self.partitioner.site_of(c)
+                     for c in uncertainty.candidate_cells(position)}
+            home_site = self.partitioner.site_of(home)
+            for site in sorted(sites):
+                reason = "load" if site == home_site else "replication"
+                self.grid.ledger.record(COORDINATOR, site, self.cell_nbytes, reason)
+                self.grid.nodes[site].store(self.name, home, values)
+            n += 1
+        self.flush()
+        return n
+
+    def flush(self) -> None:
+        for node in self.grid.nodes:
+            node.partition(self.name).flush()
+
+    # -- reads -------------------------------------------------------------------
+
+    def scan(self, window: Optional[tuple[Coords, Coords]] = None
+             ) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        """Gather (windowed) cells at the coordinator, metering the gather."""
+        seen: set[Coords] = set()
+        for node in self.grid.nodes:
+            part = node.partition(self.name)
+            for coords, cell in part.scan(window):
+                if coords in seen:
+                    continue  # replicas (uncertain load) deduplicate here
+                seen.add(coords)
+                node.counters.cells_scanned += 1
+                self.grid.ledger.record(
+                    node.node_id, COORDINATOR, self.cell_nbytes, "gather"
+                )
+                yield coords, cell
+
+    def cell_count(self) -> int:
+        """Total stored cells (replicas included) — the balance metric."""
+        return sum(self.cells_per_node())
+
+    def cells_per_node(self) -> list[int]:
+        return [node.cell_count(self.name) for node in self.grid.nodes]
+
+    def imbalance(self) -> float:
+        """max/mean stored cells per node; 1.0 is perfect balance."""
+        counts = self.cells_per_node()
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+    def subsample(self, window: tuple[Coords, Coords]) -> SciArray:
+        """Window query executed with per-node bucket pruning."""
+        out = SciArray(self.schema, name=f"{self.name}_window")
+        for coords, cell in self.scan(window):
+            out.set(coords, cell)
+        return out
+
+    def materialize(self) -> SciArray:
+        out = SciArray(self.schema, name=self.name)
+        for coords, cell in self.scan():
+            out.set(coords, cell)
+        return out
+
+    # -- distributed operators ----------------------------------------------------
+
+    def aggregate(
+        self,
+        group_dims: Sequence[str],
+        agg: "str | UserAggregate",
+        attr: Optional[str] = None,
+    ) -> SciArray:
+        """Grouped aggregation with local partials where algebraic."""
+        aggregate_fn = agg if isinstance(agg, UserAggregate) else get_aggregate(agg)
+        attr_name = attr or self.schema.attr_names[0]
+        positions = [self.schema.dim_index(d) for d in group_dims]
+        merge = _ALGEBRAIC_MERGES.get(aggregate_fn.name)
+
+        merged: dict[Coords, Any] = {}
+        if merge is not None:
+            state_nbytes = 24  # partial-state wire estimate
+            for node in self.grid.nodes:
+                local: dict[Coords, Any] = {}
+                for coords, cell in node.partition(self.name).scan():
+                    if cell is None:
+                        continue
+                    key = tuple(coords[p] for p in positions)
+                    state = local.get(key)
+                    if key not in local:
+                        state = aggregate_fn.initial()
+                    local[key] = aggregate_fn.transition(
+                        state, getattr(cell, attr_name)
+                    )
+                for key, state in local.items():
+                    self.grid.ledger.record(
+                        node.node_id, COORDINATOR, state_nbytes, "aggregate"
+                    )
+                    if key in merged:
+                        merged[key] = merge(merged[key], state)
+                    else:
+                        merged[key] = state
+        else:
+            # Holistic user aggregate: ship raw values to the coordinator.
+            for node in self.grid.nodes:
+                for coords, cell in node.partition(self.name).scan():
+                    if cell is None:
+                        continue
+                    self.grid.ledger.record(
+                        node.node_id, COORDINATOR, self.cell_nbytes, "aggregate"
+                    )
+                    key = tuple(coords[p] for p in positions)
+                    state = merged.get(key)
+                    if key not in merged:
+                        state = aggregate_fn.initial()
+                    merged[key] = aggregate_fn.transition(
+                        state, getattr(cell, attr_name)
+                    )
+
+        from ..core.schema import Attribute, Dimension
+        from ..core.ops.content import _result_type
+
+        out_schema = ArraySchema(
+            name=f"{self.name}_agg",
+            attributes=(Attribute(aggregate_fn.name, _result_type(aggregate_fn)),),
+            dimensions=tuple(self.schema.dimensions[p] for p in positions),
+        )
+        out = SciArray(out_schema, name=f"{self.name}_agg")
+        for key, state in merged.items():
+            out.set(key, aggregate_fn.final(state))
+        return out
+
+    def sjoin(self, other: "DistributedArray",
+              on: Optional[Sequence[tuple[str, str]]] = None) -> SciArray:
+        """Structured join of two distributed arrays on all dimensions.
+
+        Co-partitioned operands (equal partitioners — see
+        :func:`repro.cluster.copartition.is_copartitioned`) join locally
+        with **zero** shuffle; otherwise the right operand's cells are first
+        repartitioned to the left's scheme (metered as ``"join_shuffle"``).
+        """
+        if on is None:
+            on = list(zip(self.schema.dim_names, other.schema.dim_names))
+        if len(on) != self.schema.ndim or len(on) != other.schema.ndim:
+            raise SchemaError(
+                "distributed sjoin joins all dimensions pairwise; use a "
+                "local sjoin for partial-dimension joins"
+            )
+
+        if self.partitioner == other.partitioner:
+            right_parts = [
+                _materialize_node(other, node) for node in self.grid.nodes
+            ]
+        else:
+            # Shuffle right cells to the node owning the matching left cell.
+            right_parts = [
+                SciArray(other.schema, name=f"{other.name}@n{node.node_id}")
+                for node in self.grid.nodes
+            ]
+            for node in self.grid.nodes:
+                for coords, cell in node.partition(other.name).scan():
+                    target = self.partitioner.site_of(coords)
+                    self.grid.ledger.record(
+                        node.node_id, target, other.cell_nbytes, "join_shuffle"
+                    )
+                    right_parts[target].set(coords, cell)
+
+        out: Optional[SciArray] = None
+        for node, right in zip(self.grid.nodes, right_parts):
+            left = _materialize_node(self, node)
+            if left.count_occupied() == 0 or right.count_occupied() == 0:
+                continue
+            local = structural_ops.sjoin(left, right, on=on)
+            self.grid.ledger.record(
+                node.node_id,
+                COORDINATOR,
+                local.count_occupied() * (self.cell_nbytes + other.cell_nbytes),
+                "gather",
+            )
+            if out is None:
+                out = local.empty_like(name=f"{self.name}_sjoin_{other.name}")
+            for coords, cell in local.cells():
+                out.set(coords, cell)
+        if out is None:
+            # Build an empty result with the joined schema.
+            left = SciArray(self.schema)
+            right = SciArray(other.schema)
+            out = structural_ops.sjoin(left, right, on=on)
+        return out
+
+    def filter(
+        self,
+        predicate,
+        output_name: Optional[str] = None,
+    ) -> "DistributedArray":
+        """Distributed Filter: runs node-local with **zero** movement.
+
+        Filter preserves cell addresses, so each node filters its own
+        partition in place under the same partitioner — the easy
+        shared-nothing case the paper's operators are designed around.
+        The result is a new distributed array (no-overwrite).
+        """
+        out = self.grid.create_array(
+            output_name or f"{self.name}_filtered", self.schema, self.partitioner
+        )
+        for node in self.grid.nodes:
+            part = node.partition(self.name)
+            target = node.partition(out.name)
+            for coords, cell in part.scan():
+                if cell is not None and predicate(cell):
+                    target.append(coords, cell.values)
+                else:
+                    target.append(coords, None)
+            target.flush()
+        return out
+
+    def apply(
+        self,
+        fn,
+        output: Sequence[tuple[str, str]],
+        output_name: Optional[str] = None,
+    ) -> "DistributedArray":
+        """Distributed Apply: node-local per-cell computation, no movement."""
+        from ..core.schema import define_array
+
+        out_schema = define_array(
+            f"{self.schema.name}_applied",
+            values=list(output),
+            dims=[(d.name, d.size) for d in self.schema.dimensions],
+        )
+        out = self.grid.create_array(
+            output_name or f"{self.name}_applied", out_schema, self.partitioner
+        )
+        n_out = len(output)
+        for node in self.grid.nodes:
+            part = node.partition(self.name)
+            target = node.partition(out.name)
+            for coords, cell in part.scan():
+                if cell is None:
+                    target.append(coords, None)
+                    continue
+                result = fn(cell)
+                if n_out == 1 and not isinstance(result, tuple):
+                    result = (result,)
+                target.append(coords, result)
+            target.flush()
+        return out
+
+    def regrid(
+        self,
+        factors: Sequence[int],
+        agg: "str | UserAggregate" = "avg",
+        attr: Optional[str] = None,
+    ) -> SciArray:
+        """Distributed Regrid: local partial aggregation per output block,
+        merged at the coordinator (algebraic aggregates only).
+
+        Output blocks can straddle partition boundaries, so unlike
+        :meth:`filter`/:meth:`apply` this moves partial states — metered as
+        ``"regrid"``.
+        """
+        aggregate_fn = agg if isinstance(agg, UserAggregate) else get_aggregate(agg)
+        merge = _ALGEBRAIC_MERGES.get(aggregate_fn.name)
+        if merge is None:
+            raise SchemaError(
+                f"distributed regrid needs an algebraic aggregate, "
+                f"not {aggregate_fn.name!r}"
+            )
+        attr_name = attr or self.schema.attr_names[0]
+        if len(factors) != self.schema.ndim:
+            raise SchemaError(
+                f"regrid needs {self.schema.ndim} factors, got {len(factors)}"
+            )
+        merged: dict[Coords, Any] = {}
+        for node in self.grid.nodes:
+            local: dict[Coords, Any] = {}
+            for coords, cell in node.partition(self.name).scan():
+                if cell is None:
+                    continue
+                key = tuple((c - 1) // f + 1 for c, f in zip(coords, factors))
+                state = local.get(key)
+                if key not in local:
+                    state = aggregate_fn.initial()
+                local[key] = aggregate_fn.transition(
+                    state, getattr(cell, attr_name)
+                )
+            for key, state in local.items():
+                self.grid.ledger.record(node.node_id, COORDINATOR, 24, "regrid")
+                if key in merged:
+                    merged[key] = merge(merged[key], state)
+                else:
+                    merged[key] = state
+
+        from ..core.schema import Attribute, Dimension
+        from ..core.ops.content import _result_type
+
+        out_sizes = [
+            (self._extent(d) + f - 1) // f
+            for d, f in zip(range(self.schema.ndim), factors)
+        ]
+        out_schema = ArraySchema(
+            name=f"{self.name}_regrid",
+            attributes=(Attribute(aggregate_fn.name, _result_type(aggregate_fn)),),
+            dimensions=tuple(
+                Dimension(d.name, s)
+                for d, s in zip(self.schema.dimensions, out_sizes)
+            ),
+        )
+        out = SciArray(out_schema, name=f"{self.name}_regrid")
+        for key, state in merged.items():
+            out.set(key, aggregate_fn.final(state))
+        return out
+
+    def _extent(self, dim_index: int) -> int:
+        declared = self.schema.dimensions[dim_index].size
+        if declared is not None:
+            return declared
+        # Unbounded: take the max coordinate stored anywhere.
+        hw = 0
+        for node in self.grid.nodes:
+            for coords, _ in node.partition(self.name).scan():
+                hw = max(hw, coords[dim_index])
+        return hw
+
+    # -- repartitioning --------------------------------------------------------------
+
+    def repartition(self, new_partitioner: Partitioner) -> int:
+        """Migrate to *new_partitioner*; returns cells moved.
+
+        Movement is metered as ``"repartition"``; cells already on their
+        new home node do not move (and cost nothing).
+        """
+        if new_partitioner.n_sites != len(self.grid.nodes):
+            raise PartitioningError("new partitioner targets a different grid size")
+        moves: list[tuple[int, int, Coords, Optional[tuple]]] = []
+        for node in self.grid.nodes:
+            for coords, cell in node.partition(self.name).scan():
+                target = new_partitioner.site_of(coords)
+                if target != node.node_id:
+                    moves.append(
+                        (node.node_id, target, coords,
+                         None if cell is None else cell.values)
+                    )
+        # Rebuild partitions: drop and recreate, then replay.
+        survivors: dict[int, list[tuple[Coords, Optional[tuple]]]] = {
+            node.node_id: [] for node in self.grid.nodes
+        }
+        for node in self.grid.nodes:
+            for coords, cell in node.partition(self.name).scan():
+                if new_partitioner.site_of(coords) == node.node_id:
+                    survivors[node.node_id].append(
+                        (coords, None if cell is None else cell.values)
+                    )
+        for node in self.grid.nodes:
+            node.storage.drop_array(self.name)
+            node.create_partition(self.name, self.schema)
+            for coords, values in survivors[node.node_id]:
+                node.store(self.name, coords, values)
+        for src, dst, coords, values in moves:
+            self.grid.ledger.record(src, dst, self.cell_nbytes, "repartition")
+            self.grid.nodes[dst].store(self.name, coords, values)
+        self.flush()
+        self.partitioner = new_partitioner
+        return len(moves)
+
+
+def _materialize_node(array: DistributedArray, node: Node) -> SciArray:
+    out = SciArray(array.schema, name=f"{array.name}@n{node.node_id}")
+    for coords, cell in node.partition(array.name).scan():
+        out.set(coords, cell)
+    return out
+
+
+class Grid:
+    """A simulated shared-nothing cluster rooted at one directory."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        directory: "str | Path",
+        memory_budget: int = 1 << 20,
+    ) -> None:
+        if n_nodes < 1:
+            raise PartitioningError("a grid needs at least one node")
+        directory = Path(directory)
+        self.nodes = [
+            Node(i, directory / f"node_{i:03d}", memory_budget=memory_budget)
+            for i in range(n_nodes)
+        ]
+        self.ledger = DataMovementLedger()
+        self._arrays: dict[str, DistributedArray] = {}
+
+    def create_array(
+        self,
+        name: str,
+        schema: ArraySchema,
+        partitioner: Partitioner,
+        stride: Optional[Sequence[int]] = None,
+    ) -> DistributedArray:
+        if name in self._arrays:
+            raise PartitioningError(f"distributed array {name!r} already exists")
+        for node in self.nodes:
+            node.create_partition(name, schema, stride=stride)
+        arr = DistributedArray(self, name, schema, partitioner)
+        self._arrays[name] = arr
+        return arr
+
+    def get_array(self, name: str) -> DistributedArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise PartitioningError(f"no distributed array named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._arrays)

@@ -1,0 +1,225 @@
+"""Partitioning schemes for distributing arrays across nodes (Section 2.7).
+
+Gamma-style hash and range partitioning, the fixed spatial (block) scheme
+that "will probably work well" for full-sky surveys and satellite imagery,
+block-cyclic placement, and the paper's answer to steerable (skewed)
+science: :class:`TimeEpochPartitioner`, where "a first partitioning scheme
+is used for time less than T and a second partitioning scheme for
+time > T".
+
+A partitioner is a pure function from cell coordinates to a site id in
+``range(n_sites)``; equality of partitioners is structural, which is what
+lets the grid detect co-partitioned arrays (joins without movement).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence
+
+from ..core.errors import PartitioningError
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "BlockPartitioner",
+    "BlockCyclicPartitioner",
+    "TimeEpochPartitioner",
+]
+
+Coords = tuple[int, ...]
+
+
+class Partitioner:
+    """Base class: maps cell coordinates to one of ``n_sites`` sites."""
+
+    def __init__(self, n_sites: int) -> None:
+        if n_sites < 1:
+            raise PartitioningError("a grid needs at least one site")
+        self.n_sites = n_sites
+
+    def site_of(self, coords: Coords) -> int:
+        raise NotImplementedError
+
+    def descriptor(self) -> tuple:
+        """Structural identity; equal descriptors => co-partitioned."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Partitioner) and self.descriptor() == other.descriptor()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.descriptor())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.descriptor()!r}>"
+
+
+class HashPartitioner(Partitioner):
+    """Gamma-style hash partitioning on a subset of dimensions.
+
+    ``dims`` are 0-based dimension positions; ``None`` hashes all of them.
+    Deterministic across processes (crc32, not Python's salted hash).
+    """
+
+    def __init__(self, n_sites: int, dims: Optional[Sequence[int]] = None) -> None:
+        super().__init__(n_sites)
+        self.dims = tuple(dims) if dims is not None else None
+
+    def site_of(self, coords: Coords) -> int:
+        key = coords if self.dims is None else tuple(coords[d] for d in self.dims)
+        payload = ",".join(str(c) for c in key).encode()
+        return zlib.crc32(payload) % self.n_sites
+
+    def descriptor(self) -> tuple:
+        return ("hash", self.n_sites, self.dims)
+
+
+class RangePartitioner(Partitioner):
+    """Gamma-style range partitioning on one dimension.
+
+    ``boundaries`` are the inclusive upper edges of the first
+    ``len(boundaries)`` sites; coordinates beyond the last boundary go to
+    the final site.  ``RangePartitioner(3, dim=0, boundaries=[100, 200])``
+    sends x<=100 to site 0, x<=200 to site 1, the rest to site 2.
+    """
+
+    def __init__(self, n_sites: int, dim: int, boundaries: Sequence[int]) -> None:
+        super().__init__(n_sites)
+        if len(boundaries) != n_sites - 1:
+            raise PartitioningError(
+                f"{n_sites} sites need {n_sites - 1} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        if list(boundaries) != sorted(boundaries):
+            raise PartitioningError("range boundaries must be ascending")
+        self.dim = dim
+        self.boundaries = tuple(boundaries)
+
+    def site_of(self, coords: Coords) -> int:
+        value = coords[self.dim]
+        for i, edge in enumerate(self.boundaries):
+            if value <= edge:
+                return i
+        return self.n_sites - 1
+
+    def descriptor(self) -> tuple:
+        return ("range", self.n_sites, self.dim, self.boundaries)
+
+
+class BlockPartitioner(Partitioner):
+    """Fixed spatial partitioning: the coordinate space is cut into a grid
+    of equal blocks assigned to sites in row-major round-robin order.
+
+    This is the scheme that "will probably work well" for periodic full-sky
+    or full-earth scans — and the one experiment E6 shows failing on
+    steerable hotspots.
+
+    ``bounds`` is the coordinate-space extent per dimension; ``blocks`` the
+    number of cuts per dimension.
+    """
+
+    def __init__(
+        self, n_sites: int, bounds: Sequence[int], blocks: Sequence[int]
+    ) -> None:
+        super().__init__(n_sites)
+        if len(bounds) != len(blocks):
+            raise PartitioningError("bounds and blocks must align")
+        if any(b < 1 for b in bounds) or any(k < 1 for k in blocks):
+            raise PartitioningError("bounds and blocks must be positive")
+        self.bounds = tuple(int(b) for b in bounds)
+        self.blocks = tuple(int(k) for k in blocks)
+        self.block_side = tuple(
+            -(-b // k) for b, k in zip(self.bounds, self.blocks)
+        )  # ceil division
+
+    def block_of(self, coords: Coords) -> tuple[int, ...]:
+        return tuple(
+            min((c - 1) // s, k - 1)
+            for c, s, k in zip(coords, self.block_side, self.blocks)
+        )
+
+    def site_of(self, coords: Coords) -> int:
+        block = self.block_of(coords)
+        flat = 0
+        for b, k in zip(block, self.blocks):
+            flat = flat * k + b
+        return flat % self.n_sites
+
+    def descriptor(self) -> tuple:
+        return ("block", self.n_sites, self.bounds, self.blocks)
+
+
+class BlockCyclicPartitioner(Partitioner):
+    """Blocks of fixed side dealt to sites cyclically by hashed block id.
+
+    Spreads spatial hotspots across sites while preserving within-block
+    locality — the middle ground between block and hash.
+    """
+
+    def __init__(self, n_sites: int, block_side: Sequence[int]) -> None:
+        super().__init__(n_sites)
+        if any(s < 1 for s in block_side):
+            raise PartitioningError("block sides must be positive")
+        self.block_side = tuple(int(s) for s in block_side)
+
+    def site_of(self, coords: Coords) -> int:
+        block = tuple((c - 1) // s for c, s in zip(coords, self.block_side))
+        payload = ",".join(str(b) for b in block).encode()
+        return zlib.crc32(payload) % self.n_sites
+
+    def descriptor(self) -> tuple:
+        return ("block_cyclic", self.n_sites, self.block_side)
+
+
+class TimeEpochPartitioner(Partitioner):
+    """Partitioning that changes over time (the paper's dynamic scheme).
+
+    ``epochs`` is a list of ``(threshold, partitioner)`` pairs plus a final
+    partitioner: coordinates whose ``time_dim`` value is <= the first
+    threshold use the first scheme, and so on; beyond the last threshold the
+    final scheme applies.  The paper's two-scheme case is
+    ``TimeEpochPartitioner(n, time_dim, [(T, scheme_a)], scheme_b)``.
+    """
+
+    def __init__(
+        self,
+        n_sites: int,
+        time_dim: int,
+        epochs: Sequence[tuple[int, Partitioner]],
+        final: Partitioner,
+    ) -> None:
+        super().__init__(n_sites)
+        thresholds = [t for t, _ in epochs]
+        if thresholds != sorted(thresholds):
+            raise PartitioningError("epoch thresholds must be ascending")
+        for _, p in list(epochs) + [(None, final)]:
+            if p.n_sites != n_sites:
+                raise PartitioningError(
+                    "every epoch's partitioner must target the same site count"
+                )
+        self.time_dim = time_dim
+        self.epochs = tuple(epochs)
+        self.final = final
+
+    def scheme_for(self, coords: Coords) -> Partitioner:
+        t = coords[self.time_dim]
+        for threshold, scheme in self.epochs:
+            if t <= threshold:
+                return scheme
+        return self.final
+
+    def site_of(self, coords: Coords) -> int:
+        return self.scheme_for(coords).site_of(coords)
+
+    def descriptor(self) -> tuple:
+        return (
+            "time_epoch",
+            self.n_sites,
+            self.time_dim,
+            tuple((t, p.descriptor()) for t, p in self.epochs),
+            self.final.descriptor(),
+        )

@@ -1,0 +1,40 @@
+"""In-engine cooking of raw instrument data (Section 2.10).
+
+"Most scientific data comes from instruments observing a physical process
+... sensor readings enter a cooking process whereby raw information is
+cooked into finished information."  The paper's goal: "enable cooking
+inside the engine if the user desires", because in-engine cooking records
+accurate provenance.
+
+* :mod:`repro.cooking.raw` — raw-reading decode (counts → physical units)
+* :mod:`repro.cooking.pipeline` — composable cooking steps executed through
+  the provenance engine, including the multi-pass compositing step whose
+  per-scientist variants motivate named versions (Section 2.11)
+"""
+
+from .raw import RawDecoder, RawReading
+from .pipeline import (
+    CookingPipeline,
+    CookingStep,
+    apply_step,
+    calibrate,
+    cloud_filter,
+    composite_passes,
+    decode_counts,
+    recook_region,
+    regrid_step,
+)
+
+__all__ = [
+    "RawReading",
+    "RawDecoder",
+    "CookingStep",
+    "CookingPipeline",
+    "decode_counts",
+    "calibrate",
+    "cloud_filter",
+    "regrid_step",
+    "apply_step",
+    "composite_passes",
+    "recook_region",
+]

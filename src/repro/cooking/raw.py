@@ -1,0 +1,105 @@
+"""Raw instrument readings and their decode stage (Section 2.10).
+
+The first cooking step everywhere: "converting sensor information into
+standard data types".  A :class:`RawReading` is what a (simulated)
+instrument emits — integer sensor counts plus housekeeping; the
+:class:`RawDecoder` turns counts into physical units using the
+instrument's gain/offset, flagging saturated and dead readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..core.array import SciArray
+from ..core.errors import SchemaError
+from ..core.schema import ArraySchema, define_array
+
+__all__ = ["RawReading", "RawDecoder", "RAW_SCHEMA", "DECODED_SCHEMA"]
+
+#: Raw telemetry: integer counts plus per-reading housekeeping.
+RAW_SCHEMA = define_array(
+    "RawFrame",
+    values={"counts": "int32", "detector_temp": "float"},
+    dims=["x", "y"],
+)
+
+#: Decoded physical units plus quality flag.
+DECODED_SCHEMA = define_array(
+    "DecodedFrame",
+    values={"radiance": "float", "quality": "int32"},
+    dims=["x", "y"],
+)
+
+#: Quality flags.
+QUALITY_GOOD = 0
+QUALITY_SATURATED = 1
+QUALITY_DEAD = 2
+
+
+@dataclass(frozen=True)
+class RawReading:
+    """One sensor sample as emitted by an instrument."""
+
+    x: int
+    y: int
+    counts: int
+    detector_temp: float = 293.0
+
+
+class RawDecoder:
+    """Counts → radiance with saturation/dead-pixel flagging.
+
+    ``radiance = gain * (counts - offset)``, with a linear temperature
+    correction term — a standard first-order radiometric model.
+    """
+
+    def __init__(
+        self,
+        gain: float = 0.01,
+        offset: float = 100.0,
+        saturation: int = 60000,
+        temp_coefficient: float = 0.0,
+        reference_temp: float = 293.0,
+    ) -> None:
+        if gain <= 0:
+            raise SchemaError("decoder gain must be positive")
+        self.gain = gain
+        self.offset = offset
+        self.saturation = saturation
+        self.temp_coefficient = temp_coefficient
+        self.reference_temp = reference_temp
+
+    def decode_one(self, reading: RawReading) -> tuple[float, int]:
+        """Physical value + quality flag for one reading."""
+        if reading.counts <= 0:
+            return 0.0, QUALITY_DEAD
+        if reading.counts >= self.saturation:
+            return (
+                self.gain * (self.saturation - self.offset),
+                QUALITY_SATURATED,
+            )
+        correction = self.temp_coefficient * (
+            reading.detector_temp - self.reference_temp
+        )
+        return self.gain * (reading.counts - self.offset) + correction, QUALITY_GOOD
+
+    def frame_from_readings(
+        self, readings: Iterable[RawReading], bounds: tuple[int, int]
+    ) -> SciArray:
+        """Assemble raw readings into a RawFrame array."""
+        frame = RAW_SCHEMA.create("raw_frame", list(bounds))
+        for r in readings:
+            frame[r.x, r.y] = (r.counts, r.detector_temp)
+        return frame
+
+    def decode_frame(self, raw_frame: SciArray) -> SciArray:
+        """Decode a whole RawFrame into a DecodedFrame (cell by cell)."""
+        out = DECODED_SCHEMA.create("decoded_frame", list(raw_frame.bounds))
+        for coords, cell in raw_frame.cells(include_null=False):
+            value, flag = self.decode_one(
+                RawReading(coords[0], coords[1], cell.counts, cell.detector_temp)
+            )
+            out[coords] = (value, flag)
+        return out

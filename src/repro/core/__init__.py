@@ -1,0 +1,128 @@
+"""Core array engine: the paper's data model and operator set.
+
+Public surface re-exported here; see the module docstrings for the mapping
+to the paper's sections.
+"""
+
+from .array import SciArray, Chunk, DEFAULT_CHUNK_SIDE
+from .cells import Cell, CellState
+from .datatypes import (
+    ScalarType,
+    define_type,
+    get_type,
+    registry as type_registry,
+    uncertain,
+)
+from .enhance import (
+    Enhancement,
+    FunctionEnhancement,
+    IrregularEnhancement,
+    MercatorEnhancement,
+    WallClockEnhancement,
+    enhance,
+)
+from .errors import (
+    BoundsError,
+    EmptyCellError,
+    InSituError,
+    ParseError,
+    PartitioningError,
+    PlanError,
+    ProvenanceError,
+    SchemaError,
+    SciDBError,
+    StorageError,
+    TransactionError,
+    TypeMismatchError,
+    UnknownFunctionError,
+    VersionError,
+)
+from .schema import (
+    ArraySchema,
+    Attribute,
+    Dimension,
+    HISTORY_DIMENSION,
+    UNBOUNDED,
+    define_array,
+)
+from .shape import (
+    BandShape,
+    CallableShape,
+    CircleShape,
+    LowerTriangleShape,
+    RectangleShape,
+    SeparableShape,
+    ShapeFunction,
+    apply_shape,
+    shape_of,
+)
+from .udf import (
+    UserAggregate,
+    UserFunction,
+    define_aggregate,
+    define_function,
+    define_function_from_file,
+    get_aggregate,
+    get_function,
+)
+from .uncertainty import PositionUncertainty, UncertainValue, combine_mean
+from . import ops
+
+__all__ = [
+    "SciArray",
+    "Chunk",
+    "DEFAULT_CHUNK_SIDE",
+    "Cell",
+    "CellState",
+    "ScalarType",
+    "define_type",
+    "get_type",
+    "type_registry",
+    "uncertain",
+    "Enhancement",
+    "FunctionEnhancement",
+    "IrregularEnhancement",
+    "MercatorEnhancement",
+    "WallClockEnhancement",
+    "enhance",
+    "ArraySchema",
+    "Attribute",
+    "Dimension",
+    "HISTORY_DIMENSION",
+    "UNBOUNDED",
+    "define_array",
+    "ShapeFunction",
+    "CallableShape",
+    "SeparableShape",
+    "RectangleShape",
+    "LowerTriangleShape",
+    "BandShape",
+    "CircleShape",
+    "apply_shape",
+    "shape_of",
+    "UserFunction",
+    "UserAggregate",
+    "define_function",
+    "define_function_from_file",
+    "define_aggregate",
+    "get_function",
+    "get_aggregate",
+    "UncertainValue",
+    "PositionUncertainty",
+    "combine_mean",
+    "ops",
+    "SciDBError",
+    "SchemaError",
+    "BoundsError",
+    "TypeMismatchError",
+    "EmptyCellError",
+    "UnknownFunctionError",
+    "TransactionError",
+    "VersionError",
+    "ProvenanceError",
+    "StorageError",
+    "PartitioningError",
+    "ParseError",
+    "PlanError",
+    "InSituError",
+]

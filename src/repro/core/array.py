@@ -1,0 +1,709 @@
+"""The multidimensional array container at the heart of the engine.
+
+:class:`SciArray` realises the paper's data model (Section 2.1):
+
+* named, 1-based integer dimensions, bounded (1..N) or unbounded (``*``),
+  with unbounded dimensions growing as cells are written;
+* every cell holds a record of typed values (scalars and/or nested arrays),
+  addressed as ``A[7, 8]`` and ``A[7, 8].x``;
+* cells may be PRESENT, NULL (Filter output), or EMPTY (sparse / never
+  written) — ``Exists?`` distinguishes the last;
+* arrays may carry *enhancements* (coordinate transforms, Section 2.1),
+  addressed through :attr:`SciArray.mapped` — the Python rendering of the
+  paper's ``A{20, 50}`` brace syntax;
+* arrays may carry a *shape function* restricting their ragged extent.
+
+Storage is chunked: the array is tiled into fixed-stride rectangular chunks,
+each holding a numpy array per attribute plus a per-cell state mask.  The
+same chunks are what the storage manager spills to disk as "buckets"
+(Section 2.8) and what the grid layer scatters across nodes (Section 2.7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .cells import Cell, CellState
+from .datatypes import ScalarType
+from .errors import BoundsError, EmptyCellError, SchemaError, TypeMismatchError
+from .schema import ArraySchema, Attribute, Dimension
+
+__all__ = ["SciArray", "Chunk", "DEFAULT_CHUNK_SIDE"]
+
+#: Default chunk stride per dimension.  Small enough that toy examples span
+#: several chunks (exercising chunk logic), large enough for bulk speed.
+DEFAULT_CHUNK_SIDE = 32
+
+Coords = tuple[int, ...]
+CellValue = Union[Cell, tuple, dict, Any]
+
+
+class Chunk:
+    """One rectangular tile of an array.
+
+    ``origin`` is the 1-based coordinate of the chunk's first cell; the
+    chunk covers ``origin[d] .. origin[d] + shape[d] - 1`` on each dimension.
+    ``state`` is a uint8 mask over :class:`~repro.core.cells.CellState`
+    values; ``data`` maps attribute name to a numpy array of ``shape``.
+    """
+
+    __slots__ = ("origin", "shape", "state", "data")
+
+    def __init__(
+        self,
+        origin: Coords,
+        shape: tuple[int, ...],
+        attributes: Sequence[Attribute],
+    ) -> None:
+        self.origin = origin
+        self.shape = shape
+        self.state = np.zeros(shape, dtype=np.uint8)
+        self.data: dict[str, np.ndarray] = {}
+        for attr in attributes:
+            if isinstance(attr.type, ScalarType) and attr.type.numpy_dtype != object:
+                arr = np.zeros(shape, dtype=attr.type.numpy_dtype)
+            else:
+                arr = np.empty(shape, dtype=object)
+            self.data[attr.name] = arr
+
+    @property
+    def present_count(self) -> int:
+        return int(np.count_nonzero(self.state == CellState.PRESENT))
+
+    @property
+    def occupied_count(self) -> int:
+        """Cells that are PRESENT or NULL (i.e. not EMPTY)."""
+        return int(np.count_nonzero(self.state != CellState.EMPTY))
+
+    def nbytes(self) -> int:
+        import sys
+
+        total = self.state.nbytes
+        for arr in self.data.values():
+            if arr.dtype == object:
+                total += arr.size * 8  # one pointer per slot
+                occupied = self.state != CellState.EMPTY
+                for v in arr[occupied]:
+                    if v is not None:
+                        total += sys.getsizeof(v)
+            else:
+                total += arr.nbytes
+        return total
+
+    def bounding_box(self) -> tuple[Coords, Coords]:
+        """1-based (low, high) corners of this chunk's coverage."""
+        high = tuple(o + s - 1 for o, s in zip(self.origin, self.shape))
+        return self.origin, high
+
+
+class SciArray:
+    """A concrete array instance (the result of ``create``).
+
+    Parameters
+    ----------
+    schema:
+        A fully bound :class:`~repro.core.schema.ArraySchema` (every
+        dimension either sized or deliberately unbounded).
+    name:
+        Instance name, used in logs, provenance and the catalog.
+    chunk_shape:
+        Stride of the storage chunks per dimension; defaults to
+        :data:`DEFAULT_CHUNK_SIDE` on every dimension.
+    """
+
+    def __init__(
+        self,
+        schema: ArraySchema,
+        name: Optional[str] = None,
+        chunk_shape: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.schema = schema
+        self.name = name or schema.name
+        if chunk_shape is None:
+            chunk_shape = tuple(
+                min(DEFAULT_CHUNK_SIDE, d.size) if d.size else DEFAULT_CHUNK_SIDE
+                for d in schema.dimensions
+            )
+        chunk_shape = tuple(int(c) for c in chunk_shape)
+        if len(chunk_shape) != schema.ndim:
+            raise SchemaError(
+                f"chunk_shape has {len(chunk_shape)} entries for a "
+                f"{schema.ndim}-dimensional array"
+            )
+        if any(c < 1 for c in chunk_shape):
+            raise SchemaError("chunk sides must be positive")
+        self.chunk_shape = chunk_shape
+        self._chunks: dict[Coords, Chunk] = {}
+        # High-water marks: max written coordinate per dimension (for
+        # unbounded dims); bounded dims report their declared size.
+        self._high_water = [0] * schema.ndim
+        # Enhancements (Section 2.1) are attached by repro.core.enhance.
+        self.enhancements: list[Any] = []
+        # Optional shape function (ragged arrays) attached by repro.core.shape.
+        self.shape_function: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.schema.ndim
+
+    @property
+    def dim_names(self) -> tuple[str, ...]:
+        return self.schema.dim_names
+
+    @property
+    def attr_names(self) -> tuple[str, ...]:
+        return self.schema.attr_names
+
+    def high_water(self, dim: "int | str") -> int:
+        """Current high-water mark of a dimension (1-based; 0 when empty).
+
+        Bounded dimensions report their declared size; unbounded ones the
+        maximum coordinate written so far.
+        """
+        idx = self.schema.dim_index(dim) if isinstance(dim, str) else dim
+        declared = self.schema.dimensions[idx].size
+        if declared is not None:
+            return declared
+        return self._high_water[idx]
+
+    @property
+    def bounds(self) -> tuple[int, ...]:
+        """Per-dimension high-water marks (see :meth:`high_water`)."""
+        return tuple(self.high_water(i) for i in range(self.ndim))
+
+    def count_present(self) -> int:
+        return sum(c.present_count for c in self._chunks.values())
+
+    def count_occupied(self) -> int:
+        return sum(c.occupied_count for c in self._chunks.values())
+
+    def nbytes(self) -> int:
+        return sum(c.nbytes() for c in self._chunks.values())
+
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def chunks(self) -> Iterator[Chunk]:
+        return iter(self._chunks.values())
+
+    # ------------------------------------------------------------------
+    # coordinate plumbing
+    # ------------------------------------------------------------------
+
+    def _normalize_coords(self, key: Any) -> Coords:
+        """Accept ``a[7, 8]``, ``a[(7, 8)]``, ``a[7]`` (1-D), or the verbose
+        named form ``a[dict(I=7, J=8)]`` and return a 1-based tuple."""
+        if isinstance(key, Mapping):
+            missing = set(self.dim_names) - set(key)
+            if missing:
+                raise BoundsError(f"missing coordinates for dimensions {sorted(missing)}")
+            extra = set(key) - set(self.dim_names)
+            if extra:
+                raise BoundsError(f"unknown dimensions {sorted(extra)}")
+            key = tuple(key[d] for d in self.dim_names)
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) != self.ndim:
+            raise BoundsError(
+                f"array {self.name!r} has {self.ndim} dimensions, "
+                f"address has {len(key)}"
+            )
+        coords = []
+        for c in key:
+            if isinstance(c, (bool, float)) or not isinstance(c, (int, np.integer)):
+                raise BoundsError(f"dimension values must be integers, got {c!r}")
+            coords.append(int(c))
+        return tuple(coords)
+
+    def _check_bounds(self, coords: Coords, *, writing: bool) -> None:
+        for i, (dim, c) in enumerate(zip(self.schema.dimensions, coords)):
+            if c < 1:
+                raise BoundsError(
+                    f"coordinate {c} on dimension {dim.name!r} (dimensions are 1-based)"
+                )
+            if dim.size is not None and c > dim.size:
+                raise BoundsError(
+                    f"coordinate {c} exceeds bound {dim.size} on dimension {dim.name!r}"
+                )
+        if self.shape_function is not None and not self.shape_function.contains(coords):
+            raise BoundsError(
+                f"coordinate {coords} lies outside the array's shape function"
+            )
+
+    def _chunk_key(self, coords: Coords) -> tuple[Coords, Coords]:
+        """Map 1-based cell coords to (chunk key, offset-within-chunk)."""
+        key = []
+        offset = []
+        for c, s in zip(coords, self.chunk_shape):
+            q, r = divmod(c - 1, s)
+            key.append(q)
+            offset.append(r)
+        return tuple(key), tuple(offset)
+
+    def _chunk_for(self, coords: Coords, create: bool) -> Optional[Chunk]:
+        key, _ = self._chunk_key(coords)
+        chunk = self._chunks.get(key)
+        if chunk is None and create:
+            origin = tuple(k * s + 1 for k, s in zip(key, self.chunk_shape))
+            chunk = Chunk(origin, self.chunk_shape, self.schema.attributes)
+            self._chunks[key] = chunk
+        return chunk
+
+    def _bump_high_water(self, coords: Coords) -> None:
+        for i, c in enumerate(coords):
+            if c > self._high_water[i]:
+                self._high_water[i] = c
+
+    # ------------------------------------------------------------------
+    # cell reads and writes
+    # ------------------------------------------------------------------
+
+    def exists(self, *key: Any) -> bool:
+        """The paper's ``Exists? [A, 7, 7]`` — true iff the cell is occupied
+        (PRESENT or NULL), false for EMPTY or out-of-range addresses."""
+        coords = self._normalize_coords(key[0] if len(key) == 1 else tuple(key))
+        try:
+            self._check_bounds(coords, writing=False)
+        except BoundsError:
+            return False
+        chunk = self._chunk_for(coords, create=False)
+        if chunk is None:
+            return False
+        _, off = self._chunk_key(coords)
+        return chunk.state[off] != CellState.EMPTY
+
+    def get(self, *key: Any) -> Optional[Cell]:
+        """Read a cell: a :class:`Cell` if PRESENT, ``None`` if NULL.
+
+        EMPTY cells raise :class:`EmptyCellError`; use :meth:`exists` to
+        probe first, or :meth:`get_or_none`.
+        """
+        coords = self._normalize_coords(key[0] if len(key) == 1 else tuple(key))
+        self._check_bounds(coords, writing=False)
+        chunk = self._chunk_for(coords, create=False)
+        _, off = self._chunk_key(coords)
+        if chunk is None or chunk.state[off] == CellState.EMPTY:
+            raise EmptyCellError(f"cell {coords} of array {self.name!r} is empty")
+        if chunk.state[off] == CellState.NULL:
+            return None
+        values = [self._load_value(chunk.data[a.name][off], a)
+                  for a in self.schema.attributes]
+        return Cell(self.attr_names, values)
+
+    def get_or_none(self, *key: Any) -> Optional[Cell]:
+        """Like :meth:`get` but EMPTY reads return ``None`` too."""
+        try:
+            return self.get(*key)
+        except (EmptyCellError, BoundsError):
+            return None
+
+    def __getitem__(self, key: Any) -> Optional[Cell]:
+        return self.get(key)
+
+    def __setitem__(self, key: Any, value: CellValue) -> None:
+        self.set(key, value)
+
+    def set(self, key: Any, value: CellValue) -> None:
+        """Write a record into a cell.
+
+        *value* may be a :class:`Cell`, a tuple in attribute order, a dict
+        keyed by attribute name, or — for single-attribute arrays — the bare
+        scalar.  ``None`` stores NULL (equivalent to :meth:`set_null`).
+        """
+        coords = self._normalize_coords(key)
+        self._check_bounds(coords, writing=True)
+        chunk = self._chunk_for(coords, create=True)
+        _, off = self._chunk_key(coords)
+        if value is None:
+            chunk.state[off] = CellState.NULL
+            self._bump_high_water(coords)
+            return
+        values = self._normalize_record(value)
+        for attr, v in zip(self.schema.attributes, values):
+            chunk.data[attr.name][off] = self._store_value(v, attr)
+        chunk.state[off] = CellState.PRESENT
+        self._bump_high_water(coords)
+
+    def set_null(self, key: Any) -> None:
+        """Store an explicit NULL (Filter's false-predicate output)."""
+        self.set(key, None)
+
+    def set_unchecked(self, coords: Coords, values: "Optional[tuple]") -> None:
+        """Trusted write path for operator inner loops.
+
+        Skips coordinate normalisation and type validation — callers must
+        pass a 1-based in-bounds tuple and a value tuple already conforming
+        to the schema (e.g. values read out of another array with the same
+        record type).  ``None`` stores NULL.
+        """
+        chunk = self._chunk_for(coords, create=True)
+        _, off = self._chunk_key(coords)
+        if values is None:
+            chunk.state[off] = CellState.NULL
+        else:
+            data = chunk.data
+            for name, v in zip(self.attr_names, values):
+                data[name][off] = v
+            chunk.state[off] = CellState.PRESENT
+        hw = self._high_water
+        for i, c in enumerate(coords):
+            if c > hw[i]:
+                hw[i] = c
+
+    def delete(self, key: Any) -> None:
+        """Return a cell to the EMPTY state.
+
+        Note that on *updatable* arrays the transaction layer never calls
+        this on old history slices — it records a deletion flag in the next
+        history slice instead (Section 2.5).
+        """
+        coords = self._normalize_coords(key)
+        self._check_bounds(coords, writing=True)
+        chunk = self._chunk_for(coords, create=False)
+        if chunk is None:
+            return
+        _, off = self._chunk_key(coords)
+        chunk.state[off] = CellState.EMPTY
+
+    def _normalize_record(self, value: CellValue) -> tuple:
+        attrs = self.schema.attributes
+        if isinstance(value, Cell):
+            if value.names == self.attr_names:
+                return value.values
+            try:
+                return tuple(getattr(value, a.name) for a in attrs)
+            except AttributeError as exc:
+                raise TypeMismatchError(str(exc)) from exc
+        if isinstance(value, Mapping):
+            missing = set(self.attr_names) - set(value)
+            if missing:
+                raise TypeMismatchError(f"record missing components {sorted(missing)}")
+            return tuple(value[a.name] for a in attrs)
+        if isinstance(value, tuple):
+            if len(value) != len(attrs):
+                # A (value, sigma) pair written to a single uncertain
+                # attribute is the value, not a 2-component record.
+                only = attrs[0].type if len(attrs) == 1 else None
+                if (
+                    isinstance(only, ScalarType)
+                    and only.is_uncertain
+                    and len(value) == 2
+                ):
+                    return (value,)
+                raise TypeMismatchError(
+                    f"record has {len(value)} components, schema has {len(attrs)}"
+                )
+            return value
+        if len(attrs) == 1:
+            return (value,)
+        raise TypeMismatchError(
+            f"cannot interpret {value!r} as a record with components "
+            f"{self.attr_names}"
+        )
+
+    def _store_value(self, value: Any, attr: Attribute) -> Any:
+        if isinstance(attr.type, ArraySchema):
+            if value is None:
+                return None
+            if isinstance(value, SciArray):
+                if value.schema.attr_names != attr.type.attr_names:
+                    raise TypeMismatchError(
+                        f"nested array for {attr.name!r} has components "
+                        f"{value.schema.attr_names}, expected {attr.type.attr_names}"
+                    )
+                return value
+            raise TypeMismatchError(
+                f"component {attr.name!r} expects a nested array, got "
+                f"{type(value).__name__}"
+            )
+        return attr.type.validate(value)
+
+    def _load_value(self, raw: Any, attr: Attribute) -> Any:
+        if isinstance(attr.type, ArraySchema):
+            return raw
+        if attr.type.numpy_dtype != object and isinstance(raw, np.generic):
+            return raw.item()
+        return raw
+
+    # ------------------------------------------------------------------
+    # bulk (vectorised) region I/O
+    # ------------------------------------------------------------------
+
+    def set_region(
+        self,
+        origin: Coords,
+        values: Mapping[str, np.ndarray],
+        null_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Write a dense block of cells in one call.
+
+        ``origin`` is the 1-based coordinate of the block's first cell.
+        Every array in *values* must share one shape; all schema attributes
+        must be supplied.  Cells where *null_mask* is true are stored as
+        NULL instead of their value (the vectorised Filter's output path).
+        This is the bulk-load fast path used by the streaming loader and
+        the workload generators.
+        """
+        arrays = {name: np.asarray(arr) for name, arr in values.items()}
+        missing = set(self.attr_names) - set(arrays)
+        if missing:
+            raise TypeMismatchError(f"set_region missing attributes {sorted(missing)}")
+        shapes = {a.shape for a in arrays.values()}
+        if len(shapes) != 1:
+            raise TypeMismatchError(f"set_region attribute shapes differ: {shapes}")
+        block_shape = shapes.pop()
+        if len(block_shape) != self.ndim:
+            raise TypeMismatchError(
+                f"set_region block is {len(block_shape)}-D for a {self.ndim}-D array"
+            )
+        origin = self._normalize_coords(origin)
+        far = tuple(o + s - 1 for o, s in zip(origin, block_shape))
+        self._check_bounds(origin, writing=True)
+        self._check_bounds(far, writing=True)
+
+        # Walk every chunk the block overlaps and copy the intersection.
+        lo_key, _ = self._chunk_key(origin)
+        hi_key, _ = self._chunk_key(far)
+        for key in itertools.product(
+            *(range(lo, hi + 1) for lo, hi in zip(lo_key, hi_key))
+        ):
+            chunk_origin = tuple(k * s + 1 for k, s in zip(key, self.chunk_shape))
+            chunk = self._chunks.get(key)
+            if chunk is None:
+                chunk = Chunk(chunk_origin, self.chunk_shape, self.schema.attributes)
+                self._chunks[key] = chunk
+            # Intersection of block and chunk, in absolute 1-based coords.
+            lo = tuple(max(o, co) for o, co in zip(origin, chunk_origin))
+            hi = tuple(
+                min(f, co + s - 1)
+                for f, co, s in zip(far, chunk_origin, self.chunk_shape)
+            )
+            chunk_sel = tuple(
+                slice(l - co, h - co + 1) for l, h, co in zip(lo, hi, chunk_origin)
+            )
+            block_sel = tuple(
+                slice(l - o, h - o + 1) for l, h, o in zip(lo, hi, origin)
+            )
+            for attr in self.schema.attributes:
+                chunk.data[attr.name][chunk_sel] = arrays[attr.name][block_sel]
+            if null_mask is None:
+                chunk.state[chunk_sel] = CellState.PRESENT
+            else:
+                mask = null_mask[block_sel]
+                chunk.state[chunk_sel] = np.where(
+                    mask, CellState.NULL, CellState.PRESENT
+                ).astype(np.uint8)
+        self._bump_high_water(far)
+
+    def region(
+        self,
+        lo: Coords,
+        hi: Coords,
+        attr: Optional[str] = None,
+        fill: Any = np.nan,
+    ) -> "np.ndarray | dict[str, np.ndarray]":
+        """Read the dense block ``lo..hi`` (inclusive, 1-based) as numpy.
+
+        EMPTY and NULL cells are filled with *fill*.  With *attr* given,
+        returns that attribute's block; otherwise a dict of all attributes.
+        """
+        lo = self._normalize_coords(lo)
+        hi = self._normalize_coords(hi)
+        if any(h < l for l, h in zip(lo, hi)):
+            raise BoundsError(f"empty region {lo}..{hi}")
+        shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        names = [attr] if attr is not None else list(self.attr_names)
+        out: dict[str, np.ndarray] = {}
+        for name in names:
+            a = self.schema.attribute(name)
+            if isinstance(a.type, ScalarType) and a.type.numpy_dtype != object:
+                dtype = (
+                    a.type.numpy_dtype
+                    if fill is not np.nan or not np.issubdtype(a.type.numpy_dtype, np.integer)
+                    else np.float64
+                )
+                out[name] = np.full(shape, fill, dtype=dtype)
+            else:
+                block = np.empty(shape, dtype=object)
+                block[...] = fill
+                out[name] = block
+
+        lo_key, _ = self._chunk_key(lo)
+        hi_key, _ = self._chunk_key(hi)
+        for key in itertools.product(
+            *(range(l, h + 1) for l, h in zip(lo_key, hi_key))
+        ):
+            chunk = self._chunks.get(key)
+            if chunk is None:
+                continue
+            co = chunk.origin
+            ilo = tuple(max(l, c) for l, c in zip(lo, co))
+            ihi = tuple(min(h, c + s - 1) for h, c, s in zip(hi, co, self.chunk_shape))
+            chunk_sel = tuple(slice(l - c, h - c + 1) for l, h, c in zip(ilo, ihi, co))
+            out_sel = tuple(slice(l - o, h - o + 1) for l, h, o in zip(ilo, ihi, lo))
+            mask = chunk.state[chunk_sel] == CellState.PRESENT
+            for name in names:
+                dest = out[name][out_sel]
+                src = chunk.data[name][chunk_sel]
+                dest[mask] = src[mask].astype(dest.dtype, copy=False) if (
+                    dest.dtype != object and src.dtype != dest.dtype
+                ) else src[mask]
+                out[name][out_sel] = dest
+        if attr is not None:
+            return out[attr]
+        return out
+
+    def to_numpy(self, attr: Optional[str] = None, fill: Any = np.nan):
+        """The whole array (1..high-water on each dimension) as numpy."""
+        hw = self.bounds
+        if any(h == 0 for h in hw):
+            shape = tuple(max(h, 0) for h in hw)
+            if attr is not None:
+                return np.full(shape, fill)
+            return {name: np.full(shape, fill) for name in self.attr_names}
+        return self.region(tuple([1] * self.ndim), hw, attr=attr, fill=fill)
+
+    @classmethod
+    def from_numpy(
+        cls,
+        schema: ArraySchema,
+        values: "np.ndarray | Mapping[str, np.ndarray]",
+        name: Optional[str] = None,
+        chunk_shape: Optional[Sequence[int]] = None,
+    ) -> "SciArray":
+        """Build an array instance from dense numpy data.
+
+        For single-attribute schemas a bare ndarray is accepted.
+        """
+        if isinstance(values, np.ndarray):
+            if len(schema.attributes) != 1:
+                raise TypeMismatchError(
+                    "bare ndarray only accepted for single-attribute schemas"
+                )
+            values = {schema.attributes[0].name: values}
+        shape = next(iter(values.values())).shape
+        bound = schema.bind(list(shape))
+        arr = cls(bound, name=name, chunk_shape=chunk_shape)
+        arr.set_region(tuple([1] * len(shape)), values)
+        return arr
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+
+    def cells(self, include_null: bool = True) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        """Iterate occupied cells in coordinate order as (coords, record).
+
+        NULL cells yield ``(coords, None)`` unless *include_null* is false.
+        """
+        for key in sorted(self._chunks):
+            chunk = self._chunks[key]
+            occupied = np.argwhere(chunk.state != CellState.EMPTY)
+            # argwhere returns offsets in row-major (sorted) order already.
+            for off in map(tuple, occupied):
+                coords = tuple(int(o + i) for o, i in zip(chunk.origin, off))
+                if chunk.state[off] == CellState.NULL:
+                    if include_null:
+                        yield coords, None
+                    continue
+                values = [
+                    self._load_value(chunk.data[a.name][off], a)
+                    for a in self.schema.attributes
+                ]
+                yield coords, Cell(self.attr_names, values)
+
+    def coords_present(self) -> Iterator[Coords]:
+        for coords, cell in self.cells(include_null=False):
+            yield coords
+
+    def __iter__(self) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        return self.cells()
+
+    def __len__(self) -> int:
+        return self.count_occupied()
+
+    # ------------------------------------------------------------------
+    # enhanced (mapped) addressing — the paper's A{...} syntax
+    # ------------------------------------------------------------------
+
+    @property
+    def mapped(self) -> "_MappedView":
+        """Address cells through the array's enhancements: ``a.mapped[16.3,
+        48.2]`` is the paper's ``A{16.3, 48.2}``."""
+        return _MappedView(self)
+
+    def find_enhancement(self, name: Optional[str] = None):
+        from .enhance import Enhancement  # local import to avoid a cycle
+
+        if not self.enhancements:
+            raise SchemaError(f"array {self.name!r} has no enhancements")
+        if name is None:
+            return self.enhancements[-1]
+        for e in self.enhancements:
+            if e.name == name:
+                return e
+        raise SchemaError(f"array {self.name!r} has no enhancement named {name!r}")
+
+    # ------------------------------------------------------------------
+    # copies, equality, repr
+    # ------------------------------------------------------------------
+
+    def empty_like(self, name: Optional[str] = None) -> "SciArray":
+        """A new array with this array's schema and chunking, no cells."""
+        clone = SciArray(self.schema, name=name or self.name, chunk_shape=self.chunk_shape)
+        clone.enhancements = list(self.enhancements)
+        clone.shape_function = self.shape_function
+        return clone
+
+    def copy(self, name: Optional[str] = None) -> "SciArray":
+        clone = self.empty_like(name=name)
+        for coords, cell in self.cells():
+            clone.set(coords, cell)
+        return clone
+
+    def content_equal(self, other: "SciArray") -> bool:
+        """Same occupied coordinates with equal records (schema names may
+        differ; dimension count and attribute count must match)."""
+        if self.ndim != other.ndim:
+            return False
+        mine = {c: cell.values if cell else None for c, cell in self.cells()}
+        theirs = {c: cell.values if cell else None for c, cell in other.cells()}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{d.name}=1..{'*' if d.size is None else d.size}"
+            for d in self.schema.dimensions
+        )
+        return (
+            f"<SciArray {self.name!r} [{dims}] "
+            f"{self.count_occupied()} cells in {len(self._chunks)} chunks>"
+        )
+
+
+class _MappedView:
+    """Indexing adaptor implementing enhanced addressing (``A{...}``)."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: SciArray) -> None:
+        self._array = array
+
+    def _resolve(self, key: Any) -> Coords:
+        if not isinstance(key, tuple):
+            key = (key,)
+        enh = self._array.find_enhancement()
+        return enh.to_basic(key)
+
+    def __getitem__(self, key: Any) -> Optional[Cell]:
+        return self._array.get(self._resolve(key))
+
+    def __setitem__(self, key: Any, value: CellValue) -> None:
+        self._array.set(self._resolve(key), value)

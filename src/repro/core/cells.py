@@ -1,0 +1,130 @@
+"""Cell values: the records stored at each array address (Section 2.1).
+
+Every cell of an array holds one record whose components are the schema's
+attributes — "one or more scalar values, and/or one or more arrays".  The
+paper addresses components as ``A[7, 8].x``; :class:`Cell` supports exactly
+that, plus tuple-like behaviour for convenience.
+
+Three cell states exist in the engine:
+
+* **present** — a record was written; ``A[i, j]`` returns a :class:`Cell`;
+* **NULL** — the cell exists but holds NULL (Filter's output for cells whose
+  predicate is false, Section 2.2.2); reads return ``None``;
+* **EMPTY** — never written (sparse arrays); ``Exists?`` is false and plain
+  reads raise :class:`~repro.core.errors.EmptyCellError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from .errors import SchemaError
+
+__all__ = ["Cell", "CellState", "EMPTY", "NULL", "PRESENT"]
+
+
+class CellState:
+    """Enumeration of cell storage states (kept as plain ints for numpy)."""
+
+    EMPTY = 0
+    PRESENT = 1
+    NULL = 2
+
+
+EMPTY = CellState.EMPTY
+PRESENT = CellState.PRESENT
+NULL = CellState.NULL
+
+
+class Cell:
+    """An immutable cell record with named components.
+
+    Supports the paper's component addressing (``cell.x``), index access
+    (``cell[0]``), iteration, tuple equality, and — for single-attribute
+    cells — direct equality with the bare scalar, so the Figure 1/3 examples
+    read naturally (``A[1] == 1``).
+    """
+
+    __slots__ = ("_names", "_values")
+
+    def __init__(self, names: Sequence[str], values: Sequence[Any]) -> None:
+        if len(names) != len(values):
+            raise SchemaError(
+                f"cell has {len(names)} component names but {len(values)} values"
+            )
+        object.__setattr__(self, "_names", tuple(names))
+        object.__setattr__(self, "_values", tuple(values))
+
+    # -- component access ----------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        names = object.__getattribute__(self, "_names")
+        values = object.__getattribute__(self, "_values")
+        try:
+            return values[names.index(name)]
+        except ValueError:
+            raise AttributeError(
+                f"cell has no component {name!r}; components are {names}"
+            ) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Cell records are immutable")
+
+    def __getitem__(self, index: "int | str") -> Any:
+        if isinstance(index, str):
+            return getattr(self, index)
+        return self._values[index]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        try:
+            return getattr(self, name)
+        except AttributeError:
+            return default
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self._names, self._values))
+
+    def concat(self, other: "Cell", rename: bool = True) -> "Cell":
+        """Concatenate two cell records — the join output of Sjoin/Cjoin.
+
+        On a name clash the right-hand component is suffixed with ``_r``
+        (when *rename* is set), mirroring SQL's qualified output columns.
+        """
+        names = list(self._names)
+        for n in other._names:
+            if n in names and rename:
+                n = f"{n}_r"
+            names.append(n)
+        return Cell(names, self._values + other._values)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Cell):
+            return self._names == other._names and self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        if len(self._values) == 1:
+            return self._values[0] == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._names, self._values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v!r}" for n, v in zip(self._names, self._values))
+        return f"Cell({inner})"

@@ -1,0 +1,271 @@
+"""Scalar type system for SciDB arrays.
+
+The paper (Section 2.1) requires that every cell of an array carry values of
+declared types, that users can add their own data types (Section 2.3), and
+that any type ``x`` can be wrapped as ``uncertain x`` (Section 2.13).  This
+module defines:
+
+* the built-in scalar types (``int8`` .. ``float64``, ``bool``, ``string``,
+  ``datetime``),
+* a registry through which user-defined types are added, and
+* :func:`uncertain`, which derives the two-component "value + error bar"
+  type for any registered base type.
+
+Types are descriptors, not containers: an :class:`ScalarType` knows how to
+validate and coerce Python values and which numpy dtype backs it inside a
+chunk.  The :class:`~repro.core.uncertainty.UncertainValue` runtime object
+lives in :mod:`repro.core.uncertainty`; here we only describe its type.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .errors import SchemaError, TypeMismatchError
+
+__all__ = [
+    "ScalarType",
+    "TypeRegistry",
+    "registry",
+    "get_type",
+    "define_type",
+    "uncertain",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "BOOL",
+    "STRING",
+    "DATETIME",
+]
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """Description of a scalar data type storable in array cells.
+
+    Parameters
+    ----------
+    name:
+        The type's name as used in ``define`` statements (e.g. ``"float"``).
+    numpy_dtype:
+        The dtype used for the value inside a chunk.  Object dtype is used
+        for types numpy cannot represent natively (strings of unbounded
+        length, user-defined types).
+    validator:
+        Optional predicate; values failing it raise
+        :class:`TypeMismatchError`.
+    coerce:
+        Callable converting an accepted Python value into canonical form.
+    null_value:
+        The in-chunk sentinel representing NULL for this type.
+    uncertain_base:
+        For ``uncertain x`` types, the base type; ``None`` otherwise.
+    """
+
+    name: str
+    numpy_dtype: np.dtype
+    validator: Optional[Callable[[Any], bool]] = None
+    coerce: Callable[[Any], Any] = field(default=lambda v: v)
+    null_value: Any = None
+    uncertain_base: Optional["ScalarType"] = None
+
+    @property
+    def is_uncertain(self) -> bool:
+        """Whether this is an ``uncertain x`` type (Section 2.13)."""
+        return self.uncertain_base is not None
+
+    @property
+    def is_numeric(self) -> bool:
+        return np.issubdtype(self.numpy_dtype, np.number)
+
+    def validate(self, value: Any) -> Any:
+        """Coerce *value* to this type, raising on mismatch.
+
+        NULL (``None``) is accepted by every type; nullability is a property
+        of cells, not types, in the paper's model (Filter produces NULL
+        cells of any type).
+        """
+        if value is None:
+            return None
+        if self.is_uncertain:
+            from .uncertainty import UncertainValue
+
+            if isinstance(value, UncertainValue):
+                return value
+            if isinstance(value, tuple) and len(value) == 2:
+                return UncertainValue(
+                    self.uncertain_base.validate(value[0]), float(value[1])
+                )
+            # A bare value is promoted to an exact (zero-error) measurement.
+            return UncertainValue(self.uncertain_base.validate(value), 0.0)
+        if self.validator is not None and not self.validator(value):
+            raise TypeMismatchError(
+                f"value {value!r} is not valid for type {self.name!r}"
+            )
+        try:
+            return self.coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeMismatchError(
+                f"cannot coerce {value!r} to type {self.name!r}: {exc}"
+            ) from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _int_factory(name: str, bits: int) -> ScalarType:
+    lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+
+    def check(v: Any) -> bool:
+        if isinstance(v, bool) or not isinstance(v, (int, np.integer)):
+            return False
+        return lo <= int(v) <= hi
+
+    return ScalarType(
+        name=name,
+        numpy_dtype=np.dtype(f"int{bits}"),
+        validator=check,
+        coerce=int,
+        null_value=np.iinfo(f"int{bits}").min,
+    )
+
+
+def _float_factory(name: str, bits: int) -> ScalarType:
+    def check(v: Any) -> bool:
+        return isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(
+            v, bool
+        )
+
+    return ScalarType(
+        name=name,
+        numpy_dtype=np.dtype(f"float{bits}"),
+        validator=check,
+        coerce=float,
+        null_value=math.nan,
+    )
+
+
+INT8 = _int_factory("int8", 8)
+INT16 = _int_factory("int16", 16)
+INT32 = _int_factory("int32", 32)
+INT64 = _int_factory("int64", 64)
+FLOAT32 = _float_factory("float32", 32)
+FLOAT64 = _float_factory("float64", 64)
+BOOL = ScalarType(
+    name="bool",
+    numpy_dtype=np.dtype("bool"),
+    validator=lambda v: isinstance(v, (bool, np.bool_)),
+    coerce=bool,
+    null_value=False,
+)
+STRING = ScalarType(
+    name="string",
+    numpy_dtype=np.dtype(object),
+    validator=lambda v: isinstance(v, str),
+    coerce=str,
+    null_value=None,
+)
+DATETIME = ScalarType(
+    name="datetime",
+    numpy_dtype=np.dtype(object),
+    validator=lambda v: isinstance(v, _dt.datetime),
+    coerce=lambda v: v,
+    null_value=None,
+)
+
+
+class TypeRegistry:
+    """Registry of named types; the extension point of Section 2.3.
+
+    User-defined types are registered once and then usable in any ``define``
+    statement, exactly like built-ins.  ``uncertain x`` types are derived
+    lazily from their base (Section 2.13: "SciDB will support 'uncertain x'
+    for any data type x that is available in the engine").
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, ScalarType] = {}
+        for t in (INT8, INT16, INT32, INT64, FLOAT32, FLOAT64, BOOL, STRING, DATETIME):
+            self._types[t.name] = t
+        # Convenience aliases used throughout the paper's examples.
+        self._types["int"] = INT64
+        self._types["integer"] = INT64
+        self._types["float"] = FLOAT64
+        self._types["double"] = FLOAT64
+
+    def define(
+        self,
+        name: str,
+        *,
+        validator: Optional[Callable[[Any], bool]] = None,
+        coerce: Callable[[Any], Any] = lambda v: v,
+    ) -> ScalarType:
+        """Register a user-defined type and return its descriptor."""
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid type name {name!r}")
+        if name in self._types:
+            raise SchemaError(f"type {name!r} is already defined")
+        t = ScalarType(
+            name=name, numpy_dtype=np.dtype(object), validator=validator, coerce=coerce
+        )
+        self._types[name] = t
+        return t
+
+    def get(self, name: str) -> ScalarType:
+        """Look up a type by name, deriving ``uncertain x`` on demand."""
+        if name in self._types:
+            return self._types[name]
+        if name.startswith("uncertain "):
+            base = self.get(name[len("uncertain ") :].strip())
+            derived = ScalarType(
+                name=f"uncertain {base.name}",
+                numpy_dtype=np.dtype(object),
+                uncertain_base=base,
+            )
+            self._types[derived.name] = derived
+            return derived
+        raise SchemaError(f"unknown type {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.get(name)
+        except SchemaError:
+            return False
+        return True
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+
+#: The process-wide registry used when schema objects are given type *names*.
+registry = TypeRegistry()
+
+
+def get_type(spec: "str | ScalarType") -> ScalarType:
+    """Resolve a type name or descriptor to a descriptor."""
+    if isinstance(spec, ScalarType):
+        return spec
+    return registry.get(spec)
+
+
+def define_type(
+    name: str,
+    *,
+    validator: Optional[Callable[[Any], bool]] = None,
+    coerce: Callable[[Any], Any] = lambda v: v,
+) -> ScalarType:
+    """Register a user-defined type in the process-wide registry."""
+    return registry.define(name, validator=validator, coerce=coerce)
+
+
+def uncertain(base: "str | ScalarType") -> ScalarType:
+    """Return the ``uncertain x`` type for *base* (Section 2.13)."""
+    return registry.get(f"uncertain {get_type(base).name}")

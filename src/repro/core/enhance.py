@@ -1,0 +1,308 @@
+"""Array enhancements: alternate coordinate systems (Section 2.1).
+
+A *basic* array has contiguous integer dimensions 1..N.  Enhancing an array
+with a UDF adds pseudo-coordinates: transposition/scaling/translation
+(integer→integer UDFs such as the paper's ``Scale10``), irregular
+non-integer coordinates (16.3, 27.6, 48.2, …), well-known coordinate
+systems such as Mercator geometry, and the wall-clock mapping of the
+``history`` dimension of updatable arrays (Section 2.5).
+
+After ``Enhance My_remote with Scale10`` both systems address the array:
+``A[7, 8]`` uses the basic integer coordinates and ``A{70, 80}`` (in this
+engine, ``a.mapped[70, 80]``) the enhanced ones.  The model deliberately
+"does not dictate how pseudo-coordinates are implemented"; we use the
+functional representation when an inverse exists and a lookup structure for
+irregular coordinate lists.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime as _dt
+import math
+from typing import Any, Optional, Sequence
+
+from .array import SciArray
+from .errors import BoundsError, SchemaError
+from .schema import HISTORY_DIMENSION
+from .udf import UserFunction, get_function
+
+__all__ = [
+    "Enhancement",
+    "FunctionEnhancement",
+    "IrregularEnhancement",
+    "WallClockEnhancement",
+    "MercatorEnhancement",
+    "enhance",
+]
+
+Coords = tuple[int, ...]
+
+
+class Enhancement:
+    """Base class: a bidirectional mapping between basic integer coordinates
+    and enhanced (pseudo-)coordinates."""
+
+    #: Name used to select among multiple enhancements on one array.
+    name: str = "enhancement"
+
+    def from_basic(self, coords: Coords) -> tuple:
+        """Map basic 1-based integer coordinates to enhanced coordinates."""
+        raise NotImplementedError
+
+    def to_basic(self, mapped: tuple) -> Coords:
+        """Map enhanced coordinates back to basic integer coordinates."""
+        raise NotImplementedError
+
+
+class FunctionEnhancement(Enhancement):
+    """Enhancement backed by a registered UDF (the ``Scale10`` case).
+
+    The UDF is applied to the dimension values of each cell.  ``dims``
+    optionally restricts the enhancement to a prefix subset of dimensions by
+    name — unnamed dimensions pass through unchanged, which is how
+    enhancement functions stay "cognizant of" the implicit history dimension
+    on updatable arrays (Section 2.5).
+    """
+
+    def __init__(
+        self,
+        function: "UserFunction | str",
+        array: SciArray,
+        dims: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.function = get_function(function) if isinstance(function, str) else function
+        self.name = self.function.name
+        self.array = array
+        all_dims = array.dim_names
+        if dims is None:
+            if self.function.arity == len(all_dims):
+                dims = all_dims
+            elif (
+                self.function.arity == len(all_dims) - 1
+                and all_dims[-1] == HISTORY_DIMENSION
+            ):
+                dims = all_dims[:-1]
+            else:
+                raise SchemaError(
+                    f"function {self.function.name!r} takes {self.function.arity} "
+                    f"arguments; array has dimensions {all_dims}"
+                )
+        missing = set(dims) - set(all_dims)
+        if missing:
+            raise SchemaError(f"unknown dimensions {sorted(missing)}")
+        self.dims = tuple(dims)
+        self._positions = tuple(array.schema.dim_index(d) for d in self.dims)
+
+    def from_basic(self, coords: Coords) -> tuple:
+        args = [coords[p] for p in self._positions]
+        result = self.function(*args)
+        if not isinstance(result, tuple):
+            result = (result,)
+        out = list(coords)
+        for p, v in zip(self._positions, result):
+            out[p] = v
+        return tuple(out)
+
+    def to_basic(self, mapped: tuple) -> Coords:
+        if len(mapped) != self.array.ndim:
+            # Allow addressing only the enhanced dims when the remainder is
+            # the history dimension (latest implied elsewhere).
+            raise BoundsError(
+                f"enhanced address needs {self.array.ndim} coordinates, "
+                f"got {len(mapped)}"
+            )
+        args = [mapped[p] for p in self._positions]
+        result = self.function.invert(*args)
+        if not isinstance(result, tuple):
+            result = (result,)
+        out = list(mapped)
+        for p, v in zip(self._positions, result):
+            out[p] = int(v)
+        return tuple(int(c) for c in out)
+
+
+class IrregularEnhancement(Enhancement):
+    """Non-integer, non-contiguous coordinates given as per-dimension lists.
+
+    ``coordinates[d][i-1]`` is the enhanced coordinate of basic index ``i``
+    on dimension ``d``.  Addressing through the enhancement accepts either an
+    exact listed coordinate or, with ``tolerance``, the nearest one within
+    that distance.
+    """
+
+    def __init__(
+        self,
+        array: SciArray,
+        coordinates: dict[str, Sequence[float]],
+        name: str = "irregular",
+        tolerance: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.array = array
+        self.tolerance = tolerance
+        self._coords: dict[int, list[float]] = {}
+        for dim_name, values in coordinates.items():
+            pos = array.schema.dim_index(dim_name)
+            values = list(values)
+            if sorted(values) != values:
+                raise SchemaError(
+                    f"irregular coordinates for {dim_name!r} must be ascending"
+                )
+            declared = array.schema.dimensions[pos].size
+            if declared is not None and len(values) < declared:
+                raise SchemaError(
+                    f"dimension {dim_name!r} has size {declared} but only "
+                    f"{len(values)} irregular coordinates were given"
+                )
+            self._coords[pos] = values
+
+    def from_basic(self, coords: Coords) -> tuple:
+        out = list(coords)
+        for pos, values in self._coords.items():
+            index = coords[pos]
+            if not 1 <= index <= len(values):
+                raise BoundsError(
+                    f"basic index {index} outside irregular coordinate list "
+                    f"(1..{len(values)})"
+                )
+            out[pos] = values[index - 1]
+        return tuple(out)
+
+    def to_basic(self, mapped: tuple) -> Coords:
+        if len(mapped) != self.array.ndim:
+            raise BoundsError(
+                f"enhanced address needs {self.array.ndim} coordinates, "
+                f"got {len(mapped)}"
+            )
+        out = list(mapped)
+        for pos, values in self._coords.items():
+            target = float(mapped[pos])
+            i = bisect.bisect_left(values, target)
+            best = None
+            for j in (i - 1, i):
+                if 0 <= j < len(values):
+                    if best is None or abs(values[j] - target) < abs(values[best] - target):
+                        best = j
+            if best is None or abs(values[best] - target) > self.tolerance and values[best] != target:
+                raise BoundsError(
+                    f"no irregular coordinate within {self.tolerance} of {target}"
+                )
+            out[pos] = best + 1
+        return tuple(int(c) for c in out)
+
+
+class WallClockEnhancement(Enhancement):
+    """Mapping between the integer history dimension and wall-clock time.
+
+    Section 2.5: "It is possible to enhance the history dimension with a
+    mapping between the integers noted above and wall clock time."  The
+    transaction manager appends a timestamp per committed history value;
+    addressing by datetime resolves to the last history value committed at
+    or before that instant (as-of semantics).
+    """
+
+    name = "wallclock"
+
+    def __init__(self, array: SciArray, dim: str = HISTORY_DIMENSION) -> None:
+        self.array = array
+        self._pos = array.schema.dim_index(dim)
+        self._times: list[_dt.datetime] = []
+
+    def record_commit(self, when: _dt.datetime) -> int:
+        """Register the wall-clock time of the next history value; returns
+        the history value assigned."""
+        if self._times and when < self._times[-1]:
+            raise SchemaError("commit timestamps must be non-decreasing")
+        self._times.append(when)
+        return len(self._times)
+
+    def from_basic(self, coords: Coords) -> tuple:
+        out = list(coords)
+        h = coords[self._pos]
+        if not 1 <= h <= len(self._times):
+            raise BoundsError(f"history value {h} has no recorded wall-clock time")
+        out[self._pos] = self._times[h - 1]
+        return tuple(out)
+
+    def to_basic(self, mapped: tuple) -> Coords:
+        out = list(mapped)
+        when = mapped[self._pos]
+        if not isinstance(when, _dt.datetime):
+            raise BoundsError("wall-clock address must be a datetime")
+        i = bisect.bisect_right(self._times, when)
+        if i == 0:
+            raise BoundsError(f"no history value committed at or before {when}")
+        out[self._pos] = i
+        return tuple(out)
+
+    def to_basic_history(self, when: _dt.datetime) -> int:
+        """The as-of history value for *when* (convenience for time travel)."""
+        i = bisect.bisect_right(self._times, when)
+        if i == 0:
+            raise BoundsError(f"no history value committed at or before {when}")
+        return i
+
+
+class MercatorEnhancement(Enhancement):
+    """A built-in well-known coordinate system (Section 2.1's example).
+
+    Maps integer grid indexes to (longitude, Mercator latitude) degrees for
+    a regular grid with the given resolution.  Dimension order is assumed
+    (x=longitude index, y=latitude index, …extra dims pass through).
+    """
+
+    name = "mercator"
+
+    def __init__(
+        self,
+        array: SciArray,
+        degrees_per_cell: float,
+        lon_origin: float = -180.0,
+        lat_origin: float = -85.0,
+    ) -> None:
+        if array.ndim < 2:
+            raise SchemaError("Mercator enhancement needs at least 2 dimensions")
+        self.array = array
+        self.res = degrees_per_cell
+        self.lon0 = lon_origin
+        self.lat0 = lat_origin
+
+    @staticmethod
+    def _lat_to_mercator(lat_deg: float) -> float:
+        rad = math.radians(lat_deg)
+        return math.degrees(math.log(math.tan(math.pi / 4 + rad / 2)))
+
+    @staticmethod
+    def _mercator_to_lat(y_deg: float) -> float:
+        rad = math.radians(y_deg)
+        return math.degrees(2 * math.atan(math.exp(rad)) - math.pi / 2)
+
+    def from_basic(self, coords: Coords) -> tuple:
+        lon = self.lon0 + (coords[0] - 1) * self.res
+        lat = self.lat0 + (coords[1] - 1) * self.res
+        return (lon, self._lat_to_mercator(lat)) + tuple(coords[2:])
+
+    def to_basic(self, mapped: tuple) -> Coords:
+        lon, merc = float(mapped[0]), float(mapped[1])
+        lat = self._mercator_to_lat(merc)
+        i = round((lon - self.lon0) / self.res) + 1
+        j = round((lat - self.lat0) / self.res) + 1
+        return (int(i), int(j)) + tuple(int(c) for c in mapped[2:])
+
+
+def enhance(
+    array: SciArray,
+    enhancement: "Enhancement | UserFunction | str",
+    dims: Optional[Sequence[str]] = None,
+) -> Enhancement:
+    """Attach an enhancement to *array* — the paper's ``Enhance A with F``.
+
+    Accepts a ready :class:`Enhancement` or a UDF (object or registered
+    name), which is wrapped in a :class:`FunctionEnhancement`.  Returns the
+    attached enhancement; an array may carry "any number" of them.
+    """
+    if isinstance(enhancement, (UserFunction, str)):
+        enhancement = FunctionEnhancement(enhancement, array, dims=dims)
+    array.enhancements.append(enhancement)
+    return enhancement

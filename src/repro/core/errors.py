@@ -1,0 +1,68 @@
+"""Exception hierarchy for the SciDB reproduction.
+
+Every error raised by the engine derives from :class:`SciDBError` so that
+applications can catch engine failures without also swallowing programming
+errors (``TypeError`` etc. are still raised for misuse of the Python API
+itself).
+"""
+
+from __future__ import annotations
+
+
+class SciDBError(Exception):
+    """Root of the engine's exception hierarchy."""
+
+
+class SchemaError(SciDBError):
+    """Invalid array/type definition, or a schema mismatch between operands."""
+
+
+class BoundsError(SciDBError, IndexError):
+    """A cell address lies outside the array's dimension bounds."""
+
+
+class TypeMismatchError(SciDBError, TypeError):
+    """A value does not conform to the declared attribute or UDF signature."""
+
+
+class EmptyCellError(SciDBError, KeyError):
+    """A read addressed a cell that has never been written."""
+
+
+class UnknownFunctionError(SciDBError, KeyError):
+    """A UDF, aggregate, or enhancement name is not registered."""
+
+
+class TransactionError(SciDBError):
+    """Illegal transaction usage (e.g. write outside a transaction, or
+    updating a non-updatable array)."""
+
+
+class VersionError(SciDBError):
+    """Unknown named version, cyclic version parentage, or similar misuse."""
+
+
+class ProvenanceError(SciDBError):
+    """A lineage trace could not be completed (e.g. missing log entries)."""
+
+
+class StorageError(SciDBError):
+    """Bucket/disk-level failure in the storage manager."""
+
+
+class PartitioningError(SciDBError):
+    """Invalid partitioning specification or an address that no partition
+    covers."""
+
+
+class ParseError(SciDBError):
+    """The query-language parser rejected its input."""
+
+
+class PlanError(SciDBError):
+    """The planner/executor was handed a malformed or unsupported parse
+    tree."""
+
+
+class InSituError(SciDBError):
+    """An in-situ adaptor could not interpret an external file."""

@@ -1,0 +1,446 @@
+"""Content-dependent operators (Section 2.2.2).
+
+Operators "whose result depends on the data that is stored in the input
+array":
+
+* :func:`filter` — keeps cells whose record satisfies a predicate; cells
+  failing it become **NULL** (not EMPTY), per the paper: "A(v) will contain
+  A(v) if P(A(v)) evaluates to true, otherwise it will contain NULL".
+* :func:`aggregate` — groups on a subset of *dimensions* (data attributes
+  cannot be used for grouping, as the paper notes) and folds each
+  (n-k)-dimensional group through an aggregate function (Fig. 2).
+* :func:`cjoin` — content-based join with a predicate over data values
+  only; the result is (m + n)-dimensional with NULLs where the predicate is
+  false (Fig. 3).
+* :func:`apply` / :func:`project` — per-cell computation and record
+  narrowing.
+* :func:`regrid` — the regridding the paper singles out as a key science
+  operation (Section 2.3): coarsen an array by integer factors, combining
+  each block with an aggregate.
+"""
+
+from __future__ import annotations
+
+import builtins
+import itertools
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..array import SciArray
+from ..cells import Cell
+from ..datatypes import FLOAT64, INT64, ScalarType, get_type
+from ..errors import SchemaError, TypeMismatchError
+from ..schema import ArraySchema, Attribute, Dimension
+from ..udf import UserAggregate, get_aggregate
+from . import register_operator
+
+__all__ = ["filter", "aggregate", "cjoin", "apply", "project", "regrid"]
+
+Coords = tuple[int, ...]
+Predicate = Callable[[Cell], bool]
+AggSpec = Union[str, UserAggregate]
+
+
+def _resolve_aggregate(agg: AggSpec) -> UserAggregate:
+    if isinstance(agg, UserAggregate):
+        return agg
+    return get_aggregate(agg)
+
+
+def _dense_numeric_blocks(array: SciArray) -> Optional[dict[str, np.ndarray]]:
+    """All attribute planes as numpy blocks, when the array is fully dense
+    with native-dtype attributes; ``None`` otherwise."""
+    hw = array.bounds
+    if any(h <= 0 for h in hw):
+        return None
+    if array.count_present() != int(np.prod(hw)):
+        return None
+    for a in array.schema.attributes:
+        if not isinstance(a.type, ScalarType) or a.type.numpy_dtype == object:
+            return None
+    return array.region(tuple([1] * array.ndim), hw, fill=0)
+
+
+def filter(
+    array: SciArray,
+    predicate: Optional[Predicate] = None,
+    name: Optional[str] = None,
+    block_predicate: Optional[Callable[[dict[str, np.ndarray]], np.ndarray]] = None,
+) -> SciArray:
+    """Keep cells satisfying *predicate*; failures become NULL cells.
+
+    The output has exactly the input's dimensions.  NULL input cells stay
+    NULL (the predicate is never invoked on them); EMPTY stays EMPTY.
+
+    *block_predicate* is the vectorised form: a function from the dict of
+    attribute planes to a boolean ndarray.  On fully dense numeric arrays
+    it evaluates in one numpy pass (the bulk-processing strength the array
+    model exists for); elsewhere the engine falls back to *predicate*,
+    which must then also be supplied (or be derivable — a block predicate
+    alone is rejected on sparse data rather than silently mis-evaluated).
+    """
+    if predicate is None and block_predicate is None:
+        raise SchemaError("filter needs a predicate or a block_predicate")
+    out = array.empty_like(name=name or f"{array.name}_filtered")
+    if block_predicate is not None:
+        blocks = _dense_numeric_blocks(array)
+        if blocks is not None:
+            keep = np.asarray(block_predicate(blocks), dtype=bool)
+            shape = next(iter(blocks.values())).shape
+            if keep.shape != shape:
+                raise SchemaError(
+                    f"block_predicate returned shape {keep.shape}, "
+                    f"expected {shape}"
+                )
+            out.set_region(tuple([1] * array.ndim), blocks, null_mask=~keep)
+            return out
+        if predicate is None:
+            raise SchemaError(
+                "array is not fully dense; supply a per-cell predicate"
+            )
+    for coords, cell in array.cells():
+        if cell is not None and predicate(cell):
+            out.set_unchecked(coords, cell.values)
+        else:
+            out.set_unchecked(coords, None)
+    return out
+
+
+def aggregate(
+    array: SciArray,
+    group_dims: Sequence[str],
+    agg: AggSpec,
+    attr: Optional[str] = None,
+    name: Optional[str] = None,
+) -> SciArray:
+    """Group-by-dimensions aggregation — ``Aggregate(H, {Y}, Sum(*))``.
+
+    *group_dims* lists the k dimensions retained in the output; the
+    aggregate folds, for each combination of their values, all PRESENT
+    cells of the complementary (n-k)-dimensional slice.  *attr* selects the
+    record component to aggregate (default: the first — the paper's ``*``
+    for single-value arrays).  Groups whose slice holds no PRESENT cell are
+    EMPTY in the output.
+    """
+    if not group_dims:
+        raise SchemaError("aggregate needs at least one grouping dimension; "
+                          "use aggregate_all for a scalar reduction")
+    if len(set(group_dims)) != len(group_dims):
+        raise SchemaError("duplicate grouping dimensions")
+    positions = [array.schema.dim_index(d) for d in group_dims]
+    aggregate_fn = _resolve_aggregate(agg)
+    attr_name = attr or array.attr_names[0]
+    array.schema.attribute(attr_name)  # validates
+
+    out_dims = [array.schema.dimensions[p] for p in positions]
+    out_schema = ArraySchema(
+        name=name or f"{array.schema.name}_agg",
+        attributes=(Attribute(aggregate_fn.name, _result_type(aggregate_fn)),),
+        dimensions=tuple(out_dims),
+    )
+    out = SciArray(out_schema, name=name or f"{array.name}_agg")
+
+    # Vectorised fast path: dense numeric single plane + algebraic
+    # aggregate -> one numpy reduction over the non-grouped axes.
+    attr_obj = array.schema.attribute(attr_name)
+    hw = array.bounds
+    dense = (
+        isinstance(attr_obj.type, ScalarType)
+        and attr_obj.type.numpy_dtype != object
+        and all(h > 0 for h in hw)
+        and array.count_present() == int(np.prod(hw))
+        and aggregate_fn.name in ("sum", "avg", "min", "max", "count")
+    )
+    if dense:
+        block = array.region(tuple([1] * array.ndim), hw, attr=attr_name, fill=0)
+        data = np.asarray(block, dtype=np.float64)
+        reduce_axes = tuple(
+            d for d in range(array.ndim) if d not in positions
+        )
+        if aggregate_fn.name == "count":
+            reduced = np.full(
+                [hw[p] for p in sorted(positions)],
+                int(np.prod([hw[d] for d in reduce_axes])) if reduce_axes else 1,
+                dtype=np.int64,
+            )
+        else:
+            reducer = {
+                "sum": np.sum, "avg": np.mean, "min": np.min, "max": np.max
+            }[aggregate_fn.name]
+            reduced = reducer(data, axis=reduce_axes) if reduce_axes else data
+        # numpy keeps the surviving axes in ascending original order;
+        # permute to the caller's requested group order.
+        kept = sorted(positions)
+        perm = [kept.index(p) for p in positions]
+        reduced = np.transpose(reduced, perm) if reduced.ndim > 1 else reduced
+        out.set_region(
+            tuple([1] * out.ndim), {aggregate_fn.name: reduced}
+        )
+        return out
+
+    groups: dict[Coords, Any] = {}
+    counts: dict[Coords, bool] = {}
+    for coords, cell in array.cells(include_null=False):
+        key = tuple(coords[p] for p in positions)
+        state = groups.get(key)
+        if key not in counts:
+            state = aggregate_fn.initial()
+            counts[key] = True
+        groups[key] = aggregate_fn.transition(state, getattr(cell, attr_name))
+    for key, state in groups.items():
+        out.set(key, aggregate_fn.final(state))
+    return out
+
+
+def aggregate_all(array: SciArray, agg: AggSpec, attr: Optional[str] = None) -> Any:
+    """Scalar reduction over every PRESENT cell (no grouping dimensions).
+
+    Dense numeric arrays with an algebraic aggregate reduce in one numpy
+    pass; everything else folds cell by cell.
+    """
+    aggregate_fn = _resolve_aggregate(agg)
+    attr_name = attr or array.attr_names[0]
+    attr_obj = array.schema.attribute(attr_name)
+    hw = array.bounds
+    if (
+        isinstance(attr_obj.type, ScalarType)
+        and attr_obj.type.numpy_dtype != object
+        and all(h > 0 for h in hw)
+        and array.count_present() == int(np.prod(hw))
+        and aggregate_fn.name in ("sum", "count", "avg", "min", "max", "stdev")
+    ):
+        block = np.asarray(
+            array.region(tuple([1] * array.ndim), hw, attr=attr_name, fill=0),
+            dtype=np.float64,
+        )
+        return {
+            "sum": lambda b: float(b.sum()),
+            "count": lambda b: int(b.size),
+            "avg": lambda b: float(b.mean()),
+            "min": lambda b: float(b.min()),
+            "max": lambda b: float(b.max()),
+            "stdev": lambda b: float(b.std()),
+        }[aggregate_fn.name](block)
+    return aggregate_fn.compute(
+        getattr(cell, attr_name)
+        for _, cell in array.cells(include_null=False)
+    )
+
+
+def _result_type(agg: UserAggregate) -> ScalarType:
+    if agg.name == "count":
+        return INT64
+    return FLOAT64
+
+
+def cjoin(
+    left: SciArray,
+    right: SciArray,
+    predicate: Callable[[Cell, Cell], bool],
+    name: Optional[str] = None,
+) -> SciArray:
+    """Content-based join (Fig. 3): predicate over data values only.
+
+    The result is (m + n)-dimensional — the left dimensions followed by the
+    right's.  Where both input cells are PRESENT and the predicate holds,
+    the result holds the concatenated record; where both are PRESENT but the
+    predicate fails, the result holds NULL (matching Fig. 3); combinations
+    involving an EMPTY or NULL input cell are EMPTY.
+    """
+    out_dims = [Dimension(d.name, d.size) for d in left.schema.dimensions]
+    used = {d.name for d in out_dims}
+    for d in right.schema.dimensions:
+        nm = d.name if d.name not in used else f"{d.name}_r"
+        used.add(nm)
+        out_dims.append(Dimension(nm, d.size))
+    from .structural import _concat_attributes
+
+    out_schema = ArraySchema(
+        name=name or f"{left.schema.name}_cjoin_{right.schema.name}",
+        attributes=tuple(_concat_attributes(left.schema, right.schema)),
+        dimensions=tuple(out_dims),
+    )
+    out = SciArray(out_schema, name=name or f"{left.name}_cjoin_{right.name}")
+    right_cells = [
+        (coords, cell) for coords, cell in right.cells(include_null=False)
+    ]
+    for lcoords, lcell in left.cells(include_null=False):
+        for rcoords, rcell in right_cells:
+            if predicate(lcell, rcell):
+                out.set_unchecked(lcoords + rcoords,
+                                  lcell.values + rcell.values)
+            else:
+                out.set_unchecked(lcoords + rcoords, None)
+    return out
+
+
+def apply(
+    array: SciArray,
+    fn: Optional[Callable[[Cell], Any]] = None,
+    output: Sequence[tuple[str, "str | ScalarType"]] = (),
+    name: Optional[str] = None,
+    block_fn: Optional[
+        Callable[[dict[str, np.ndarray]], "np.ndarray | dict[str, np.ndarray]"]
+    ] = None,
+) -> SciArray:
+    """Per-cell computation producing a new record type.
+
+    *fn* maps each PRESENT input record to the new record (tuple in
+    *output* order, or bare value for a single output).  NULL cells map to
+    NULL, EMPTY to EMPTY.
+
+    *block_fn* is the vectorised form: a function from the dict of input
+    attribute planes to the output plane (single output) or a dict of
+    output planes.  Used in one numpy pass on fully dense numeric arrays;
+    sparse arrays fall back to *fn* (required in that case).
+    """
+    if not output:
+        raise SchemaError("apply needs at least one output component")
+    if fn is None and block_fn is None:
+        raise SchemaError("apply needs fn or block_fn")
+    out_attrs = tuple(Attribute(n, get_type(t)) for n, t in output)
+    out_schema = ArraySchema(
+        name=name or f"{array.schema.name}_applied",
+        attributes=out_attrs,
+        dimensions=array.schema.dimensions,
+    )
+    out = SciArray(out_schema, name=name or f"{array.name}_applied")
+    if block_fn is not None:
+        blocks = _dense_numeric_blocks(array)
+        if blocks is not None:
+            result = block_fn(blocks)
+            if isinstance(result, np.ndarray):
+                if len(out_attrs) != 1:
+                    raise SchemaError(
+                        "block_fn returned one plane for a multi-component "
+                        "output; return a dict of planes"
+                    )
+                result = {out_attrs[0].name: result}
+            missing = {a.name for a in out_attrs} - set(result)
+            if missing:
+                raise SchemaError(
+                    f"block_fn output missing planes {sorted(missing)}"
+                )
+            out.set_region(tuple([1] * array.ndim), result)
+            return out
+        if fn is None:
+            raise SchemaError(
+                "array is not fully dense; supply a per-cell fn"
+            )
+    for coords, cell in array.cells():
+        if cell is None:
+            out.set(coords, None)
+            continue
+        result = fn(cell)
+        if len(out_attrs) == 1 and not isinstance(result, tuple):
+            result = (result,)
+        out.set(coords, result)
+    return out
+
+
+def project(
+    array: SciArray, attrs: Sequence[str], name: Optional[str] = None
+) -> SciArray:
+    """Narrow each record to the named components."""
+    if not attrs:
+        raise SchemaError("project needs at least one component")
+    out_attrs = tuple(array.schema.attribute(a) for a in attrs)
+    out_schema = ArraySchema(
+        name=name or f"{array.schema.name}_proj",
+        attributes=out_attrs,
+        dimensions=array.schema.dimensions,
+    )
+    out = SciArray(out_schema, name=name or f"{array.name}_proj")
+    for coords, cell in array.cells():
+        if cell is None:
+            out.set_unchecked(coords, None)
+        else:
+            out.set_unchecked(coords, tuple(getattr(cell, a) for a in attrs))
+    return out
+
+
+def regrid(
+    array: SciArray,
+    factors: Sequence[int],
+    agg: AggSpec = "avg",
+    attr: Optional[str] = None,
+    name: Optional[str] = None,
+) -> SciArray:
+    """Coarsen by integer *factors*: output cell (i, j, …) aggregates the
+    input block ``[(i-1)*f+1 .. i*f]`` per dimension.
+
+    This is the canonical "regrid" the paper names as the operation science
+    users actually want (Section 2.3).  A vectorised numpy path handles
+    fully dense numeric arrays; the general path handles sparse/NULL data.
+    """
+    if len(factors) != array.ndim:
+        raise SchemaError(
+            f"regrid needs {array.ndim} factors, got {len(factors)}"
+        )
+    if any(f < 1 for f in factors):
+        raise SchemaError("regrid factors must be >= 1")
+    aggregate_fn = _resolve_aggregate(agg)
+    attr_name = attr or array.attr_names[0]
+    attr_obj = array.schema.attribute(attr_name)
+
+    hw = array.bounds
+    out_sizes = [(h + f - 1) // f for h, f in zip(hw, factors)]
+    out_schema = ArraySchema(
+        name=name or f"{array.schema.name}_regrid",
+        attributes=(Attribute(aggregate_fn.name, _result_type(aggregate_fn)),),
+        dimensions=tuple(
+            Dimension(d.name, s)
+            for d, s in zip(array.schema.dimensions, out_sizes)
+        ),
+    )
+    out = SciArray(out_schema, name=name or f"{array.name}_regrid")
+
+    dense = (
+        isinstance(attr_obj.type, ScalarType)
+        and attr_obj.type.numpy_dtype != object
+        and array.count_present() == int(np.prod(hw))
+        and aggregate_fn.name in ("sum", "avg", "min", "max", "count")
+        and all(h % f == 0 for h, f in zip(hw, factors))
+    )
+    if dense and all(h > 0 for h in hw):
+        if aggregate_fn.name == "count":
+            data = np.full(out_sizes, int(np.prod(factors)), dtype=np.int64)
+        else:
+            block = array.region(
+                tuple([1] * array.ndim), hw, attr=attr_name, fill=0
+            )
+            # Fold each dimension: reshape to (..., out, factor, ...), reduce.
+            data = np.asarray(block, dtype=np.float64)
+            for d, f in enumerate(factors):
+                new_shape = (
+                    data.shape[:d] + (data.shape[d] // f, f) + data.shape[d + 1 :]
+                )
+                data = data.reshape(new_shape)
+                reducer = {
+                    "sum": np.sum, "avg": np.mean, "min": np.min, "max": np.max
+                }[aggregate_fn.name]
+                data = reducer(data, axis=d + 1)
+        out.set_region(tuple([1] * out.ndim), {aggregate_fn.name: data})
+        return out
+
+    groups: dict[Coords, Any] = {}
+    seeded: set[Coords] = set()
+    for coords, cell in array.cells(include_null=False):
+        key = tuple((c - 1) // f + 1 for c, f in zip(coords, factors))
+        if key not in seeded:
+            groups[key] = aggregate_fn.initial()
+            seeded.add(key)
+        groups[key] = aggregate_fn.transition(groups[key], getattr(cell, attr_name))
+    for key, state in groups.items():
+        out.set(key, aggregate_fn.final(state))
+    return out
+
+
+register_operator("filter", filter)
+register_operator("aggregate", aggregate)
+register_operator("aggregate_all", aggregate_all)
+register_operator("cjoin", cjoin)
+register_operator("apply", apply)
+register_operator("project", project)
+register_operator("regrid", regrid)

@@ -1,0 +1,482 @@
+"""Structural operators (Section 2.2.1).
+
+These operators "create new arrays based purely on the structure of the
+inputs" — they are data-agnostic, never needing to read cell values to
+decide the output's shape, "which presents opportunity for optimization"
+(the planner exploits this; see :mod:`repro.query.planner` and experiment
+E2).
+
+The Subsample predicate must be "a conjunction of conditions on each
+dimension independently" — ``X = 3 and Y < 4`` is legal, ``X = Y`` is not.
+We enforce this syntactically: the predicate is a mapping from dimension
+name to a *single-dimension* condition (a range tuple, a set of values, or
+a unary callable), so cross-dimension predicates are inexpressible.
+
+Subsampled dimensions are renumbered to stay contiguous (1..K, the model's
+invariant), and the original index values are *retained* — as the paper
+requires — through an :class:`~repro.core.enhance.IrregularEnhancement`
+named ``"source_index"`` mapping each new index back to its source value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..array import SciArray
+from ..cells import Cell
+from ..enhance import IrregularEnhancement
+from ..errors import BoundsError, SchemaError
+from ..schema import ArraySchema, Attribute, Dimension
+from . import register_operator
+
+__all__ = [
+    "DimCondition",
+    "subsample",
+    "exists",
+    "reshape",
+    "sjoin",
+    "add_dimension",
+    "remove_dimension",
+    "concatenate",
+    "cross_product",
+    "transpose",
+]
+
+Coords = tuple[int, ...]
+
+#: A condition on one dimension: an int (equality), a ``(lo, hi)`` inclusive
+#: range (either end ``None`` for open), a set/list of admitted values, or a
+#: unary predicate such as ``lambda x: x % 2 == 0`` (the paper's ``even(X)``).
+DimCondition = Union[int, tuple, set, frozenset, list, range, Callable[[int], bool]]
+
+
+def _selected_indexes(condition: DimCondition, high_water: int) -> list[int]:
+    """Indexes in 1..high_water satisfying *condition*, ascending."""
+    if isinstance(condition, bool):
+        raise SchemaError("a bare bool is not a dimension condition")
+    if isinstance(condition, int):
+        return [condition] if 1 <= condition <= high_water else []
+    if isinstance(condition, tuple):
+        if len(condition) != 2:
+            raise SchemaError(f"range condition must be (lo, hi), got {condition!r}")
+        lo, hi = condition
+        lo = 1 if lo is None else max(1, int(lo))
+        hi = high_water if hi is None else min(high_water, int(hi))
+        return list(range(lo, hi + 1))
+    if isinstance(condition, (set, frozenset, list, range)):
+        return sorted(v for v in condition if 1 <= v <= high_water)
+    if callable(condition):
+        return [i for i in range(1, high_water + 1) if condition(i)]
+    raise SchemaError(f"unsupported dimension condition {condition!r}")
+
+
+def _is_contiguous_range(condition: DimCondition) -> bool:
+    return isinstance(condition, tuple) or isinstance(condition, int)
+
+
+def subsample(
+    array: SciArray,
+    predicate: Mapping[str, DimCondition],
+    name: Optional[str] = None,
+) -> SciArray:
+    """Select a subslab: the paper's ``Subsample(F, even(X))``.
+
+    *predicate* maps dimension names to independent conditions; unmentioned
+    dimensions keep all their values.  The output has the same number of
+    dimensions with (generally) fewer values per dimension; original index
+    values are retained via the ``source_index`` enhancement.
+    """
+    unknown = set(predicate) - set(array.dim_names)
+    if unknown:
+        raise SchemaError(f"subsample predicate names unknown dimensions {sorted(unknown)}")
+
+    selections: list[list[int]] = []
+    for d in range(array.ndim):
+        hw = array.high_water(d)
+        cond = predicate.get(array.dim_names[d])
+        selections.append(
+            list(range(1, hw + 1)) if cond is None else _selected_indexes(cond, hw)
+        )
+
+    out_dims = tuple(
+        Dimension(dim.name, len(sel))
+        for dim, sel in zip(array.schema.dimensions, selections)
+    )
+    out_schema = array.schema.with_dimensions(out_dims).renamed(
+        name or f"{array.schema.name}_sub"
+    )
+    out = SciArray(out_schema, name=name or f"{array.name}_sub")
+
+    # Fast path: every selected run is contiguous -> one region copy.
+    contiguous = all(
+        sel == list(range(sel[0], sel[-1] + 1)) for sel in selections if sel
+    ) and all(selections)
+    if contiguous and array.count_occupied() == array.count_present():
+        lo = tuple(sel[0] for sel in selections)
+        hi = tuple(sel[-1] for sel in selections)
+        occupied_box = all(
+            l <= h for l, h in zip(lo, hi)
+        )
+        if occupied_box and array.count_present() == int(
+            np.prod([h - l + 1 for l, h in zip((1,) * array.ndim, array.bounds)])
+        ):
+            block = array.region(lo, hi, fill=0)
+            out.set_region(tuple([1] * array.ndim), block)
+            _attach_source_index(out, array, selections)
+            return out
+
+    index_maps = [
+        {src: i + 1 for i, src in enumerate(sel)} for sel in selections
+    ]
+    for coords, cell in array.cells():
+        new_coords = []
+        for c, m in zip(coords, index_maps):
+            nc = m.get(c)
+            if nc is None:
+                break
+            new_coords.append(nc)
+        else:
+            out.set_unchecked(tuple(new_coords),
+                              None if cell is None else cell.values)
+    _attach_source_index(out, array, selections)
+    return out
+
+
+def _attach_source_index(
+    out: SciArray, source: SciArray, selections: Sequence[Sequence[int]]
+) -> None:
+    coordinates = {
+        dim.name: list(sel)
+        for dim, sel in zip(out.schema.dimensions, selections)
+    }
+    out.enhancements.append(
+        IrregularEnhancement(out, coordinates, name="source_index")
+    )
+
+
+def exists(array: SciArray, *coords: int) -> bool:
+    """The paper's ``Exists? [A, 7, 7]``."""
+    return array.exists(*coords)
+
+
+def reshape(
+    array: SciArray,
+    order: Sequence[str],
+    new_dims: Sequence[tuple[str, int]],
+    name: Optional[str] = None,
+) -> SciArray:
+    """Change an array's dimensionality keeping the cell count.
+
+    The paper's example: for a 2x3x4 array G with dimensions X, Y, Z,
+    ``Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])`` linearizes G "by iterating
+    over X most slowly and Y most quickly", then regroups the resulting
+    24-vector into an 8x3 array with dimensions U, V (first-listed new
+    dimension varying most slowly).
+    """
+    if sorted(order) != sorted(array.dim_names):
+        raise SchemaError(
+            f"reshape order {list(order)} must be a permutation of "
+            f"{list(array.dim_names)}"
+        )
+    old_sizes = [array.high_water(d) for d in order]
+    new_sizes = [size for _, size in new_dims]
+    if int(np.prod(old_sizes)) != int(np.prod(new_sizes)):
+        raise SchemaError(
+            f"reshape must preserve the cell count: "
+            f"{int(np.prod(old_sizes))} != {int(np.prod(new_sizes))}"
+        )
+    out_schema = array.schema.with_dimensions(
+        [Dimension(n, s) for n, s in new_dims]
+    ).renamed(name or f"{array.schema.name}_reshaped")
+    out = SciArray(out_schema, name=name or f"{array.name}_reshaped")
+
+    perm = [array.schema.dim_index(d) for d in order]
+
+    def linear_index(coords: Coords) -> int:
+        idx = 0
+        for pos, size in zip(perm, old_sizes):
+            idx = idx * size + (coords[pos] - 1)
+        return idx
+
+    def delinearize(idx: int) -> Coords:
+        rev: list[int] = []
+        for size in reversed(new_sizes):
+            idx, r = divmod(idx, size)
+            rev.append(r + 1)
+        return tuple(reversed(rev))
+
+    for coords, cell in array.cells():
+        out.set_unchecked(delinearize(linear_index(coords)),
+                          None if cell is None else cell.values)
+    return out
+
+
+def sjoin(
+    left: SciArray,
+    right: SciArray,
+    on: Sequence[tuple[str, str]],
+    name: Optional[str] = None,
+) -> SciArray:
+    """Structured join: predicate restricted to dimension values (Fig. 1).
+
+    *on* lists ``(left_dim, right_dim)`` equality pairs — k of them.  For an
+    m-dimensional left and n-dimensional right input the result is
+    (m + n - k)-dimensional: the left dimensions, then the right's
+    non-joined dimensions, "with concatenated cell tuples wherever the join
+    predicate is true".  Cells lacking a partner are EMPTY in the result.
+    """
+    if not on:
+        raise SchemaError("sjoin needs at least one dimension-equality pair")
+    left_join = [l for l, _ in on]
+    right_join = [r for _, r in on]
+    for d in left_join:
+        left.schema.dimension(d)
+    for d in right_join:
+        right.schema.dimension(d)
+    if len(set(left_join)) != len(left_join) or len(set(right_join)) != len(right_join):
+        raise SchemaError("a dimension may appear only once in the join predicate")
+
+    right_keep = [d for d in right.dim_names if d not in right_join]
+    out_dims = [
+        Dimension(d.name, d.size) for d in left.schema.dimensions
+    ]
+    used = {d.name for d in out_dims}
+    for dname in right_keep:
+        dim = right.schema.dimension(dname)
+        out_name = dname if dname not in used else f"{dname}_r"
+        used.add(out_name)
+        out_dims.append(Dimension(out_name, dim.size))
+
+    out_attrs = _concat_attributes(left.schema, right.schema)
+    out_schema = ArraySchema(
+        name=name or f"{left.schema.name}_sjoin_{right.schema.name}",
+        attributes=tuple(out_attrs),
+        dimensions=tuple(out_dims),
+    )
+    out = SciArray(out_schema, name=name or f"{left.name}_sjoin_{right.name}")
+
+    # Vectorised fast path: a full-dimension equijoin of two fully dense
+    # numeric arrays of equal (permuted) extents is a plane concatenation.
+    if len(on) == left.ndim == right.ndim and set(left_join) == set(
+        left.dim_names
+    ):
+        # right axis order expressed in left dimension order
+        perm = [right.schema.dim_index(r) for _, r in sorted(
+            on, key=lambda pair: left.schema.dim_index(pair[0])
+        )]
+        left_ordered_bounds = tuple(
+            left.high_water(left.schema.dim_index(l))
+            for l, _ in sorted(on, key=lambda p: left.schema.dim_index(p[0]))
+        )
+        right_perm_bounds = tuple(right.bounds[p] for p in perm)
+        from ..datatypes import ScalarType as _ST
+
+        def _all_native(a: SciArray) -> bool:
+            return all(
+                isinstance(attr.type, _ST) and attr.type.numpy_dtype != object
+                for attr in a.schema.attributes
+            )
+
+        if (
+            left.bounds == left_ordered_bounds == right_perm_bounds
+            and _all_native(left)
+            and _all_native(right)
+            and left.count_present() == int(np.prod(left.bounds)) > 0
+            and right.count_present() == int(np.prod(right.bounds))
+        ):
+            ones = tuple([1] * left.ndim)
+            lblocks = left.region(ones, left.bounds, fill=0)
+            rblocks = right.region(tuple([1] * right.ndim), right.bounds, fill=0)
+            merged: dict[str, np.ndarray] = {}
+            for attr, la in zip(out_attrs[: len(left.schema.attributes)],
+                                left.schema.attributes):
+                merged[attr.name] = lblocks[la.name]
+            # b = transpose(r, perm): b[left_idx] = r[r_idx] with
+            # r_idx[perm[i]] = left_idx[i] — the join's coordinate match.
+            for attr, ra in zip(out_attrs[len(left.schema.attributes):],
+                                right.schema.attributes):
+                merged[attr.name] = np.transpose(rblocks[ra.name], perm)
+            out.set_region(ones, merged)
+            return out
+
+    # Build a hash index over the right input keyed by its join coords.
+    right_join_pos = [right.schema.dim_index(d) for d in right_join]
+    right_keep_pos = [right.schema.dim_index(d) for d in right_keep]
+    index: dict[Coords, list[tuple[Coords, Optional[Cell]]]] = {}
+    for coords, cell in right.cells():
+        key = tuple(coords[p] for p in right_join_pos)
+        keep = tuple(coords[p] for p in right_keep_pos)
+        index.setdefault(key, []).append((keep, cell))
+
+    left_join_pos = [left.schema.dim_index(d) for d in left_join]
+    for coords, cell in left.cells():
+        key = tuple(coords[p] for p in left_join_pos)
+        for keep, rcell in index.get(key, ()):
+            if cell is None or rcell is None:
+                out.set_unchecked(coords + keep, None)
+            else:
+                out.set_unchecked(coords + keep, cell.values + rcell.values)
+    return out
+
+
+def _concat_attributes(
+    left: ArraySchema, right: ArraySchema
+) -> list[Attribute]:
+    out_attrs: list[Attribute] = list(left.attributes)
+    names = {a.name for a in out_attrs}
+    for a in right.attributes:
+        aname = a.name if a.name not in names else f"{a.name}_r"
+        names.add(aname)
+        out_attrs.append(Attribute(aname, a.type))
+    return out_attrs
+
+
+def add_dimension(
+    array: SciArray, dim_name: str, name: Optional[str] = None
+) -> SciArray:
+    """Append a new size-1 dimension (every cell gets coordinate 1)."""
+    if dim_name in array.dim_names:
+        raise SchemaError(f"array already has a dimension named {dim_name!r}")
+    out_schema = array.schema.with_dimensions(
+        list(array.schema.dimensions) + [Dimension(dim_name, 1)]
+    ).renamed(name or array.schema.name)
+    out = SciArray(out_schema, name=name or f"{array.name}_plus_{dim_name}")
+    for coords, cell in array.cells():
+        out.set_unchecked(coords + (1,),
+                          None if cell is None else cell.values)
+    return out
+
+
+def remove_dimension(
+    array: SciArray, dim_name: str, name: Optional[str] = None
+) -> SciArray:
+    """Drop a dimension whose extent is a single value."""
+    pos = array.schema.dim_index(dim_name)
+    if array.high_water(pos) > 1:
+        raise SchemaError(
+            f"cannot remove dimension {dim_name!r} with extent "
+            f"{array.high_water(pos)} > 1"
+        )
+    dims = [d for d in array.schema.dimensions if d.name != dim_name]
+    if not dims:
+        raise SchemaError("cannot remove the last dimension")
+    out_schema = array.schema.with_dimensions(dims).renamed(
+        name or array.schema.name
+    )
+    out = SciArray(out_schema, name=name or f"{array.name}_minus_{dim_name}")
+    from ..datatypes import ScalarType as _ST
+
+    hw = array.bounds
+    if (
+        all(h > 0 for h in hw)
+        and array.count_present() == int(np.prod(hw))
+        and all(
+            isinstance(a.type, _ST) and a.type.numpy_dtype != object
+            for a in array.schema.attributes
+        )
+    ):
+        blocks = array.region(tuple([1] * array.ndim), hw, fill=0)
+        squeezed = {k: np.squeeze(v, axis=pos) for k, v in blocks.items()}
+        out.set_region(tuple([1] * out.ndim), squeezed)
+        return out
+    for coords, cell in array.cells():
+        out.set_unchecked(coords[:pos] + coords[pos + 1 :],
+                          None if cell is None else cell.values)
+    return out
+
+
+def concatenate(
+    left: SciArray,
+    right: SciArray,
+    dim: str,
+    name: Optional[str] = None,
+) -> SciArray:
+    """Concatenate two arrays along *dim*; other extents must agree."""
+    if left.dim_names != right.dim_names:
+        raise SchemaError(
+            f"concatenate inputs must share dimensions: "
+            f"{left.dim_names} vs {right.dim_names}"
+        )
+    if left.attr_names != right.attr_names:
+        raise SchemaError("concatenate inputs must share the cell record type")
+    pos = left.schema.dim_index(dim)
+    for d in range(left.ndim):
+        if d != pos and left.high_water(d) != right.high_water(d):
+            raise SchemaError(
+                f"extent mismatch on dimension {left.dim_names[d]!r}: "
+                f"{left.high_water(d)} vs {right.high_water(d)}"
+            )
+    offset = left.high_water(pos)
+    dims = list(left.schema.dimensions)
+    dims[pos] = Dimension(dim, offset + right.high_water(pos))
+    out_schema = left.schema.with_dimensions(dims).renamed(
+        name or f"{left.schema.name}_concat"
+    )
+    out = SciArray(out_schema, name=name or f"{left.name}_concat_{right.name}")
+    for coords, cell in left.cells():
+        out.set_unchecked(coords, None if cell is None else cell.values)
+    for coords, cell in right.cells():
+        shifted = coords[:pos] + (coords[pos] + offset,) + coords[pos + 1 :]
+        out.set_unchecked(shifted, None if cell is None else cell.values)
+    return out
+
+
+def cross_product(
+    left: SciArray, right: SciArray, name: Optional[str] = None
+) -> SciArray:
+    """The (m + n)-dimensional cross product with concatenated records."""
+    out_dims = [Dimension(d.name, d.size) for d in left.schema.dimensions]
+    used = {d.name for d in out_dims}
+    for d in right.schema.dimensions:
+        out_name = d.name if d.name not in used else f"{d.name}_r"
+        used.add(out_name)
+        out_dims.append(Dimension(out_name, d.size))
+    out_schema = ArraySchema(
+        name=name or f"{left.schema.name}_x_{right.schema.name}",
+        attributes=tuple(_concat_attributes(left.schema, right.schema)),
+        dimensions=tuple(out_dims),
+    )
+    out = SciArray(out_schema, name=name or f"{left.name}_x_{right.name}")
+    right_cells = list(right.cells())
+    for lcoords, lcell in left.cells():
+        for rcoords, rcell in right_cells:
+            if lcell is None or rcell is None:
+                out.set_unchecked(lcoords + rcoords, None)
+            else:
+                out.set_unchecked(lcoords + rcoords, lcell.values + rcell.values)
+    return out
+
+
+def transpose(
+    array: SciArray, order: Sequence[str], name: Optional[str] = None
+) -> SciArray:
+    """Reorder dimensions (a pure coordinate transformation)."""
+    if sorted(order) != sorted(array.dim_names):
+        raise SchemaError(
+            f"transpose order {list(order)} must be a permutation of "
+            f"{list(array.dim_names)}"
+        )
+    perm = [array.schema.dim_index(d) for d in order]
+    dims = [array.schema.dimensions[p] for p in perm]
+    out_schema = array.schema.with_dimensions(dims).renamed(
+        name or f"{array.schema.name}_t"
+    )
+    out = SciArray(out_schema, name=name or f"{array.name}_t")
+    for coords, cell in array.cells():
+        out.set_unchecked(tuple(coords[p] for p in perm),
+                          None if cell is None else cell.values)
+    return out
+
+
+register_operator("subsample", subsample)
+register_operator("exists", exists)
+register_operator("reshape", reshape)
+register_operator("sjoin", sjoin)
+register_operator("add_dimension", add_dimension)
+register_operator("remove_dimension", remove_dimension)
+register_operator("concatenate", concatenate)
+register_operator("cross_product", cross_product)
+register_operator("transpose", transpose)

@@ -1,0 +1,387 @@
+"""Shape functions: ragged array boundaries (Section 2.1).
+
+A shape function is "a user-defined function with integer arguments and a
+pair of integer outputs" — given the values of all dimensions but one, it
+returns the low-water and high-water marks of the remaining (*profile*)
+dimension.  This allows raggedness in both the lower and the upper bound,
+so "arrays that digitize circles and other complex shapes are possible",
+but cannot express holes — exactly the paper's model.
+
+Each basic array can have at most one shape function
+(:func:`apply_shape` enforces this), and the engine ships a collection of
+built-ins: rectangles, lower-triangles, diagonal bands, digitized circles,
+and separable per-dimension shapes (the special case the paper calls out
+where the shape "is separable into a collection of shape functions for the
+individual dimensions").
+
+Queries mirror the paper:
+
+* ``shape_fn.slice_bounds((7, None))`` — the paper's
+  ``shape-function (A[7, *])`` — bounds of one slice;
+* ``shape_fn.global_bounds(free_dim)`` — the paper's
+  ``shape-function (A[I, *])`` — "the maximum high-water mark and the
+  minimum low-water mark" over all slices.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Iterator, Optional, Sequence
+
+from .array import SciArray
+from .errors import SchemaError
+
+__all__ = [
+    "ShapeFunction",
+    "ShapeWithHoles",
+    "CallableShape",
+    "SeparableShape",
+    "RectangleShape",
+    "LowerTriangleShape",
+    "BandShape",
+    "CircleShape",
+    "apply_shape",
+    "shape_of",
+]
+
+Coords = tuple[int, ...]
+SliceSpec = tuple[Optional[int], ...]  # exactly one None = the free dimension
+
+
+class ShapeFunction:
+    """Base class for ragged-boundary definitions.
+
+    ``outer_bounds`` gives, per dimension, the (1, N) envelope within which
+    the shape lives; subclasses define :meth:`slice_bounds`.
+    """
+
+    def __init__(self, outer_bounds: Sequence[int]) -> None:
+        if any(b < 1 for b in outer_bounds):
+            raise SchemaError("shape outer bounds must be >= 1")
+        self.outer_bounds = tuple(int(b) for b in outer_bounds)
+        self.ndim = len(self.outer_bounds)
+
+    # -- to be provided by subclasses ----------------------------------------
+
+    def slice_bounds(self, spec: SliceSpec) -> Optional[tuple[int, int]]:
+        """Low/high-water marks of the free dimension for one slice.
+
+        *spec* fixes every dimension except one, which is ``None``.
+        Returns ``None`` for slices entirely outside the shape.
+        """
+        raise NotImplementedError
+
+    # -- derived queries -------------------------------------------------------
+
+    def _free_dim(self, spec: SliceSpec) -> int:
+        if len(spec) != self.ndim:
+            raise SchemaError(
+                f"slice spec has {len(spec)} entries for a {self.ndim}-D shape"
+            )
+        frees = [i for i, v in enumerate(spec) if v is None]
+        if len(frees) != 1:
+            raise SchemaError("exactly one dimension must be left unspecified ('*')")
+        return frees[0]
+
+    def contains(self, coords: Coords) -> bool:
+        """Whether a cell address lies inside the ragged boundary."""
+        if len(coords) != self.ndim:
+            return False
+        for c, outer in zip(coords, self.outer_bounds):
+            if not 1 <= c <= outer:
+                return False
+        spec = tuple(coords[:-1]) + (None,)
+        bounds = self.slice_bounds(spec)
+        if bounds is None:
+            return False
+        lo, hi = bounds
+        return lo <= coords[-1] <= hi
+
+    def global_bounds(self, free_dim: int) -> Optional[tuple[int, int]]:
+        """Minimum low-water and maximum high-water marks of *free_dim*
+        across all slices — the paper's ``shape-function (A[I, *])``."""
+        fixed_dims = [i for i in range(self.ndim) if i != free_dim]
+        lo_all: Optional[int] = None
+        hi_all: Optional[int] = None
+        ranges = [range(1, self.outer_bounds[i] + 1) for i in fixed_dims]
+        for fixed in itertools.product(*ranges):
+            spec: list[Optional[int]] = [None] * self.ndim
+            for d, v in zip(fixed_dims, fixed):
+                spec[d] = v
+            bounds = self.slice_bounds(tuple(spec))
+            if bounds is None:
+                continue
+            lo, hi = bounds
+            lo_all = lo if lo_all is None else min(lo_all, lo)
+            hi_all = hi if hi_all is None else max(hi_all, hi)
+        if lo_all is None:
+            return None
+        return lo_all, hi_all
+
+    def cells(self) -> Iterator[Coords]:
+        """Enumerate every cell address inside the shape."""
+        ranges = [range(1, b + 1) for b in self.outer_bounds[:-1]]
+        for prefix in itertools.product(*ranges):
+            bounds = self.slice_bounds(prefix + (None,))
+            if bounds is None:
+                continue
+            lo, hi = bounds
+            for last in range(lo, hi + 1):
+                yield prefix + (last,)
+
+    def cell_count(self) -> int:
+        return sum(1 for _ in self.cells())
+
+
+class CallableShape(ShapeFunction):
+    """A shape defined by an arbitrary user function.
+
+    *fn* receives the fixed coordinates of all dimensions except the last
+    and returns ``(lo, hi)`` bounds for the last dimension, or ``None``.
+    This is the general "user-defined function" form from the paper, with
+    the last dimension as the ragged one.
+    """
+
+    def __init__(
+        self,
+        outer_bounds: Sequence[int],
+        fn: Callable[..., Optional[tuple[int, int]]],
+    ) -> None:
+        super().__init__(outer_bounds)
+        self._fn = fn
+
+    def slice_bounds(self, spec: SliceSpec) -> Optional[tuple[int, int]]:
+        free = self._free_dim(spec)
+        if free != self.ndim - 1:
+            # Generic callables only profile the last dimension; answer
+            # other axes by scanning (correct, if slower).
+            return self._scan_axis(spec, free)
+        bounds = self._fn(*(v for v in spec if v is not None))
+        if bounds is None:
+            return None
+        lo, hi = int(bounds[0]), int(bounds[1])
+        if lo > hi:
+            return None
+        return max(lo, 1), min(hi, self.outer_bounds[free])
+
+    def _scan_axis(self, spec: SliceSpec, free: int) -> Optional[tuple[int, int]]:
+        lo_hit: Optional[int] = None
+        hi_hit: Optional[int] = None
+        for v in range(1, self.outer_bounds[free] + 1):
+            coords = tuple(v if s is None else s for s in spec)
+            if self.contains(coords):
+                lo_hit = v if lo_hit is None else lo_hit
+                hi_hit = v
+        if lo_hit is None:
+            return None
+        return lo_hit, hi_hit
+
+
+class SeparableShape(ShapeFunction):
+    """Per-dimension independent bounds (the paper's separable case).
+
+    ``bounds_per_dim[d]`` is a fixed ``(lo, hi)`` pair for dimension *d* —
+    the composite encapsulating "a collection of shape functions for the
+    individual dimensions".
+    """
+
+    def __init__(self, bounds_per_dim: Sequence[tuple[int, int]]) -> None:
+        super().__init__([hi for _, hi in bounds_per_dim])
+        for lo, hi in bounds_per_dim:
+            if lo < 1 or hi < lo:
+                raise SchemaError(f"invalid separable bounds ({lo}, {hi})")
+        self.bounds_per_dim = tuple((int(lo), int(hi)) for lo, hi in bounds_per_dim)
+
+    def slice_bounds(self, spec: SliceSpec) -> Optional[tuple[int, int]]:
+        free = self._free_dim(spec)
+        for d, v in enumerate(spec):
+            if v is None:
+                continue
+            lo, hi = self.bounds_per_dim[d]
+            if not lo <= v <= hi:
+                return None
+        return self.bounds_per_dim[free]
+
+    def contains(self, coords: Coords) -> bool:
+        if len(coords) != self.ndim:
+            return False
+        return all(lo <= c <= hi for c, (lo, hi) in zip(coords, self.bounds_per_dim))
+
+
+class RectangleShape(SeparableShape):
+    """The degenerate non-ragged shape: a full box ``1..N`` per dimension."""
+
+    def __init__(self, sizes: Sequence[int]) -> None:
+        super().__init__([(1, s) for s in sizes])
+
+
+class LowerTriangleShape(ShapeFunction):
+    """2-D lower-triangular region: cells with ``J <= I``."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__([n, n])
+
+    def slice_bounds(self, spec: SliceSpec) -> Optional[tuple[int, int]]:
+        free = self._free_dim(spec)
+        n = self.outer_bounds[0]
+        if free == 1:  # given I, bounds of J
+            i = spec[0]
+            if not 1 <= i <= n:
+                return None
+            return 1, i
+        j = spec[1]  # given J, bounds of I
+        if not 1 <= j <= n:
+            return None
+        return j, n
+
+
+class BandShape(ShapeFunction):
+    """2-D diagonal band: cells with ``|I - J| <= width``."""
+
+    def __init__(self, n: int, width: int) -> None:
+        super().__init__([n, n])
+        if width < 0:
+            raise SchemaError("band width must be >= 0")
+        self.width = width
+
+    def slice_bounds(self, spec: SliceSpec) -> Optional[tuple[int, int]]:
+        free = self._free_dim(spec)
+        n = self.outer_bounds[0]
+        fixed = spec[1 - free]
+        if fixed is None or not 1 <= fixed <= n:
+            return None
+        lo = max(1, fixed - self.width)
+        hi = min(n, fixed + self.width)
+        return lo, hi
+
+
+class CircleShape(ShapeFunction):
+    """Digitized disc — the paper's "arrays that digitize circles".
+
+    Cell (I, J) is inside when its centre lies within *radius* of the disc
+    centre.  Raggedness appears in both the lower and upper J bound.
+    """
+
+    def __init__(self, center: tuple[float, float], radius: float) -> None:
+        cx, cy = center
+        super().__init__(
+            [int(math.ceil(cx + radius)), int(math.ceil(cy + radius))]
+        )
+        self.center = (float(cx), float(cy))
+        self.radius = float(radius)
+
+    def slice_bounds(self, spec: SliceSpec) -> Optional[tuple[int, int]]:
+        free = self._free_dim(spec)
+        cx, cy = self.center if free == 1 else (self.center[1], self.center[0])
+        fixed = spec[1 - free]
+        dx = fixed - cx
+        if abs(dx) > self.radius:
+            return None
+        half = math.sqrt(self.radius**2 - dx**2)
+        lo = max(1, int(math.ceil(cy - half)))
+        hi = min(self.outer_bounds[free], int(math.floor(cy + half)))
+        if lo > hi:
+            return None
+        return lo, hi
+
+
+class ShapeWithHoles(ShapeFunction):
+    """A shape minus interior holes — the capability the paper defers.
+
+    Section 2.1: "it is not possible to use a shape function to indicate
+    'holes' in arrays.  If this is a desirable feature, we can easily add
+    this capability."  This class is that addition: cells lie inside when
+    the *base* shape contains them and no *hole* shape does.
+
+    Because a slice through a holey region is no longer one interval,
+    :meth:`slice_bounds` reports the slice's bounding interval (the
+    envelope), while :meth:`contains`, :meth:`cells` and
+    :meth:`slice_runs` are exact.
+    """
+
+    def __init__(
+        self, base: ShapeFunction, holes: Sequence[ShapeFunction]
+    ) -> None:
+        super().__init__(base.outer_bounds)
+        for hole in holes:
+            if hole.ndim != base.ndim:
+                raise SchemaError(
+                    f"hole is {hole.ndim}-D but the base shape is "
+                    f"{base.ndim}-D"
+                )
+        self.base = base
+        self.holes = tuple(holes)
+
+    def contains(self, coords: Coords) -> bool:
+        if not self.base.contains(coords):
+            return False
+        return not any(h.contains(coords) for h in self.holes)
+
+    def slice_bounds(self, spec: SliceSpec) -> Optional[tuple[int, int]]:
+        free = self._free_dim(spec)
+        lo_hit: Optional[int] = None
+        hi_hit: Optional[int] = None
+        for v in range(1, self.outer_bounds[free] + 1):
+            coords = tuple(v if s is None else s for s in spec)
+            if self.contains(coords):
+                lo_hit = v if lo_hit is None else lo_hit
+                hi_hit = v
+        if lo_hit is None:
+            return None
+        return lo_hit, hi_hit
+
+    def cells(self) -> Iterator[Coords]:
+        ranges = [range(1, b + 1) for b in self.outer_bounds[:-1]]
+        for prefix in itertools.product(*ranges):
+            for lo, hi in self.slice_runs(prefix + (None,)):
+                for last in range(lo, hi + 1):
+                    yield prefix + (last,)
+
+    def slice_runs(self, spec: SliceSpec) -> list[tuple[int, int]]:
+        """The exact (possibly multi-interval) extent of one slice."""
+        free = self._free_dim(spec)
+        runs: list[tuple[int, int]] = []
+        start: Optional[int] = None
+        for v in range(1, self.outer_bounds[free] + 1):
+            coords = tuple(v if s is None else s for s in spec)
+            if self.contains(coords):
+                if start is None:
+                    start = v
+            elif start is not None:
+                runs.append((start, v - 1))
+                start = None
+        if start is not None:
+            runs.append((start, self.outer_bounds[free]))
+        return runs
+
+
+def apply_shape(array: SciArray, shape: ShapeFunction) -> SciArray:
+    """Attach *shape* to *array* — the paper's ``Shape A with F``.
+
+    At most one shape function per basic array; writes outside the shape
+    then raise :class:`~repro.core.errors.BoundsError`.
+    """
+    if array.shape_function is not None:
+        raise SchemaError(
+            f"array {array.name!r} already has a shape function; "
+            "every basic array can have at most one"
+        )
+    if shape.ndim != array.ndim:
+        raise SchemaError(
+            f"shape is {shape.ndim}-D but array {array.name!r} is {array.ndim}-D"
+        )
+    array.shape_function = shape
+    return array
+
+
+def shape_of(array: SciArray, spec: SliceSpec) -> Optional[tuple[int, int]]:
+    """Query an array's shape function — ``shape-function (A[7, *])``.
+
+    With every entry of *spec* ``None`` except one fixed prefix, returns the
+    slice bounds; with a fully-``None``-except-free spec of the global form,
+    use ``array.shape_function.global_bounds``.
+    """
+    if array.shape_function is None:
+        raise SchemaError(f"array {array.name!r} has no shape function")
+    return array.shape_function.slice_bounds(spec)

@@ -1,0 +1,331 @@
+"""Uncertain data elements (Section 2.13).
+
+The paper reports "near universal consensus" on a simple model: every value
+may carry a normal-distribution error bar (a standard deviation), and the
+executor performs the corresponding interval arithmetic when combining
+uncertain elements.  :class:`UncertainValue` implements that model with
+first-order Gaussian error propagation:
+
+* ``(a ± sa) + (b ± sb) = (a+b) ± sqrt(sa² + sb²)`` (and similarly for ``-``),
+* ``(a ± sa) * (b ± sb) = ab ± sqrt((b·sa)² + (a·sb)²)``,
+* ``(a ± sa) / (b ± sb)`` by the standard relative-error formula,
+* ``f(a ± sa) = f(a) ± |f'(a)|·sa`` for the unary maps we expose.
+
+Uncertain *cell membership* — the PanSTARRS case where an observation's
+true position may fall in a neighbouring partition — is modelled by
+:class:`PositionUncertainty`, which yields the set of integer cells a
+measured coordinate may occupy; the grid layer uses it to replicate
+boundary observations (see :mod:`repro.cluster.grid`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .errors import TypeMismatchError
+
+__all__ = [
+    "UncertainValue",
+    "PositionUncertainty",
+    "SampledValue",
+    "combine_mean",
+]
+
+
+def _as_uncertain(value: "UncertainValue | float | int") -> "UncertainValue":
+    if isinstance(value, UncertainValue):
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(
+            f"cannot combine uncertain value with {type(value).__name__}"
+        )
+    return UncertainValue(float(value), 0.0)
+
+
+@dataclass(frozen=True)
+class UncertainValue:
+    """A value with a normal-distribution error bar.
+
+    ``value`` is the mean and ``sigma`` the standard deviation.  ``sigma``
+    must be non-negative; an exact value has ``sigma == 0``.
+    """
+
+    value: float
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise TypeMismatchError("error bar (sigma) must be non-negative")
+
+    # -- interval helpers ---------------------------------------------------
+
+    def interval(self, k: float = 1.0) -> tuple[float, float]:
+        """The ``±k·sigma`` interval around the mean."""
+        return (self.value - k * self.sigma, self.value + k * self.sigma)
+
+    def overlaps(self, other: "UncertainValue", k: float = 1.0) -> bool:
+        """Whether the ``±k·sigma`` intervals of the two values intersect.
+
+        This is the predicate "uncertain equality" used by uncertain joins.
+        """
+        other = _as_uncertain(other)
+        lo1, hi1 = self.interval(k)
+        lo2, hi2 = other.interval(k)
+        return lo1 <= hi2 and lo2 <= hi1
+
+    # -- Gaussian-propagation arithmetic ------------------------------------
+
+    def __add__(self, other: "UncertainValue | float | int") -> "UncertainValue":
+        o = _as_uncertain(other)
+        return UncertainValue(self.value + o.value, math.hypot(self.sigma, o.sigma))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "UncertainValue":
+        return UncertainValue(-self.value, self.sigma)
+
+    def __sub__(self, other: "UncertainValue | float | int") -> "UncertainValue":
+        return self + (-_as_uncertain(other))
+
+    def __rsub__(self, other: "UncertainValue | float | int") -> "UncertainValue":
+        return _as_uncertain(other) + (-self)
+
+    def __mul__(self, other: "UncertainValue | float | int") -> "UncertainValue":
+        o = _as_uncertain(other)
+        sigma = math.hypot(o.value * self.sigma, self.value * o.sigma)
+        return UncertainValue(self.value * o.value, sigma)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "UncertainValue | float | int") -> "UncertainValue":
+        o = _as_uncertain(other)
+        mean = self.value / o.value
+        sigma = abs(mean) * math.hypot(
+            self.sigma / self.value if self.value else 0.0,
+            o.sigma / o.value,
+        )
+        # When the numerator mean is 0 the relative-error formula degenerates;
+        # fall back to propagating the absolute numerator error.
+        if self.value == 0:
+            sigma = self.sigma / abs(o.value)
+        return UncertainValue(mean, sigma)
+
+    def __rtruediv__(self, other: "UncertainValue | float | int") -> "UncertainValue":
+        return _as_uncertain(other) / self
+
+    def __pow__(self, exponent: float) -> "UncertainValue":
+        mean = self.value**exponent
+        deriv = abs(exponent * self.value ** (exponent - 1)) if self.value else 0.0
+        return UncertainValue(mean, deriv * self.sigma)
+
+    def sqrt(self) -> "UncertainValue":
+        return self**0.5
+
+    def log(self) -> "UncertainValue":
+        if self.value <= 0:
+            raise TypeMismatchError("log of non-positive uncertain value")
+        return UncertainValue(math.log(self.value), self.sigma / self.value)
+
+    def exp(self) -> "UncertainValue":
+        mean = math.exp(self.value)
+        return UncertainValue(mean, mean * self.sigma)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __lt__(self, other: "UncertainValue | float | int") -> bool:
+        return self.value < _as_uncertain(other).value
+
+    def __le__(self, other: "UncertainValue | float | int") -> bool:
+        return self.value <= _as_uncertain(other).value
+
+    def __gt__(self, other: "UncertainValue | float | int") -> bool:
+        return self.value > _as_uncertain(other).value
+
+    def __ge__(self, other: "UncertainValue | float | int") -> bool:
+        return self.value >= _as_uncertain(other).value
+
+    def __repr__(self) -> str:
+        return f"{self.value!r} ± {self.sigma!r}"
+
+
+def combine_mean(values: Iterable[UncertainValue]) -> UncertainValue:
+    """Inverse-variance weighted mean of independent measurements.
+
+    Exact values (``sigma == 0``) short-circuit: the mean of exact values is
+    the arithmetic mean with zero error.
+    """
+    vals = [_as_uncertain(v) for v in values]
+    if not vals:
+        raise ValueError("combine_mean of no values")
+    if any(v.sigma == 0 for v in vals):
+        exact = [v.value for v in vals if v.sigma == 0]
+        return UncertainValue(sum(exact) / len(exact), 0.0)
+    weights = [1.0 / (v.sigma**2) for v in vals]
+    total = sum(weights)
+    mean = sum(w * v.value for w, v in zip(weights, vals)) / total
+    return UncertainValue(mean, math.sqrt(1.0 / total))
+
+
+@dataclass(frozen=True)
+class PositionUncertainty:
+    """Maximum positional error per dimension (the PanSTARRS case).
+
+    ``radius[d]`` is the maximum absolute error, in coordinate units, of a
+    measured position along dimension ``d``.  :meth:`candidate_cells`
+    enumerates every integer cell the true position may occupy, which the
+    grid layer uses to redundantly place boundary observations so uncertain
+    spatial joins never move data (Section 2.13).
+    """
+
+    radius: tuple[float, ...]
+
+    def candidate_cells(self, position: tuple[float, ...]) -> Iterator[tuple[int, ...]]:
+        if len(position) != len(self.radius):
+            raise TypeMismatchError(
+                f"position has {len(position)} coordinates, "
+                f"uncertainty has {len(self.radius)}"
+            )
+        ranges = []
+        for coord, r in zip(position, self.radius):
+            lo = math.floor(coord - r)
+            hi = math.floor(coord + r)
+            ranges.append(range(int(lo), int(hi) + 1))
+
+        def rec(prefix: tuple[int, ...], rest: list[range]) -> Iterator[tuple[int, ...]]:
+            if not rest:
+                yield prefix
+                return
+            for v in rest[0]:
+                yield from rec(prefix + (v,), rest[1:])
+
+        yield from rec((), ranges)
+
+    def home_cell(self, position: tuple[float, ...]) -> tuple[int, ...]:
+        """The cell of the *measured* (best-estimate) position."""
+        return tuple(int(math.floor(c)) for c in position)
+
+
+class SampledValue:
+    """A 'more sophisticated model of uncertainty' (Section 2.13's deferral).
+
+    The paper standardises on normal-distribution error bars but notes
+    "some researchers have requirements for a more sophisticated model"
+    and that the decision will be revisited.  :class:`SampledValue` is that
+    extension point: the value is an empirical ensemble (Monte Carlo
+    samples), so arbitrary, non-Gaussian, even multi-modal error
+    distributions propagate exactly — arithmetic combines ensembles
+    element-wise.
+
+    Interoperates with the standard model: :meth:`to_uncertain` collapses
+    an ensemble to mean ± stdev, and :meth:`from_uncertain` expands a
+    Gaussian error bar into samples (for mixing the two models in one
+    expression).
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples) -> None:
+        import numpy as _np
+
+        arr = _np.asarray(samples, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise TypeMismatchError(
+                "SampledValue needs a non-empty 1-D sample vector"
+            )
+        self.samples = arr
+
+    # -- conversions ---------------------------------------------------------
+
+    @classmethod
+    def from_uncertain(
+        cls, value: UncertainValue, n: int = 256, seed: int = 0
+    ) -> "SampledValue":
+        import numpy as _np
+
+        rng = _np.random.default_rng(seed)
+        return cls(rng.normal(value.value, value.sigma or 0.0, size=n))
+
+    def to_uncertain(self) -> UncertainValue:
+        return UncertainValue(
+            float(self.samples.mean()), float(self.samples.std())
+        )
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def sigma(self) -> float:
+        return float(self.samples.std())
+
+    def quantile(self, q: float) -> float:
+        import numpy as _np
+
+        return float(_np.quantile(self.samples, q))
+
+    def credible_interval(self, mass: float = 0.68) -> tuple[float, float]:
+        lo = (1.0 - mass) / 2.0
+        return self.quantile(lo), self.quantile(1.0 - lo)
+
+    def prob_greater_than(self, threshold: float) -> float:
+        return float((self.samples > threshold).mean())
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _coerce(self, other) -> "SampledValue":
+        import numpy as _np
+
+        if isinstance(other, SampledValue):
+            if other.samples.size != self.samples.size:
+                raise TypeMismatchError(
+                    "ensemble sizes differ; resample to combine"
+                )
+            return other
+        if isinstance(other, UncertainValue):
+            return SampledValue.from_uncertain(other, n=self.samples.size)
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            return SampledValue(_np.full(self.samples.size, float(other)))
+        raise TypeMismatchError(
+            f"cannot combine SampledValue with {type(other).__name__}"
+        )
+
+    def __add__(self, other) -> "SampledValue":
+        return SampledValue(self.samples + self._coerce(other).samples)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "SampledValue":
+        return SampledValue(self.samples - self._coerce(other).samples)
+
+    def __rsub__(self, other) -> "SampledValue":
+        return SampledValue(self._coerce(other).samples - self.samples)
+
+    def __mul__(self, other) -> "SampledValue":
+        return SampledValue(self.samples * self._coerce(other).samples)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "SampledValue":
+        return SampledValue(self.samples / self._coerce(other).samples)
+
+    def __neg__(self) -> "SampledValue":
+        return SampledValue(-self.samples)
+
+    def map(self, fn) -> "SampledValue":
+        """Propagate through an arbitrary function, exactly."""
+        import numpy as _np
+
+        return SampledValue(_np.asarray([fn(s) for s in self.samples]))
+
+    def __repr__(self) -> str:
+        return (
+            f"SampledValue(n={self.samples.size}, mean={self.mean:.4g}, "
+            f"sigma={self.sigma:.4g})"
+        )

@@ -1,0 +1,226 @@
+"""The SciDB facade: one object wiring every requirement together.
+
+The subpackages are deliberately independent (each reproduces one section
+of the paper); :class:`SciDB` is the assembled system a user would
+actually adopt — a catalog with durable storage, the query executor with
+both language bindings, provenance logging on every derivation, updatable
+(no-overwrite) arrays with named versions, and in-situ attachment of
+external files.
+
+    >>> db = SciDB(directory)
+    >>> db.execute("define array Remote (s1 = float) (I, J)")
+    >>> db.execute("create M as Remote [64, 64]")
+    >>> db.query(array("M").subsample(dim("I") >= 2).node)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from .core.array import SciArray
+from .core.errors import SchemaError, VersionError
+from .core.schema import ArraySchema
+from .history.transactions import UpdatableArray
+from .history.versions import Version, VersionTree
+from .provenance.itemstore import ItemLineageStore
+from .provenance.log import ProvenanceEngine
+from .provenance.trace import Item, trace_backward, trace_forward
+from .query.ast import Node
+from .query.executor import ExecutionResult, Executor
+from .query.planner import Planner
+from .storage.insitu import InSituArray, open_in_situ
+from .storage.manager import StorageManager
+from .storage.wal import WriteAheadLog
+
+__all__ = ["SciDB"]
+
+
+class SciDB:
+    """An assembled single-node SciDB instance.
+
+    Parameters
+    ----------
+    directory:
+        Root for durable state (bucket files, the write-ahead log).
+        ``None`` runs fully in memory (no persistence, no WAL).
+    record_item_lineage:
+        Also record Trio-style item-level lineage for every derivation
+        (fast traces, large space — Section 2.12's trade-off).
+    enable_pushdown:
+        Planner optimization switch (Section 2.2.1).
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path | None" = None,
+        record_item_lineage: bool = False,
+        enable_pushdown: bool = True,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.itemstore = ItemLineageStore() if record_item_lineage else None
+        self.provenance = ProvenanceEngine(itemstore=self.itemstore)
+        self.executor = Executor(
+            planner=Planner(enable_pushdown=enable_pushdown),
+            provenance=self.provenance,
+        )
+        self.storage: Optional[StorageManager] = None
+        self.wal: Optional[WriteAheadLog] = None
+        if self.directory is not None:
+            self.storage = StorageManager(self.directory / "arrays")
+            self.wal = WriteAheadLog(self.directory / "wal.log")
+        self._updatable: dict[str, UpdatableArray] = {}
+        self._version_trees: dict[str, VersionTree] = {}
+
+    # -- statements (both bindings) ---------------------------------------------
+
+    def execute(self, statement: "str | Node") -> ExecutionResult:
+        """Run one statement: textual AQL or a parse tree (Section 2.4)."""
+        return self.executor.run(statement)
+
+    def query(self, statement: "str | Node") -> SciArray:
+        """Like :meth:`execute`, returning the result array directly."""
+        return self.execute(statement).array
+
+    def execute_script(self, text: str) -> list[ExecutionResult]:
+        return self.executor.run_script(text)
+
+    # -- catalog ---------------------------------------------------------------------
+
+    def register(self, name: str, array: SciArray) -> SciArray:
+        return self.executor.register(name, array)
+
+    def lookup(self, name: str) -> SciArray:
+        return self.executor.lookup(name)
+
+    def arrays(self) -> list[str]:
+        return sorted(self.executor.arrays)
+
+    # -- updatable arrays and versions (Sections 2.5, 2.11) ----------------------------
+
+    def create_updatable(
+        self,
+        schema: ArraySchema,
+        bounds: Optional[Sequence[Union[int, str]]] = None,
+        name: Optional[str] = None,
+    ) -> UpdatableArray:
+        """Create a no-overwrite, time-travelled array and register it."""
+        arr = UpdatableArray(schema, bounds=list(bounds) if bounds else None,
+                             name=name)
+        if arr.name in self._updatable:
+            raise SchemaError(f"updatable array {arr.name!r} already exists")
+        self._updatable[arr.name] = arr
+        if self.wal is not None:
+            self.wal.log_create_updatable(arr)
+            self.wal.commit()
+
+            def durable_commit(array, history, writes, _wal=self.wal):
+                _wal.log_commit(array.name, history, writes)
+                _wal.commit()
+
+            arr.on_commit = durable_commit
+        return arr
+
+    def recover(self) -> list[str]:
+        """Replay the write-ahead log after a crash (Section 2.9's service
+        contrast: loaded data gets recovery; in-situ data does not).
+
+        Reconstructs every WAL-logged updatable array — full history,
+        deletion flags, and all — re-arms their durability hooks, and
+        returns the recovered names.
+        """
+        if self.wal is None:
+            raise SchemaError("this SciDB instance has no storage directory")
+        recovered = self.wal.recover_updatable()
+        for name, arr in recovered.items():
+            self._updatable[name] = arr
+
+            def durable_commit(array, history, writes, _wal=self.wal):
+                _wal.log_commit(array.name, history, writes)
+                _wal.commit()
+
+            arr.on_commit = durable_commit
+        return sorted(recovered)
+
+    def updatable(self, name: str) -> UpdatableArray:
+        try:
+            return self._updatable[name]
+        except KeyError:
+            raise SchemaError(f"no updatable array named {name!r}") from None
+
+    def create_version(
+        self, base_name: str, version_name: str,
+        parent: Optional[str] = None,
+    ) -> Version:
+        """Create a named version off an updatable array (Section 2.11)."""
+        tree = self._version_trees.get(base_name)
+        if tree is None:
+            tree = VersionTree(self.updatable(base_name))
+            self._version_trees[base_name] = tree
+        return tree.create(version_name, parent=parent)
+
+    def version(self, base_name: str, version_name: str) -> Version:
+        tree = self._version_trees.get(base_name)
+        if tree is None:
+            raise VersionError(f"array {base_name!r} has no versions")
+        return tree.get(version_name)
+
+    # -- durable storage (Section 2.8) ---------------------------------------------------
+
+    def persist(self, name: str, stride: Optional[Sequence[int]] = None,
+                codec: str = "auto") -> int:
+        """Spill a catalog array to bucketed disk storage; returns cells
+        written."""
+        if self.storage is None:
+            raise SchemaError("this SciDB instance has no storage directory")
+        array = self.lookup(name)
+        pa = self.storage.create_array(
+            name, array.schema, stride=stride, codec=codec
+        )
+        n = 0
+        for coords, cell in array.cells():
+            pa.append(coords, None if cell is None else cell.values)
+            n += 1
+        pa.flush()
+        return n
+
+    def restore(self, name: str) -> SciArray:
+        """Materialise a persisted array back into the catalog."""
+        if self.storage is None:
+            raise SchemaError("this SciDB instance has no storage directory")
+        arr = self.storage.get_array(name).to_sciarray(name)
+        self.executor.arrays[name] = arr
+        return arr
+
+    # -- in-situ data (Section 2.9) --------------------------------------------------------
+
+    def attach(self, path: "str | Path", name: Optional[str] = None,
+               **options: Any) -> InSituArray:
+        """Attach an external file through its adaptor — no load stage.
+
+        The adaptor is *not* entered in the query catalog (it lacks the
+        DBMS services the catalog implies); call ``.load()`` on it and
+        :meth:`register` the result to promote it.
+        """
+        adaptor = open_in_situ(path, **options)
+        if name:
+            adaptor.name = name
+        return adaptor
+
+    # -- provenance (Section 2.12) ------------------------------------------------------------
+
+    def derivation_log(self) -> str:
+        return self.provenance.log.describe()
+
+    def trace_backward(self, array: str, coords: tuple) -> list:
+        return trace_backward(self.provenance, (array, tuple(coords)))
+
+    def trace_forward(self, array: str, coords: tuple) -> set[Item]:
+        return trace_forward(self.provenance, (array, tuple(coords)))
+
+    def __repr__(self) -> str:
+        where = self.directory or "memory"
+        return (
+            f"<SciDB at {where}: {len(self.executor.arrays)} arrays, "
+            f"{len(self.provenance.log)} logged commands>"
+        )

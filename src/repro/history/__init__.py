@@ -1,0 +1,30 @@
+"""No-overwrite storage, time travel, and named versions (Sections 2.5,
+2.11).
+
+Scientists "are adamant about not discarding any data": updatable arrays
+never update in place.  Every transaction commit advances an implicit
+``history`` dimension; updates, insertions and deletion *flags* are
+recorded as deltas at the new history value, and old values remain
+addressable forever (provenance).  Named versions extend the same delta
+machinery sideways: a version is a near-zero-space delta off a parent
+array, organised into trees.
+
+* :mod:`repro.history.transactions` — :class:`UpdatableArray` and its
+  transactions
+* :mod:`repro.history.timetravel` — snapshots, cell histories, as-of reads
+* :mod:`repro.history.versions` — named version trees
+"""
+
+from .transactions import DELETED, Transaction, UpdatableArray
+from .timetravel import cell_history, snapshot
+from .versions import Version, VersionTree
+
+__all__ = [
+    "UpdatableArray",
+    "Transaction",
+    "DELETED",
+    "snapshot",
+    "cell_history",
+    "Version",
+    "VersionTree",
+]

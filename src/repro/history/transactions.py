@@ -1,0 +1,292 @@
+"""No-overwrite transactions over updatable arrays (Section 2.5).
+
+The paper's scheme, implemented literally:
+
+* every updatable array carries an implicit, unbounded ``history``
+  dimension (added automatically by the schema layer);
+* "An initial transaction adds values into appropriate cells for
+  history = 1.  The first subsequent SciDB transaction adds new values in
+  the appropriate cells for history = 2. ... Thereafter, every transaction
+  adds new array values for the next value of the history dimension";
+* "A delete operation removes a cell from an array and in the obvious
+  implementation based on deltas, one would insert a deletion-flag as the
+  delta" — :data:`DELETED` is that flag;
+* the history dimension can be enhanced with a wall-clock mapping
+  (:class:`~repro.core.enhance.WallClockEnhancement`), so arrays are
+  addressable by conventional time.
+
+Reads default to the latest state; ``as_of=h`` reads the state as of any
+earlier history value, and :meth:`UpdatableArray.cell_history` walks a
+cell's full change record — the paper's "travels along the history
+dimension".
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Iterator, Optional
+
+from ..core.array import SciArray
+from ..core.cells import Cell
+from ..core.enhance import WallClockEnhancement
+from ..core.errors import EmptyCellError, TransactionError
+from ..core.schema import ArraySchema, HISTORY_DIMENSION
+
+__all__ = ["DELETED", "Transaction", "UpdatableArray"]
+
+Coords = tuple[int, ...]
+
+
+class _DeletedFlag:
+    """Singleton deletion flag stored as a delta (Section 2.5)."""
+
+    _instance: Optional["_DeletedFlag"] = None
+
+    def __new__(cls) -> "_DeletedFlag":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<DELETED>"
+
+
+DELETED = _DeletedFlag()
+
+
+class UpdatableArray:
+    """A no-overwrite, time-travelled array.
+
+    Parameters
+    ----------
+    schema:
+        A *bound* updatable schema whose last dimension is ``history``
+        (unbounded).  Use ``define_array(..., updatable=True).bind(bounds)``
+        or pass an unbound updatable schema plus *bounds*.
+    """
+
+    def __init__(
+        self,
+        schema: ArraySchema,
+        bounds: Optional[list] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if bounds is not None or not schema.has_history:
+            schema = schema.bind(
+                bounds
+                if bounds is not None
+                else [d.size if d.size else "*" for d in schema.dimensions]
+            )
+        if not schema.updatable or not schema.has_history:
+            raise TransactionError(
+                "UpdatableArray requires an updatable schema (with its "
+                "implicit history dimension)"
+            )
+        if schema.dim_names[-1] != HISTORY_DIMENSION:
+            raise TransactionError("the history dimension must come last")
+        self.schema = schema
+        self.name = name or schema.name
+        self.store = SciArray(schema, name=self.name)
+        #: Deletion flags: (cell coords, history) tuples.
+        self._tombstones: set[tuple[Coords, int]] = set()
+        self.current_history = 0
+        self._open_txn: Optional[Transaction] = None
+        self.wallclock = WallClockEnhancement(self.store)
+        self.store.enhancements.append(self.wallclock)
+        #: Optional durability hook: called after every commit with
+        #: (array, history_value, writes_dict) — writes map cell coords to
+        #: a value tuple, ``None`` (NULL), or :data:`DELETED`.  The SciDB
+        #: facade uses it to write-ahead-log commits.
+        self.on_commit: Optional[Any] = None
+
+    # -- dimensional bookkeeping -----------------------------------------------
+
+    @property
+    def cell_ndim(self) -> int:
+        """Dimensions excluding history."""
+        return self.schema.ndim - 1
+
+    def _check_cell_coords(self, coords: Coords) -> Coords:
+        if len(coords) != self.cell_ndim:
+            raise TransactionError(
+                f"cell address needs {self.cell_ndim} coordinates "
+                f"(history is implicit), got {len(coords)}"
+            )
+        return tuple(int(c) for c in coords)
+
+    # -- transactions -------------------------------------------------------------
+
+    def begin(self) -> "Transaction":
+        if self._open_txn is not None:
+            raise TransactionError(
+                f"array {self.name!r} already has an open transaction"
+            )
+        self._open_txn = Transaction(self)
+        return self._open_txn
+
+    def transaction(self) -> "Transaction":
+        """Alias for :meth:`begin`, usable as a context manager."""
+        return self.begin()
+
+    # -- reads ------------------------------------------------------------------------
+
+    def get(self, *coords: int, as_of: Optional[int] = None) -> Optional[Cell]:
+        """Latest (or as-of) value of a cell; EMPTY/deleted cells raise."""
+        cell_coords = self._check_cell_coords(
+            coords[0] if len(coords) == 1 and isinstance(coords[0], tuple)
+            else tuple(coords)
+        )
+        horizon = self.current_history if as_of is None else as_of
+        if horizon < 1:
+            raise EmptyCellError(f"no history at or before {as_of}")
+        for h in range(min(horizon, self.current_history), 0, -1):
+            if (cell_coords, h) in self._tombstones:
+                raise EmptyCellError(
+                    f"cell {cell_coords} of {self.name!r} deleted at history {h}"
+                )
+            if self.store.exists(cell_coords + (h,)):
+                return self.store.get(cell_coords + (h,))
+        raise EmptyCellError(
+            f"cell {cell_coords} of {self.name!r} empty as of history {horizon}"
+        )
+
+    def get_or_none(self, *coords: int, as_of: Optional[int] = None) -> Optional[Cell]:
+        try:
+            return self.get(*coords, as_of=as_of)
+        except EmptyCellError:
+            return None
+
+    def exists(self, *coords: int, as_of: Optional[int] = None) -> bool:
+        try:
+            self.get(*coords, as_of=as_of)
+        except EmptyCellError:
+            return False
+        return True
+
+    def get_as_of_time(self, coords: Coords, when: _dt.datetime) -> Optional[Cell]:
+        """Wall-clock as-of read (Section 2.5's enhancement in action)."""
+        return self.get(tuple(coords), as_of=self.wallclock.to_basic_history(when))
+
+    def cell_history(self, coords: Coords) -> Iterator[tuple[int, Any]]:
+        """Walk a cell along the history dimension: (history, value) pairs.
+
+        Values are :class:`Cell` records, ``None`` for NULL deltas, or
+        :data:`DELETED` for deletion flags — "the history of activity to
+        the cell".
+        """
+        cell_coords = self._check_cell_coords(tuple(coords))
+        for h in range(1, self.current_history + 1):
+            if (cell_coords, h) in self._tombstones:
+                yield h, DELETED
+            elif self.store.exists(cell_coords + (h,)):
+                yield h, self.store.get(cell_coords + (h,))
+
+    def latest_cells(
+        self, as_of: Optional[int] = None
+    ) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        """Iterate the visible (non-deleted) state as of a history value."""
+        horizon = self.current_history if as_of is None else as_of
+        best: dict[Coords, int] = {}
+        for coords, _cell in self.store.cells():
+            cell_coords, h = coords[:-1], coords[-1]
+            if h <= horizon and h > best.get(cell_coords, 0):
+                best[cell_coords] = h
+        for (cell_coords, h) in self._tombstones:
+            if h <= horizon and h > best.get(cell_coords, 0):
+                best[cell_coords] = -h  # negative marks deletion as newest
+        for cell_coords in sorted(best):
+            h = best[cell_coords]
+            if h < 0:
+                continue
+            yield cell_coords, self.store.get(cell_coords + (h,))
+
+    def delta_count(self) -> int:
+        """Stored deltas across all history (the no-overwrite space cost)."""
+        return self.store.count_occupied() + len(self._tombstones)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UpdatableArray {self.name!r} history={self.current_history} "
+            f"deltas={self.delta_count()}>"
+        )
+
+
+class Transaction:
+    """One atomic batch of updates/inserts/deletes.
+
+    Buffers writes; :meth:`commit` assigns them all to the next history
+    value.  Usable as a context manager (commits on clean exit, aborts on
+    exception).
+    """
+
+    def __init__(self, array: UpdatableArray) -> None:
+        self.array = array
+        self._writes: dict[Coords, Any] = {}
+        self._done = False
+
+    def set(self, coords: Coords, values: Any) -> None:
+        self._ensure_open()
+        self._writes[self.array._check_cell_coords(tuple(coords))] = values
+
+    def set_null(self, coords: Coords) -> None:
+        self.set(coords, None)
+
+    def delete(self, coords: Coords) -> None:
+        """Record a deletion flag for this cell."""
+        self._ensure_open()
+        self._writes[self.array._check_cell_coords(tuple(coords))] = DELETED
+
+    def commit(self, timestamp: Optional[_dt.datetime] = None) -> int:
+        """Apply the batch at the next history value; returns it."""
+        self._ensure_open()
+        if not self._writes:
+            raise TransactionError("refusing to commit an empty transaction")
+        arr = self.array
+        h = arr.current_history + 1
+        normalized: dict[Coords, Any] = {}
+        for coords, values in self._writes.items():
+            if isinstance(values, Cell):
+                values = values.values
+            normalized[coords] = values
+            if values is DELETED:
+                arr._tombstones.add((coords, h))
+            else:
+                arr.store.set(coords + (h,), values)
+        arr.current_history = h
+        arr.wallclock.record_commit(
+            timestamp if timestamp is not None else _synthetic_time(h)
+        )
+        if arr.on_commit is not None:
+            arr.on_commit(arr, h, normalized)
+        self._finish()
+        return h
+
+    def abort(self) -> None:
+        self._ensure_open()
+        self._writes.clear()
+        self._finish()
+
+    def _ensure_open(self) -> None:
+        if self._done:
+            raise TransactionError("transaction is already finished")
+
+    def _finish(self) -> None:
+        self._done = True
+        self.array._open_txn = None
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._done:
+            return
+        if exc_type is None and self._writes:
+            self.commit()
+        else:
+            self.abort()
+
+
+def _synthetic_time(history: int) -> _dt.datetime:
+    """Deterministic wall-clock stand-in when the caller gives no
+    timestamp (keeps tests and benchmarks reproducible)."""
+    return _dt.datetime(2009, 1, 1) + _dt.timedelta(seconds=history)

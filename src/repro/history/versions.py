@@ -1,0 +1,235 @@
+"""Named versions: delta-based alternative data sets (Section 2.11).
+
+The paper's use case: a scientist wants the same data set as a parent "for
+much of the study region, but different in a portion" — e.g. a different
+cloud-cover compositing algorithm over their study area.  The mechanism:
+
+* "At a specific time, T, a user will be able to construct a version V from
+  a base array A ... At time T, the version V is identical to A.  Since V
+  is stored as a delta off its parent A, it consumes essentially no space."
+* Reads: "it will first look in the delta array for V for the most recent
+  value along the history dimension.  If there is no value in V, it will
+  then look for the most recent value along the history dimension in A.
+  In turn, if A is a version, it will repeat this process until it reaches
+  a base array."
+* "Hanging off any base array is a tree of named versions."
+
+:class:`Version` pins the parent as of the creation history value T by
+default (so later base commits don't silently change the version — the
+snapshot reading of "at time T, V is identical to A"); pass
+``follow_parent="latest"`` for the literal most-recent-value reading.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Union
+
+from ..core.cells import Cell
+from ..core.errors import EmptyCellError, VersionError
+from ..core.schema import ArraySchema
+from .transactions import DELETED, Transaction, UpdatableArray
+
+__all__ = ["Version", "VersionTree"]
+
+Coords = tuple[int, ...]
+Parent = Union[UpdatableArray, "Version"]
+
+
+class Version:
+    """A named delta off a parent array (or another version).
+
+    Do not construct directly; use :meth:`VersionTree.create` (which wires
+    the tree structure) or :meth:`Version.branch`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Parent,
+        created_at: int,
+        follow_parent: str = "creation",
+    ) -> None:
+        if follow_parent not in ("creation", "latest"):
+            raise VersionError(
+                "follow_parent must be 'creation' or 'latest', "
+                f"got {follow_parent!r}"
+            )
+        self.name = name
+        self.parent = parent
+        #: The parent history value T at which this version was created.
+        self.created_at = created_at
+        self.follow_parent = follow_parent
+        #: The delta: its own updatable array, initially empty.
+        self.delta = UpdatableArray(
+            _delta_schema(parent), name=f"{name}__delta"
+        )
+        self.children: list["Version"] = []
+
+    # -- construction of children ------------------------------------------------
+
+    def branch(self, name: str, follow_parent: str = "creation") -> "Version":
+        """A version of this version (the paper's version *tree*)."""
+        child = Version(
+            name, self, created_at=self.delta.current_history,
+            follow_parent=follow_parent,
+        )
+        self.children.append(child)
+        return child
+
+    # -- writes ----------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open a transaction whose writes land in this version's delta."""
+        return self.delta.begin()
+
+    # -- reads ------------------------------------------------------------------------
+
+    def get(self, *coords: int) -> Optional[Cell]:
+        """Read through the delta chain: delta first, then the parent."""
+        cell_coords = (
+            coords[0]
+            if len(coords) == 1 and isinstance(coords[0], tuple)
+            else tuple(coords)
+        )
+        # 1. Most recent value along the delta's history dimension.
+        last: Any = _NOTHING
+        for _h, value in self.delta.cell_history(cell_coords):
+            last = value
+        if last is DELETED:
+            raise EmptyCellError(
+                f"cell {cell_coords} deleted in version {self.name!r}"
+            )
+        if last is not _NOTHING:
+            return last
+        # 2. Fall through to the parent (recursively to the base array).
+        if isinstance(self.parent, Version):
+            return self.parent.get(cell_coords)
+        as_of = None if self.follow_parent == "latest" else self.created_at
+        return self.parent.get(cell_coords, as_of=as_of)
+
+    def get_or_none(self, *coords: int) -> Optional[Cell]:
+        try:
+            return self.get(*coords)
+        except EmptyCellError:
+            return None
+
+    def exists(self, *coords: int) -> bool:
+        try:
+            self.get(*coords)
+        except EmptyCellError:
+            return False
+        return True
+
+    def cells(self) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        """The version's full visible state (delta over parent)."""
+        own: dict[Coords, Any] = {}
+        for coords, _ in self.delta.latest_cells():
+            own[coords] = True
+        deleted = {
+            c for (c, _h) in self.delta._tombstones
+        }
+        emitted: set[Coords] = set()
+        for coords in sorted(own):
+            emitted.add(coords)
+            yield coords, self.get(coords)
+        parent_cells: Iterator[tuple[Coords, Optional[Cell]]]
+        if isinstance(self.parent, Version):
+            parent_cells = self.parent.cells()
+        else:
+            as_of = None if self.follow_parent == "latest" else self.created_at
+            parent_cells = self.parent.latest_cells(as_of=as_of)
+        for coords, cell in parent_cells:
+            if coords in emitted or coords in deleted:
+                continue
+            emitted.add(coords)
+            yield coords, cell
+
+    # -- accounting --------------------------------------------------------------------
+
+    def delta_count(self) -> int:
+        """Cells stored by this version itself — "essentially no space"
+        when the divergence is small (experiment E4)."""
+        return self.delta.delta_count()
+
+    def chain_depth(self) -> int:
+        depth = 1
+        node: Parent = self.parent
+        while isinstance(node, Version):
+            depth += 1
+            node = node.parent
+        return depth
+
+    def base(self) -> UpdatableArray:
+        node: Parent = self.parent
+        while isinstance(node, Version):
+            node = node.parent
+        return node
+
+    def __repr__(self) -> str:
+        return (
+            f"<Version {self.name!r} off {getattr(self.parent, 'name', '?')!r} "
+            f"at T={self.created_at}, {self.delta_count()} delta cells>"
+        )
+
+
+_NOTHING = object()
+
+
+def _delta_schema(parent: Parent) -> ArraySchema:
+    if isinstance(parent, Version):
+        return parent.delta.schema
+    return parent.schema
+
+
+class VersionTree:
+    """The registry of named versions hanging off one base array."""
+
+    def __init__(self, base: UpdatableArray) -> None:
+        self.base = base
+        self._versions: dict[str, Version] = {}
+
+    def create(
+        self,
+        name: str,
+        parent: Optional["str | Version"] = None,
+        follow_parent: str = "creation",
+    ) -> Version:
+        """Create version *name* off the base (default) or another version.
+
+        Records the creation time T (the parent's current history value).
+        """
+        if name in self._versions:
+            raise VersionError(f"version {name!r} already exists")
+        if parent is None:
+            v = Version(
+                name, self.base, created_at=self.base.current_history,
+                follow_parent=follow_parent,
+            )
+        else:
+            parent_v = self.get(parent) if isinstance(parent, str) else parent
+            v = parent_v.branch(name, follow_parent=follow_parent)
+        self._versions[name] = v
+        return v
+
+    def get(self, name: str) -> Version:
+        try:
+            return self._versions[name]
+        except KeyError:
+            raise VersionError(f"no version named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._versions)
+
+    def tree(self) -> dict[str, list[str]]:
+        """parent name -> child names (base is keyed by its array name)."""
+        out: dict[str, list[str]] = {self.base.name: []}
+        for v in self._versions.values():
+            pname = (
+                v.parent.name if isinstance(v.parent, Version) else self.base.name
+            )
+            out.setdefault(pname, []).append(v.name)
+            out.setdefault(v.name, [])
+        return out
+
+    def total_delta_cells(self) -> int:
+        return sum(v.delta_count() for v in self._versions.values())

@@ -1,0 +1,190 @@
+"""The provenance command log and the logging executor (Section 2.12).
+
+"For a sequence of processing steps inside SciDB, one merely needs to
+record a log of the commands that were run to create A."
+
+:class:`ProvenanceEngine` is a small catalog-plus-executor: operators from
+the engine's user-extendable catalog (:mod:`repro.core.ops`) run against
+named arrays, and every execution appends a :class:`LoggedCommand`
+(operator, input names, output name, parameters).  The log is the minimal-
+space provenance representation; :mod:`repro.provenance.trace` re-derives
+item-level lineage from it on demand, and
+:mod:`repro.provenance.itemstore` optionally records it eagerly
+(Trio-style) as each command runs.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Optional, Sequence
+
+from ..core.array import SciArray
+from ..core.errors import ProvenanceError
+from ..core.ops import get_operator
+from .repository import MetadataRepository
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .itemstore import ItemLineageStore
+
+__all__ = ["LoggedCommand", "CommandLog", "ProvenanceEngine"]
+
+
+@dataclass(frozen=True)
+class LoggedCommand:
+    """One engine operation as recorded in the provenance log."""
+
+    seq: int
+    op: str
+    inputs: tuple[str, ...]
+    output: str
+    params: Mapping[str, Any]
+    recorded_at: Optional[_dt.datetime] = None
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={_short(v)}" for k, v in self.params.items())
+        return f"#{self.seq}: {self.output} = {self.op}({', '.join(self.inputs)}; {params})"
+
+
+def _short(value: Any, limit: int = 40) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class CommandLog:
+    """Append-only, replayable log of commands."""
+
+    def __init__(self) -> None:
+        self._commands: list[LoggedCommand] = []
+
+    def append(self, command: LoggedCommand) -> None:
+        self._commands.append(command)
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __iter__(self) -> Iterator[LoggedCommand]:
+        return iter(self._commands)
+
+    def command_producing(self, array_name: str) -> Optional[LoggedCommand]:
+        """The most recent command whose output is *array_name*."""
+        for cmd in reversed(self._commands):
+            if cmd.output == array_name:
+                return cmd
+        return None
+
+    def commands_reading(
+        self, array_name: str, after_seq: int = -1
+    ) -> list[LoggedCommand]:
+        """Commands that consumed *array_name*, in execution order."""
+        return [
+            c
+            for c in self._commands
+            if array_name in c.inputs and c.seq > after_seq
+        ]
+
+    def describe(self) -> str:
+        return "\n".join(c.describe() for c in self._commands)
+
+
+class ProvenanceEngine:
+    """A catalog of named arrays whose every derivation is logged.
+
+    Parameters
+    ----------
+    itemstore:
+        Optional :class:`~repro.provenance.itemstore.ItemLineageStore`;
+        when provided, item-level lineage is recorded eagerly at execution
+        time (the Trio design point).
+    """
+
+    def __init__(self, itemstore: "Optional[ItemLineageStore]" = None) -> None:
+        self.catalog: dict[str, SciArray] = {}
+        self.log = CommandLog()
+        self.repository = MetadataRepository()
+        self.itemstore = itemstore
+        self._seq = 0
+
+    # -- catalog ------------------------------------------------------------------
+
+    def register_external(
+        self,
+        name: str,
+        array: SciArray,
+        program: str,
+        parameters: Optional[Mapping[str, Any]] = None,
+        inputs: Sequence[str] = (),
+        description: str = "",
+    ) -> SciArray:
+        """Enter an externally-produced array plus its derivation record."""
+        if name in self.catalog:
+            raise ProvenanceError(f"array {name!r} is already in the catalog")
+        self.catalog[name] = array
+        self.repository.record(
+            name, program, parameters, inputs=inputs, description=description
+        )
+        return array
+
+    def get(self, name: str) -> SciArray:
+        try:
+            return self.catalog[name]
+        except KeyError:
+            raise ProvenanceError(f"no array named {name!r} in the catalog") from None
+
+    def names(self) -> list[str]:
+        return sorted(self.catalog)
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(
+        self,
+        op: str,
+        inputs: Sequence[str],
+        output: str,
+        /,
+        **params: Any,
+    ) -> SciArray:
+        """Run a catalog operator on named inputs, logging the command.
+
+        The operator is looked up in the user-extendable operator catalog;
+        inputs are passed positionally, *params* as keywords.  The result
+        is registered in the catalog under *output*.
+        """
+        if output in self.catalog:
+            raise ProvenanceError(
+                f"output {output!r} already exists; derivations never "
+                "overwrite (create a new name or a named version)"
+            )
+        fn = get_operator(op)
+        arrays = [self.get(n) for n in inputs]
+        result = fn(*arrays, **params)
+        if not isinstance(result, SciArray):
+            raise ProvenanceError(
+                f"operator {op!r} did not return an array; only array-"
+                "producing commands belong in the derivation log"
+            )
+        result.name = output
+        self.catalog[output] = result
+        command = LoggedCommand(
+            seq=self._seq,
+            op=op,
+            inputs=tuple(inputs),
+            output=output,
+            params=dict(params),
+        )
+        self._seq += 1
+        self.log.append(command)
+        if self.itemstore is not None:
+            self.itemstore.record_command(command, arrays, result)
+        return result
+
+    def rerun(self, command: LoggedCommand, output: Optional[str] = None) -> SciArray:
+        """Re-derive a command's output (the repeatability requirement).
+
+        "This re-derivation will not overwrite old data, but will produce
+        new value(s)": the result lands under a fresh name.
+        """
+        new_name = output or f"{command.output}__rederived_{len(self.log)}"
+        return self.execute(
+            command.op, command.inputs, new_name, **dict(command.params)
+        )

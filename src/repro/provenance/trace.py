@@ -1,0 +1,352 @@
+"""Backward and forward lineage tracing by log replay (Section 2.12).
+
+The paper's preferred minimal-space design:
+
+* **backward** — "look at the time of the update that produced the item
+  ... one can then rerun the update in a special executor mode that will
+  record all items that contributed to the incorrect item.  Repeating this
+  process will trace backwards."  Here, each built-in operator has a
+  *lineage rule* — the special executor mode — that, given an output cell,
+  re-derives the contributing input cells from the logged command and the
+  catalog arrays.
+* **forward** — "run subsequent commands in the provenance log in a
+  modified form", qualified to the changed cells; each step's directly
+  affected outputs seed the next, "iterated forward until there is no
+  further activity".  This stores nothing but costs re-execution time.
+* **caching** — :class:`TraceCache` memoises forward traces ("one can
+  cache these named versions in case the derivation is run again"),
+  the middle point between log replay and the Trio item store.
+
+Operators without a registered rule fall back to conservative lineage
+(every input cell may contribute) — sound, never minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.array import SciArray
+from ..core.errors import ProvenanceError
+from ..core.ops.structural import _selected_indexes
+from .log import LoggedCommand, ProvenanceEngine
+
+__all__ = [
+    "Item",
+    "BackwardStep",
+    "register_lineage_rule",
+    "trace_backward",
+    "trace_forward",
+    "TraceCache",
+]
+
+Coords = tuple[int, ...]
+
+#: A data element: (array name, cell coordinates).
+Item = tuple[str, Coords]
+
+# rule signatures ------------------------------------------------------------
+# backward(cmd, inputs, output, out_coords) -> [(input_name, in_coords)]
+# forward(cmd, inputs, output, input_name, in_coords) -> [out_coords]
+BackwardRule = Callable[
+    [LoggedCommand, Sequence[SciArray], SciArray, Coords], list[Item]
+]
+ForwardRule = Callable[
+    [LoggedCommand, Sequence[SciArray], SciArray, str, Coords], list[Coords]
+]
+
+_BACKWARD: dict[str, BackwardRule] = {}
+_FORWARD: dict[str, ForwardRule] = {}
+
+
+def register_lineage_rule(
+    op: str, backward: BackwardRule, forward: ForwardRule
+) -> None:
+    """Extend lineage tracing to a user-registered operator."""
+    _BACKWARD[op.lower()] = backward
+    _FORWARD[op.lower()] = forward
+
+
+# -- built-in rules -------------------------------------------------------------
+
+
+def _identity_backward(cmd, inputs, output, out_coords):
+    return [(cmd.inputs[0], out_coords)]
+
+
+def _identity_forward(cmd, inputs, output, input_name, in_coords):
+    return [in_coords]
+
+
+def _subsample_selections(cmd, source: SciArray) -> list[list[int]]:
+    predicate = cmd.params["predicate"]
+    selections = []
+    for d in range(source.ndim):
+        hw = source.high_water(d)
+        cond = predicate.get(source.dim_names[d])
+        selections.append(
+            list(range(1, hw + 1)) if cond is None else _selected_indexes(cond, hw)
+        )
+    return selections
+
+
+def _subsample_backward(cmd, inputs, output, out_coords):
+    selections = _subsample_selections(cmd, inputs[0])
+    try:
+        source = tuple(sel[c - 1] for sel, c in zip(selections, out_coords))
+    except IndexError:
+        raise ProvenanceError(
+            f"output cell {out_coords} outside the subsample's extent"
+        ) from None
+    return [(cmd.inputs[0], source)]
+
+
+def _subsample_forward(cmd, inputs, output, input_name, in_coords):
+    selections = _subsample_selections(cmd, inputs[0])
+    out = []
+    for sel, c in zip(selections, in_coords):
+        try:
+            out.append(sel.index(c) + 1)
+        except ValueError:
+            return []
+    return [tuple(out)]
+
+
+def _aggregate_positions(cmd, source: SciArray) -> list[int]:
+    return [source.schema.dim_index(d) for d in cmd.params["group_dims"]]
+
+
+def _aggregate_backward(cmd, inputs, output, out_coords):
+    source = inputs[0]
+    positions = _aggregate_positions(cmd, source)
+    items = []
+    for coords, _cell in source.cells(include_null=False):
+        if tuple(coords[p] for p in positions) == tuple(out_coords):
+            items.append((cmd.inputs[0], coords))
+    return items
+
+
+def _aggregate_forward(cmd, inputs, output, input_name, in_coords):
+    positions = _aggregate_positions(cmd, inputs[0])
+    return [tuple(in_coords[p] for p in positions)]
+
+
+def _regrid_backward(cmd, inputs, output, out_coords):
+    factors = cmd.params["factors"]
+    source = inputs[0]
+    items = []
+    for coords, _cell in source.cells(include_null=False):
+        if all((c - 1) // f + 1 == o for c, f, o in zip(coords, factors, out_coords)):
+            items.append((cmd.inputs[0], coords))
+    return items
+
+
+def _regrid_forward(cmd, inputs, output, input_name, in_coords):
+    factors = cmd.params["factors"]
+    return [tuple((c - 1) // f + 1 for c, f in zip(in_coords, factors))]
+
+
+def _sjoin_geometry(cmd, left: SciArray, right: SciArray):
+    on = cmd.params["on"]
+    left_join = [l for l, _ in on]
+    right_join = [r for _, r in on]
+    right_keep = [d for d in right.dim_names if d not in right_join]
+    return on, left_join, right_join, right_keep
+
+
+def _sjoin_backward(cmd, inputs, output, out_coords):
+    left, right = inputs
+    on, _lj, right_join, right_keep = _sjoin_geometry(cmd, left, right)
+    m = left.ndim
+    left_coords = tuple(out_coords[:m])
+    # Reconstruct the right coords: join dims take the matched left values,
+    # keep dims come from the output's trailing coordinates.
+    values: dict[str, int] = {}
+    for (ldim, rdim) in on:
+        values[rdim] = left_coords[left.schema.dim_index(ldim)]
+    for dname, v in zip(right_keep, out_coords[m:]):
+        values[dname] = v
+    right_coords = tuple(values[d] for d in right.dim_names)
+    return [(cmd.inputs[0], left_coords), (cmd.inputs[1], right_coords)]
+
+
+def _sjoin_forward(cmd, inputs, output, input_name, in_coords):
+    left, right = inputs
+    on, left_join, right_join, right_keep = _sjoin_geometry(cmd, left, right)
+    right_keep_pos = [right.schema.dim_index(d) for d in right_keep]
+    if input_name == cmd.inputs[0]:
+        key = tuple(
+            in_coords[left.schema.dim_index(l)] for l, _ in on
+        )
+        out = []
+        for coords, _cell in right.cells():
+            if tuple(coords[right.schema.dim_index(r)] for _, r in on) == key:
+                out.append(tuple(in_coords) + tuple(coords[p] for p in right_keep_pos))
+        return out
+    # input is the right array: find matching left cells.
+    key = tuple(in_coords[right.schema.dim_index(r)] for _, r in on)
+    keep = tuple(in_coords[p] for p in right_keep_pos)
+    out = []
+    for coords, _cell in left.cells():
+        if tuple(coords[left.schema.dim_index(l)] for l, _ in on) == key:
+            out.append(tuple(coords) + keep)
+    return out
+
+
+def _cjoin_backward(cmd, inputs, output, out_coords):
+    left, right = inputs
+    m = left.ndim
+    return [
+        (cmd.inputs[0], tuple(out_coords[:m])),
+        (cmd.inputs[1], tuple(out_coords[m:])),
+    ]
+
+
+def _cjoin_forward(cmd, inputs, output, input_name, in_coords):
+    left, right = inputs
+    if input_name == cmd.inputs[0]:
+        return [
+            tuple(in_coords) + coords for coords, _ in right.cells()
+        ]
+    return [tuple(coords) + tuple(in_coords) for coords, _ in left.cells()]
+
+
+def _conservative_backward(cmd, inputs, output, out_coords):
+    items = []
+    for name, arr in zip(cmd.inputs, inputs):
+        items.extend((name, coords) for coords, _ in arr.cells())
+    return items
+
+
+def _conservative_forward(cmd, inputs, output, input_name, in_coords):
+    return [coords for coords, _ in output.cells()]
+
+
+for _op in ("filter", "apply", "project"):
+    _BACKWARD[_op] = _identity_backward
+    _FORWARD[_op] = _identity_forward
+_BACKWARD["subsample"] = _subsample_backward
+_FORWARD["subsample"] = _subsample_forward
+_BACKWARD["aggregate"] = _aggregate_backward
+_FORWARD["aggregate"] = _aggregate_forward
+_BACKWARD["regrid"] = _regrid_backward
+_FORWARD["regrid"] = _regrid_forward
+_BACKWARD["sjoin"] = _sjoin_backward
+_FORWARD["sjoin"] = _sjoin_forward
+_BACKWARD["cjoin"] = _cjoin_backward
+_FORWARD["cjoin"] = _cjoin_forward
+
+
+# -- tracing -----------------------------------------------------------------------
+
+
+class BackwardStep:
+    """One step of a backward trace: the command plus contributing items."""
+
+    def __init__(self, command: LoggedCommand, contributors: list[Item]) -> None:
+        self.command = command
+        self.contributors = contributors
+
+    def __repr__(self) -> str:
+        return f"<BackwardStep {self.command.describe()} <- {self.contributors}>"
+
+
+def trace_backward(
+    engine: ProvenanceEngine, item: Item, max_depth: int = 100
+) -> list[BackwardStep]:
+    """Requirement 1: the processing steps that created *item*.
+
+    Walks from the item's producing command back through contributing
+    items until every path reaches an externally-registered array (whose
+    derivation lives in the metadata repository) or an array with no
+    producing command.  Returns the steps in discovery (reverse
+    chronological) order.
+    """
+    steps: list[BackwardStep] = []
+    frontier = [item]
+    seen: set[Item] = set()
+    depth = 0
+    while frontier:
+        depth += 1
+        if depth > max_depth:
+            raise ProvenanceError("backward trace exceeded max_depth")
+        next_frontier: list[Item] = []
+        for name, coords in frontier:
+            if (name, coords) in seen:
+                continue
+            seen.add((name, coords))
+            if engine.repository.is_external(name):
+                continue  # terminates at the metadata repository
+            cmd = engine.log.command_producing(name)
+            if cmd is None:
+                continue
+            inputs = [engine.get(n) for n in cmd.inputs]
+            output = engine.get(cmd.output)
+            rule = _BACKWARD.get(cmd.op, _conservative_backward)
+            contributors = rule(cmd, inputs, output, tuple(coords))
+            steps.append(BackwardStep(cmd, contributors))
+            next_frontier.extend(contributors)
+        frontier = next_frontier
+    return steps
+
+
+def trace_forward(
+    engine: ProvenanceEngine, item: Item, max_depth: int = 100
+) -> set[Item]:
+    """Requirement 2: all downstream items impacted by *item*.
+
+    Replays the log forward: every command reading an affected array is
+    re-derived in qualified form (the lineage rule restricted to the
+    affected cells), its affected outputs join the frontier, and the
+    process iterates "until there is no further activity".
+    """
+    affected: set[Item] = set()
+    frontier: dict[str, set[Coords]] = {item[0]: {tuple(item[1])}}
+    produced_seq = {}
+    cmd0 = engine.log.command_producing(item[0])
+    start_seq = cmd0.seq if cmd0 else -1
+    depth = 0
+    while frontier:
+        depth += 1
+        if depth > max_depth:
+            raise ProvenanceError("forward trace exceeded max_depth")
+        next_frontier: dict[str, set[Coords]] = {}
+        for name, cells in frontier.items():
+            for cmd in engine.log.commands_reading(name):
+                inputs = [engine.get(n) for n in cmd.inputs]
+                output = engine.get(cmd.output)
+                rule = _FORWARD.get(cmd.op, _conservative_forward)
+                for coords in cells:
+                    for out_coords in rule(cmd, inputs, output, name, coords):
+                        out_item = (cmd.output, tuple(out_coords))
+                        if out_item not in affected:
+                            affected.add(out_item)
+                            next_frontier.setdefault(cmd.output, set()).add(
+                                tuple(out_coords)
+                            )
+        frontier = next_frontier
+    return affected
+
+
+class TraceCache:
+    """Memoised forward traces — the paper's cached-named-version middle
+    ground between log replay (no space, slow) and Trio (fast, huge)."""
+
+    def __init__(self, engine: ProvenanceEngine) -> None:
+        self.engine = engine
+        self._cache: dict[tuple[Item, int], set[Item]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def forward(self, item: Item) -> set[Item]:
+        key = ((item[0], tuple(item[1])), len(self.engine.log))
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = trace_forward(self.engine, item)
+        self._cache[key] = result
+        return result
+
+    def space_items(self) -> int:
+        """Cached lineage items held (the cache's space cost)."""
+        return sum(len(v) for v in self._cache.values())

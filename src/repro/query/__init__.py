@@ -1,0 +1,63 @@
+"""Language bindings over a common parse-tree representation (Section 2.4).
+
+"SciDB will have a parse-tree representation for commands.  Then, there
+will be multiple language bindings ... these language bindings will attempt
+to fit large array manipulation cleanly into the target language using the
+control structures of the language in question."
+
+* :mod:`repro.query.ast` — the parse-tree node types (the lingua franca);
+* :mod:`repro.query.parser` — a textual AQL-style binding producing parse
+  trees (``define array``, ``create``, ``select subsample(...)``, ...);
+* :mod:`repro.query.binding` — the *Python* binding: fluent expressions
+  (``array("A").subsample(dim("I") >= 2).aggregate(...)``) that build the
+  same parse trees, avoiding the ODBC/JDBC "data-sublanguage mistake";
+* :mod:`repro.query.planner` — structural-operator pushdown over parse
+  trees (structural ops are data-agnostic, hence the optimization
+  opportunity of Section 2.2.1);
+* :mod:`repro.query.executor` — evaluates parse trees against a catalog,
+  optionally routing derivations through the provenance engine.
+"""
+
+from .ast import (
+    AttrPredicate,
+    CreateNode,
+    DefineNode,
+    DimPredicate,
+    EnhanceNode,
+    Literal,
+    Node,
+    OpNode,
+    PredicateConjunction,
+    ArrayRef,
+    SelectNode,
+)
+from .parser import parse, parse_statement
+from .planner import Planner, PlannedQuery
+from .executor import ExecutionResult, Executor
+from .binding import array, attr, dim, QueryExpr
+from .unparse import unparse
+
+__all__ = [
+    "Node",
+    "ArrayRef",
+    "Literal",
+    "OpNode",
+    "DefineNode",
+    "CreateNode",
+    "SelectNode",
+    "EnhanceNode",
+    "DimPredicate",
+    "AttrPredicate",
+    "PredicateConjunction",
+    "parse",
+    "parse_statement",
+    "Planner",
+    "PlannedQuery",
+    "Executor",
+    "ExecutionResult",
+    "array",
+    "dim",
+    "attr",
+    "QueryExpr",
+    "unparse",
+]

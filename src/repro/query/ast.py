@@ -1,0 +1,233 @@
+"""Parse-tree node types — the common command representation (Section 2.4).
+
+Every binding (the textual parser, the Python fluent binding, and any
+future MATLAB/IDL-style frontend) produces these nodes; the planner and
+executor consume nothing else.  Nodes are immutable values with structural
+equality, so the planner's rewrites are easy to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from ..core.errors import PlanError
+
+__all__ = [
+    "Node",
+    "Literal",
+    "ArrayRef",
+    "DimPredicate",
+    "AttrPredicate",
+    "PredicateConjunction",
+    "OpNode",
+    "DefineNode",
+    "CreateNode",
+    "SelectNode",
+    "EnhanceNode",
+]
+
+#: Comparison operators admitted in predicates.
+COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Node:
+    """Base class for all parse-tree nodes."""
+
+    def children(self) -> tuple["Node", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant value."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ArrayRef(Node):
+    """A reference to a catalog array by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DimPredicate(Node):
+    """A single-dimension condition (Subsample's building block).
+
+    ``op`` is a comparison from :data:`COMPARISONS`, or the special
+    ``"even"`` / ``"odd"`` unary forms of the paper's ``even(X)`` example
+    (``value`` is ignored for those).
+    """
+
+    dim: str
+    op: str
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISONS + ("even", "odd"):
+            raise PlanError(f"unknown dimension comparison {self.op!r}")
+        if self.op in COMPARISONS and self.value is None:
+            raise PlanError(f"comparison {self.op!r} needs a value")
+
+    def to_condition(self):
+        """Compile to the operator layer's DimCondition form."""
+        if self.op == "even":
+            return lambda v: v % 2 == 0
+        if self.op == "odd":
+            return lambda v: v % 2 == 1
+        value = self.value
+        return {
+            "=": value,
+            "!=": (lambda v: v != value),
+            "<": (None, value - 1),
+            "<=": (None, value),
+            ">": (value + 1, None),
+            ">=": (value, None),
+        }[self.op]
+
+
+@dataclass(frozen=True)
+class AttrPredicate(Node):
+    """A condition over a cell's data values (Filter / Cjoin)."""
+
+    attr: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISONS:
+            raise PlanError(f"unknown attribute comparison {self.op!r}")
+
+    def to_callable(self):
+        attr, op, value = self.attr, self.op, self.value
+        ops = {
+            "=": lambda a: a == value,
+            "!=": lambda a: a != value,
+            "<": lambda a: a < value,
+            "<=": lambda a: a <= value,
+            ">": lambda a: a > value,
+            ">=": lambda a: a >= value,
+        }
+        test = ops[op]
+        return lambda cell: test(getattr(cell, attr))
+
+
+@dataclass(frozen=True)
+class PredicateConjunction(Node):
+    """An AND of per-dimension and/or per-attribute conditions."""
+
+    terms: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        for t in self.terms:
+            if not isinstance(t, (DimPredicate, AttrPredicate)):
+                raise PlanError(
+                    "conjunction terms must be dimension or attribute "
+                    f"predicates, got {type(t).__name__}"
+                )
+
+    @property
+    def dim_terms(self) -> tuple[DimPredicate, ...]:
+        return tuple(t for t in self.terms if isinstance(t, DimPredicate))
+
+    @property
+    def attr_terms(self) -> tuple[AttrPredicate, ...]:
+        return tuple(t for t in self.terms if isinstance(t, AttrPredicate))
+
+    def dims_condition(self) -> dict:
+        """Compile dimension terms to Subsample's predicate mapping.
+
+        Multiple conditions on one dimension intersect (the conjunction).
+        """
+        out: dict[str, Any] = {}
+        for term in self.dim_terms:
+            cond = term.to_condition()
+            if term.dim not in out:
+                out[term.dim] = cond
+            else:
+                out[term.dim] = _intersect(out[term.dim], cond)
+        return out
+
+    def attrs_callable(self):
+        tests = [t.to_callable() for t in self.attr_terms]
+        return lambda cell: all(t(cell) for t in tests)
+
+
+def _intersect(a, b):
+    """Intersect two DimCondition forms into a callable."""
+
+    def admit(cond):
+        if isinstance(cond, tuple):
+            lo, hi = cond
+            return lambda v: (lo is None or v >= lo) and (hi is None or v <= hi)
+        if isinstance(cond, int):
+            return lambda v: v == cond
+        return cond
+
+    fa, fb = admit(a), admit(b)
+    return lambda v: fa(v) and fb(v)
+
+
+@dataclass(frozen=True)
+class OpNode(Node):
+    """An operator application: the workhorse expression node.
+
+    ``args`` are positional child expressions (arrays); ``options`` carries
+    operator-specific parameters (predicates, group dims, factors, ...).
+    """
+
+    op: str
+    args: tuple[Node, ...]
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def children(self) -> tuple[Node, ...]:
+        return self.args
+
+    def option(self, key: str, default: Any = None) -> Any:
+        for k, v in self.options:
+            if k == key:
+                return v
+        return default
+
+    def with_args(self, *args: Node) -> "OpNode":
+        return OpNode(self.op, tuple(args), self.options)
+
+
+@dataclass(frozen=True)
+class DefineNode(Node):
+    """``define [updatable] array Name (a = t, ...) (d1, d2)``."""
+
+    name: str
+    values: tuple[tuple[str, str], ...]
+    dims: tuple[str, ...]
+    updatable: bool = False
+
+
+@dataclass(frozen=True)
+class CreateNode(Node):
+    """``create Instance as Type [b1, b2]`` (``*`` bounds are None)."""
+
+    instance: str
+    type_name: str
+    bounds: tuple[Optional[int], ...]
+
+
+@dataclass(frozen=True)
+class SelectNode(Node):
+    """``select <expr> [into Name]``."""
+
+    expr: Node
+    into: Optional[str] = None
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class EnhanceNode(Node):
+    """``enhance Array with Function``."""
+
+    array: str
+    function: str

@@ -1,0 +1,251 @@
+"""The Python language binding (Section 2.4).
+
+"In the style of Ruby-on-Rails, LINQ and Hibernate, these language
+bindings will attempt to fit large array manipulation cleanly into the
+target language using the control structures of the language in question.
+... the data-sublanguage approach epitomized by ODBC and JDBC has been a
+huge mistake."
+
+So: no SQL strings from Python.  Expressions compose with Python operators
+and method chaining, and compile to the *same* parse trees the textual
+binding produces::
+
+    from repro.query import array, dim, attr, Executor
+
+    q = (
+        array("My_remote")
+        .subsample((dim("I") >= 2) & (dim("J") <= 3))
+        .filter(attr("s1") > 3.5)
+        .aggregate(["J"], "sum", "s1")
+    )
+    result = Executor().run(q.node)
+
+Because the output is an AST, the planner's pushdown rewrites apply to
+fluent queries exactly as to textual ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..core.errors import PlanError
+from .ast import (
+    ArrayRef,
+    AttrPredicate,
+    DimPredicate,
+    Node,
+    OpNode,
+    PredicateConjunction,
+    SelectNode,
+)
+
+__all__ = ["array", "dim", "attr", "QueryExpr", "DimExpr", "AttrExpr"]
+
+
+class _PredicateBuilder:
+    """Shared machinery: comparison operators build predicate nodes."""
+
+    def _make(self, op: str, value: Any) -> "PredicateExpr":
+        raise NotImplementedError
+
+    def __eq__(self, value):  # type: ignore[override]
+        return self._make("=", value)
+
+    def __ne__(self, value):  # type: ignore[override]
+        return self._make("!=", value)
+
+    def __lt__(self, value):
+        return self._make("<", value)
+
+    def __le__(self, value):
+        return self._make("<=", value)
+
+    def __gt__(self, value):
+        return self._make(">", value)
+
+    def __ge__(self, value):
+        return self._make(">=", value)
+
+    def __hash__(self):  # keep usable as dict keys despite __eq__
+        return id(self)
+
+
+class DimExpr(_PredicateBuilder):
+    """A dimension name awaiting a comparison: ``dim("I") >= 2``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _make(self, op: str, value: Any) -> "PredicateExpr":
+        return PredicateExpr((DimPredicate(self.name, op, int(value)),))
+
+    def even(self) -> "PredicateExpr":
+        """The paper's ``even(X)``."""
+        return PredicateExpr((DimPredicate(self.name, "even"),))
+
+    def odd(self) -> "PredicateExpr":
+        return PredicateExpr((DimPredicate(self.name, "odd"),))
+
+
+class AttrExpr(_PredicateBuilder):
+    """An attribute name awaiting a comparison: ``attr("s1") > 3.5``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _make(self, op: str, value: Any) -> "PredicateExpr":
+        return PredicateExpr((AttrPredicate(self.name, op, value),))
+
+
+class PredicateExpr:
+    """A conjunction under construction; combine with ``&``."""
+
+    def __init__(self, terms: tuple) -> None:
+        self.terms = terms
+
+    def __and__(self, other: "PredicateExpr") -> "PredicateExpr":
+        if not isinstance(other, PredicateExpr):
+            raise PlanError("predicates combine only with other predicates (&)")
+        return PredicateExpr(self.terms + other.terms)
+
+    def __or__(self, other):
+        raise PlanError(
+            "subsample/filter predicates are conjunctions; OR is not in the "
+            "paper's predicate language"
+        )
+
+    def node(self) -> PredicateConjunction:
+        return PredicateConjunction(self.terms)
+
+
+def dim(name: str) -> DimExpr:
+    """Start a dimension condition (Subsample predicates)."""
+    return DimExpr(name)
+
+
+def attr(name: str) -> AttrExpr:
+    """Start an attribute condition (Filter predicates)."""
+    return AttrExpr(name)
+
+
+class QueryExpr:
+    """A fluent array expression compiling to a parse tree (``.node``)."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+
+    # -- structural operators ------------------------------------------------------
+
+    def subsample(self, predicate: "PredicateExpr | dict") -> "QueryExpr":
+        pred = predicate.node() if isinstance(predicate, PredicateExpr) else predicate
+        return QueryExpr(
+            OpNode("subsample", (self.node,), (("predicate", pred),))
+        )
+
+    def sjoin(
+        self, other: "QueryExpr | str", on: Sequence[tuple[str, str]]
+    ) -> "QueryExpr":
+        rhs = array(other).node if isinstance(other, str) else other.node
+        return QueryExpr(
+            OpNode("sjoin", (self.node, rhs), (("on", tuple(on)),))
+        )
+
+    def transpose(self, order: Sequence[str]) -> "QueryExpr":
+        return QueryExpr(
+            OpNode("transpose", (self.node,), (("order", tuple(order)),))
+        )
+
+    def reshape(
+        self, order: Sequence[str], new_dims: Sequence[tuple[str, int]]
+    ) -> "QueryExpr":
+        return QueryExpr(
+            OpNode(
+                "reshape",
+                (self.node,),
+                (("order", tuple(order)), ("new_dims", tuple(new_dims))),
+            )
+        )
+
+    # -- content operators -----------------------------------------------------------
+
+    def filter(self, predicate: "PredicateExpr | Callable") -> "QueryExpr":
+        pred = predicate.node() if isinstance(predicate, PredicateExpr) else predicate
+        return QueryExpr(OpNode("filter", (self.node,), (("predicate", pred),)))
+
+    def aggregate(
+        self,
+        group_dims: Sequence[str],
+        agg: str,
+        attr_name: Optional[str] = None,
+    ) -> "QueryExpr":
+        return QueryExpr(
+            OpNode(
+                "aggregate",
+                (self.node,),
+                (
+                    ("group_dims", tuple(group_dims)),
+                    ("agg", agg),
+                    ("attr", attr_name),
+                ),
+            )
+        )
+
+    def regrid(
+        self, factors: Sequence[int], agg: str = "avg",
+        attr_name: Optional[str] = None,
+    ) -> "QueryExpr":
+        return QueryExpr(
+            OpNode(
+                "regrid",
+                (self.node,),
+                (
+                    ("factors", tuple(factors)),
+                    ("agg", agg),
+                    ("attr", attr_name),
+                ),
+            )
+        )
+
+    def cjoin(
+        self,
+        other: "QueryExpr | str",
+        predicate: "Callable | Sequence[tuple[str, str]]",
+    ) -> "QueryExpr":
+        rhs = array(other).node if isinstance(other, str) else other.node
+        if callable(predicate):
+            options = (("predicate", predicate),)
+        else:
+            options = (("attr_pairs", tuple(predicate)),)
+        return QueryExpr(OpNode("cjoin", (self.node, rhs), options))
+
+    def apply(
+        self, fn: Callable, output: Sequence[tuple[str, str]]
+    ) -> "QueryExpr":
+        return QueryExpr(
+            OpNode(
+                "apply",
+                (self.node,),
+                (("fn", fn), ("output", tuple(output))),
+            )
+        )
+
+    def project(self, attrs: Sequence[str]) -> "QueryExpr":
+        return QueryExpr(
+            OpNode("project", (self.node,), (("attrs", tuple(attrs)),))
+        )
+
+    # -- finishers --------------------------------------------------------------------
+
+    def into(self, name: str) -> SelectNode:
+        """Name the result in the catalog: ``select ... into name``."""
+        return SelectNode(self.node, into=name)
+
+    def select(self) -> SelectNode:
+        return SelectNode(self.node)
+
+
+def array(name: "str | QueryExpr") -> QueryExpr:
+    """Start a fluent query from a catalog array."""
+    if isinstance(name, QueryExpr):
+        return name
+    return QueryExpr(ArrayRef(name))

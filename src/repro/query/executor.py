@@ -1,0 +1,259 @@
+"""Parse-tree execution against a catalog (Section 2.4).
+
+The executor is the single consumer of parse trees: every binding —
+textual or Python — funnels through here.  It holds a schema catalog
+(``define`` results) and an array catalog (``create`` results and query
+outputs), plans each query through the :class:`~repro.query.planner.Planner`,
+and dispatches operator nodes to the user-extendable operator catalog.
+
+Pass a :class:`~repro.provenance.log.ProvenanceEngine` to have every
+derivation logged (and its arrays registered) for lineage tracing; the
+executor then satisfies both Section 2.4 and Section 2.12 at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import itertools
+
+from ..core.array import SciArray
+from ..core.enhance import enhance as attach_enhancement
+from ..core.errors import PlanError
+from ..core.ops import get_operator
+from ..core.schema import ArraySchema, define_array
+from .ast import (
+    ArrayRef,
+    CreateNode,
+    DefineNode,
+    EnhanceNode,
+    Node,
+    OpNode,
+    PredicateConjunction,
+    SelectNode,
+)
+from .parser import parse_statement
+from .planner import Planner
+
+try:  # Provenance is optional wiring, not a hard dependency.
+    from ..provenance.log import ProvenanceEngine
+except ImportError:  # pragma: no cover
+    ProvenanceEngine = None  # type: ignore[assignment]
+
+__all__ = ["ExecutionResult", "Executor"]
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one statement."""
+
+    value: Any
+    rewrites: list[str] = field(default_factory=list)
+    #: Cells the filter predicate actually examined (the E2 metric).
+    cells_examined: int = 0
+
+    @property
+    def array(self) -> SciArray:
+        if not isinstance(self.value, SciArray):
+            raise PlanError("statement did not produce an array")
+        return self.value
+
+
+class Executor:
+    """Evaluates parse trees; the backend of every language binding."""
+
+    def __init__(
+        self,
+        planner: Optional[Planner] = None,
+        provenance: "Optional[ProvenanceEngine]" = None,
+    ) -> None:
+        self.planner = planner or Planner()
+        self.provenance = provenance
+        self.schemas: dict[str, ArraySchema] = {}
+        self.arrays: dict[str, SciArray] = {}
+        self._temp_counter = itertools.count()
+
+    # -- catalog -----------------------------------------------------------------
+
+    def register(self, name: str, array: SciArray) -> SciArray:
+        """Enter an existing array into the catalog (e.g. a loaded file)."""
+        self.arrays[name] = array
+        if self.provenance is not None and name not in self.provenance.catalog:
+            self.provenance.register_external(
+                name, array, program="executor.register"
+            )
+        return array
+
+    def lookup(self, name: str) -> SciArray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise PlanError(f"no array named {name!r} in the catalog") from None
+
+    # -- entry points ---------------------------------------------------------------
+
+    def run(self, statement: "str | Node") -> ExecutionResult:
+        """Execute one statement (text or a parse tree)."""
+        node = (
+            parse_statement(statement) if isinstance(statement, str) else statement
+        )
+        planned = self.planner.plan(node)
+        result = ExecutionResult(None, rewrites=list(planned.rewrites))
+        result.value = self._execute(planned.node, result)
+        return result
+
+    def run_script(self, text: str) -> list[ExecutionResult]:
+        from .parser import parse
+
+        return [self.run(node) for node in parse(text)]
+
+    # -- statement dispatch ------------------------------------------------------------
+
+    def _execute(self, node: Node, result: ExecutionResult) -> Any:
+        if isinstance(node, DefineNode):
+            schema = define_array(
+                node.name,
+                values=list(node.values),
+                dims=list(node.dims),
+                updatable=node.updatable,
+            )
+            self.schemas[node.name] = schema
+            return schema
+        if isinstance(node, CreateNode):
+            schema = self.schemas.get(node.type_name)
+            if schema is None:
+                raise PlanError(f"no array type named {node.type_name!r}")
+            bounds = ["*" if b is None else b for b in node.bounds]
+            array = schema.create(node.instance, bounds)
+            self.register(node.instance, array)
+            return array
+        if isinstance(node, EnhanceNode):
+            array = self.lookup(node.array)
+            return attach_enhancement(array, node.function)
+        if isinstance(node, SelectNode):
+            value = self._eval(node.expr, result, output_name=node.into)
+            if node.into is not None:
+                if isinstance(value, SciArray):
+                    value.name = node.into
+                self.arrays[node.into] = value
+            return value
+        if isinstance(node, (OpNode, ArrayRef)):
+            return self._eval(node, result)
+        raise PlanError(f"cannot execute node type {type(node).__name__}")
+
+    # -- expression evaluation -----------------------------------------------------------
+
+    def _eval(
+        self,
+        node: Node,
+        result: ExecutionResult,
+        output_name: Optional[str] = None,
+    ) -> Any:
+        if isinstance(node, ArrayRef):
+            return self.lookup(node.name)
+        if not isinstance(node, OpNode):
+            raise PlanError(f"cannot evaluate node type {type(node).__name__}")
+        kwargs = self._translate_options(node, result)
+        if self.provenance is not None:
+            input_names = [self._name_of(a, result) for a in node.args]
+            output = output_name or f"__q{next(self._temp_counter)}"
+            return self.provenance.execute(node.op, input_names, output, **kwargs)
+        args = [self._eval(a, result) for a in node.args]
+        return get_operator(node.op)(*args, **kwargs)
+
+    def _name_of(self, node: Node, result: ExecutionResult) -> str:
+        """Resolve an argument to a provenance catalog name."""
+        if isinstance(node, ArrayRef):
+            if node.name not in self.provenance.catalog:
+                self.provenance.register_external(
+                    node.name, self.lookup(node.name), program="executor.catalog"
+                )
+            return node.name
+        # Nested expression: evaluate through provenance under a temp name.
+        kwargs = self._translate_options(node, result)
+        input_names = [self._name_of(a, result) for a in node.args]
+        output = f"__q{next(self._temp_counter)}"
+        self.provenance.execute(node.op, input_names, output, **kwargs)
+        return output
+
+    def _translate_options(self, node: OpNode, result: ExecutionResult) -> dict:
+        """Map AST options to the operator functions' keyword arguments."""
+        op = node.op
+        if op == "subsample":
+            pred = node.option("predicate")
+            return {"predicate": _as_dim_mapping(pred)}
+        if op == "filter":
+            pred = node.option("predicate")
+            fn = _as_cell_callable(pred)
+
+            def counting(cell, _fn=fn, _res=result):
+                _res.cells_examined += 1
+                return _fn(cell)
+
+            return {"predicate": counting}
+        if op == "aggregate":
+            return {
+                "group_dims": list(node.option("group_dims")),
+                "agg": node.option("agg"),
+                "attr": node.option("attr"),
+            }
+        if op == "regrid":
+            return {
+                "factors": list(node.option("factors")),
+                "agg": node.option("agg"),
+                "attr": node.option("attr"),
+            }
+        if op == "sjoin":
+            return {"on": list(node.option("on"))}
+        if op == "cjoin":
+            pairs = node.option("attr_pairs")
+            if pairs is not None:
+                def predicate(l, r, _pairs=pairs):
+                    return all(
+                        getattr(l, la) == getattr(r, ra) for la, ra in _pairs
+                    )
+                return {"predicate": predicate}
+            return {"predicate": node.option("predicate")}
+        if op == "project":
+            return {"attrs": list(node.option("attrs"))}
+        if op == "transpose":
+            return {"order": list(node.option("order"))}
+        if op == "reshape":
+            return {
+                "order": list(node.option("order")),
+                "new_dims": list(node.option("new_dims")),
+            }
+        if op == "apply":
+            udf_name = node.option("udf")
+            if udf_name is not None:
+                # Textual form: apply(A, Fn(attr, ...)) over a registered UDF.
+                from ..core.udf import get_function
+
+                fn = get_function(udf_name)
+                args = list(node.option("args"))
+
+                def cell_fn(cell, _fn=fn, _args=args):
+                    return _fn(*(getattr(cell, a) for a in _args))
+
+                output = [(n, t) for n, t in fn.outputs]
+                return {"fn": cell_fn, "output": output}
+            return {"fn": node.option("fn"), "output": list(node.option("output"))}
+        # Unknown (user-registered) operator: pass options through verbatim.
+        return dict(node.options)
+
+
+def _as_dim_mapping(pred: Any) -> dict:
+    if isinstance(pred, PredicateConjunction):
+        return pred.dims_condition()
+    if isinstance(pred, dict):
+        return pred
+    raise PlanError(f"cannot use {type(pred).__name__} as a subsample predicate")
+
+
+def _as_cell_callable(pred: Any):
+    if isinstance(pred, PredicateConjunction):
+        return pred.attrs_callable()
+    if callable(pred):
+        return pred
+    raise PlanError(f"cannot use {type(pred).__name__} as a filter predicate")

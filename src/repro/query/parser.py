@@ -1,0 +1,424 @@
+"""A textual AQL-style binding: SciDB's syntax → parse trees (Section 2.4).
+
+The grammar covers the statements the paper itself writes out:
+
+.. code-block:: none
+
+    define array Remote (s1 = float, s2 = float, s3 = float) (I, J)
+    define updatable array Remote_2 (s1 = float) (I, J)
+    create My_remote as Remote [1024, 1024]
+    create My_remote_2 as Remote [*, *]
+    enhance My_remote with Scale10
+    select subsample(My_remote, even(I) and J <= 3)
+    select filter(My_remote, s1 > 3.5) into Bright
+    select aggregate(H, {Y}, sum(*))
+    select sjoin(A, B, A.x = B.x)
+    select cjoin(A, B, A.val = B.val)
+    select regrid(My_remote, [2, 2], avg(s1))
+    select reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])
+    select project(My_remote, s1, s3)
+    select transpose(My_remote, [J, I])
+
+Statements parse to the :mod:`repro.query.ast` node types; nothing here
+executes anything.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from ..core.errors import ParseError
+from .ast import (
+    ArrayRef,
+    AttrPredicate,
+    CreateNode,
+    DefineNode,
+    DimPredicate,
+    EnhanceNode,
+    Node,
+    OpNode,
+    PredicateConjunction,
+    SelectNode,
+)
+
+__all__ = ["parse", "parse_statement", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<symbol><=|>=|!=|[()\[\]{},=<>*:.])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "define", "updatable", "array", "create", "as", "select", "into",
+    "enhance", "with", "and",
+}
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    """Lex *text* into (kind, value) tokens; kinds: number, name, keyword,
+    symbol."""
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        value = m.group()
+        kind = m.lastgroup
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append(("keyword", value.lower()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of statement")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        tok = self.next()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            want = f"{kind} {value!r}" if value else kind
+            raise ParseError(f"expected {want}, got {tok[1]!r}")
+        return tok[1]
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self.peek()
+        if tok is not None and tok[0] == kind and (value is None or tok[1] == value):
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- statements ------------------------------------------------------------------
+
+    def statement(self) -> Node:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("empty statement")
+        if tok == ("keyword", "define"):
+            return self.define()
+        if tok == ("keyword", "create"):
+            return self.create()
+        if tok == ("keyword", "select"):
+            return self.select()
+        if tok == ("keyword", "enhance"):
+            return self.enhance()
+        raise ParseError(f"unknown statement start {tok[1]!r}")
+
+    def define(self) -> DefineNode:
+        self.expect("keyword", "define")
+        updatable = self.accept("keyword", "updatable")
+        self.expect("keyword", "array")
+        name = self.expect("name")
+        self.expect("symbol", "(")
+        values = []
+        while True:
+            attr = self.expect("name")
+            self.expect("symbol", "=")
+            type_words = [self.expect("name")]
+            # multi-word types: "uncertain float"
+            while self.peek() and self.peek()[0] == "name" and type_words[0] == "uncertain":
+                type_words.append(self.next()[1])
+            values.append((attr, " ".join(type_words)))
+            if not self.accept("symbol", ","):
+                break
+        self.expect("symbol", ")")
+        self.expect("symbol", "(")
+        dims = [self.expect("name")]
+        while self.accept("symbol", ","):
+            dims.append(self.expect("name"))
+        self.expect("symbol", ")")
+        return DefineNode(name, tuple(values), tuple(dims), updatable)
+
+    def create(self) -> CreateNode:
+        self.expect("keyword", "create")
+        instance = self.expect("name")
+        self.expect("keyword", "as")
+        type_name = self.expect("name")
+        self.expect("symbol", "[")
+        bounds: list[Optional[int]] = [self._bound()]
+        while self.accept("symbol", ","):
+            bounds.append(self._bound())
+        self.expect("symbol", "]")
+        return CreateNode(instance, type_name, tuple(bounds))
+
+    def _bound(self) -> Optional[int]:
+        if self.accept("symbol", "*"):
+            return None
+        return int(self.expect("number"))
+
+    def enhance(self) -> EnhanceNode:
+        self.expect("keyword", "enhance")
+        array = self.expect("name")
+        self.expect("keyword", "with")
+        fn = self.expect("name")
+        return EnhanceNode(array, fn)
+
+    def select(self) -> SelectNode:
+        self.expect("keyword", "select")
+        expr = self.expr()
+        into = None
+        if self.accept("keyword", "into"):
+            into = self.expect("name")
+        return SelectNode(expr, into=into)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def expr(self) -> Node:
+        name = self.expect("name")
+        if not self.accept("symbol", "("):
+            return ArrayRef(name)
+        op = name.lower()
+        method = getattr(self, f"_op_{op}", None)
+        if method is None:
+            raise ParseError(f"unknown operator {name!r}")
+        node = method()
+        self.expect("symbol", ")")
+        return node
+
+    # Each _op_* parses the operator's argument list (after the open paren).
+
+    def _op_subsample(self) -> OpNode:
+        source = self.expr()
+        self.expect("symbol", ",")
+        pred = self._dim_conjunction()
+        return OpNode("subsample", (source,), (("predicate", pred),))
+
+    def _op_filter(self) -> OpNode:
+        source = self.expr()
+        self.expect("symbol", ",")
+        pred = self._attr_conjunction()
+        return OpNode("filter", (source,), (("predicate", pred),))
+
+    def _op_aggregate(self) -> OpNode:
+        source = self.expr()
+        self.expect("symbol", ",")
+        self.expect("symbol", "{")
+        dims = [self.expect("name")]
+        while self.accept("symbol", ","):
+            dims.append(self.expect("name"))
+        self.expect("symbol", "}")
+        self.expect("symbol", ",")
+        agg, attr = self._agg_call()
+        return OpNode(
+            "aggregate",
+            (source,),
+            (("group_dims", tuple(dims)), ("agg", agg), ("attr", attr)),
+        )
+
+    def _op_regrid(self) -> OpNode:
+        source = self.expr()
+        self.expect("symbol", ",")
+        self.expect("symbol", "[")
+        factors = [int(self.expect("number"))]
+        while self.accept("symbol", ","):
+            factors.append(int(self.expect("number")))
+        self.expect("symbol", "]")
+        self.expect("symbol", ",")
+        agg, attr = self._agg_call()
+        return OpNode(
+            "regrid",
+            (source,),
+            (("factors", tuple(factors)), ("agg", agg), ("attr", attr)),
+        )
+
+    def _agg_call(self) -> tuple[str, Optional[str]]:
+        agg = self.expect("name")
+        self.expect("symbol", "(")
+        if self.accept("symbol", "*"):
+            attr = None
+        else:
+            attr = self.expect("name")
+        self.expect("symbol", ")")
+        return agg, attr
+
+    def _op_sjoin(self) -> OpNode:
+        left = self.expr()
+        self.expect("symbol", ",")
+        right = self.expr()
+        self.expect("symbol", ",")
+        pairs = [self._qualified_equality()]
+        while self.accept("keyword", "and"):
+            pairs.append(self._qualified_equality())
+        on = tuple((l[1], r[1]) for l, r in pairs)
+        return OpNode("sjoin", (left, right), (("on", on),))
+
+    def _op_cjoin(self) -> OpNode:
+        left = self.expr()
+        self.expect("symbol", ",")
+        right = self.expr()
+        self.expect("symbol", ",")
+        pairs = [self._qualified_equality()]
+        while self.accept("keyword", "and"):
+            pairs.append(self._qualified_equality())
+        attrs = tuple((l[1], r[1]) for l, r in pairs)
+        return OpNode("cjoin", (left, right), (("attr_pairs", attrs),))
+
+    def _qualified_equality(self) -> tuple[tuple[str, str], tuple[str, str]]:
+        """Parse ``A.x = B.y`` into ((A, x), (B, y))."""
+        la = self.expect("name")
+        self.expect("symbol", ".")
+        lb = self.expect("name")
+        self.expect("symbol", "=")
+        ra = self.expect("name")
+        self.expect("symbol", ".")
+        rb = self.expect("name")
+        return (la, lb), (ra, rb)
+
+    def _op_apply(self) -> OpNode:
+        """``apply(A, FnName(attr1, attr2))`` — run a registered UDF over
+        each cell's named components; the UDF's output signature defines
+        the result record (Sections 2.1 + 2.3 meeting Section 2.4)."""
+        source = self.expr()
+        self.expect("symbol", ",")
+        fn_name = self.expect("name")
+        self.expect("symbol", "(")
+        args = [self.expect("name")]
+        while self.accept("symbol", ","):
+            args.append(self.expect("name"))
+        self.expect("symbol", ")")
+        return OpNode(
+            "apply",
+            (source,),
+            (("udf", fn_name), ("args", tuple(args))),
+        )
+
+    def _op_project(self) -> OpNode:
+        source = self.expr()
+        attrs = []
+        while self.accept("symbol", ","):
+            attrs.append(self.expect("name"))
+        if not attrs:
+            raise ParseError("project needs at least one attribute")
+        return OpNode("project", (source,), (("attrs", tuple(attrs)),))
+
+    def _op_transpose(self) -> OpNode:
+        source = self.expr()
+        self.expect("symbol", ",")
+        self.expect("symbol", "[")
+        order = [self.expect("name")]
+        while self.accept("symbol", ","):
+            order.append(self.expect("name"))
+        self.expect("symbol", "]")
+        return OpNode("transpose", (source,), (("order", tuple(order)),))
+
+    def _op_reshape(self) -> OpNode:
+        source = self.expr()
+        self.expect("symbol", ",")
+        self.expect("symbol", "[")
+        order = [self.expect("name")]
+        while self.accept("symbol", ","):
+            order.append(self.expect("name"))
+        self.expect("symbol", "]")
+        self.expect("symbol", ",")
+        self.expect("symbol", "[")
+        new_dims = [self._dim_range()]
+        while self.accept("symbol", ","):
+            new_dims.append(self._dim_range())
+        self.expect("symbol", "]")
+        return OpNode(
+            "reshape",
+            (source,),
+            (("order", tuple(order)), ("new_dims", tuple(new_dims))),
+        )
+
+    def _dim_range(self) -> tuple[str, int]:
+        """Parse ``U = 1:8`` into ("U", 8)."""
+        name = self.expect("name")
+        self.expect("symbol", "=")
+        lo = int(self.expect("number"))
+        self.expect("symbol", ":")
+        hi = int(self.expect("number"))
+        if lo != 1:
+            raise ParseError("dimension ranges start at 1 in this model")
+        return name, hi
+
+    # -- predicates --------------------------------------------------------------------
+
+    def _dim_conjunction(self) -> PredicateConjunction:
+        terms = [self._dim_term()]
+        while self.accept("keyword", "and"):
+            terms.append(self._dim_term())
+        return PredicateConjunction(tuple(terms))
+
+    def _dim_term(self) -> DimPredicate:
+        name = self.expect("name")
+        if name.lower() in ("even", "odd"):
+            self.expect("symbol", "(")
+            dim = self.expect("name")
+            self.expect("symbol", ")")
+            return DimPredicate(dim, name.lower())
+        op = self.expect("symbol")
+        tok = self.next()
+        if tok[0] != "number":
+            # 'X = Y' style cross-dimension terms are exactly what the
+            # paper outlaws for Subsample.
+            raise ParseError(
+                "subsample conditions compare a dimension to a constant; "
+                f"got {tok[1]!r} (cross-dimension predicates are not legal)"
+            )
+        return DimPredicate(name, op, int(tok[1]))
+
+    def _attr_conjunction(self) -> PredicateConjunction:
+        terms = [self._attr_term()]
+        while self.accept("keyword", "and"):
+            terms.append(self._attr_term())
+        return PredicateConjunction(tuple(terms))
+
+    def _attr_term(self) -> AttrPredicate:
+        name = self.expect("name")
+        op = self.expect("symbol")
+        value_tok = self.next()
+        if value_tok[0] == "number":
+            text = value_tok[1]
+            value: Any = float(text) if "." in text else int(text)
+        else:
+            value = value_tok[1]
+        return AttrPredicate(name, op, value)
+
+
+def parse_statement(text: str) -> Node:
+    """Parse one statement; raises :class:`ParseError` on trailing input."""
+    parser = _Parser(tokenize(text))
+    node = parser.statement()
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing input after statement: {parser.peek()[1]!r}"
+        )
+    return node
+
+
+def parse(text: str) -> list[Node]:
+    """Parse a script: one statement per non-empty, non-comment line."""
+    nodes = []
+    for line in text.splitlines():
+        line = line.split("--", 1)[0].strip()
+        if line:
+            nodes.append(parse_statement(line))
+    return nodes

@@ -1,0 +1,93 @@
+"""Structural-operator pushdown over parse trees.
+
+Section 2.2.1 observes that structural operators "do not necessarily have
+to read the data values to produce a result, [so] they present opportunity
+for optimization".  The planner exploits the cleanest instance of that
+opportunity: **subsample pushdown**.  Content operators like Filter, Apply
+and Project preserve the dimension structure of their input, so
+
+    subsample(filter(A, p), q)  ==  filter(subsample(A, q), p)
+
+and the right-hand side evaluates the (cheap, data-agnostic, bucket-
+prunable) Subsample *first*, then runs the expensive per-cell predicate on
+the smaller array.  Experiment E2 measures the effect.
+
+The planner rewrites bottom-up until a fixed point and records each
+rewrite in :attr:`PlannedQuery.rewrites` so tests and benchmarks can
+assert exactly what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .ast import Node, OpNode, SelectNode
+
+__all__ = ["Planner", "PlannedQuery"]
+
+#: Content operators that commute with subsample (dimension-preserving).
+_DIMENSION_PRESERVING = ("filter", "apply", "project")
+
+
+@dataclass
+class PlannedQuery:
+    """An optimized parse tree plus the rewrites that produced it."""
+
+    node: Node
+    rewrites: list[str] = field(default_factory=list)
+
+
+class Planner:
+    """Rule-based logical optimizer over parse trees."""
+
+    def __init__(self, enable_pushdown: bool = True) -> None:
+        self.enable_pushdown = enable_pushdown
+
+    def plan(self, node: Node) -> PlannedQuery:
+        rewrites: list[str] = []
+        planned = self._rewrite(node, rewrites)
+        return PlannedQuery(planned, rewrites)
+
+    def _rewrite(self, node: Node, rewrites: list[str]) -> Node:
+        if isinstance(node, SelectNode):
+            return SelectNode(self._rewrite(node.expr, rewrites), into=node.into)
+        if not isinstance(node, OpNode):
+            return node
+        # Rewrite children first (bottom-up).
+        new_args = tuple(self._rewrite(a, rewrites) for a in node.args)
+        node = node.with_args(*new_args)
+        if not self.enable_pushdown:
+            return node
+        pushed = self._push_subsample(node, rewrites)
+        return pushed
+
+    def _push_subsample(self, node: OpNode, rewrites: list[str]) -> OpNode:
+        """subsample(content_op(A)) -> content_op(subsample(A))."""
+        while (
+            node.op == "subsample"
+            and node.args
+            and isinstance(node.args[0], OpNode)
+            and node.args[0].op in _DIMENSION_PRESERVING
+        ):
+            inner = node.args[0]
+            rewrites.append(
+                f"pushed subsample below {inner.op} "
+                "(structural op evaluated first)"
+            )
+            pushed_subsample = OpNode(
+                "subsample", (inner.args[0],), node.options
+            )
+            node = OpNode(
+                inner.op,
+                (pushed_subsample,) + inner.args[1:],
+                inner.options,
+            )
+            # The new child may itself expose another pushdown; loop via
+            # re-examining the (now content-op-rooted) node's first arg.
+            first = node.args[0]
+            if isinstance(first, OpNode):
+                rewritten_child = self._push_subsample(first, rewrites)
+                node = node.with_args(rewritten_child, *node.args[1:])
+            break
+        return node

@@ -1,0 +1,150 @@
+"""Parse trees back to the textual language (the inverse binding).
+
+Section 2.4 makes parse trees the common representation *between*
+bindings; :func:`unparse` closes the loop by rendering any tree in the
+textual binding's syntax.  Useful for logging (human-readable provenance),
+debugging planner rewrites, and property-testing the parser
+(``parse(unparse(t)) == t``).
+
+Predicates built from Python callables (fluent ``filter(lambda ...)``,
+``cjoin`` with a function) have no textual form; unparsing them raises
+:class:`~repro.core.errors.PlanError` rather than inventing syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import PlanError
+from .ast import (
+    ArrayRef,
+    AttrPredicate,
+    CreateNode,
+    DefineNode,
+    DimPredicate,
+    EnhanceNode,
+    Node,
+    OpNode,
+    PredicateConjunction,
+    SelectNode,
+)
+
+__all__ = ["unparse"]
+
+
+def unparse(node: Node) -> str:
+    """Render a parse tree as one statement of the textual language."""
+    if isinstance(node, DefineNode):
+        kind = "define updatable array" if node.updatable else "define array"
+        values = ", ".join(f"{n} = {t}" for n, t in node.values)
+        dims = ", ".join(node.dims)
+        return f"{kind} {node.name} ({values}) ({dims})"
+    if isinstance(node, CreateNode):
+        bounds = ", ".join("*" if b is None else str(b) for b in node.bounds)
+        return f"create {node.instance} as {node.type_name} [{bounds}]"
+    if isinstance(node, EnhanceNode):
+        return f"enhance {node.array} with {node.function}"
+    if isinstance(node, SelectNode):
+        text = f"select {_expr(node.expr)}"
+        if node.into:
+            text += f" into {node.into}"
+        return text
+    if isinstance(node, (OpNode, ArrayRef)):
+        return f"select {_expr(node)}"
+    raise PlanError(f"cannot unparse node type {type(node).__name__}")
+
+
+def _expr(node: Node) -> str:
+    if isinstance(node, ArrayRef):
+        return node.name
+    if not isinstance(node, OpNode):
+        raise PlanError(f"cannot unparse expression {type(node).__name__}")
+    op = node.op
+    if op == "subsample":
+        return (
+            f"subsample({_expr(node.args[0])}, "
+            f"{_conjunction(node.option('predicate'))})"
+        )
+    if op == "filter":
+        return (
+            f"filter({_expr(node.args[0])}, "
+            f"{_conjunction(node.option('predicate'))})"
+        )
+    if op == "aggregate":
+        dims = ", ".join(node.option("group_dims"))
+        return (
+            f"aggregate({_expr(node.args[0])}, {{{dims}}}, "
+            f"{_agg(node.option('agg'), node.option('attr'))})"
+        )
+    if op == "regrid":
+        factors = ", ".join(str(f) for f in node.option("factors"))
+        return (
+            f"regrid({_expr(node.args[0])}, [{factors}], "
+            f"{_agg(node.option('agg'), node.option('attr'))})"
+        )
+    if op == "sjoin":
+        left, right = node.args
+        pairs = " and ".join(
+            f"{_ref_name(left)}.{l} = {_ref_name(right)}.{r}"
+            for l, r in node.option("on")
+        )
+        return f"sjoin({_expr(left)}, {_expr(right)}, {pairs})"
+    if op == "cjoin":
+        pairs_opt = node.option("attr_pairs")
+        if pairs_opt is None:
+            raise PlanError(
+                "cjoin with a Python predicate has no textual form"
+            )
+        left, right = node.args
+        pairs = " and ".join(
+            f"{_ref_name(left)}.{l} = {_ref_name(right)}.{r}"
+            for l, r in pairs_opt
+        )
+        return f"cjoin({_expr(left)}, {_expr(right)}, {pairs})"
+    if op == "project":
+        attrs = ", ".join(node.option("attrs"))
+        return f"project({_expr(node.args[0])}, {attrs})"
+    if op == "transpose":
+        order = ", ".join(node.option("order"))
+        return f"transpose({_expr(node.args[0])}, [{order}])"
+    if op == "reshape":
+        order = ", ".join(node.option("order"))
+        dims = ", ".join(f"{n} = 1:{s}" for n, s in node.option("new_dims"))
+        return f"reshape({_expr(node.args[0])}, [{order}], [{dims}])"
+    if op == "apply":
+        udf = node.option("udf")
+        if udf is None:
+            raise PlanError("apply with a Python callable has no textual form")
+        args = ", ".join(node.option("args"))
+        return f"apply({_expr(node.args[0])}, {udf}({args}))"
+    raise PlanError(f"cannot unparse operator {op!r}")
+
+
+def _agg(agg: Any, attr: Any) -> str:
+    return f"{agg}({attr if attr else '*'})"
+
+
+def _ref_name(node: Node) -> str:
+    if isinstance(node, ArrayRef):
+        return node.name
+    # Nested expressions have no qualifier name; the textual grammar only
+    # qualifies join predicates by array name.
+    raise PlanError("join operands must be array references to unparse")
+
+
+def _conjunction(pred: Any) -> str:
+    if not isinstance(pred, PredicateConjunction):
+        raise PlanError(
+            f"{type(pred).__name__} predicates have no textual form"
+        )
+    return " and ".join(_term(t) for t in pred.terms)
+
+
+def _term(term: Node) -> str:
+    if isinstance(term, DimPredicate):
+        if term.op in ("even", "odd"):
+            return f"{term.op}({term.dim})"
+        return f"{term.dim} {term.op} {term.value}"
+    if isinstance(term, AttrPredicate):
+        return f"{term.attr} {term.op} {term.value}"
+    raise PlanError(f"cannot unparse predicate term {type(term).__name__}")

@@ -1,0 +1,68 @@
+"""Within-node storage management (Sections 2.8, 2.9).
+
+The paper's design: data arrives through a streaming bulk loader ordered by
+a dominant dimension; when main memory is nearly full the storage manager
+forms the buffered cells into variable-size rectangular *buckets* (defined
+by a stride in each dimension), compresses each bucket, and writes it to
+disk; an R-tree tracks bucket extents; a background thread merges small
+buckets into larger ones (Vertica-style).  SciDB must also operate on
+*in-situ* data — external files exposed through adaptors without a load
+stage — at a reduced service level (no recovery).
+
+Modules:
+
+* :mod:`repro.storage.bucket` — the rectangular bucket unit
+* :mod:`repro.storage.compression` — pluggable codecs
+* :mod:`repro.storage.rtree` — R-tree over bucket bounding boxes
+* :mod:`repro.storage.manager` — buffer/spill/merge storage manager
+* :mod:`repro.storage.loader` — streaming bulk loader
+* :mod:`repro.storage.format` — the self-describing container format
+* :mod:`repro.storage.insitu` — in-situ adaptors (CSV, NPY, container)
+* :mod:`repro.storage.wal` — write-ahead log + recovery for loaded arrays
+"""
+
+from .bucket import Bucket
+from .compression import (
+    CODECS,
+    Codec,
+    DeltaZlibCodec,
+    NoneCodec,
+    RleCodec,
+    ZlibCodec,
+    best_codec,
+    get_codec,
+    register_codec,
+)
+from .rtree import RTree
+from .manager import PersistentArray, StorageManager, StorageStats
+from .loader import BulkLoader, LoadRecord
+from .format import read_container, write_container
+from .insitu import CsvAdaptor, InSituArray, NpyAdaptor, SciDBContainerAdaptor, open_in_situ
+from .wal import WriteAheadLog
+
+__all__ = [
+    "Bucket",
+    "Codec",
+    "NoneCodec",
+    "ZlibCodec",
+    "DeltaZlibCodec",
+    "RleCodec",
+    "CODECS",
+    "get_codec",
+    "register_codec",
+    "best_codec",
+    "RTree",
+    "StorageManager",
+    "PersistentArray",
+    "StorageStats",
+    "BulkLoader",
+    "LoadRecord",
+    "write_container",
+    "read_container",
+    "InSituArray",
+    "CsvAdaptor",
+    "NpyAdaptor",
+    "SciDBContainerAdaptor",
+    "open_in_situ",
+    "WriteAheadLog",
+]

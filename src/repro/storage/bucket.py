@@ -1,0 +1,209 @@
+"""The rectangular bucket: the unit of on-disk storage (Section 2.8).
+
+"Within a node an array partition is divided into variable size rectangular
+buckets."  A bucket covers an axis-aligned box of cells; it stores a dense
+state mask plus one value plane per attribute, each independently
+compressed by a chosen codec.  Buckets serialise to a small self-describing
+binary image (magic + pickled header + codec payloads) written to one file
+each by the storage manager.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core.array import Chunk
+from ..core.cells import Cell, CellState
+from ..core.datatypes import ScalarType
+from ..core.errors import StorageError
+from ..core.schema import ArraySchema
+from .compression import Codec, best_codec, get_codec
+
+__all__ = ["Bucket"]
+
+Coords = tuple[int, ...]
+
+_MAGIC = b"SBKT1\n"
+
+
+class Bucket:
+    """A compressed rectangular slab of one array's cells."""
+
+    def __init__(
+        self,
+        schema: ArraySchema,
+        origin: Coords,
+        shape: tuple[int, ...],
+        state: np.ndarray,
+        data: dict[str, np.ndarray],
+    ) -> None:
+        self.schema = schema
+        self.origin = tuple(int(c) for c in origin)
+        self.shape = tuple(int(s) for s in shape)
+        self.state = state
+        self.data = data
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_cells(
+        cls,
+        schema: ArraySchema,
+        cells: Sequence[tuple[Coords, Optional[tuple]]],
+    ) -> "Bucket":
+        """Build the tightest bucket containing *cells*.
+
+        Each element is ``(coords, values_tuple_or_None)`` — ``None`` for a
+        NULL cell.
+        """
+        if not cells:
+            raise StorageError("cannot build a bucket from no cells")
+        ndim = len(cells[0][0])
+        lo = tuple(min(c[d] for c, _ in cells) for d in range(ndim))
+        hi = tuple(max(c[d] for c, _ in cells) for d in range(ndim))
+        shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        state = np.zeros(shape, dtype=np.uint8)
+        data: dict[str, np.ndarray] = {}
+        for attr in schema.attributes:
+            if isinstance(attr.type, ScalarType) and attr.type.numpy_dtype != object:
+                data[attr.name] = np.zeros(shape, dtype=attr.type.numpy_dtype)
+            else:
+                data[attr.name] = np.empty(shape, dtype=object)
+        for coords, values in cells:
+            off = tuple(c - l for c, l in zip(coords, lo))
+            if values is None:
+                state[off] = CellState.NULL
+                continue
+            state[off] = CellState.PRESENT
+            for attr, v in zip(schema.attributes, values):
+                data[attr.name][off] = v
+        return cls(schema, lo, shape, state, data)
+
+    # -- geometry / stats ---------------------------------------------------------
+
+    @property
+    def box(self) -> tuple[Coords, Coords]:
+        hi = tuple(o + s - 1 for o, s in zip(self.origin, self.shape))
+        return self.origin, hi
+
+    @property
+    def cell_count(self) -> int:
+        return int(np.count_nonzero(self.state != CellState.EMPTY))
+
+    @property
+    def volume(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def occupancy(self) -> float:
+        return self.cell_count / self.volume if self.volume else 0.0
+
+    def cells(self) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        names = self.schema.attr_names
+        for off in map(tuple, np.argwhere(self.state != CellState.EMPTY)):
+            coords = tuple(int(o + i) for o, i in zip(self.origin, off))
+            if self.state[off] == CellState.NULL:
+                yield coords, None
+            else:
+                values = tuple(self.data[n][off] for n in names)
+                values = tuple(
+                    v.item() if isinstance(v, np.generic) else v for v in values
+                )
+                yield coords, Cell(names, values)
+
+    def merge(self, other: "Bucket") -> "Bucket":
+        """Combine two buckets of the same array into one covering both
+        (the Vertica-style background-merge primitive)."""
+        if other.schema.attr_names != self.schema.attr_names:
+            raise StorageError("cannot merge buckets of different schemas")
+        cells = list(self.cells()) + list(other.cells())
+        flat = [
+            (coords, None if cell is None else cell.values)
+            for coords, cell in cells
+        ]
+        return Bucket.from_cells(self.schema, flat)
+
+    # -- serialisation --------------------------------------------------------------
+
+    def to_bytes(self, codec: "str | Codec" = "auto") -> bytes:
+        """Serialise; ``codec='auto'`` picks per-attribute via best_codec."""
+        planes: list[bytes] = []
+        plane_meta: list[dict[str, Any]] = []
+
+        def encode_plane(name: str, arr: np.ndarray) -> None:
+            if codec == "auto":
+                chosen = best_codec(arr)
+            elif isinstance(codec, Codec):
+                chosen = codec
+            else:
+                chosen = get_codec(codec)
+            payload = chosen.encode(arr)
+            planes.append(payload)
+            plane_meta.append(
+                {
+                    "name": name,
+                    "codec": chosen.name,
+                    "dtype": "object" if arr.dtype == object else arr.dtype.str,
+                    "nbytes": len(payload),
+                }
+            )
+
+        encode_plane("__state__", self.state)
+        for attr in self.schema.attributes:
+            encode_plane(attr.name, self.data[attr.name])
+
+        header = pickle.dumps(
+            {
+                "origin": self.origin,
+                "shape": self.shape,
+                "attrs": [a.name for a in self.schema.attributes],
+                "planes": plane_meta,
+            },
+            protocol=4,
+        )
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack("<I", len(header))
+        out += header
+        for p in planes:
+            out += p
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, schema: ArraySchema, payload: bytes) -> "Bucket":
+        if payload[: len(_MAGIC)] != _MAGIC:
+            raise StorageError("not a bucket image (bad magic)")
+        off = len(_MAGIC)
+        (hlen,) = struct.unpack_from("<I", payload, off)
+        off += 4
+        header = pickle.loads(payload[off : off + hlen])
+        off += hlen
+        shape = tuple(header["shape"])
+        state: Optional[np.ndarray] = None
+        data: dict[str, np.ndarray] = {}
+        for meta in header["planes"]:
+            blob = payload[off : off + meta["nbytes"]]
+            off += meta["nbytes"]
+            codec = get_codec(meta["codec"])
+            dtype = np.dtype(object) if meta["dtype"] == "object" else np.dtype(meta["dtype"])
+            plane = codec.decode(blob, dtype, shape)
+            if meta["name"] == "__state__":
+                state = plane.astype(np.uint8)
+            else:
+                data[meta["name"]] = plane
+        if state is None:
+            raise StorageError("bucket image missing state plane")
+        missing = set(schema.attr_names) - set(data)
+        if missing:
+            raise StorageError(f"bucket image missing attributes {sorted(missing)}")
+        return cls(schema, tuple(header["origin"]), shape, state, data)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Bucket origin={self.origin} shape={self.shape} "
+            f"{self.cell_count}/{self.volume} cells>"
+        )

@@ -1,0 +1,228 @@
+"""Pluggable per-bucket compression codecs (Section 2.8).
+
+"What compression algorithms to employ" is one of the paper's open storage
+research questions; the engine therefore treats the codec as a per-bucket
+choice.  Each codec encodes one numpy array (one attribute of one bucket)
+to bytes and back.  :func:`best_codec` implements the simple policy the
+benchmarks evaluate: try the candidates on a sample and keep the one with
+the best compression ratio.
+
+Codecs:
+
+* ``none`` — raw little-endian bytes (the speed baseline),
+* ``zlib`` — DEFLATE over raw bytes,
+* ``delta`` — per-element delta in the array's flattened order, then zlib;
+  effective on smooth science fields and monotone dimensions,
+* ``rle`` — run-length encoding of repeated values, then zlib; effective on
+  masks, cloud flags and mostly-constant calibration planes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.errors import StorageError
+
+__all__ = [
+    "Codec",
+    "NoneCodec",
+    "ZlibCodec",
+    "DeltaZlibCodec",
+    "RleCodec",
+    "CODECS",
+    "register_codec",
+    "get_codec",
+    "best_codec",
+]
+
+
+class Codec:
+    """Interface: byte-level compression of one ndarray."""
+
+    name: str = "abstract"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, payload: bytes, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- helpers shared by subclasses ------------------------------------------
+
+    @staticmethod
+    def _to_bytes(array: np.ndarray) -> bytes:
+        if array.dtype == object:
+            return pickle.dumps(list(array.ravel()), protocol=4)
+        return np.ascontiguousarray(array).tobytes()
+
+    @staticmethod
+    def _from_bytes(payload: bytes, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
+        if dtype == object:
+            flat = pickle.loads(payload)
+            out = np.empty(int(np.prod(shape)) if shape else 1, dtype=object)
+            out[:] = flat
+            return out.reshape(shape)
+        return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+
+
+class NoneCodec(Codec):
+    """No compression; raw bytes."""
+
+    name = "none"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        return self._to_bytes(array)
+
+    def decode(self, payload, dtype, shape):
+        return self._from_bytes(payload, dtype, shape)
+
+
+class ZlibCodec(Codec):
+    """DEFLATE over the raw byte image."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+
+    def encode(self, array: np.ndarray) -> bytes:
+        return zlib.compress(self._to_bytes(array), self.level)
+
+    def decode(self, payload, dtype, shape):
+        return self._from_bytes(zlib.decompress(payload), dtype, shape)
+
+
+class DeltaZlibCodec(Codec):
+    """First-order delta along the flattened order, then DEFLATE.
+
+    Numeric dtypes only; falls back to plain zlib for object arrays.
+    """
+
+    name = "delta"
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+
+    def encode(self, array: np.ndarray) -> bytes:
+        if array.dtype == object:
+            return b"O" + zlib.compress(self._to_bytes(array), self.level)
+        flat = np.ascontiguousarray(array).ravel()
+        if flat.size == 0:
+            return b"D" + zlib.compress(b"", self.level)
+        if np.issubdtype(flat.dtype, np.floating):
+            # Delta floats via their integer bit patterns (lossless).
+            bits = flat.view(np.uint64 if flat.dtype == np.float64 else np.uint32)
+            delta = np.diff(bits, prepend=bits.dtype.type(0))
+        elif flat.dtype == np.bool_:
+            # Bool arithmetic is logical in numpy; delta the byte image.
+            bits = flat.view(np.uint8)
+            delta = np.diff(bits, prepend=np.uint8(0))
+        else:
+            delta = np.diff(flat, prepend=flat.dtype.type(0))
+        return b"D" + zlib.compress(delta.tobytes(), self.level)
+
+    def decode(self, payload, dtype, shape):
+        tag, body = payload[:1], payload[1:]
+        raw = zlib.decompress(body)
+        if tag == b"O":
+            return self._from_bytes(raw, dtype, shape)
+        dtype = np.dtype(dtype)
+        if np.issubdtype(dtype, np.floating):
+            bits_dtype = np.uint64 if dtype == np.float64 else np.uint32
+            delta = np.frombuffer(raw, dtype=bits_dtype)
+            bits = np.cumsum(delta.astype(np.uint64), dtype=np.uint64)
+            if bits_dtype == np.uint32:
+                bits = bits.astype(np.uint32)
+            return bits.view(dtype if dtype == np.float64 else np.float32).reshape(shape).copy()
+        if dtype == np.bool_:
+            delta = np.frombuffer(raw, dtype=np.uint8)
+            bits = np.cumsum(delta.astype(np.uint64)).astype(np.uint8)
+            return bits.view(np.bool_).reshape(shape).copy()
+        delta = np.frombuffer(raw, dtype=dtype)
+        return np.cumsum(delta, dtype=dtype).reshape(shape).copy()
+
+
+class RleCodec(Codec):
+    """Run-length encoding of equal consecutive values, then DEFLATE."""
+
+    name = "rle"
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+
+    def encode(self, array: np.ndarray) -> bytes:
+        if array.dtype == object:
+            return b"O" + zlib.compress(self._to_bytes(array), self.level)
+        flat = np.ascontiguousarray(array).ravel()
+        if flat.size == 0:
+            runs = np.empty(0, dtype=np.int64)
+            values = flat
+        else:
+            boundary = np.empty(flat.size, dtype=bool)
+            boundary[0] = True
+            boundary[1:] = flat[1:] != flat[:-1]
+            starts = np.flatnonzero(boundary)
+            lengths = np.diff(np.append(starts, flat.size))
+            values = flat[starts]
+            runs = lengths.astype(np.int64)
+        payload = runs.tobytes() + values.tobytes()
+        header = struct.pack("<q", runs.size)
+        return b"R" + header + zlib.compress(payload, self.level)
+
+    def decode(self, payload, dtype, shape):
+        tag = payload[:1]
+        if tag == b"O":
+            return self._from_bytes(zlib.decompress(payload[1:]), dtype, shape)
+        (n_runs,) = struct.unpack("<q", payload[1:9])
+        raw = zlib.decompress(payload[9:])
+        runs = np.frombuffer(raw[: 8 * n_runs], dtype=np.int64)
+        values = np.frombuffer(raw[8 * n_runs :], dtype=dtype)
+        return np.repeat(values, runs).reshape(shape).copy()
+
+
+CODECS: dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec, replace: bool = False) -> Codec:
+    if codec.name in CODECS and not replace:
+        raise StorageError(f"codec {codec.name!r} already registered")
+    CODECS[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise StorageError(f"unknown codec {name!r}") from None
+
+
+register_codec(NoneCodec())
+register_codec(ZlibCodec())
+register_codec(DeltaZlibCodec())
+register_codec(RleCodec())
+
+
+def best_codec(
+    sample: np.ndarray, candidates: Optional[Iterable[str]] = None
+) -> Codec:
+    """Pick the candidate with the smallest encoded size on *sample*.
+
+    Ties break toward the cheaper codec (candidate order).  This is the
+    "auto" policy used when a bucket is spilled with ``codec='auto'``.
+    """
+    names = list(candidates) if candidates else ["none", "zlib", "delta", "rle"]
+    best: Optional[Codec] = None
+    best_size = None
+    for name in names:
+        codec = get_codec(name)
+        size = len(codec.encode(sample))
+        if best_size is None or size < best_size:
+            best, best_size = codec, size
+    assert best is not None
+    return best

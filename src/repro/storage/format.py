@@ -1,0 +1,213 @@
+"""The self-describing SciDB container format (Section 2.9).
+
+"Our approach to this issue is to define a self-describing data format and
+then write adaptors to various popular external formats."  This module is
+that format: a single file holding one array — a JSON header describing
+dimensions, attributes and a chunk directory, followed by independently
+compressed chunk payloads.  It is structured the way HDF5/NetCDF are
+(header + named datasets + chunk directory) so the in-situ adaptor layer
+(:mod:`repro.storage.insitu`) can treat all three uniformly.
+
+The header is pure JSON (not pickle) precisely so the file is
+*self-describing*: any reader can interpret it without this library.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.array import SciArray
+from ..core.cells import CellState
+from ..core.errors import InSituError
+from ..core.schema import ArraySchema, Attribute, Dimension
+from ..core.datatypes import ScalarType, get_type
+from .compression import get_codec
+
+__all__ = ["write_container", "read_container", "ContainerReader", "MAGIC"]
+
+MAGIC = b"SCIDB1\n"
+
+_TYPE_NAMES = {
+    "int8": "int8",
+    "int16": "int16",
+    "int32": "int32",
+    "int64": "int64",
+    "float32": "float32",
+    "float64": "float64",
+    "bool": "bool",
+    "string": "string",
+}
+
+
+def _attr_type_name(attr: Attribute) -> str:
+    if not isinstance(attr.type, ScalarType):
+        raise InSituError(
+            "the container format stores scalar attributes only; "
+            f"{attr.name!r} is a nested array"
+        )
+    return attr.type.name
+
+
+def write_container(
+    path: "str | Path",
+    array: SciArray,
+    codec: str = "zlib",
+) -> int:
+    """Serialise *array* to a container file; returns bytes written.
+
+    Every non-empty chunk of the array becomes one compressed chunk entry.
+    Object-dtype attributes are stored via the codec's object path.
+    """
+    path = Path(path)
+    chunk_entries: list[dict[str, Any]] = []
+    blobs: list[bytes] = []
+    offset = 0
+    codec_obj = get_codec(codec)
+    for chunk in array.chunks():
+        if chunk.occupied_count == 0:
+            continue
+        planes = [("__state__", chunk.state)]
+        planes += [(a.name, chunk.data[a.name]) for a in array.schema.attributes]
+        plane_meta = []
+        for name, plane in planes:
+            payload = codec_obj.encode(plane)
+            blobs.append(payload)
+            plane_meta.append(
+                {
+                    "name": name,
+                    "offset": offset,
+                    "nbytes": len(payload),
+                    "dtype": "object" if plane.dtype == object else plane.dtype.str,
+                }
+            )
+            offset += len(payload)
+        chunk_entries.append(
+            {
+                "origin": list(chunk.origin),
+                "shape": list(chunk.shape),
+                "planes": plane_meta,
+            }
+        )
+
+    header = {
+        "format": "scidb-container",
+        "version": 1,
+        "codec": codec,
+        "array": {
+            "name": array.name,
+            "dimensions": [
+                {"name": d.name, "size": d.size} for d in array.schema.dimensions
+            ],
+            "attributes": [
+                {"name": a.name, "type": _attr_type_name(a)}
+                for a in array.schema.attributes
+            ],
+            "high_water": list(array.bounds),
+        },
+        "chunks": chunk_entries,
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(struct.pack("<I", len(header_bytes)))
+        f.write(header_bytes)
+        for blob in blobs:
+            f.write(blob)
+    return len(MAGIC) + 4 + len(header_bytes) + offset
+
+
+class ContainerReader:
+    """Lazy reader over a container file.
+
+    The header is parsed once; chunk payloads are read and decompressed on
+    demand, which is what makes in-situ querying cheap relative to a full
+    load (experiment E9).
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as f:
+            magic = f.read(len(MAGIC))
+            if magic != MAGIC:
+                raise InSituError(f"{self.path} is not a SciDB container")
+            (hlen,) = struct.unpack("<I", f.read(4))
+            self.header = json.loads(f.read(hlen).decode("utf-8"))
+            self._data_start = len(MAGIC) + 4 + hlen
+        self._codec = get_codec(self.header["codec"])
+        self.schema = self._build_schema()
+
+    def _build_schema(self) -> ArraySchema:
+        meta = self.header["array"]
+        dims = tuple(
+            Dimension(d["name"], d["size"]) for d in meta["dimensions"]
+        )
+        attrs = tuple(
+            Attribute(a["name"], get_type(a["type"])) for a in meta["attributes"]
+        )
+        return ArraySchema(name=meta["name"], attributes=attrs, dimensions=dims)
+
+    @property
+    def bounds(self) -> tuple[int, ...]:
+        return tuple(self.header["array"]["high_water"])
+
+    def chunk_boxes(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        boxes = []
+        for entry in self.header["chunks"]:
+            lo = tuple(entry["origin"])
+            hi = tuple(o + s - 1 for o, s in zip(entry["origin"], entry["shape"]))
+            boxes.append((lo, hi))
+        return boxes
+
+    def read_chunk(self, index: int) -> dict[str, np.ndarray]:
+        """Decode chunk *index*; returns plane name -> ndarray."""
+        entry = self.header["chunks"][index]
+        shape = tuple(entry["shape"])
+        out: dict[str, np.ndarray] = {}
+        with open(self.path, "rb") as f:
+            for meta in entry["planes"]:
+                f.seek(self._data_start + meta["offset"])
+                payload = f.read(meta["nbytes"])
+                dtype = (
+                    np.dtype(object)
+                    if meta["dtype"] == "object"
+                    else np.dtype(meta["dtype"])
+                )
+                out[meta["name"]] = self._codec.decode(payload, dtype, shape)
+        return out
+
+    def to_sciarray(self, name: Optional[str] = None) -> SciArray:
+        """Materialise the full array (this *is* the load step)."""
+        arr = SciArray(self.schema, name=name or self.schema.name)
+        for i, entry in enumerate(self.header["chunks"]):
+            planes = self.read_chunk(i)
+            state = planes["__state__"]
+            origin = tuple(entry["origin"])
+            present = state == CellState.PRESENT
+            if present.any():
+                block = {a.name: planes[a.name] for a in self.schema.attributes}
+                # Write present cells; fall back to cell writes to respect
+                # the mask exactly.
+                for off in map(tuple, np.argwhere(state != CellState.EMPTY)):
+                    coords = tuple(int(o + i2) for o, i2 in zip(origin, off))
+                    if state[off] == CellState.NULL:
+                        arr.set(coords, None)
+                    else:
+                        values = tuple(
+                            block[a.name][off] for a in self.schema.attributes
+                        )
+                        arr.set(coords, values)
+            else:
+                for off in map(tuple, np.argwhere(state == CellState.NULL)):
+                    coords = tuple(int(o + i2) for o, i2 in zip(origin, off))
+                    arr.set(coords, None)
+        return arr
+
+
+def read_container(path: "str | Path") -> ContainerReader:
+    """Open a container for lazy reading."""
+    return ContainerReader(path)

@@ -1,0 +1,104 @@
+"""Streaming bulk loader (Section 2.8).
+
+"Most data will come into SciDB through a streaming bulk loader.  We assume
+that the input stream is ordered by some dominant dimension — often time.
+SciDB will divide the load stream into site-specific substreams.  Each one
+will appear in the main memory of the associated node."
+
+:class:`BulkLoader` consumes an iterator of :class:`LoadRecord` (coords +
+values), routes each record to its site's substream through a partitioning
+function, and feeds each substream into that site's
+:class:`~repro.storage.manager.PersistentArray` (where buffering/spilling
+happens).  Used standalone (single site) or by the grid layer with a real
+partitioning scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Optional
+
+from ..core.errors import StorageError
+from .manager import PersistentArray
+
+__all__ = ["LoadRecord", "BulkLoader"]
+
+Coords = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """One cell arriving on the load stream."""
+
+    coords: Coords
+    values: Optional[tuple]  # None loads an explicit NULL cell
+
+
+class BulkLoader:
+    """Routes a load stream into per-site substreams.
+
+    Parameters
+    ----------
+    sites:
+        Mapping from site id to that site's persistent array.
+    route:
+        ``route(coords) -> site id``; with a single site it may be omitted.
+    dominant_dimension:
+        Optional index of the stream's ordering dimension.  When set, the
+        loader verifies the stream is in fact non-decreasing on it (the
+        paper's stated assumption) and raises on violations.
+    """
+
+    def __init__(
+        self,
+        sites: Mapping[object, PersistentArray],
+        route: Optional[Callable[[Coords], object]] = None,
+        dominant_dimension: Optional[int] = None,
+    ) -> None:
+        if not sites:
+            raise StorageError("bulk loader needs at least one site")
+        if route is None:
+            if len(sites) != 1:
+                raise StorageError("multiple sites require a routing function")
+            only = next(iter(sites))
+            route = lambda coords: only  # noqa: E731
+        self.sites = dict(sites)
+        self.route = route
+        self.dominant_dimension = dominant_dimension
+        self.records_loaded = 0
+        self.per_site_counts: dict[object, int] = {k: 0 for k in self.sites}
+
+    def load(self, stream: Iterable[LoadRecord]) -> int:
+        """Consume *stream*; returns the number of records loaded."""
+        last_dominant: Optional[int] = None
+        for record in stream:
+            if self.dominant_dimension is not None:
+                value = record.coords[self.dominant_dimension]
+                if last_dominant is not None and value < last_dominant:
+                    raise StorageError(
+                        "load stream is not ordered by the dominant "
+                        f"dimension: {value} after {last_dominant}"
+                    )
+                last_dominant = value
+            site = self.route(record.coords)
+            try:
+                target = self.sites[site]
+            except KeyError:
+                raise StorageError(f"router returned unknown site {site!r}") from None
+            target.append(record.coords, record.values)
+            self.per_site_counts[site] += 1
+            self.records_loaded += 1
+        return self.records_loaded
+
+    def finish(self) -> None:
+        """Flush every site's buffer (end of stream)."""
+        for site in self.sites.values():
+            site.flush()
+
+    def substream_skew(self) -> float:
+        """max/mean records per site — the load-balance figure of merit."""
+        counts = list(self.per_site_counts.values())
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 0.0
+        return max(counts) / mean

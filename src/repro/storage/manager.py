@@ -1,0 +1,361 @@
+"""The within-node storage manager (Section 2.8).
+
+Write path, exactly as the paper sketches it: cells stream in (usually from
+the bulk loader, ordered by a dominant dimension) and accumulate in a main-
+memory buffer.  "When main memory is nearly full, the storage manager will
+form the data into a collection of rectangular buckets, defined by a stride
+in each dimension, compress the bucket and write it to disk."  An R-tree
+tracks the buckets; "a background thread can combine buckets into larger
+ones as an optimization" (Vertica-style merge).
+
+Read path: window queries prune buckets through the R-tree, decompress only
+the intersecting ones, and merge in any still-buffered cells.
+
+Every byte written/read and every bucket event is counted in
+:class:`StorageStats`, which the storage benchmarks (E8) report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.array import SciArray
+from ..core.cells import Cell
+from ..core.errors import StorageError
+from ..core.schema import ArraySchema
+from .bucket import Bucket
+from .compression import Codec
+from .rtree import RTree
+
+__all__ = ["StorageStats", "PersistentArray", "StorageManager"]
+
+Coords = tuple[int, ...]
+
+
+@dataclass
+class StorageStats:
+    """Byte/IO accounting for one persistent array."""
+
+    cells_written: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    buckets_written: int = 0
+    buckets_read: int = 0
+    buckets_pruned: int = 0
+    spills: int = 0
+    merges: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class PersistentArray:
+    """A disk-backed array managed buffer-spill-merge style.
+
+    Parameters
+    ----------
+    schema:
+        Bound array schema.
+    directory:
+        Where bucket files live (one file per bucket).
+    memory_budget:
+        Approximate bytes of buffered cells that trigger a spill — "when
+        main memory is nearly full".
+    stride:
+        Bucket stride per dimension; buffered cells are grouped into
+        stride-aligned rectangles at spill time.
+    codec:
+        Codec name, :class:`Codec`, or ``"auto"`` (per-plane best choice).
+    """
+
+    def __init__(
+        self,
+        schema: ArraySchema,
+        directory: "str | Path",
+        memory_budget: int = 1 << 20,
+        stride: Optional[Sequence[int]] = None,
+        codec: "str | Codec" = "auto",
+    ) -> None:
+        self.schema = schema
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.memory_budget = memory_budget
+        self.stride = tuple(stride) if stride else tuple([64] * schema.ndim)
+        if len(self.stride) != schema.ndim:
+            raise StorageError(
+                f"stride has {len(self.stride)} entries for a "
+                f"{schema.ndim}-D array"
+            )
+        self.codec = codec
+        self.stats = StorageStats()
+        self._buffer: dict[Coords, Optional[tuple]] = {}
+        self._buffer_bytes = 0
+        self._cell_cost = 8 * schema.ndim + 16 * len(schema.attributes)
+        self._rtree = RTree(max_entries=8)
+        self._next_bucket = 0
+        self._lock = threading.RLock()
+        self._merger: Optional[threading.Thread] = None
+        self._merger_stop = threading.Event()
+
+    # -- write path -----------------------------------------------------------
+
+    def append(self, coords: Coords, values: Optional[tuple]) -> None:
+        """Buffer one cell; spills automatically at the memory budget."""
+        with self._lock:
+            coords = tuple(int(c) for c in coords)
+            if coords not in self._buffer:
+                self._buffer_bytes += self._cell_cost
+            self._buffer[coords] = values
+            self.stats.cells_written += 1
+            if self._buffer_bytes >= self.memory_budget:
+                self._spill_locked()
+
+    def append_block(self, origin: Coords, values: dict[str, np.ndarray]) -> None:
+        """Buffer a dense block (bulk-load fast path)."""
+        arrays = {k: np.asarray(v) for k, v in values.items()}
+        shape = next(iter(arrays.values())).shape
+        names = list(self.schema.attr_names)
+        with self._lock:
+            for off in itertools.product(*(range(s) for s in shape)):
+                coords = tuple(int(o + i) for o, i in zip(origin, off))
+                record = tuple(arrays[n][off] for n in names)
+                if coords not in self._buffer:
+                    self._buffer_bytes += self._cell_cost
+                self._buffer[coords] = record
+                self.stats.cells_written += 1
+            if self._buffer_bytes >= self.memory_budget:
+                self._spill_locked()
+
+    def flush(self) -> None:
+        """Spill any buffered cells to disk buckets."""
+        with self._lock:
+            if self._buffer:
+                self._spill_locked()
+
+    def _spill_locked(self) -> None:
+        groups: dict[Coords, list[tuple[Coords, Optional[tuple]]]] = {}
+        for coords, values in self._buffer.items():
+            key = tuple((c - 1) // s for c, s in zip(coords, self.stride))
+            groups.setdefault(key, []).append((coords, values))
+        for cells in groups.values():
+            bucket = Bucket.from_cells(self.schema, cells)
+            self._write_bucket(bucket)
+        self._buffer.clear()
+        self._buffer_bytes = 0
+        self.stats.spills += 1
+
+    def _write_bucket(self, bucket: Bucket) -> int:
+        payload = bucket.to_bytes(self.codec)
+        bucket_id = self._next_bucket
+        self._next_bucket += 1
+        path = self._bucket_path(bucket_id)
+        with open(path, "wb") as f:
+            f.write(payload)
+        self.stats.bytes_written += len(payload)
+        self.stats.buckets_written += 1
+        self._rtree.insert(bucket.box, bucket_id)
+        return bucket_id
+
+    def _bucket_path(self, bucket_id: int) -> Path:
+        return self.directory / f"bucket_{bucket_id:08d}.bkt"
+
+    def _read_bucket(self, bucket_id: int) -> Bucket:
+        path = self._bucket_path(bucket_id)
+        payload = path.read_bytes()
+        self.stats.bytes_read += len(payload)
+        self.stats.buckets_read += 1
+        return Bucket.from_bytes(self.schema, payload)
+
+    # -- read path ----------------------------------------------------------------
+
+    def scan(
+        self, window: Optional[tuple[Coords, Coords]] = None
+    ) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        """Iterate cells, restricted to *window* (inclusive box) if given.
+
+        Buckets not intersecting the window are pruned via the R-tree and
+        never read from disk — the paper's structural-optimization
+        opportunity (experiment E2).
+        """
+        with self._lock:
+            if window is None:
+                entries = list(self._rtree.all_entries())
+            else:
+                total = len(self._rtree)
+                entries = list(self._rtree.search(window))
+                self.stats.buckets_pruned += total - len(entries)
+            buffered = dict(self._buffer)
+
+        # Newest bucket wins when a cell was rewritten across spills.
+        entries.sort(key=lambda e: e[1], reverse=True)
+        seen: set[Coords] = set()
+        for _box, bucket_id in entries:
+            bucket = self._read_bucket(bucket_id)
+            for coords, cell in bucket.cells():
+                if window is not None and not _in_window(coords, window):
+                    continue
+                if coords in buffered or coords in seen:
+                    continue  # newest version wins (buffer > disk)
+                seen.add(coords)
+                yield coords, cell
+        names = self.schema.attr_names
+        for coords, values in buffered.items():
+            if window is not None and not _in_window(coords, window):
+                continue
+            if values is None:
+                yield coords, None
+            else:
+                yield coords, Cell(names, tuple(values))
+
+    def get(self, coords: Coords) -> Optional[Cell]:
+        coords = tuple(int(c) for c in coords)
+        with self._lock:
+            if coords in self._buffer:
+                values = self._buffer[coords]
+                return None if values is None else Cell(
+                    self.schema.attr_names, tuple(values)
+                )
+        for c, cell in self.scan((coords, coords)):
+            if c == coords:
+                return cell
+        raise StorageError(f"cell {coords} not stored")
+
+    def to_sciarray(self, name: Optional[str] = None) -> SciArray:
+        """Materialise the whole persistent array in memory."""
+        arr = SciArray(self.schema, name=name or self.schema.name)
+        for coords, cell in self.scan():
+            arr.set(coords, cell)
+        return arr
+
+    # -- merge optimisation ----------------------------------------------------------
+
+    def bucket_count(self) -> int:
+        return len(self._rtree)
+
+    def merge_small_buckets(
+        self, min_cells: int = 256, group_factor: int = 2
+    ) -> int:
+        """Combine small buckets into larger ones; returns merges performed.
+
+        Buckets holding fewer than *min_cells* cells are grouped by a
+        coarser stride (``group_factor`` x the base stride) and each group
+        is rewritten as a single bucket — the Vertica-style background
+        optimization the paper describes.
+        """
+        with self._lock:
+            small: dict[Coords, list[tuple[tuple, int]]] = {}
+            for box, bucket_id in list(self._rtree.all_entries()):
+                volume = 1
+                for l, h in zip(box[0], box[1]):
+                    volume *= h - l + 1
+                if volume >= min_cells:
+                    continue
+                key = tuple(
+                    (c - 1) // (s * group_factor)
+                    for c, s in zip(box[0], self.stride)
+                )
+                small.setdefault(key, []).append((box, bucket_id))
+
+            merges = 0
+            for group in small.values():
+                if len(group) < 2:
+                    continue
+                merged: Optional[Bucket] = None
+                group.sort(key=lambda e: e[1])  # oldest first; newer wins
+                for box, bucket_id in group:
+                    bucket = self._read_bucket(bucket_id)
+                    merged = bucket if merged is None else merged.merge(bucket)
+                    self._rtree.delete(box, bucket_id)
+                    os.unlink(self._bucket_path(bucket_id))
+                assert merged is not None
+                self._write_bucket(merged)
+                merges += 1
+            self.stats.merges += merges
+            return merges
+
+    def start_background_merger(
+        self, interval: float = 0.05, min_cells: int = 256
+    ) -> None:
+        """Run :meth:`merge_small_buckets` periodically on a daemon thread."""
+        if self._merger is not None:
+            raise StorageError("background merger already running")
+        self._merger_stop.clear()
+
+        def loop() -> None:
+            while not self._merger_stop.wait(interval):
+                self.merge_small_buckets(min_cells=min_cells)
+
+        self._merger = threading.Thread(target=loop, daemon=True)
+        self._merger.start()
+
+    def stop_background_merger(self) -> None:
+        if self._merger is None:
+            return
+        self._merger_stop.set()
+        self._merger.join()
+        self._merger = None
+
+
+def _in_window(coords: Coords, window: tuple[Coords, Coords]) -> bool:
+    lo, hi = window
+    return all(l <= c <= h for c, l, h in zip(coords, lo, hi))
+
+
+class StorageManager:
+    """A node's catalog of persistent arrays rooted at one directory."""
+
+    def __init__(self, directory: "str | Path", memory_budget: int = 1 << 20) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.memory_budget = memory_budget
+        self._arrays: dict[str, PersistentArray] = {}
+
+    def create_array(
+        self,
+        name: str,
+        schema: ArraySchema,
+        stride: Optional[Sequence[int]] = None,
+        codec: "str | Codec" = "auto",
+        memory_budget: Optional[int] = None,
+    ) -> PersistentArray:
+        if name in self._arrays:
+            raise StorageError(f"array {name!r} already exists in this store")
+        arr = PersistentArray(
+            schema,
+            self.directory / name,
+            memory_budget=memory_budget or self.memory_budget,
+            stride=stride,
+            codec=codec,
+        )
+        self._arrays[name] = arr
+        return arr
+
+    def get_array(self, name: str) -> PersistentArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise StorageError(f"no array named {name!r} in this store") from None
+
+    def drop_array(self, name: str) -> None:
+        arr = self.get_array(name)
+        arr.stop_background_merger()
+        for path in arr.directory.glob("bucket_*.bkt"):
+            path.unlink()
+        del self._arrays[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._arrays)
+
+    def total_stats(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for arr in self._arrays.values():
+            for k, v in arr.stats.snapshot().items():
+                totals[k] = totals.get(k, 0) + v
+        return totals

@@ -1,0 +1,24 @@
+"""Synthetic instrument and application workloads.
+
+The paper's requirements came from real communities — LSST astronomy,
+remote sensing, oceanography, and eBay clickstream analytics (Sections 2.7,
+2.10, 2.14).  These generators are the substitutes for those instruments
+(see DESIGN.md §2): each reproduces the workload *statistics* that stress
+the engine — skewed object densities, periodic full-sky scans, steerable
+hotspots, multi-pass cloud cover, and session trees — under a fixed seed.
+"""
+
+from .skysurvey import SkySurvey, SurveyObservation
+from .remote_sensing import SatelliteInstrument
+from .ocean import OceanSimulation
+from .clickstream import ClickstreamGenerator, Session, SESSION_SCHEMA
+
+__all__ = [
+    "SkySurvey",
+    "SurveyObservation",
+    "SatelliteInstrument",
+    "OceanSimulation",
+    "ClickstreamGenerator",
+    "Session",
+    "SESSION_SCHEMA",
+]

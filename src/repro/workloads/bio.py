@@ -1,0 +1,182 @@
+"""A biology workload: the *negative* fit the paper predicts (Section 2.1).
+
+"Seemingly, biology and genomics users want graphs and sequences.  They
+will be happy with neither a table nor an array data model. ... The net
+result is that 'one size will not fit all'."
+
+This module provides a protein-interaction-network workload expressible
+three ways, so experiment E14 can measure the paper's claim rather than
+assert it:
+
+* as a **graph** (adjacency lists — what the community actually uses;
+  networkx is the stand-in for a graph DBMS);
+* as a **2-D adjacency array** on the SciDB engine (the array modelling a
+  scientist would be forced into);
+* as an **edge table** on the relational baseline.
+
+The queries are the graph-shaped ones biologists run: k-hop
+neighbourhoods, degree distributions, and connected components.  The
+array model is *expressible* (everything is) — the experiment shows where
+it stops being *reasonable*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.array import SciArray
+from ..core.schema import define_array
+from ..baseline.tabledb import Table, TableDB
+
+__all__ = ["ProteinNetwork", "ADJACENCY_SCHEMA"]
+
+#: Sparse adjacency: cell (i, j) present iff proteins i and j interact.
+ADJACENCY_SCHEMA = define_array(
+    "Interactions", values={"confidence": "float"}, dims=["p", "q"]
+)
+
+
+class ProteinNetwork:
+    """A scale-free interaction network (preferential attachment).
+
+    Parameters
+    ----------
+    n_proteins:
+        Node count.
+    edges_per_node:
+        Attachment parameter m (expected edges added per new node).
+    """
+
+    def __init__(self, n_proteins: int = 200, edges_per_node: int = 3,
+                 seed: int = 0) -> None:
+        self.n = n_proteins
+        rng = np.random.default_rng(seed)
+        # Barabasi-Albert-style growth, by hand (seeded, dependency-free).
+        edges: set[tuple[int, int]] = set()
+        targets = list(range(1, edges_per_node + 2))
+        repeated: list[int] = list(targets)
+        for new in range(edges_per_node + 2, n_proteins + 1):
+            chosen: set[int] = set()
+            while len(chosen) < min(edges_per_node, len(repeated)):
+                chosen.add(repeated[rng.integers(0, len(repeated))])
+            for t in chosen:
+                edges.add((min(new, t), max(new, t)))
+                repeated.extend([new, t])
+        self.edges = sorted(edges)
+        self.rng = rng
+        self._confidence = {
+            e: float(np.clip(rng.normal(0.7, 0.15), 0.05, 1.0))
+            for e in self.edges
+        }
+
+    # -- the three representations ------------------------------------------------
+
+    def as_adjacency_dict(self) -> dict[int, list[int]]:
+        """The graph-native form (what a graph system stores)."""
+        adj: dict[int, list[int]] = {i: [] for i in range(1, self.n + 1)}
+        for a, b in self.edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        return adj
+
+    def as_networkx(self):
+        """The graph comparator (networkx as the stand-in graph DBMS)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(1, self.n + 1))
+        for (a, b), c in self._confidence.items():
+            g.add_edge(a, b, confidence=c)
+        return g
+
+    def as_sciarray(self) -> SciArray:
+        """The forced array modelling: a sparse 2-D adjacency array."""
+        arr = ADJACENCY_SCHEMA.create("interactions", [self.n, self.n])
+        for (a, b), c in self._confidence.items():
+            arr[a, b] = c
+            arr[b, a] = c  # symmetric
+        return arr
+
+    def as_table(self, db: Optional[TableDB] = None) -> Table:
+        """The relational modelling: an indexed edge table."""
+        db = db or TableDB()
+        t = db.create_table("edges", ["p", "q", "confidence"])
+        for (a, b), c in self._confidence.items():
+            t.insert((a, b, c))
+            t.insert((b, a, c))
+        t.create_index(["p"])
+        return t
+
+    # -- the graph-shaped queries, per representation --------------------------------
+
+    @staticmethod
+    def khop_graph(adj: dict[int, list[int]], start: int, k: int) -> set[int]:
+        frontier = {start}
+        seen = {start}
+        for _ in range(k):
+            frontier = {
+                n for f in frontier for n in adj[f] if n not in seen
+            }
+            seen |= frontier
+        return seen - {start}
+
+    @staticmethod
+    def khop_array(arr: SciArray, start: int, k: int) -> set[int]:
+        """k-hop on the adjacency array: each hop is a row subsample —
+        one full-row read per frontier node per hop."""
+        n = arr.bounds[0]
+        frontier = {start}
+        seen = {start}
+        for _ in range(k):
+            next_frontier: set[int] = set()
+            for f in frontier:
+                row = arr.region((f, 1), (f, n), attr="confidence",
+                                 fill=np.nan)
+                for q in (np.flatnonzero(~np.isnan(row[0])) + 1):
+                    q = int(q)
+                    if q not in seen:
+                        next_frontier.add(q)
+            seen |= next_frontier
+            frontier = next_frontier
+        return seen - {start}
+
+    @staticmethod
+    def khop_table(table: Table, start: int, k: int) -> set[int]:
+        frontier = {start}
+        seen = {start}
+        for _ in range(k):
+            next_frontier: set[int] = set()
+            for f in frontier:
+                for row in table.lookup(["p"], (f,)):
+                    if row[1] not in seen:
+                        next_frontier.add(row[1])
+            seen |= next_frontier
+            frontier = next_frontier
+        return seen - {start}
+
+    @staticmethod
+    def components_graph(adj: dict[int, list[int]]) -> int:
+        seen: set[int] = set()
+        count = 0
+        for node in adj:
+            if node in seen:
+                continue
+            count += 1
+            stack = [node]
+            while stack:
+                cur = stack.pop()
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                stack.extend(adj[cur])
+        return count
+
+    def components_array(self, arr: SciArray) -> int:
+        """Connected components on the array: rebuild adjacency by scanning
+        the whole array — the model gives no better handle."""
+        adj: dict[int, list[int]] = {i: [] for i in range(1, self.n + 1)}
+        for (a, b), _cell in arr.cells(include_null=False):
+            adj[a].append(b)
+        return self.components_graph(adj)

@@ -1,0 +1,195 @@
+"""The eBay clickstream workload (Section 2.14).
+
+"This application ... can be effectively modelled as a one-dimensional
+array (i.e. a time series) with embedded arrays to represent the search
+results at each step."  A session is a sequence of events: a search (whose
+result list is a *nested array* of surfaced items), clicks on result
+items with sub-tree browsing, and exit.  The analytics the paper calls out:
+
+* which surfaced items were clicked (search quality — "the top 6 items
+  were not of interest"), and
+* the *user-ignored content*: "how often did a particular item get
+  surfaced but was never clicked on?"
+
+:class:`ClickstreamGenerator` produces sessions with a controllable search
+quality (how deep in the ranking real interest lies); the analysis
+functions below answer the two questions over the array form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core.array import SciArray
+from ..core.schema import define_array
+
+__all__ = [
+    "RESULTS_SCHEMA",
+    "SESSION_SCHEMA",
+    "Session",
+    "ClickstreamGenerator",
+    "sessions_to_array",
+    "ignored_content",
+    "click_ranks",
+    "surfaced_counts",
+]
+
+#: The embedded array: a ranked result list for one search.
+RESULTS_SCHEMA = define_array(
+    "SearchResults", values={"item": "int64"}, dims=["rank"]
+)
+
+#: One user session: a 1-D time series of events with an embedded
+#: result-list array (NULL for non-search events).
+SESSION_SCHEMA = define_array(
+    "SessionEvents",
+    values={
+        "kind": "string",     # 'search' | 'click' | 'browse' | 'exit'
+        "query": "string",    # search term ('' otherwise)
+        "item": "int64",      # clicked/browsed item (0 otherwise)
+        "results": RESULTS_SCHEMA,
+    },
+    dims=["t"],
+)
+
+
+@dataclass
+class Session:
+    """A materialised session: the event array plus ground truth."""
+
+    session_id: int
+    events: SciArray
+    searches: int = 0
+    clicks: int = 0
+
+
+class ClickstreamGenerator:
+    """Synthetic eBay sessions.
+
+    Parameters
+    ----------
+    n_items:
+        Catalog size.
+    results_per_search:
+        Items surfaced per query (the embedded array's length).
+    relevance_decay:
+        Governs *where* in the ranking users find what they want: the
+        probability of clicking rank r decays as ``decay**r``.  A good
+        engine has high decay mass at rank 1; the paper's flawed
+        "pre-war Gibson banjo" engine surfaces the interesting items at
+        ranks 7 and 9.
+    """
+
+    def __init__(
+        self,
+        n_items: int = 10_000,
+        results_per_search: int = 10,
+        relevance_decay: float = 0.5,
+        queries: Sequence[str] = ("pre-war gibson banjo", "vintage amp",
+                                  "film camera", "mechanical watch"),
+        seed: int = 0,
+    ) -> None:
+        self.n_items = n_items
+        self.k = results_per_search
+        self.decay = relevance_decay
+        self.queries = list(queries)
+        self.rng = np.random.default_rng(seed)
+
+    def _result_list(self) -> list[int]:
+        return [int(i) for i in
+                self.rng.integers(1, self.n_items + 1, size=self.k)]
+
+    def _click_ranks(self) -> list[int]:
+        """Which ranks the user clicks for one search (possibly none)."""
+        weights = self.decay ** np.arange(1, self.k + 1)
+        ranks = []
+        for r in range(1, self.k + 1):
+            if self.rng.random() < weights[r - 1]:
+                ranks.append(r)
+        return ranks
+
+    def session(self, session_id: int, max_searches: int = 3) -> Session:
+        """Generate one session as a SESSION_SCHEMA array."""
+        events: list[tuple[str, str, int, Optional[SciArray]]] = []
+        n_searches = int(self.rng.integers(1, max_searches + 1))
+        clicks = 0
+        for _ in range(n_searches):
+            query = self.queries[int(self.rng.integers(0, len(self.queries)))]
+            items = self._result_list()
+            results = RESULTS_SCHEMA.create(f"results_{len(events)}", [self.k])
+            for rank, item in enumerate(items, start=1):
+                results[rank] = item
+            events.append(("search", query, 0, results))
+            for rank in self._click_ranks():
+                events.append(("click", "", items[rank - 1], None))
+                clicks += 1
+                # A sub-tree of browse events under the clicked item.
+                for _ in range(int(self.rng.integers(0, 3))):
+                    events.append(("browse", "", items[rank - 1], None))
+        events.append(("exit", "", 0, None))
+
+        arr = SESSION_SCHEMA.create(f"session_{session_id}", [len(events)])
+        for t, (kind, query, item, results) in enumerate(events, start=1):
+            arr[t] = (kind, query, item, results)
+        return Session(session_id, arr, searches=n_searches, clicks=clicks)
+
+    def sessions(self, n: int) -> Iterator[Session]:
+        for sid in range(1, n + 1):
+            yield self.session(sid)
+
+
+def sessions_to_array(sessions: Sequence[Session]) -> SciArray:
+    """Concatenate sessions into one long 1-D event log array."""
+    total = sum(s.events.high_water("t") for s in sessions)
+    log = SESSION_SCHEMA.create("event_log", [total])
+    t = 0
+    for s in sessions:
+        for _, cell in s.events.cells(include_null=False):
+            t += 1
+            log[t] = cell
+    return log
+
+
+# -- the paper's analyses --------------------------------------------------------------
+
+
+def surfaced_counts(log: SciArray) -> dict[int, int]:
+    """How often each item was surfaced in any result list."""
+    counts: dict[int, int] = {}
+    for _, cell in log.cells(include_null=False):
+        if cell.kind != "search" or cell.results is None:
+            continue
+        for _, rcell in cell.results.cells(include_null=False):
+            counts[rcell.item] = counts.get(rcell.item, 0) + 1
+    return counts
+
+
+def ignored_content(log: SciArray) -> dict[int, int]:
+    """Items surfaced but never clicked, with surface counts — the
+    'user-ignored content' analysis."""
+    surfaced = surfaced_counts(log)
+    clicked = {
+        cell.item
+        for _, cell in log.cells(include_null=False)
+        if cell.kind == "click"
+    }
+    return {item: n for item, n in surfaced.items() if item not in clicked}
+
+
+def click_ranks(log: SciArray) -> list[int]:
+    """The rank (within the preceding search's results) of every click —
+    the search-quality signal ('items 7 and then 9 were touched')."""
+    ranks: list[int] = []
+    current_results: Optional[SciArray] = None
+    for _, cell in log.cells(include_null=False):
+        if cell.kind == "search":
+            current_results = cell.results
+        elif cell.kind == "click" and current_results is not None:
+            for (rank,), rcell in current_results.cells(include_null=False):
+                if rcell.item == cell.item:
+                    ranks.append(rank)
+                    break
+    return ranks

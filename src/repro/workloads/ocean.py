@@ -1,0 +1,99 @@
+"""An oceanography workload with steerable El Niño hotspots (Section 2.7).
+
+The paper's load-balancing argument in workload form: "the mid-equatorial
+pacific is not very interesting, and many studies do not consider it.  On
+the other hand, during El Niño or La Niña events, it is very interesting."
+So measurement density is uniform in quiet epochs and concentrates hard on
+the equatorial box during events — the steerable, non-uniform pattern that
+breaks fixed partitioning (experiment E6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core.schema import define_array
+from ..storage.loader import LoadRecord
+
+__all__ = ["OceanSimulation", "OCEAN_SCHEMA"]
+
+#: Sea-surface temperature measurements over (lon, lat, epoch).
+OCEAN_SCHEMA = define_array(
+    "OceanSST",
+    values={"sst": "float"},
+    dims=["lon", "lat", "epoch"],
+)
+
+
+class OceanSimulation:
+    """Measurement-campaign generator over a lon/lat grid.
+
+    Parameters
+    ----------
+    grid:
+        (lon cells, lat cells).
+    event_epochs:
+        Epochs during which an El Niño event steers the campaign.
+    hotspot_fraction:
+        During events, this fraction of measurements lands inside the
+        equatorial hotspot box.
+    """
+
+    def __init__(
+        self,
+        grid: tuple[int, int] = (128, 64),
+        event_epochs: Sequence[int] = (),
+        hotspot_fraction: float = 0.9,
+        measurements_per_epoch: int = 500,
+        seed: int = 0,
+    ) -> None:
+        self.grid = grid
+        self.event_epochs = set(event_epochs)
+        self.hotspot_fraction = hotspot_fraction
+        self.per_epoch = measurements_per_epoch
+        self.rng = np.random.default_rng(seed)
+        lon, lat = grid
+        # The event hotspot: a compact equatorial-Pacific box.  Placed
+        # inside one quadrant of the grid so a fixed 2x2 block layout
+        # experiences the full brunt of a steered campaign (exactly the
+        # load-balance failure the paper describes).
+        self.hotspot = (
+            (int(lon * 0.55), int(lon * 0.85)),
+            (int(lat * 0.55), int(lat * 0.85)),
+        )
+
+    def _sst(self, lon: int, lat: int, epoch: int) -> float:
+        lat_frac = lat / self.grid[1]
+        base = 28.0 - 20.0 * abs(lat_frac - 0.5) * 2
+        seasonal = 1.5 * np.sin(2 * np.pi * epoch / 12)
+        anomaly = 0.0
+        if epoch in self.event_epochs and self._in_hotspot(lon, lat):
+            anomaly = 2.5  # the El Nino warm anomaly
+        return float(base + seasonal + anomaly + self.rng.normal(0, 0.3))
+
+    def _in_hotspot(self, lon: int, lat: int) -> bool:
+        (lon_lo, lon_hi), (lat_lo, lat_hi) = self.hotspot
+        return lon_lo <= lon <= lon_hi and lat_lo <= lat <= lat_hi
+
+    def epoch_measurements(self, epoch: int) -> Iterator[LoadRecord]:
+        lon_n, lat_n = self.grid
+        steered = epoch in self.event_epochs
+        for _ in range(self.per_epoch):
+            if steered and self.rng.random() < self.hotspot_fraction:
+                (lon_lo, lon_hi), (lat_lo, lat_hi) = self.hotspot
+                lon = int(self.rng.integers(lon_lo, lon_hi + 1))
+                lat = int(self.rng.integers(lat_lo, lat_hi + 1))
+            else:
+                lon = int(self.rng.integers(1, lon_n + 1))
+                lat = int(self.rng.integers(1, lat_n + 1))
+            yield LoadRecord((lon, lat, epoch), (self._sst(lon, lat, epoch),))
+
+    def load_records(self, epochs: int) -> Iterator[LoadRecord]:
+        """Epoch-ordered stream (epoch is the dominant dimension)."""
+        for epoch in range(1, epochs + 1):
+            yield from self.epoch_measurements(epoch)
+
+    def cell_sample(self, epochs: Sequence[int]) -> list[tuple[int, int, int]]:
+        return [r.coords for e in epochs for r in self.epoch_measurements(e)]

@@ -1,0 +1,98 @@
+"""A synthetic satellite imaging instrument (Sections 2.10, 2.11).
+
+Each *pass* scans the full grid — "the entire earth is scanned
+periodically" — producing per-cell radiance counts, a cloud fraction, and
+the satellite's off-nadir (zenith) angle at that cell.  Multiple passes
+over the same scene feed the compositing step whose algorithm choice
+("least cloud cover" vs "closest to directly overhead") is the paper's
+named-version scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.array import SciArray
+from ..cooking.pipeline import PASS_SCHEMA
+from ..cooking.raw import RAW_SCHEMA
+
+__all__ = ["SatelliteInstrument"]
+
+
+class SatelliteInstrument:
+    """Deterministic multi-pass imagery generator.
+
+    The underlying scene is a smooth 2-D field (terrain); each pass
+    overlays moving cloud banks and a pass-specific viewing geometry.
+    """
+
+    def __init__(self, width: int = 64, height: int = 64, seed: int = 0) -> None:
+        self.width = width
+        self.height = height
+        self.rng = np.random.default_rng(seed)
+        # Smooth terrain: sum of a few random low-frequency sinusoids.
+        x = np.arange(width)[:, None] / width
+        y = np.arange(height)[None, :] / height
+        scene = np.zeros((width, height))
+        for _ in range(4):
+            fx, fy = self.rng.uniform(0.5, 3.0, size=2)
+            px, py = self.rng.uniform(0, 2 * np.pi, size=2)
+            scene += self.rng.uniform(0.3, 1.0) * np.sin(
+                2 * np.pi * fx * x + px
+            ) * np.cos(2 * np.pi * fy * y + py)
+        self.scene = 50.0 + 20.0 * scene  # ground-truth radiance
+
+    def cloud_field(self, pass_index: int) -> np.ndarray:
+        """Cloud fraction in [0, 1]: banks drifting with the pass index."""
+        x = np.arange(self.width)[:, None] / self.width
+        y = np.arange(self.height)[None, :] / self.height
+        drift = 0.37 * pass_index
+        banks = np.sin(2 * np.pi * (2.0 * x + drift)) * np.cos(
+            2 * np.pi * (1.5 * y - drift / 2)
+        )
+        noise = self.rng.normal(0, 0.15, size=(self.width, self.height))
+        return np.clip(0.5 * (banks + 1) * 0.8 + noise, 0.0, 1.0)
+
+    def zenith_field(self, pass_index: int) -> np.ndarray:
+        """Off-nadir angle (degrees): the ground track shifts per pass."""
+        track_x = (0.2 + 0.15 * pass_index) % 1.0 * self.width
+        x = np.arange(self.width)[:, None]
+        angle = np.abs(x - track_x) / self.width * 60.0
+        return np.broadcast_to(angle, (self.width, self.height)).copy()
+
+    def acquire_pass(self, pass_index: int, name: Optional[str] = None) -> SciArray:
+        """One full scan as a SatellitePass array (value, cloud, zenith).
+
+        Cloud attenuates the measured value and adds noise — the reason a
+        compositor prefers cloud-free observations.
+        """
+        cloud = self.cloud_field(pass_index)
+        zenith = self.zenith_field(pass_index)
+        measured = (
+            self.scene * (1.0 - 0.7 * cloud)
+            + self.rng.normal(0, 0.5, size=self.scene.shape)
+        )
+        return SciArray.from_numpy(
+            PASS_SCHEMA,
+            {"value": measured, "cloud": cloud, "zenith": zenith},
+            name=name or f"pass_{pass_index}",
+        )
+
+    def acquire_raw_frame(self, pass_index: int, gain: float = 0.01,
+                          offset: float = 100.0) -> SciArray:
+        """The same scan as raw integer counts (for decode pipelines)."""
+        cloud = self.cloud_field(pass_index)
+        measured = self.scene * (1.0 - 0.7 * cloud)
+        counts = np.clip(measured / gain + offset, 0, 65535).astype(np.int32)
+        temps = np.full_like(counts, 293.0, dtype=np.float64)
+        return SciArray.from_numpy(
+            RAW_SCHEMA,
+            {"counts": counts, "detector_temp": temps},
+            name=f"raw_pass_{pass_index}",
+        )
+
+    def passes(self, n: int) -> Iterator[SciArray]:
+        for k in range(1, n + 1):
+            yield self.acquire_pass(k)

@@ -1,0 +1,196 @@
+"""Unit tests for the relational baseline (tabledb + array-on-table)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import BoundsError, SchemaError, StorageError
+from repro.baseline import ArrayOnTable, Table, TableDB
+
+
+class TestTable:
+    def test_insert_scan(self):
+        t = Table("t", ["a", "b"])
+        t.insert((1, "x"))
+        t.insert((2, "y"))
+        assert list(t.scan()) == [(1, "x"), (2, "y")]
+        assert len(t) == 2
+
+    def test_row_width_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(SchemaError):
+            t.insert((1,))
+
+    def test_select_with_predicate_and_projection(self):
+        t = Table("t", ["a", "b"])
+        t.insert_many([(1, 10), (2, 20), (3, 30)])
+        assert t.select(lambda r: r[0] >= 2, columns=["b"]) == [(20,), (30,)]
+
+    def test_delete_and_update(self):
+        t = Table("t", ["a", "b"])
+        t.insert_many([(1, 10), (2, 20)])
+        assert t.delete_where(lambda r: r[0] == 1) == 1
+        assert len(t) == 1
+        assert t.update_where(lambda r: True, lambda r: (r[0], r[1] + 1)) == 1
+        assert list(t.scan()) == [(2, 21)]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "a"])
+
+    def test_group_by(self):
+        t = Table("t", ["g", "v"])
+        t.insert_many([(1, 10.0), (1, 20.0), (2, 5.0)])
+        assert t.group_by(["g"], "v", "sum") == {(1,): 30.0, (2,): 5.0}
+        assert t.group_by(["g"], "v", "count") == {(1,): 2, (2,): 1}
+        with pytest.raises(SchemaError):
+            t.group_by(["g"], "v", "median")
+
+    def test_hash_join(self):
+        a = Table("a", ["k", "va"])
+        b = Table("b", ["k", "vb"])
+        a.insert_many([(1, "a1"), (2, "a2"), (3, "a3")])
+        b.insert_many([(2, "b2"), (3, "b3"), (4, "b4")])
+        rows = a.hash_join(b, ["k"], ["k"])
+        assert sorted(rows) == [(2, "a2", 2, "b2"), (3, "a3", 3, "b3")]
+
+
+class TestHashIndex:
+    def test_lookup_uses_index(self):
+        t = Table("t", ["a", "b"])
+        t.insert_many([(i, i * 10) for i in range(100)])
+        t.create_index(["a"])
+        before = t.rows_scanned
+        assert t.lookup(["a"], (42,)) == [(42, 420)]
+        assert t.rows_scanned == before  # no scan happened
+
+    def test_lookup_without_index_scans(self):
+        t = Table("t", ["a", "b"])
+        t.insert_many([(i, i * 10) for i in range(100)])
+        before = t.rows_scanned
+        assert t.lookup(["a"], (42,)) == [(42, 420)]
+        assert t.rows_scanned == before + 100
+
+    def test_index_maintained_on_delete_update(self):
+        t = Table("t", ["a", "b"])
+        t.create_index(["a"])
+        t.insert_many([(1, 10), (2, 20)])
+        t.delete_where(lambda r: r[0] == 1)
+        assert t.lookup(["a"], (1,)) == []
+        t.update_where(lambda r: r[0] == 2, lambda r: (5, r[1]))
+        assert t.lookup(["a"], (5,)) == [(5, 20)]
+        assert t.lookup(["a"], (2,)) == []
+
+    def test_duplicate_index_rejected(self):
+        t = Table("t", ["a"])
+        t.create_index(["a"])
+        with pytest.raises(SchemaError):
+            t.create_index(["a"])
+
+
+class TestTableDB:
+    def test_create_get_drop(self):
+        db = TableDB()
+        t = db.create_table("t", ["a"])
+        assert db.table("t") is t
+        db.drop_table("t")
+        with pytest.raises(StorageError):
+            db.table("t")
+
+    def test_duplicate_table(self):
+        db = TableDB()
+        db.create_table("t", ["a"])
+        with pytest.raises(StorageError):
+            db.create_table("t", ["a"])
+
+
+class TestArrayOnTable:
+    def make(self, side=6):
+        db = TableDB()
+        arr = ArrayOnTable(db, "a", dims=["x", "y"], attrs=["v"])
+        data = np.arange(1.0, side * side + 1).reshape(side, side)
+        arr.load_dense(data)
+        return arr, data
+
+    def test_point_access(self):
+        arr, data = self.make()
+        assert arr.get((2, 3)) == (data[1, 2],)
+        assert arr.exists((1, 1))
+        with pytest.raises(BoundsError):
+            arr.get((99, 99))
+
+    def test_set_upserts(self):
+        arr, _ = self.make()
+        arr.set((1, 1), (99.0,))
+        assert arr.get((1, 1)) == (99.0,)
+        assert arr.count() == 36  # no duplicate row
+
+    def test_subsample_matches_numpy(self):
+        arr, data = self.make()
+        rows = arr.subsample(((2, 2), (4, 4)))
+        assert len(rows) == 9
+        assert sorted(r[2] for r in rows) == sorted(
+            data[1:4, 1:4].ravel().tolist()
+        )
+
+    def test_aggregate_matches_numpy(self):
+        arr, data = self.make()
+        got = arr.aggregate(["y"], "sum")
+        for j in range(1, 7):
+            assert got[(j,)] == pytest.approx(data[:, j - 1].sum())
+
+    def test_regrid_matches_numpy(self):
+        arr, data = self.make(side=6)
+        got = arr.regrid([3, 3], "avg")
+        assert got[(1, 1)] == pytest.approx(data[:3, :3].mean())
+        assert got[(2, 2)] == pytest.approx(data[3:, 3:].mean())
+
+    def test_join_on_dims(self):
+        arr, data = self.make(side=4)
+        db2 = TableDB()
+        other = ArrayOnTable(db2, "b", dims=["x", "y"], attrs=["w"])
+        other.load_dense(data * 2)
+        rows = arr.join(other)
+        assert len(rows) == 16
+        for row in rows:
+            assert row[5] == pytest.approx(2 * row[2])
+
+    def test_dim_mismatch_join(self):
+        arr, _ = self.make(side=2)
+        db2 = TableDB()
+        other = ArrayOnTable(db2, "b", dims=["p", "q"], attrs=["w"])
+        with pytest.raises(SchemaError):
+            arr.join(other)
+
+
+class TestNativeEquivalence:
+    """The two engines must agree on identical workloads (pre-E1 check)."""
+
+    def test_regrid_agreement(self):
+        from repro import SciArray, define_array
+        from repro.core import ops
+
+        data = np.arange(1.0, 65.0).reshape(8, 8)
+        native = SciArray.from_numpy(
+            define_array("N", {"v": "float"}, ["x", "y"]), data
+        )
+        native_out = ops.regrid(native, [4, 4], "avg")
+        table = ArrayOnTable(TableDB(), "t", dims=["x", "y"], attrs=["v"])
+        table.load_dense(data)
+        table_out = table.regrid([4, 4], "avg")
+        for coords, cell in native_out.cells():
+            assert table_out[coords] == pytest.approx(cell.avg)
+
+    def test_aggregate_agreement(self):
+        from repro import SciArray, define_array
+        from repro.core import ops
+
+        data = np.arange(1.0, 26.0).reshape(5, 5)
+        native = SciArray.from_numpy(
+            define_array("N", {"v": "float"}, ["x", "y"]), data
+        )
+        native_out = ops.aggregate(native, ["x"], "sum")
+        table = ArrayOnTable(TableDB(), "t", dims=["x", "y"], attrs=["v"])
+        table.load_dense(data)
+        table_out = table.aggregate(["x"], "sum")
+        for coords, cell in native_out.cells():
+            assert table_out[coords] == pytest.approx(cell.sum)

@@ -1,0 +1,55 @@
+"""Unit tests for the SS-DB data generator itself (Section 2.15)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ssdb import DETECT_THRESHOLD, GAIN, OFFSET, SSDB, SSDB_QUERIES
+
+
+class TestDataset:
+    def test_deterministic(self):
+        a = SSDB(side=10, epochs=2, seed=9)
+        b = SSDB(side=10, epochs=2, seed=9)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_counts_in_sensor_range(self):
+        db = SSDB(side=12, epochs=3, seed=1)
+        assert db.data.min() >= 0
+        assert db.data.max() <= 65535
+
+    def test_bright_sources_exist(self):
+        """The sprinkled point sources must clear the detection threshold,
+        or Q5/Q6 degenerate."""
+        db = SSDB(side=16, epochs=2, seed=2)
+        cooked = GAIN * (db.data - OFFSET)
+        assert (cooked > DETECT_THRESHOLD).sum() > 0
+        # ...but detection must be selective, not saturating.
+        assert (cooked > DETECT_THRESHOLD).mean() < 0.25
+
+    def test_background_varies_with_epoch(self):
+        db = SSDB(side=16, epochs=4, seed=3)
+        e1 = db.data[:, :, 0]
+        e4 = db.data[:, :, 3]
+        assert not np.allclose(e1, e4)
+
+    def test_backends_materialise_once(self):
+        db = SSDB(side=8, epochs=2, seed=4)
+        assert db.native() is db.native()
+        assert db.table() is db.table()
+
+    def test_query_ids_complete(self):
+        db = SSDB(side=8, epochs=2, seed=5)
+        for qid in SSDB_QUERIES:
+            assert callable(db.query(qid))
+        assert len(SSDB_QUERIES) == 9
+
+    def test_slab_is_interior(self):
+        db = SSDB(side=16, epochs=2, seed=6)
+        lo, hi = db.slab()
+        assert all(1 <= l <= h <= 16 for l, h in zip(lo[:2], hi[:2]))
+
+    def test_q8_series_matches_raw_data(self):
+        db = SSDB(side=10, epochs=3, seed=7)
+        c = db.side // 2
+        series = db.q8("native")
+        np.testing.assert_allclose(series, db.data[c - 1, c - 1, :])

@@ -1,0 +1,124 @@
+"""Unit tests for the automatic database designer (Section 2.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PartitioningError
+from repro.cluster.designer import AutomaticDesigner, WorkloadQuery
+from repro.cluster.partitioning import (
+    BlockPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+)
+
+
+def uniform_cells(n=400, span=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (int(rng.integers(1, span + 1)), int(rng.integers(1, span + 1)))
+        for _ in range(n)
+    ]
+
+
+def hotspot_cells(n=400, span=100, seed=0):
+    """El Nino style: everything concentrated in one corner."""
+    rng = np.random.default_rng(seed)
+    return [
+        (int(rng.integers(1, span // 8)), int(rng.integers(1, span // 8)))
+        for _ in range(n)
+    ]
+
+
+def pool():
+    return [
+        BlockPartitioner(4, bounds=[100, 100], blocks=[2, 2]),
+        HashPartitioner(4),
+        RangePartitioner(4, dim=0, boundaries=[25, 50, 75]),
+    ]
+
+
+class TestWorkloadQuery:
+    def test_kinds_validated(self):
+        with pytest.raises(PartitioningError):
+            WorkloadQuery("scanny")
+        with pytest.raises(PartitioningError):
+            WorkloadQuery("window")
+        with pytest.raises(PartitioningError):
+            WorkloadQuery("join")
+        WorkloadQuery("window", window=((1, 1), (2, 2)))
+        WorkloadQuery("join", join_with="other")
+
+
+class TestScoring:
+    def test_balance_uniform_data(self):
+        d = AutomaticDesigner(uniform_cells(), pool())
+        for cand in d.suggest([]):
+            assert cand.balance >= 1.0
+        hash_score = d.score(HashPartitioner(4), [])
+        assert hash_score.balance < 1.5
+
+    def test_hotspot_punishes_fixed_block(self):
+        """On steerable/skewed data a fixed spatial scheme concentrates
+        load — the paper's argument for dynamic partitioning."""
+        d = AutomaticDesigner(hotspot_cells(), pool())
+        block = d.score(BlockPartitioner(4, bounds=[100, 100], blocks=[2, 2]), [])
+        hashed = d.score(HashPartitioner(4), [])
+        assert block.balance > 3.0  # everything lands in one quadrant
+        assert hashed.balance < 1.5
+        ranked = d.suggest([])
+        assert ranked[0].partitioner == HashPartitioner(4)
+
+    def test_join_workload_prefers_copartitioning(self):
+        d = AutomaticDesigner(uniform_cells(), pool(), movement_weight=5.0)
+        block = BlockPartitioner(4, bounds=[100, 100], blocks=[2, 2])
+        workload = [WorkloadQuery("join", weight=10.0, join_with="catalog")]
+        ranked = d.suggest(workload, partitioners_by_array={"catalog": block})
+        assert ranked[0].partitioner == block
+
+    def test_window_workload_prefers_locality(self):
+        d = AutomaticDesigner(uniform_cells(), pool(), movement_weight=5.0)
+        windows = [
+            WorkloadQuery("window", window=((1, 1), (20, 20)), weight=5.0),
+            WorkloadQuery("window", window=((40, 40), (60, 60)), weight=5.0),
+        ]
+        block = d.score(BlockPartitioner(4, bounds=[100, 100], blocks=[2, 2]), windows)
+        hashed = d.score(HashPartitioner(4), windows)
+        # Hash spreads every window over all sites; block keeps small
+        # windows on few sites.
+        assert block.movement < hashed.movement
+
+
+class TestRecommend:
+    def test_recommends_nothing_when_current_is_fine(self):
+        d = AutomaticDesigner(uniform_cells(), pool())
+        current = HashPartitioner(4)
+        assert d.recommend([], current=current) is None
+
+    def test_recommends_change_after_drift(self):
+        """Run periodically: once the workload drifts to a hotspot, the
+        designer suggests replacing the fixed scheme."""
+        block = BlockPartitioner(4, bounds=[100, 100], blocks=[2, 2])
+        d = AutomaticDesigner(hotspot_cells(), pool())
+        rec = d.recommend([], current=block)
+        assert rec is not None
+        assert rec.partitioner != block
+
+    def test_recommend_without_current(self):
+        d = AutomaticDesigner(uniform_cells(), pool())
+        assert d.recommend([]) is not None
+
+
+class TestValidation:
+    def test_empty_cells(self):
+        with pytest.raises(PartitioningError):
+            AutomaticDesigner([], pool())
+
+    def test_empty_pool(self):
+        with pytest.raises(PartitioningError):
+            AutomaticDesigner(uniform_cells(), [])
+
+    def test_mixed_site_counts(self):
+        with pytest.raises(PartitioningError):
+            AutomaticDesigner(
+                uniform_cells(), [HashPartitioner(4), HashPartitioner(8)]
+            )

@@ -1,0 +1,145 @@
+"""Unit tests for partitioning schemes (Section 2.7)."""
+
+import pytest
+
+from repro.core.errors import PartitioningError
+from repro.cluster.partitioning import (
+    BlockCyclicPartitioner,
+    BlockPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    TimeEpochPartitioner,
+)
+
+
+class TestHash:
+    def test_deterministic_and_in_range(self):
+        p = HashPartitioner(4)
+        for c in [(1, 1), (37, 99), (1000, 1)]:
+            s = p.site_of(c)
+            assert 0 <= s < 4
+            assert p.site_of(c) == s
+
+    def test_dims_subset(self):
+        p = HashPartitioner(4, dims=[0])
+        assert p.site_of((7, 1)) == p.site_of((7, 99))
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(1, 101):
+            for j in range(1, 101):
+                counts[p.site_of((i, j))] += 1
+        assert max(counts) / (sum(counts) / 4) < 1.2
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(8)
+        assert HashPartitioner(4, dims=[0]) != HashPartitioner(4)
+
+    def test_invalid_sites(self):
+        with pytest.raises(PartitioningError):
+            HashPartitioner(0)
+
+
+class TestRange:
+    def test_boundaries(self):
+        p = RangePartitioner(3, dim=0, boundaries=[100, 200])
+        assert p.site_of((50, 1)) == 0
+        assert p.site_of((100, 1)) == 0
+        assert p.site_of((101, 1)) == 1
+        assert p.site_of((999, 1)) == 2
+
+    def test_boundary_count_checked(self):
+        with pytest.raises(PartitioningError):
+            RangePartitioner(3, dim=0, boundaries=[100])
+
+    def test_ascending_required(self):
+        with pytest.raises(PartitioningError):
+            RangePartitioner(3, dim=0, boundaries=[200, 100])
+
+
+class TestBlock:
+    def test_fixed_spatial_grid(self):
+        p = BlockPartitioner(4, bounds=[100, 100], blocks=[2, 2])
+        # Four quadrants -> four sites, row-major.
+        assert p.site_of((1, 1)) == 0
+        assert p.site_of((1, 51)) == 1
+        assert p.site_of((51, 1)) == 2
+        assert p.site_of((51, 51)) == 3
+
+    def test_more_blocks_than_sites_wraps(self):
+        p = BlockPartitioner(2, bounds=[100], blocks=[4])
+        sites = {p.site_of((x,)) for x in (1, 26, 51, 76)}
+        assert sites == {0, 1}
+
+    def test_edge_coordinates_clamped(self):
+        p = BlockPartitioner(4, bounds=[10, 10], blocks=[3, 3])
+        assert 0 <= p.site_of((10, 10)) < 4
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            BlockPartitioner(4, bounds=[100], blocks=[2, 2])
+        with pytest.raises(PartitioningError):
+            BlockPartitioner(4, bounds=[0], blocks=[1])
+
+
+class TestBlockCyclic:
+    def test_within_block_locality(self):
+        p = BlockCyclicPartitioner(4, block_side=[10, 10])
+        assert p.site_of((1, 1)) == p.site_of((10, 10))
+
+    def test_blocks_spread(self):
+        p = BlockCyclicPartitioner(4, block_side=[10, 10])
+        sites = {p.site_of((1 + 10 * b, 1)) for b in range(16)}
+        assert len(sites) > 1
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            BlockCyclicPartitioner(4, block_side=[0, 10])
+
+
+class TestTimeEpoch:
+    """'A first partitioning scheme is used for time less than T and a
+    second partitioning scheme for time > T.'"""
+
+    def make(self):
+        a = RangePartitioner(2, dim=1, boundaries=[50])
+        b = HashPartitioner(2)
+        return TimeEpochPartitioner(2, time_dim=0, epochs=[(100, a)], final=b), a, b
+
+    def test_epoch_selection(self):
+        p, a, b = self.make()
+        assert p.scheme_for((50, 10)) is a
+        assert p.scheme_for((100, 10)) is a
+        assert p.scheme_for((101, 10)) is b
+
+    def test_site_delegation(self):
+        p, a, b = self.make()
+        assert p.site_of((50, 10)) == a.site_of((50, 10))
+        assert p.site_of((200, 10)) == b.site_of((200, 10))
+
+    def test_multiple_epochs(self):
+        s0 = HashPartitioner(2)
+        s1 = RangePartitioner(2, dim=1, boundaries=[10])
+        s2 = BlockCyclicPartitioner(2, block_side=[5, 5])
+        p = TimeEpochPartitioner(2, 0, [(10, s0), (20, s1)], s2)
+        assert p.scheme_for((5, 1)) is s0
+        assert p.scheme_for((15, 1)) is s1
+        assert p.scheme_for((25, 1)) is s2
+
+    def test_thresholds_ascending(self):
+        a, b = HashPartitioner(2), HashPartitioner(2)
+        with pytest.raises(PartitioningError):
+            TimeEpochPartitioner(2, 0, [(20, a), (10, b)], a)
+
+    def test_site_counts_consistent(self):
+        with pytest.raises(PartitioningError):
+            TimeEpochPartitioner(
+                2, 0, [(10, HashPartitioner(3))], HashPartitioner(2)
+            )
+
+    def test_equality_structural(self):
+        p1, _, _ = self.make()
+        p2, _, _ = self.make()
+        assert p1 == p2

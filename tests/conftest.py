@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SciArray, define_array
+
+
+def make_1d(values, name="A", attr="v", dim="x"):
+    """A 1-D single-attribute float array from a list of values."""
+    schema = define_array(f"{name}_t", {attr: "float"}, [dim])
+    return SciArray.from_numpy(schema, np.asarray(values, dtype=float), name=name)
+
+
+def make_2d(values, name="A", attr="v", dims=("x", "y")):
+    """A 2-D single-attribute float array from a nested list / ndarray."""
+    schema = define_array(f"{name}_t", {attr: "float"}, list(dims))
+    return SciArray.from_numpy(schema, np.asarray(values, dtype=float), name=name)
+
+
+@pytest.fixture
+def remote_schema():
+    """The paper's running example: define Remote (s1, s2, s3 float) (I, J)."""
+    return define_array(
+        "Remote", values={"s1": "float", "s2": "float", "s3": "float"}, dims=["I", "J"]
+    )
+
+
+@pytest.fixture
+def small_remote(remote_schema):
+    """A 4x4 Remote instance with s1 = 10*I + J, s2 = s1/2, s3 = -s1."""
+    arr = remote_schema.create("My_remote", [4, 4])
+    for i in range(1, 5):
+        for j in range(1, 5):
+            s1 = float(10 * i + j)
+            arr[i, j] = (s1, s1 / 2, -s1)
+    return arr

@@ -1,0 +1,228 @@
+"""Unit tests for SciArray cell and region I/O."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoundsError,
+    Cell,
+    EmptyCellError,
+    SciArray,
+    TypeMismatchError,
+    define_array,
+)
+from tests.conftest import make_1d, make_2d
+
+
+class TestAddressing:
+    def test_cell_round_trip(self, small_remote):
+        cell = small_remote[2, 3]
+        assert cell.s1 == 23.0
+        assert cell.s2 == 11.5
+        assert cell.s3 == -23.0
+
+    def test_named_addressing(self, small_remote):
+        """The paper's verbose form A[I = 7, J = 8]."""
+        assert small_remote[{"I": 2, "J": 3}] == small_remote[2, 3]
+
+    def test_named_addressing_validates_names(self, small_remote):
+        with pytest.raises(BoundsError):
+            small_remote[{"I": 2, "Q": 3}]
+        with pytest.raises(BoundsError):
+            small_remote[{"I": 2}]
+
+    def test_one_based(self, small_remote):
+        with pytest.raises(BoundsError):
+            small_remote[0, 1]
+
+    def test_out_of_bounds(self, small_remote):
+        with pytest.raises(BoundsError):
+            small_remote[5, 1]
+
+    def test_wrong_arity(self, small_remote):
+        with pytest.raises(BoundsError):
+            small_remote[1]
+
+    def test_non_integer_coordinate(self, small_remote):
+        with pytest.raises(BoundsError):
+            small_remote[1.5, 2]
+
+
+class TestCellStates:
+    def test_empty_read_raises(self, remote_schema):
+        arr = remote_schema.create("r", [4, 4])
+        with pytest.raises(EmptyCellError):
+            arr[1, 1]
+
+    def test_exists(self, remote_schema):
+        arr = remote_schema.create("r", [4, 4])
+        assert not arr.exists(1, 1)
+        arr[1, 1] = (1.0, 2.0, 3.0)
+        assert arr.exists(1, 1)
+        assert not arr.exists(9, 9)  # out of range is simply absent
+
+    def test_null_cell(self, remote_schema):
+        arr = remote_schema.create("r", [4, 4])
+        arr.set_null((2, 2))
+        assert arr.exists(2, 2)
+        assert arr[2, 2] is None
+
+    def test_delete_returns_to_empty(self, remote_schema):
+        arr = remote_schema.create("r", [4, 4])
+        arr[1, 1] = (1.0, 2.0, 3.0)
+        arr.delete((1, 1))
+        assert not arr.exists(1, 1)
+
+    def test_get_or_none(self, remote_schema):
+        arr = remote_schema.create("r", [4, 4])
+        assert arr.get_or_none(1, 1) is None
+
+
+class TestRecordForms:
+    def test_tuple_dict_cell_scalar(self):
+        schema = define_array("A", {"v": "float"}, ["x"])
+        arr = schema.create("a", [4])
+        arr[1] = 5.0  # bare scalar for single-attribute arrays
+        arr[2] = (6.0,)
+        arr[3] = {"v": 7.0}
+        arr[4] = Cell(("v",), (8.0,))
+        assert [arr[i].v for i in range(1, 5)] == [5.0, 6.0, 7.0, 8.0]
+
+    def test_wrong_record_width(self, remote_schema):
+        arr = remote_schema.create("r", [4, 4])
+        with pytest.raises(TypeMismatchError):
+            arr[1, 1] = (1.0, 2.0)
+
+    def test_dict_missing_component(self, remote_schema):
+        arr = remote_schema.create("r", [4, 4])
+        with pytest.raises(TypeMismatchError):
+            arr[1, 1] = {"s1": 1.0}
+
+    def test_type_validation_on_write(self):
+        schema = define_array("A", {"n": "int32"}, ["x"])
+        arr = schema.create("a", [4])
+        with pytest.raises(TypeMismatchError):
+            arr[1] = "not a number"
+
+    def test_nested_array_value(self):
+        inner_schema = define_array("Inner", {"item": "int64"}, ["rank"])
+        outer_schema = define_array("Outer", {"q": "string", "res": inner_schema}, ["t"])
+        outer = outer_schema.create("o", [10])
+        inner = inner_schema.create("results", [3])
+        inner[1], inner[2], inner[3] = 7, 9, 4
+        outer[1] = ("banjo", inner)
+        assert outer[1].res[2] == 9
+        assert outer[1].q == "banjo"
+
+    def test_nested_array_schema_mismatch(self):
+        inner_schema = define_array("Inner", {"item": "int64"}, ["rank"])
+        other_schema = define_array("Other", {"different": "int64"}, ["rank"])
+        outer_schema = define_array("Outer", {"res": inner_schema}, ["t"])
+        outer = outer_schema.create("o", [10])
+        with pytest.raises(TypeMismatchError):
+            outer[1] = (other_schema.create("x", [1]),)
+
+
+class TestUnboundedGrowth:
+    def test_high_water_tracks_writes(self):
+        schema = define_array("A", {"v": "float"}, ["t"])
+        arr = schema.create("a", ["*"])
+        assert arr.high_water("t") == 0
+        arr[100] = 1.0
+        assert arr.high_water("t") == 100
+        arr[7] = 2.0
+        assert arr.high_water("t") == 100
+
+    def test_bounded_dimension_reports_declared_size(self, small_remote):
+        assert small_remote.high_water("I") == 4
+        assert small_remote.bounds == (4, 4)
+
+
+class TestRegionIO:
+    def test_set_region_reads_back(self):
+        arr = make_2d(np.zeros((8, 8)))
+        block = np.arange(16.0).reshape(4, 4)
+        arr.set_region((3, 3), {"v": block})
+        assert arr[3, 3].v == 0.0
+        assert arr[6, 6].v == 15.0
+        np.testing.assert_array_equal(arr.region((3, 3), (6, 6), attr="v"), block)
+
+    def test_region_crossing_chunks(self):
+        schema = define_array("A", {"v": "float"}, ["x", "y"])
+        arr = schema.create("a", [100, 100], chunk_shape=(7, 7))
+        block = np.random.default_rng(0).normal(size=(50, 50))
+        arr.set_region((25, 25), {"v": block})
+        np.testing.assert_array_equal(arr.region((25, 25), (74, 74), attr="v"), block)
+        assert arr.chunk_count() > 1
+
+    def test_region_fill_for_empty(self):
+        arr = make_2d(np.ones((2, 2)))
+        schema = define_array("B", {"v": "float"}, ["x", "y"])
+        sparse = schema.create("b", [4, 4])
+        sparse[1, 1] = 5.0
+        out = sparse.region((1, 1), (2, 2), attr="v", fill=-1.0)
+        assert out[0, 0] == 5.0
+        assert out[0, 1] == -1.0
+
+    def test_region_missing_attr(self, small_remote):
+        with pytest.raises(Exception):
+            small_remote.region((1, 1), (2, 2), attr="nope")
+
+    def test_set_region_shape_mismatch(self, remote_schema):
+        arr = remote_schema.create("r", [8, 8])
+        with pytest.raises(TypeMismatchError):
+            arr.set_region(
+                (1, 1),
+                {"s1": np.zeros((2, 2)), "s2": np.zeros((3, 3)), "s3": np.zeros((2, 2))},
+            )
+
+    def test_set_region_out_of_bounds(self, remote_schema):
+        arr = remote_schema.create("r", [8, 8])
+        with pytest.raises(BoundsError):
+            arr.set_region(
+                (7, 7),
+                {k: np.zeros((3, 3)) for k in ("s1", "s2", "s3")},
+            )
+
+    def test_from_numpy_to_numpy_round_trip(self):
+        data = np.arange(12.0).reshape(3, 4)
+        arr = make_2d(data)
+        np.testing.assert_array_equal(arr.to_numpy("v"), data)
+
+
+class TestIteration:
+    def test_cells_in_order(self):
+        arr = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        got = [(c, cell.v) for c, cell in arr.cells()]
+        assert got == [((1, 1), 1.0), ((1, 2), 2.0), ((2, 1), 3.0), ((2, 2), 4.0)]
+
+    def test_cells_includes_null_by_default(self):
+        arr = make_1d([1.0, 2.0])
+        arr.set_null((1,))
+        assert [(c, v) for c, v in arr.cells()] == [((1,), None), ((2,), Cell(("v",), (2.0,)))]
+        assert [c for c, _ in arr.cells(include_null=False)] == [(2,)]
+
+    def test_len_counts_occupied(self):
+        arr = make_1d([1.0, 2.0, 3.0])
+        arr.set_null((1,))
+        assert len(arr) == 3
+        assert arr.count_present() == 2
+
+
+class TestCopies:
+    def test_copy_is_independent(self, small_remote):
+        dup = small_remote.copy("dup")
+        dup[1, 1] = (0.0, 0.0, 0.0)
+        assert small_remote[1, 1].s1 == 11.0
+        assert dup[1, 1].s1 == 0.0
+
+    def test_content_equal(self, small_remote):
+        assert small_remote.content_equal(small_remote.copy())
+        other = small_remote.copy()
+        other[1, 1] = (9.0, 9.0, 9.0)
+        assert not small_remote.content_equal(other)
+
+    def test_empty_like_preserves_schema(self, small_remote):
+        e = small_remote.empty_like("e")
+        assert e.schema is small_remote.schema
+        assert e.count_occupied() == 0

@@ -1,0 +1,106 @@
+"""Edge-case coverage for SciArray: the unchecked writer, masked region
+writes, and high-dimensional arrays."""
+
+import numpy as np
+import pytest
+
+from repro import BoundsError, SciArray, define_array
+from repro.core.cells import CellState
+
+
+class TestSetUnchecked:
+    def test_matches_checked_writes(self):
+        schema = define_array("E", {"a": "float", "b": "int32"}, ["x", "y"])
+        checked = schema.create("c", [8, 8])
+        fast = schema.create("f", [8, 8])
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            coords = (int(rng.integers(1, 9)), int(rng.integers(1, 9)))
+            values = (float(rng.normal()), int(rng.integers(0, 9)))
+            checked.set(coords, values)
+            fast.set_unchecked(coords, values)
+        assert fast.content_equal(checked)
+
+    def test_null_via_unchecked(self):
+        schema = define_array("E", {"v": "float"}, ["x"])
+        arr = schema.create("a", [4])
+        arr.set_unchecked((2,), None)
+        assert arr.exists(2) and arr[2] is None
+
+    def test_bumps_high_water(self):
+        schema = define_array("E", {"v": "float"}, ["t"])
+        arr = schema.create("a", ["*"])
+        arr.set_unchecked((77,), (1.0,))
+        assert arr.high_water("t") == 77
+
+
+class TestMaskedRegionWrites:
+    def test_null_mask_sets_null_cells(self):
+        schema = define_array("E", {"v": "float"}, ["x", "y"])
+        arr = schema.create("a", [4, 4])
+        block = np.arange(16.0).reshape(4, 4)
+        mask = block < 8  # first half NULL
+        arr.set_region((1, 1), {"v": block}, null_mask=mask)
+        assert arr[1, 1] is None
+        assert arr[4, 4].v == 15.0
+        assert arr.count_present() == 8
+        assert arr.count_occupied() == 16
+
+    def test_mask_across_chunks(self):
+        schema = define_array("E", {"v": "float"}, ["x", "y"])
+        arr = SciArray(schema.bind([20, 20]), chunk_shape=(7, 7))
+        block = np.ones((20, 20))
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[::2, :] = True
+        arr.set_region((1, 1), {"v": block}, null_mask=mask)
+        assert arr[1, 1] is None  # row 1 masked
+        assert arr[2, 1].v == 1.0
+        assert arr.count_present() == 200
+
+
+class TestHighDimensional:
+    def test_5d_round_trip(self):
+        dims = ["a", "b", "c", "d", "e"]
+        schema = define_array("H5", {"v": "float"}, dims)
+        data = np.arange(32.0).reshape(2, 2, 2, 2, 2)
+        arr = SciArray.from_numpy(schema, data)
+        np.testing.assert_array_equal(arr.to_numpy("v"), data)
+        assert arr[2, 2, 2, 2, 2].v == 31.0
+
+    def test_5d_operators(self):
+        from repro.core import ops
+
+        dims = ["a", "b", "c", "d", "e"]
+        schema = define_array("H5", {"v": "float"}, dims)
+        arr = SciArray.from_numpy(
+            schema, np.arange(32.0).reshape(2, 2, 2, 2, 2)
+        )
+        agg = ops.aggregate(arr, ["a"], "sum")
+        assert agg[1].sum + agg[2].sum == pytest.approx(np.arange(32.0).sum())
+        sub = ops.subsample(arr, {"c": 1})
+        assert sub.bounds == (2, 2, 1, 2, 2)
+
+
+class TestChunkStateAccounting:
+    def test_states_consistent_after_mixed_ops(self):
+        schema = define_array("E", {"v": "float"}, ["x"])
+        arr = schema.create("a", [10])
+        arr[1] = 1.0
+        arr.set_null((2,))
+        arr[3] = 3.0
+        arr.delete((3,))
+        states = {}
+        for chunk in arr.chunks():
+            for off in np.ndindex(*chunk.shape):
+                coord = chunk.origin[0] + off[0]
+                if coord <= 10:
+                    states[coord] = int(chunk.state[off])
+        assert states[1] == CellState.PRESENT
+        assert states[2] == CellState.NULL
+        assert states[3] == CellState.EMPTY
+
+    def test_region_rejects_inverted_box(self):
+        schema = define_array("E", {"v": "float"}, ["x"])
+        arr = schema.create("a", [10])
+        with pytest.raises(BoundsError):
+            arr.region((5,), (3,))

@@ -1,0 +1,90 @@
+"""Unit tests for the Cell record type."""
+
+import pytest
+
+from repro import Cell, SchemaError
+
+
+class TestConstruction:
+    def test_width_checked(self):
+        with pytest.raises(SchemaError):
+            Cell(("a", "b"), (1,))
+
+    def test_names_values(self):
+        c = Cell(("a", "b"), (1, 2))
+        assert c.names == ("a", "b")
+        assert c.values == (1, 2)
+        assert c.as_dict() == {"a": 1, "b": 2}
+
+
+class TestAccess:
+    def test_attribute_access(self):
+        c = Cell(("s1", "s2"), (0.5, 1.5))
+        assert c.s1 == 0.5 and c.s2 == 1.5
+
+    def test_unknown_attribute(self):
+        c = Cell(("a",), (1,))
+        with pytest.raises(AttributeError):
+            c.nope
+
+    def test_index_access(self):
+        c = Cell(("a", "b"), (1, 2))
+        assert c[0] == 1
+        assert c["b"] == 2
+
+    def test_get_with_default(self):
+        c = Cell(("a",), (1,))
+        assert c.get("a") == 1
+        assert c.get("zz", 42) == 42
+
+    def test_immutable(self):
+        c = Cell(("a",), (1,))
+        with pytest.raises(AttributeError):
+            c.a = 5
+
+
+class TestEquality:
+    def test_cell_equality(self):
+        assert Cell(("a",), (1,)) == Cell(("a",), (1,))
+        assert Cell(("a",), (1,)) != Cell(("b",), (1,))
+        assert Cell(("a",), (1,)) != Cell(("a",), (2,))
+
+    def test_tuple_equality(self):
+        assert Cell(("a", "b"), (1, 2)) == (1, 2)
+        assert Cell(("a", "b"), (1, 2)) != (2, 1)
+
+    def test_scalar_equality_single_component(self):
+        assert Cell(("v",), (7.0,)) == 7.0
+        assert Cell(("v",), (7.0,)) != 8.0
+
+    def test_hashable(self):
+        s = {Cell(("a",), (1,)), Cell(("a",), (1,)), Cell(("a",), (2,))}
+        assert len(s) == 2
+
+
+class TestContainer:
+    def test_iter_and_len(self):
+        c = Cell(("a", "b", "c"), (1, 2, 3))
+        assert list(c) == [1, 2, 3]
+        assert len(c) == 3
+
+    def test_repr(self):
+        assert "s1=0.5" in repr(Cell(("s1",), (0.5,)))
+
+
+class TestConcat:
+    def test_disjoint_names(self):
+        c = Cell(("a",), (1,)).concat(Cell(("b",), (2,)))
+        assert c.names == ("a", "b")
+        assert c.a == 1 and c.b == 2
+
+    def test_clash_renamed(self):
+        c = Cell(("v",), (1,)).concat(Cell(("v",), (2,)))
+        assert c.names == ("v", "v_r")
+        assert c.v == 1 and c.v_r == 2
+
+    def test_no_rename(self):
+        c = Cell(("v",), (1,)).concat(Cell(("v",), (2,)), rename=False)
+        assert c.names == ("v", "v")
+        # First match wins on attribute access.
+        assert c.v == 1

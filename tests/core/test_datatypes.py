@@ -1,0 +1,124 @@
+"""Unit tests for the scalar type system (Section 2.1 / 2.3 / 2.13)."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core import datatypes as dt
+from repro.core.errors import SchemaError, TypeMismatchError
+from repro.core.uncertainty import UncertainValue
+
+
+class TestBuiltinTypes:
+    def test_int_validation_accepts_ints(self):
+        assert dt.INT32.validate(7) == 7
+        assert dt.INT64.validate(np.int32(7)) == 7
+
+    def test_int_rejects_bool_and_float(self):
+        with pytest.raises(TypeMismatchError):
+            dt.INT32.validate(True)
+        with pytest.raises(TypeMismatchError):
+            dt.INT32.validate(1.5)
+
+    def test_int_range_is_enforced(self):
+        assert dt.INT8.validate(127) == 127
+        with pytest.raises(TypeMismatchError):
+            dt.INT8.validate(128)
+
+    def test_float_accepts_ints_and_floats(self):
+        assert dt.FLOAT64.validate(2) == 2.0
+        assert isinstance(dt.FLOAT64.validate(2), float)
+        assert dt.FLOAT32.validate(1.5) == 1.5
+
+    def test_float_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            dt.FLOAT64.validate("1.5")
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            dt.BOOL.validate(1)
+        assert dt.BOOL.validate(True) is True
+
+    def test_string(self):
+        assert dt.STRING.validate("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            dt.STRING.validate(5)
+
+    def test_datetime(self):
+        now = datetime.datetime(2009, 1, 1)
+        assert dt.DATETIME.validate(now) is now
+
+    def test_null_accepted_by_every_type(self):
+        for t in (dt.INT32, dt.FLOAT64, dt.BOOL, dt.STRING, dt.DATETIME):
+            assert t.validate(None) is None
+
+    def test_aliases(self):
+        assert dt.get_type("integer") is dt.INT64
+        assert dt.get_type("float") is dt.FLOAT64
+        assert dt.get_type("double") is dt.FLOAT64
+
+
+class TestRegistry:
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            dt.get_type("no_such_type")
+
+    def test_define_user_type(self):
+        complex_t = dt.define_type(
+            "complex_number", validator=lambda v: isinstance(v, complex)
+        )
+        assert dt.get_type("complex_number") is complex_t
+        assert complex_t.validate(1 + 2j) == 1 + 2j
+        with pytest.raises(TypeMismatchError):
+            complex_t.validate("nope")
+
+    def test_duplicate_definition_rejected(self):
+        dt.define_type("once_only")
+        with pytest.raises(SchemaError):
+            dt.define_type("once_only")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            dt.define_type("not valid")
+
+    def test_contains(self):
+        assert "float" in dt.registry
+        assert "uncertain float" in dt.registry
+        assert "no_such" not in dt.registry
+
+
+class TestUncertainTypes:
+    """Section 2.13: 'uncertain x' for any type x in the engine."""
+
+    def test_uncertain_derivation(self):
+        ut = dt.uncertain("float")
+        assert ut.is_uncertain
+        assert ut.uncertain_base is dt.FLOAT64
+        assert ut.name == "uncertain float64"
+
+    def test_uncertain_is_cached(self):
+        assert dt.uncertain("float") is dt.uncertain("float64")
+
+    def test_uncertain_of_user_type(self):
+        base = dt.define_type("voltage")
+        ut = dt.uncertain(base)
+        assert ut.uncertain_base is base
+
+    def test_validate_wraps_bare_value(self):
+        ut = dt.uncertain("float")
+        v = ut.validate(3.0)
+        assert isinstance(v, UncertainValue)
+        assert v.value == 3.0 and v.sigma == 0.0
+
+    def test_validate_accepts_pair(self):
+        v = dt.uncertain("float").validate((3.0, 0.5))
+        assert v == UncertainValue(3.0, 0.5)
+
+    def test_validate_passes_through_uncertain(self):
+        u = UncertainValue(1.0, 0.1)
+        assert dt.uncertain("float").validate(u) is u
+
+    def test_uncertain_base_validation_still_applies(self):
+        with pytest.raises(TypeMismatchError):
+            dt.uncertain("int32").validate(("x", 0.5))

@@ -1,0 +1,210 @@
+"""Unit tests for array enhancements (Section 2.1) — Scale10, irregular
+coordinates, Mercator, and the wall-clock history mapping (Section 2.5)."""
+
+import datetime
+
+import pytest
+
+from repro import (
+    BoundsError,
+    SchemaError,
+    define_array,
+    define_function,
+    enhance,
+)
+from repro.core.enhance import (
+    FunctionEnhancement,
+    IrregularEnhancement,
+    MercatorEnhancement,
+    WallClockEnhancement,
+)
+from repro.core.udf import FunctionRegistry
+from tests.conftest import make_1d, make_2d
+
+
+@pytest.fixture
+def scale10():
+    reg = FunctionRegistry()
+    return reg.define_function(
+        "Scale10",
+        inputs=[("I", "integer"), ("J", "integer")],
+        outputs=[("K", "integer"), ("L", "integer")],
+        fn=lambda i, j: (10 * i, 10 * j),
+        inverse=lambda k, l: (k // 10, l // 10),
+    )
+
+
+class TestFunctionEnhancement:
+    def test_enhance_my_remote_with_scale10(self, remote_schema, scale10):
+        """The paper: 'Enhance My_remote with Scale10' — after which both
+        coordinate systems address the array."""
+        arr = remote_schema.create("My_remote", [64, 64])
+        arr[7, 8] = (1.0, 2.0, 3.0)
+        enhance(arr, scale10)
+        # Basic system still works: A[7, 8]
+        assert arr[7, 8].s1 == 1.0
+        # Enhanced system: A{70, 80}
+        assert arr.mapped[70, 80].s1 == 1.0
+
+    def test_mapped_write(self, remote_schema, scale10):
+        arr = remote_schema.create("My_remote", [64, 64])
+        enhance(arr, scale10)
+        arr.mapped[20, 50] = (5.0, 5.0, 5.0)
+        assert arr[2, 5].s1 == 5.0
+
+    def test_from_basic(self, remote_schema, scale10):
+        arr = remote_schema.create("My_remote", [64, 64])
+        e = enhance(arr, scale10)
+        assert e.from_basic((7, 8)) == (70, 80)
+
+    def test_arity_mismatch_rejected(self, scale10):
+        arr = make_1d([1.0, 2.0])
+        with pytest.raises(SchemaError):
+            enhance(arr, scale10)
+
+    def test_multiple_enhancements(self, remote_schema, scale10):
+        """An array 'can be enhanced with any number of UDFs'."""
+        reg = FunctionRegistry()
+        shift = reg.define_function(
+            "Shift1",
+            inputs=[("I", "integer"), ("J", "integer")],
+            outputs=[("K", "integer"), ("L", "integer")],
+            fn=lambda i, j: (i + 1, j + 1),
+            inverse=lambda k, l: (k - 1, l - 1),
+        )
+        arr = remote_schema.create("My_remote", [8, 8])
+        arr[2, 2] = (9.0, 9.0, 9.0)
+        enhance(arr, scale10)
+        enhance(arr, shift)
+        assert arr.find_enhancement("Scale10").to_basic((20, 20)) == (2, 2)
+        assert arr.find_enhancement("Shift1").to_basic((3, 3)) == (2, 2)
+        # Default (latest) enhancement drives .mapped
+        assert arr.mapped[3, 3].s1 == 9.0
+
+    def test_history_dimension_passthrough(self, scale10):
+        """Enhancements on updatable arrays are 'cognizant of' the implicit
+        history dimension: a 2-argument UDF enhances the two spatial dims."""
+        schema = define_array("R", {"v": "float"}, ["I", "J"], updatable=True)
+        arr = schema.create("r", [16, 16, "*"])
+        arr[2, 3, 1] = 4.0
+        e = enhance(arr, scale10)
+        assert e.dims == ("I", "J")
+        assert arr.mapped[20, 30, 1].v == 4.0
+
+    def test_find_enhancement_without_any(self):
+        arr = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            arr.find_enhancement()
+
+    def test_find_enhancement_unknown_name(self):
+        arr = make_1d([1.0, 2.0])
+        arr.enhancements.append(IrregularEnhancement(arr, {"x": [0.5, 1.5]}))
+        with pytest.raises(SchemaError):
+            arr.find_enhancement("nope")
+
+
+class TestIrregularEnhancement:
+    """The paper's irregular array: coordinates 16.3, 27.6, 48.2, ..."""
+
+    def test_exact_addressing(self):
+        arr = make_1d([10.0, 20.0, 30.0])
+        enh = IrregularEnhancement(arr, {"x": [16.3, 27.6, 48.2]})
+        arr.enhancements.append(enh)
+        assert arr.mapped[16.3].v == 10.0
+        assert arr.mapped[48.2].v == 30.0
+
+    def test_from_basic(self):
+        arr = make_1d([10.0, 20.0, 30.0])
+        enh = IrregularEnhancement(arr, {"x": [16.3, 27.6, 48.2]})
+        assert enh.from_basic((2,)) == (27.6,)
+
+    def test_unlisted_coordinate_rejected(self):
+        arr = make_1d([10.0, 20.0, 30.0])
+        enh = IrregularEnhancement(arr, {"x": [16.3, 27.6, 48.2]})
+        with pytest.raises(BoundsError):
+            enh.to_basic((17.0,))
+
+    def test_tolerance_snaps_to_nearest(self):
+        arr = make_1d([10.0, 20.0, 30.0])
+        enh = IrregularEnhancement(arr, {"x": [16.3, 27.6, 48.2]}, tolerance=1.0)
+        assert enh.to_basic((27.0,)) == (2,)
+
+    def test_2d_partial_mapping(self):
+        arr = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        enh = IrregularEnhancement(arr, {"y": [0.5, 1.5]})
+        arr.enhancements.append(enh)
+        assert arr.mapped[2, 1.5].v == 4.0
+
+    def test_descending_coordinates_rejected(self):
+        arr = make_1d([10.0, 20.0])
+        with pytest.raises(SchemaError):
+            IrregularEnhancement(arr, {"x": [2.0, 1.0]})
+
+    def test_too_few_coordinates_rejected(self):
+        arr = make_1d([10.0, 20.0, 30.0])
+        with pytest.raises(SchemaError):
+            IrregularEnhancement(arr, {"x": [1.0]})
+
+    def test_out_of_range_basic_index(self):
+        arr = make_1d([10.0, 20.0])
+        enh = IrregularEnhancement(arr, {"x": [1.0, 2.0]})
+        with pytest.raises(BoundsError):
+            enh.from_basic((3,))
+
+
+class TestWallClock:
+    """Section 2.5: enhance the history dimension with wall-clock time."""
+
+    def test_as_of_resolution(self):
+        schema = define_array("R", {"v": "float"}, ["I"], updatable=True)
+        arr = schema.create("r", [4, "*"])
+        clock = WallClockEnhancement(arr)
+        t1 = datetime.datetime(2009, 1, 1, 12, 0)
+        t2 = datetime.datetime(2009, 1, 2, 12, 0)
+        assert clock.record_commit(t1) == 1
+        assert clock.record_commit(t2) == 2
+        arr[1, 1] = 1.0
+        arr[1, 2] = 2.0
+        # Address by datetime: between t1 and t2 resolves to history=1.
+        between = datetime.datetime(2009, 1, 1, 18, 0)
+        assert clock.to_basic_history(between) == 1
+        assert clock.to_basic((1, t2)) == (1, 2)
+
+    def test_before_first_commit(self):
+        schema = define_array("R", {"v": "float"}, ["I"], updatable=True)
+        arr = schema.create("r", [4, "*"])
+        clock = WallClockEnhancement(arr)
+        clock.record_commit(datetime.datetime(2009, 6, 1))
+        with pytest.raises(BoundsError):
+            clock.to_basic_history(datetime.datetime(2009, 1, 1))
+
+    def test_timestamps_must_advance(self):
+        schema = define_array("R", {"v": "float"}, ["I"], updatable=True)
+        arr = schema.create("r", [4, "*"])
+        clock = WallClockEnhancement(arr)
+        clock.record_commit(datetime.datetime(2009, 6, 1))
+        with pytest.raises(SchemaError):
+            clock.record_commit(datetime.datetime(2009, 1, 1))
+
+    def test_from_basic_returns_timestamp(self):
+        schema = define_array("R", {"v": "float"}, ["I"], updatable=True)
+        arr = schema.create("r", [4, "*"])
+        clock = WallClockEnhancement(arr)
+        t1 = datetime.datetime(2009, 1, 1)
+        clock.record_commit(t1)
+        assert clock.from_basic((1, 1)) == (1, t1)
+
+
+class TestMercator:
+    def test_round_trip(self):
+        arr = make_2d([[1.0] * 8] * 8)
+        enh = MercatorEnhancement(arr, degrees_per_cell=1.0,
+                                  lon_origin=0.0, lat_origin=0.0)
+        lon, merc = enh.from_basic((3, 5))[:2]
+        assert lon == 2.0
+        assert enh.to_basic((lon, merc)) == (3, 5)
+
+    def test_requires_2d(self):
+        arr = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            MercatorEnhancement(arr, 1.0)

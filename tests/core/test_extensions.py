@@ -1,0 +1,168 @@
+"""Tests for the extension features the paper explicitly defers.
+
+Section 2.1: holes in shape functions ("we can easily add this
+capability") — :class:`ShapeWithHoles`.
+Section 2.13: "a more sophisticated definition of uncertainty" —
+:class:`SampledValue` (empirical Monte Carlo ensembles).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoundsError,
+    CircleShape,
+    RectangleShape,
+    SchemaError,
+    UncertainValue,
+    apply_shape,
+    define_array,
+)
+from repro.core.shape import ShapeWithHoles
+from repro.core.uncertainty import SampledValue
+from repro.core.errors import TypeMismatchError
+
+
+class TestShapeWithHoles:
+    def make_annulus(self):
+        """A disc with a concentric hole: the classic un-expressible shape."""
+        return ShapeWithHoles(
+            CircleShape(center=(10.0, 10.0), radius=8.0),
+            holes=[CircleShape(center=(10.0, 10.0), radius=3.0)],
+        )
+
+    def test_contains_excludes_hole(self):
+        s = self.make_annulus()
+        assert s.contains((10, 16))       # on the ring
+        assert not s.contains((10, 10))   # inside the hole
+        assert not s.contains((1, 1))     # outside the disc
+
+    def test_cell_count_subtracts_hole(self):
+        base = CircleShape(center=(10.0, 10.0), radius=8.0)
+        hole = CircleShape(center=(10.0, 10.0), radius=3.0)
+        annulus = ShapeWithHoles(base, holes=[hole])
+        assert annulus.cell_count() == base.cell_count() - hole.cell_count()
+
+    def test_slice_runs_splits_at_hole(self):
+        s = self.make_annulus()
+        runs = s.slice_runs((10, None))  # the slice through the centre
+        assert len(runs) == 2
+        (lo1, hi1), (lo2, hi2) = runs
+        assert hi1 < 10 < lo2  # the hole separates the runs
+
+    def test_slice_bounds_is_envelope(self):
+        s = self.make_annulus()
+        runs = s.slice_runs((10, None))
+        lo, hi = s.slice_bounds((10, None))
+        assert lo == runs[0][0] and hi == runs[-1][1]
+
+    def test_multiple_holes(self):
+        s = ShapeWithHoles(
+            RectangleShape([20, 20]),
+            holes=[
+                RectangleShape([5, 5]),
+                CircleShape(center=(15.0, 15.0), radius=2.0),
+            ],
+        )
+        assert not s.contains((3, 3))
+        assert not s.contains((15, 15))
+        assert s.contains((3, 10))
+
+    def test_empty_slice(self):
+        s = ShapeWithHoles(
+            RectangleShape([4, 4]), holes=[RectangleShape([4, 4])]
+        )
+        assert s.slice_bounds((2, None)) is None
+        assert s.slice_runs((2, None)) == []
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ShapeWithHoles(
+                RectangleShape([4, 4]),
+                holes=[RectangleShape([4])],
+            )
+
+    def test_attached_to_array_blocks_hole_writes(self):
+        schema = define_array("Ann", {"v": "float"}, ["x", "y"])
+        arr = schema.create("ann", [18, 18])
+        apply_shape(arr, self.make_annulus())
+        arr[10, 16] = 1.0
+        with pytest.raises(BoundsError):
+            arr[10, 10] = 1.0
+
+
+class TestSampledValue:
+    def test_round_trip_with_gaussian_model(self):
+        v = UncertainValue(10.0, 2.0)
+        s = SampledValue.from_uncertain(v, n=8192, seed=1)
+        back = s.to_uncertain()
+        assert back.value == pytest.approx(10.0, abs=0.2)
+        assert back.sigma == pytest.approx(2.0, abs=0.2)
+
+    def test_addition_matches_gaussian_propagation(self):
+        a = SampledValue.from_uncertain(UncertainValue(10.0, 3.0), n=8192, seed=2)
+        b = SampledValue.from_uncertain(UncertainValue(20.0, 4.0), n=8192, seed=3)
+        total = (a + b).to_uncertain()
+        assert total.value == pytest.approx(30.0, abs=0.3)
+        assert total.sigma == pytest.approx(5.0, abs=0.3)
+
+    def test_nonlinear_propagation_beats_first_order(self):
+        """exp() of a wide Gaussian is skewed; the ensemble captures the
+        skew that first-order propagation cannot."""
+        wide = SampledValue.from_uncertain(UncertainValue(0.0, 1.0), n=8192, seed=4)
+        propagated = wide.map(np.exp)
+        # Lognormal mean is exp(sigma^2/2) ~ 1.65, not exp(0) = 1.
+        assert propagated.mean > 1.3
+
+    def test_credible_interval(self):
+        s = SampledValue.from_uncertain(UncertainValue(0.0, 1.0), n=8192, seed=5)
+        lo, hi = s.credible_interval(0.68)
+        assert lo == pytest.approx(-1.0, abs=0.15)
+        assert hi == pytest.approx(1.0, abs=0.15)
+
+    def test_prob_greater_than(self):
+        s = SampledValue.from_uncertain(UncertainValue(0.0, 1.0), n=8192, seed=6)
+        assert s.prob_greater_than(0.0) == pytest.approx(0.5, abs=0.05)
+        assert s.prob_greater_than(10.0) == 0.0
+
+    def test_scalar_and_gaussian_mixing(self):
+        s = SampledValue(np.array([1.0, 2.0, 3.0]))
+        assert (s + 1.0).mean == pytest.approx(3.0)
+        mixed = s + UncertainValue(0.0, 0.0)
+        assert mixed.mean == pytest.approx(2.0)
+
+    def test_multimodal_distribution_supported(self):
+        """The whole point of the extension: non-Gaussian error."""
+        bimodal = SampledValue(
+            np.concatenate([np.full(500, -5.0), np.full(500, 5.0)])
+        )
+        assert bimodal.mean == pytest.approx(0.0)
+        lo, hi = bimodal.credible_interval(0.9)
+        assert lo == -5.0 and hi == 5.0  # mass sits at the modes
+
+    def test_validation(self):
+        with pytest.raises(TypeMismatchError):
+            SampledValue([])
+        with pytest.raises(TypeMismatchError):
+            SampledValue([[1.0, 2.0]])
+        with pytest.raises(TypeMismatchError):
+            SampledValue([1.0]) + "x"
+
+    def test_size_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            SampledValue([1.0, 2.0]) + SampledValue([1.0, 2.0, 3.0])
+
+    def test_stored_in_user_typed_array(self):
+        """Usable as a user-defined cell type (Section 2.3 + 2.13)."""
+        from repro import define_type
+
+        try:
+            define_type(
+                "sampled", validator=lambda v: isinstance(v, SampledValue)
+            )
+        except SchemaError:
+            pass  # already registered by a previous test run
+        schema = define_array("MC", {"v": "sampled"}, ["x"])
+        arr = schema.create("mc", [2])
+        arr[1] = SampledValue([1.0, 2.0, 3.0])
+        assert arr[1].v.mean == pytest.approx(2.0)

@@ -1,0 +1,113 @@
+"""Cell-for-cell reproductions of the paper's three figures.
+
+These are the only "results" the paper presents; each test builds the
+figure's input arrays and checks the operator output against the printed
+result.  (Figure 2's cell values are partially garbled in the source
+scan; we use values consistent with the printed output sums 4 and 7 —
+see EXPERIMENTS.md.)
+"""
+
+import pytest
+
+from repro import define_array
+from repro.core import ops
+from tests.conftest import make_1d, make_2d
+
+
+class TestFigure1Sjoin:
+    """Figure 1: Sjoin(A, B, A.x = B.x) over two 1-D arrays.
+
+    A: x=1 -> 1, x=2 -> 2;  B: x=1 -> 1, x=2 -> 2.
+    Result: a 1-D array with concatenated values at matching index
+    positions: x=1 -> (1, 1), x=2 -> (2, 2).
+    """
+
+    def test_exact_result(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([1.0, 2.0], name="B")
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out.ndim == 1  # m + n - k = 1 + 1 - 1
+        assert out.bounds == (2,)
+        assert out[1] == (1.0, 1.0)
+        assert out[2] == (2.0, 2.0)
+
+    def test_result_dimension_is_source_dimension(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([1.0, 2.0], name="B")
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out.dim_names == ("x",)
+
+
+class TestFigure2Aggregate:
+    """Figure 2: Aggregate(H, {Y}, Sum(*)) over a 2-D array H.
+
+    Grouping on y sums away x; the printed result is y=1 -> 4, y=2 -> 7.
+    """
+
+    def test_exact_result(self):
+        h = make_2d([[1.0, 3.0], [3.0, 4.0]], name="H")
+        out = ops.aggregate(h, ["y"], "sum")
+        assert out.ndim == 1
+        assert out.dim_names == ("y",)
+        assert out[1] == 4.0
+        assert out[2] == 7.0
+
+    def test_aggregate_input_is_complement_slice(self):
+        """'the Aggregate function takes an argument that is an
+        (n-k)-dimension array' — each group folds the full x-slice."""
+        h = make_2d([[1.0, 3.0], [3.0, 4.0]], name="H")
+        out = ops.aggregate(h, ["y"], "count")
+        assert out[1] == 2 and out[2] == 2
+
+    def test_grouping_on_data_attributes_impossible(self):
+        """'data attributes cannot be used for grouping' — attribute names
+        are rejected as grouping dimensions."""
+        h = make_2d([[1.0, 3.0], [3.0, 4.0]], name="H")
+        with pytest.raises(Exception):
+            ops.aggregate(h, ["v"], "sum")
+
+
+class TestFigure3Cjoin:
+    """Figure 3: Cjoin(A, B, A.val = B.val) over the Figure 1 inputs.
+
+    The result is 2-dimensional with a concatenated tuple where the
+    predicate is true and NULL where it is false:
+
+        (1,1) -> 1,1    (1,2) -> NULL
+        (2,1) -> NULL   (2,2) -> 2,2
+    """
+
+    def test_exact_result(self):
+        a = make_1d([1.0, 2.0], name="A", attr="val")
+        b = make_1d([1.0, 2.0], name="B", attr="val")
+        out = ops.cjoin(a, b, lambda l, r: l.val == r.val)
+        assert out.ndim == 2  # m + n = 1 + 1
+        assert out[1, 1] == (1.0, 1.0)
+        assert out[1, 2] is None
+        assert out[2, 1] is None
+        assert out[2, 2] == (2.0, 2.0)
+
+    def test_multiple_index_values_from_sources(self):
+        """'cell [1,1] in the result corresponds to data that came from
+        dimension value 1 in both of the inputs.'"""
+        a = make_1d([1.0, 2.0], name="A", attr="val")
+        b = make_1d([1.0, 2.0], name="B", attr="val")
+        out = ops.cjoin(a, b, lambda l, r: l.val == r.val)
+        assert out.dim_names == ("x", "x_r")
+        assert out.bounds == (2, 2)
+
+
+class TestSjoinVsCjoinContrast:
+    """The same inputs produce a 1-D array under Sjoin (dimension
+    predicate) and a 2-D array under Cjoin (value predicate) — the
+    paper's point in contrasting Figures 1 and 3."""
+
+    def test_contrast(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([1.0, 2.0], name="B")
+        s = ops.sjoin(a, b, on=[("x", "x")])
+        c = ops.cjoin(a, b, lambda l, r: l.v == r.v)
+        assert s.ndim == 1 and c.ndim == 2
+        assert s.count_occupied() == 2
+        assert c.count_occupied() == 4  # two matches + two NULLs
+        assert c.count_present() == 2

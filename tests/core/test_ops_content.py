@@ -1,0 +1,248 @@
+"""Unit tests for content-dependent operators (Section 2.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro import SchemaError, define_aggregate, define_array
+from repro.core import ops
+from repro.core.ops.content import aggregate_all
+from tests.conftest import make_1d, make_2d
+
+
+class TestFilter:
+    def test_false_cells_become_null(self):
+        """'A(v) will contain A(v) if P(A(v)) evaluates to true, otherwise
+        it will contain NULL.'"""
+        a = make_1d([1.0, 5.0, 2.0, 8.0])
+        out = ops.filter(a, lambda c: c.v > 3.0)
+        assert out[1] is None
+        assert out[2].v == 5.0
+        assert out[3] is None
+        assert out[4].v == 8.0
+
+    def test_same_dimensions(self):
+        a = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        out = ops.filter(a, lambda c: c.v % 2 == 0)
+        assert out.dim_names == a.dim_names
+        assert out.bounds == a.bounds
+
+    def test_null_inputs_stay_null_without_predicate_call(self):
+        calls = []
+        a = make_1d([1.0, 2.0])
+        a.set_null((1,))
+
+        def pred(c):
+            calls.append(c)
+            return True
+
+        out = ops.filter(a, pred)
+        assert out[1] is None
+        assert len(calls) == 1
+
+    def test_empty_stays_empty(self):
+        schema = define_array("S", {"v": "float"}, ["x"])
+        a = schema.create("s", [4])
+        a[2] = 1.0
+        out = ops.filter(a, lambda c: True)
+        assert not out.exists(1)
+        assert out.exists(2)
+
+
+class TestAggregate:
+    def test_group_on_one_dimension(self):
+        a = make_2d([[1.0, 3.0], [3.0, 4.0]])
+        out = ops.aggregate(a, ["y"], "sum")
+        assert out.dim_names == ("y",)
+        assert out[1] == 4.0
+        assert out[2] == 7.0
+
+    def test_group_on_multiple_dimensions(self):
+        schema = define_array("A", {"v": "float"}, ["x", "y", "z"])
+        data = np.arange(8.0).reshape(2, 2, 2)
+        a = __import__("repro").SciArray.from_numpy(schema, data)
+        out = ops.aggregate(a, ["x", "z"], "sum")
+        assert out.dim_names == ("x", "z")
+        assert out[1, 1] == data[0, :, 0].sum()
+        assert out[2, 2] == data[1, :, 1].sum()
+
+    def test_group_order_follows_request(self):
+        schema = define_array("A", {"v": "float"}, ["x", "y"])
+        a = __import__("repro").SciArray.from_numpy(schema, np.ones((2, 3)))
+        out = ops.aggregate(a, ["y", "x"], "count")
+        assert out.dim_names == ("y", "x")
+        assert out[3, 2] == 1
+
+    def test_builtin_aggregates(self):
+        a = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        assert ops.aggregate(a, ["y"], "min")[1] == 1.0
+        assert ops.aggregate(a, ["y"], "max")[2] == 4.0
+        assert ops.aggregate(a, ["y"], "avg")[1] == 2.0
+        assert ops.aggregate(a, ["y"], "count")[1] == 2
+
+    def test_user_defined_aggregate(self):
+        define_aggregate(
+            "test_product_agg", lambda: 1.0, lambda s, v: s * v, replace=True
+        )
+        a = make_1d([2.0, 3.0, 4.0])
+        out = ops.aggregate(a, ["x"], "test_product_agg")
+        assert out[2] == 3.0  # each group is a single cell here
+
+    def test_null_cells_excluded(self):
+        a = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        a.set_null((1, 1))
+        out = ops.aggregate(a, ["y"], "sum")
+        assert out[1] == 3.0
+
+    def test_group_without_present_cells_is_empty(self):
+        schema = define_array("A", {"v": "float"}, ["x", "y"])
+        a = schema.create("a", [2, 2])
+        a[1, 1] = 5.0
+        out = ops.aggregate(a, ["y"], "sum")
+        assert out.exists(1)
+        assert not out.exists(2)
+
+    def test_requires_group_dims(self):
+        a = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            ops.aggregate(a, [], "sum")
+
+    def test_duplicate_group_dims(self):
+        a = make_2d([[1.0]])
+        with pytest.raises(SchemaError):
+            ops.aggregate(a, ["x", "x"], "sum")
+
+    def test_attribute_selection(self):
+        schema = define_array("M", {"a": "float", "b": "float"}, ["x"])
+        m = schema.create("m", [2])
+        m[1] = (1.0, 10.0)
+        m[2] = (2.0, 20.0)
+        assert ops.aggregate(m, ["x"], "sum", attr="b")[2] == 20.0
+
+    def test_aggregate_all_scalar(self):
+        a = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        assert aggregate_all(a, "sum") == 10.0
+        assert aggregate_all(a, "count") == 4
+
+
+class TestCjoin:
+    def test_m_plus_n_dimensions(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_2d([[1.0, 2.0]], name="B", dims=("p", "q"))
+        out = ops.cjoin(a, b, lambda l, r: l.v == r.v)
+        assert out.ndim == 3
+        assert out.dim_names == ("x", "p", "q")
+
+    def test_predicate_false_gives_null(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([1.0, 2.0], name="B")
+        out = ops.cjoin(a, b, lambda l, r: l.v == r.v)
+        assert out[1, 1] == (1.0, 1.0)
+        assert out[1, 2] is None
+        assert out[2, 1] is None
+        assert out[2, 2] == (2.0, 2.0)
+
+    def test_empty_inputs_stay_empty(self):
+        schema = define_array("S", {"v": "float"}, ["x"])
+        a = schema.create("a", [3])
+        a[1] = 1.0  # cell 2, 3 empty
+        b = make_1d([1.0], name="B")
+        out = ops.cjoin(a, b, lambda l, r: True)
+        assert out.exists(1, 1)
+        assert not out.exists(2, 1)
+
+    def test_value_inequality_predicate(self):
+        a = make_1d([1.0, 5.0], name="A")
+        b = make_1d([3.0], name="B")
+        out = ops.cjoin(a, b, lambda l, r: l.v < r.v)
+        assert out[1, 1] == (1.0, 3.0)
+        assert out[2, 1] is None
+
+
+class TestApplyProject:
+    def test_apply_new_record(self):
+        a = make_1d([1.0, 2.0])
+        out = ops.apply(a, lambda c: (c.v * 2, c.v**2),
+                        [("double", "float"), ("square", "float")])
+        assert out[2].double == 4.0
+        assert out[2].square == 4.0
+
+    def test_apply_single_output_bare_value(self):
+        a = make_1d([3.0])
+        out = ops.apply(a, lambda c: c.v + 1, [("w", "float")])
+        assert out[1].w == 4.0
+
+    def test_apply_propagates_null(self):
+        a = make_1d([1.0, 2.0])
+        a.set_null((2,))
+        out = ops.apply(a, lambda c: c.v, [("w", "float")])
+        assert out[2] is None
+
+    def test_apply_requires_outputs(self):
+        a = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            ops.apply(a, lambda c: c.v, [])
+
+    def test_project(self, small_remote):
+        out = ops.project(small_remote, ["s3", "s1"])
+        assert out.attr_names == ("s3", "s1")
+        assert out[2, 2] == (-22.0, 22.0)
+
+    def test_project_unknown_attr(self, small_remote):
+        with pytest.raises(SchemaError):
+            ops.project(small_remote, ["nope"])
+
+
+class TestRegrid:
+    def test_dense_avg(self):
+        a = make_2d(np.arange(16.0).reshape(4, 4))
+        out = ops.regrid(a, [2, 2], "avg")
+        np.testing.assert_array_equal(
+            out.to_numpy("avg"), [[2.5, 4.5], [10.5, 12.5]]
+        )
+
+    def test_dense_sum_min_max_count(self):
+        a = make_2d(np.arange(16.0).reshape(4, 4))
+        assert ops.regrid(a, [2, 2], "sum")[1, 1] == 0 + 1 + 4 + 5
+        assert ops.regrid(a, [2, 2], "min")[2, 2] == 10.0
+        assert ops.regrid(a, [2, 2], "max")[1, 2] == 7.0
+        assert ops.regrid(a, [2, 2], "count")[1, 1] == 4
+
+    def test_sparse_path(self):
+        schema = define_array("S", {"v": "float"}, ["x", "y"])
+        a = schema.create("s", [4, 4])
+        a[1, 1] = 2.0
+        a[4, 4] = 6.0
+        out = ops.regrid(a, [2, 2], "sum")
+        assert out[1, 1] == 2.0
+        assert out[2, 2] == 6.0
+        assert not out.exists(1, 2)
+
+    def test_uneven_factor(self):
+        a = make_1d([1.0, 2.0, 3.0])
+        out = ops.regrid(a, [2], "sum")
+        assert out.bounds == (2,)
+        assert out[1] == 3.0
+        assert out[2] == 3.0
+
+    def test_factor_validation(self):
+        a = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            ops.regrid(a, [0], "sum")
+        with pytest.raises(SchemaError):
+            ops.regrid(a, [1, 1], "sum")
+
+    def test_regrid_fast_and_generic_paths_agree(self):
+        """The numpy fast path and the generic fold must agree.  A
+        user-defined aggregate identical to sum forces the generic path."""
+        define_aggregate(
+            "test_sum_clone", lambda: 0.0, lambda s, v: s + v, replace=True
+        )
+        rng = np.random.default_rng(42)
+        data = rng.normal(size=(8, 8))
+        dense = make_2d(data)
+        out_fast = ops.regrid(dense, [4, 2], "sum")
+        out_generic = ops.regrid(dense, [4, 2], "test_sum_clone")
+        for coords, cell in out_fast.cells():
+            assert getattr(out_generic[coords], "test_sum_clone") == pytest.approx(
+                cell.sum
+            )

@@ -1,0 +1,273 @@
+"""Unit tests for structural operators (Section 2.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro import SchemaError, define_array
+from repro.core import ops
+from tests.conftest import make_1d, make_2d
+
+
+class TestSubsample:
+    def test_even_slices(self):
+        """The paper's Subsample(F, even(X))."""
+        f = make_2d([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]])
+        out = ops.subsample(f, {"x": lambda x: x % 2 == 0})
+        assert out.bounds == (2, 2)
+        assert out[1, 1].v == 3.0 and out[2, 2].v == 8.0
+
+    def test_index_values_retained_via_enhancement(self):
+        """'The slices are concatenated ... and the index values are
+        retained' — through the source_index enhancement."""
+        f = make_2d([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]])
+        out = ops.subsample(f, {"x": lambda x: x % 2 == 0})
+        src = out.find_enhancement("source_index")
+        assert src.from_basic((1, 1)) == (2, 1)
+        assert src.from_basic((2, 2)) == (4, 2)
+        # And addressing by original index works: A{4, 2}
+        assert out.mapped[4, 2].v == 8.0
+
+    def test_range_condition(self):
+        f = make_1d([10.0, 20.0, 30.0, 40.0, 50.0])
+        out = ops.subsample(f, {"x": (2, 4)})
+        assert out.bounds == (3,)
+        assert [c.v for _, c in out.cells()] == [20.0, 30.0, 40.0]
+
+    def test_open_range(self):
+        f = make_1d([10.0, 20.0, 30.0, 40.0])
+        assert ops.subsample(f, {"x": (None, 2)}).bounds == (2,)
+        assert ops.subsample(f, {"x": (3, None)}).bounds == (2,)
+
+    def test_equality_condition(self):
+        f = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        out = ops.subsample(f, {"x": 2})
+        assert out.bounds == (1, 2)
+        assert out[1, 2].v == 4.0
+
+    def test_set_condition(self):
+        f = make_1d([10.0, 20.0, 30.0, 40.0])
+        out = ops.subsample(f, {"x": {1, 4}})
+        assert [c.v for _, c in out.cells()] == [10.0, 40.0]
+
+    def test_conjunction_of_dimensions(self):
+        """X in range AND Y even — 'a conjunction of conditions on each
+        dimension independently'."""
+        f = make_2d(np.arange(1.0, 17.0).reshape(4, 4))
+        out = ops.subsample(f, {"x": (2, 3), "y": lambda y: y % 2 == 0})
+        assert out.bounds == (2, 2)
+        assert out[1, 1].v == 6.0  # source (2, 2)
+        assert out[2, 2].v == 12.0  # source (3, 4)
+
+    def test_unknown_dimension_rejected(self):
+        f = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            ops.subsample(f, {"zz": 1})
+
+    def test_cross_dimension_predicate_inexpressible(self):
+        """'X = Y' is not legal — the API only admits per-dimension
+        conditions, so this is a structural guarantee; bare bools (a likely
+        attempt to smuggle one in) are rejected."""
+        f = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(SchemaError):
+            ops.subsample(f, {"x": True})
+
+    def test_preserves_null_cells(self):
+        f = make_1d([1.0, 2.0, 3.0])
+        f.set_null((2,))
+        out = ops.subsample(f, {"x": (2, 3)})
+        assert out.exists(1) and out[1] is None
+        assert out[2].v == 3.0
+
+    def test_empty_selection(self):
+        f = make_1d([1.0, 2.0])
+        out = ops.subsample(f, {"x": lambda x: False})
+        assert out.count_occupied() == 0
+
+
+class TestExists:
+    def test_paper_form(self):
+        a = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        assert ops.exists(a, 2, 2)
+        assert not ops.exists(a, 7, 7)
+
+
+class TestReshape:
+    def test_paper_example_2x3x4_to_8x3(self):
+        """Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])."""
+        g_schema = define_array("G", {"v": "float"}, ["X", "Y", "Z"])
+        data = np.arange(24.0).reshape(2, 3, 4)
+        g = __import__("repro").SciArray.from_numpy(g_schema, data, name="G")
+        out = ops.reshape(g, ["X", "Z", "Y"], [("U", 8), ("V", 3)])
+        assert out.bounds == (8, 3)
+        # Linearize X slowest, Y fastest: element (x, z, y) has rank
+        # ((x-1)*4 + (z-1))*3 + (y-1).
+        expect = np.transpose(data, (0, 2, 1)).reshape(8, 3)
+        np.testing.assert_array_equal(out.to_numpy("v"), expect)
+
+    def test_to_1d(self):
+        g = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        out = ops.reshape(g, ["x", "y"], [("k", 4)])
+        assert [c.v for _, c in out.cells()] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cell_count_preserved_check(self):
+        g = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(SchemaError):
+            ops.reshape(g, ["x", "y"], [("k", 5)])
+
+    def test_order_must_be_permutation(self):
+        g = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(SchemaError):
+            ops.reshape(g, ["x", "x"], [("k", 4)])
+
+
+class TestSjoin:
+    def test_dimensionality_m_plus_n_minus_k(self):
+        """2-D sjoin 2-D on one dim -> 3-D."""
+        a = make_2d([[1.0, 2.0], [3.0, 4.0]], name="A")
+        b = make_2d([[5.0, 6.0], [7.0, 8.0]], name="B", dims=("x", "z"))
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out.ndim == 3
+        assert out.dim_names == ("x", "y", "z")
+        assert out[1, 2, 1] == (2.0, 5.0)
+
+    def test_join_all_dims(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([3.0, 4.0], name="B")
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out.ndim == 1
+        assert out[1] == (1.0, 3.0)
+
+    def test_missing_partner_leaves_empty(self):
+        a = make_1d([1.0, 2.0, 3.0], name="A")
+        b = make_1d([9.0], name="B")
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out.exists(1)
+        assert not out.exists(2) and not out.exists(3)
+
+    def test_attribute_rename_on_clash(self):
+        a = make_1d([1.0], name="A")
+        b = make_1d([2.0], name="B")
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out.attr_names == ("v", "v_r")
+
+    def test_null_inputs_produce_null(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([3.0, 4.0], name="B")
+        a.set_null((2,))
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out[2] is None
+
+    def test_requires_pairs(self):
+        a = make_1d([1.0], name="A")
+        b = make_1d([2.0], name="B")
+        with pytest.raises(SchemaError):
+            ops.sjoin(a, b, on=[])
+
+    def test_duplicate_dim_in_predicate(self):
+        a = make_2d([[1.0]], name="A")
+        b = make_2d([[1.0]], name="B")
+        with pytest.raises(SchemaError):
+            ops.sjoin(a, b, on=[("x", "x"), ("x", "y")])
+
+
+class TestAddRemoveDimension:
+    def test_add(self):
+        a = make_1d([1.0, 2.0])
+        out = ops.add_dimension(a, "layer")
+        assert out.dim_names == ("x", "layer")
+        assert out[1, 1].v == 1.0
+
+    def test_add_existing_rejected(self):
+        a = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            ops.add_dimension(a, "x")
+
+    def test_remove(self):
+        a = make_1d([1.0, 2.0])
+        widened = ops.add_dimension(a, "layer")
+        out = ops.remove_dimension(widened, "layer")
+        assert out.dim_names == ("x",)
+        assert out[2].v == 2.0
+
+    def test_remove_wide_dimension_rejected(self):
+        a = make_2d([[1.0, 2.0]])
+        with pytest.raises(SchemaError):
+            ops.remove_dimension(a, "y")
+
+    def test_remove_last_dimension_rejected(self):
+        a = make_1d([1.0])
+        with pytest.raises(SchemaError):
+            ops.remove_dimension(a, "x")
+
+
+class TestConcatenate:
+    def test_along_dim(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([3.0], name="B")
+        out = ops.concatenate(a, b, "x")
+        assert out.bounds == (3,)
+        assert [c.v for _, c in out.cells()] == [1.0, 2.0, 3.0]
+
+    def test_extent_mismatch_rejected(self):
+        a = make_2d([[1.0, 2.0]], name="A")
+        b = make_2d([[1.0, 2.0, 3.0]], name="B")
+        with pytest.raises(SchemaError):
+            ops.concatenate(a, b, "x")
+
+    def test_schema_mismatch_rejected(self):
+        a = make_1d([1.0], name="A")
+        b = make_1d([1.0], name="B", attr="w")
+        with pytest.raises(SchemaError):
+            ops.concatenate(a, b, "x")
+
+
+class TestCrossProduct:
+    def test_m_plus_n_dimensions(self):
+        a = make_1d([1.0, 2.0], name="A")
+        b = make_1d([3.0], name="B", dim="y")
+        out = ops.cross_product(a, b)
+        assert out.ndim == 2
+        assert out[2, 1] == (2.0, 3.0)
+
+    def test_dim_rename_on_clash(self):
+        a = make_1d([1.0], name="A")
+        b = make_1d([2.0], name="B")
+        out = ops.cross_product(a, b)
+        assert out.dim_names == ("x", "x_r")
+
+
+class TestTranspose:
+    def test_2d(self):
+        a = make_2d([[1.0, 2.0], [3.0, 4.0]])
+        out = ops.transpose(a, ["y", "x"])
+        assert out[2, 1].v == 2.0
+        assert out[1, 2].v == 3.0
+
+    def test_invalid_order(self):
+        a = make_2d([[1.0]])
+        with pytest.raises(SchemaError):
+            ops.transpose(a, ["x", "x"])
+
+
+class TestOperatorRegistry:
+    def test_builtins_registered(self):
+        for name in ("subsample", "sjoin", "reshape", "filter", "aggregate"):
+            assert callable(ops.get_operator(name))
+
+    def test_user_extension(self):
+        """Section 2.3: users can add their own array operations."""
+        def flip_sign(array):
+            return ops.apply(array, lambda c: -c.v, [("v", "float")])
+
+        ops.register_operator("flip_sign_test", flip_sign)
+        a = make_1d([1.0, -2.0])
+        out = ops.get_operator("flip_sign_test")(a)
+        assert [c.v for _, c in out.cells()] == [-1.0, 2.0]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(Exception):
+            ops.register_operator("subsample", lambda a: a)
+
+    def test_unknown_operator(self):
+        with pytest.raises(Exception):
+            ops.get_operator("no_such_operator")

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for core data-model invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SciArray, UncertainValue, define_array
+from repro.core import ops
+
+# -- strategies ---------------------------------------------------------------
+
+dims_1d = st.integers(min_value=1, max_value=40)
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def arrays_1d(draw, max_size=40):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    values = draw(
+        st.lists(floats, min_size=size, max_size=size)
+    )
+    schema = define_array("P", {"v": "float"}, ["x"])
+    return SciArray.from_numpy(schema, np.asarray(values), name="P")
+
+
+@st.composite
+def arrays_2d(draw, max_side=12):
+    nx = draw(st.integers(min_value=1, max_value=max_side))
+    ny = draw(st.integers(min_value=1, max_value=max_side))
+    values = draw(
+        st.lists(
+            st.lists(floats, min_size=ny, max_size=ny),
+            min_size=nx, max_size=nx,
+        )
+    )
+    schema = define_array("P2", {"v": "float"}, ["x", "y"])
+    return SciArray.from_numpy(schema, np.asarray(values), name="P2")
+
+
+@st.composite
+def sparse_cells(draw):
+    """A dict of coords -> value on a 20x20 domain."""
+    items = draw(
+        st.dictionaries(
+            st.tuples(st.integers(1, 20), st.integers(1, 20)),
+            floats,
+            min_size=0,
+            max_size=30,
+        )
+    )
+    return items
+
+
+# -- round trips ---------------------------------------------------------------
+
+
+class TestRoundTrips:
+    @given(arrays_2d())
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_round_trip(self, arr):
+        data = arr.to_numpy("v")
+        again = SciArray.from_numpy(arr.schema, data, name="again")
+        assert arr.content_equal(again)
+
+    @given(sparse_cells())
+    @settings(max_examples=40, deadline=None)
+    def test_sparse_write_read(self, items):
+        schema = define_array("S", {"v": "float"}, ["x", "y"])
+        arr = schema.create("s", [20, 20], chunk_shape=(3, 5))
+        for coords, v in items.items():
+            arr[coords] = v
+        assert arr.count_present() == len(items)
+        for coords, v in items.items():
+            assert arr[coords].v == v
+        got = {c: cell.v for c, cell in arr.cells()}
+        assert got == items
+
+    @given(arrays_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_cells_sorted_row_major(self, arr):
+        coords = [c for c, _ in arr.cells()]
+        assert coords == sorted(coords)
+
+
+class TestOperatorInvariants:
+    @given(arrays_2d(), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_subsample_range_cell_count(self, arr, lo, span):
+        nx = arr.bounds[0]
+        lo = min(lo, nx)
+        hi = min(lo + span, nx)
+        out = ops.subsample(arr, {"x": (lo, hi)})
+        assert out.count_present() == (hi - lo + 1) * arr.bounds[1]
+
+    @given(arrays_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_involution(self, arr):
+        once = ops.transpose(arr, ["y", "x"])  # dims now (y, x)
+        back = ops.transpose(once, ["x", "y"])  # reorder back to (x, y)
+        assert back.content_equal(arr)
+
+    @given(arrays_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_preserves_multiset(self, arr):
+        n = arr.bounds[0] * arr.bounds[1]
+        out = ops.reshape(arr, list(arr.dim_names), [("k", n)])
+        assert sorted(c.v for _, c in out.cells()) == sorted(
+            c.v for _, c in arr.cells()
+        )
+
+    @given(arrays_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_sum_matches_numpy(self, arr):
+        out = ops.aggregate(arr, ["y"], "sum")
+        expected = arr.to_numpy("v").sum(axis=0)
+        for j in range(1, arr.bounds[1] + 1):
+            assert math.isclose(
+                out[j].sum, expected[j - 1], rel_tol=1e-9, abs_tol=1e-6
+            )
+
+    @given(arrays_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_filter_partitions_cells(self, arr):
+        out = ops.filter(arr, lambda c: c.v > 0)
+        n_true = sum(1 for _, c in arr.cells() if c.v > 0)
+        assert out.count_present() == n_true
+        assert out.count_occupied() == arr.count_occupied()
+
+    @given(arrays_1d(), arrays_1d())
+    @settings(max_examples=30, deadline=None)
+    def test_sjoin_size_is_min_extent(self, a, b):
+        out = ops.sjoin(a, b, on=[("x", "x")])
+        assert out.count_occupied() == min(a.bounds[0], b.bounds[0])
+
+    @given(arrays_1d(max_size=12), arrays_1d(max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_cjoin_occupies_product(self, a, b):
+        out = ops.cjoin(a, b, lambda l, r: l.v == r.v)
+        assert out.count_occupied() == a.bounds[0] * b.bounds[0]
+
+    @given(arrays_2d(max_side=8), st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_regrid_sum_conserves_total(self, arr, fx, fy):
+        out = ops.regrid(arr, [fx, fy], "sum")
+        total_in = sum(c.v for _, c in arr.cells())
+        total_out = sum(c.sum for _, c in out.cells())
+        assert math.isclose(total_in, total_out, rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestUncertainProperties:
+    @given(floats, st.floats(0, 100), floats, st.floats(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a, sa, b, sb):
+        x = UncertainValue(a, sa) + UncertainValue(b, sb)
+        y = UncertainValue(b, sb) + UncertainValue(a, sa)
+        assert math.isclose(x.value, y.value, rel_tol=1e-12, abs_tol=1e-12)
+        assert math.isclose(x.sigma, y.sigma, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(floats, st.floats(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_exact_zero_is_identity(self, a, sa):
+        v = UncertainValue(a, sa)
+        w = v + UncertainValue(0.0, 0.0)
+        assert w.value == v.value and w.sigma == v.sigma
+
+    @given(floats, st.floats(0.001, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_interval_contains_mean(self, a, sa):
+        lo, hi = UncertainValue(a, sa).interval()
+        assert lo <= a <= hi
+
+    @given(st.lists(st.tuples(floats, st.floats(0.01, 10)), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_combined_sigma_never_larger_than_best(self, pairs):
+        vals = [UncertainValue(v, s) for v, s in pairs]
+        combined = combine = None
+        from repro import combine_mean
+
+        combined = combine_mean(vals)
+        assert combined.sigma <= min(v.sigma for v in vals) + 1e-12

@@ -1,0 +1,135 @@
+"""Unit tests for array definitions (Section 2.1 / 2.5)."""
+
+import pytest
+
+from repro import (
+    ArraySchema,
+    Attribute,
+    Dimension,
+    HISTORY_DIMENSION,
+    SchemaError,
+    UNBOUNDED,
+    define_array,
+)
+from repro.core.datatypes import FLOAT64
+
+
+class TestDimension:
+    def test_basic(self):
+        d = Dimension("I", 1024)
+        assert not d.unbounded
+        assert d.contains(1) and d.contains(1024)
+        assert not d.contains(0) and not d.contains(1025)
+
+    def test_unbounded(self):
+        d = Dimension("t")
+        assert d.unbounded
+        assert d.contains(10**9)
+        assert d.contains(5, high_water=10)
+        assert not d.contains(11, high_water=10)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Dimension("3bad")
+
+    def test_negative_size(self):
+        with pytest.raises(SchemaError):
+            Dimension("I", -1)
+
+
+class TestDefineArray:
+    def test_paper_example(self):
+        remote = define_array(
+            "Remote", {"s1": "float", "s2": "float", "s3": "float"}, ["I", "J"]
+        )
+        assert remote.attr_names == ("s1", "s2", "s3")
+        assert remote.dim_names == ("I", "J")
+        assert all(isinstance(a.type, type(FLOAT64)) for a in remote.attributes)
+        assert str(remote).startswith("array Remote")
+
+    def test_sized_dims(self):
+        s = define_array("A", {"v": "float"}, [("x", 10), ("y", None)])
+        assert s.dimension("x").size == 10
+        assert s.dimension("y").unbounded
+
+    def test_requires_attribute_and_dimension(self):
+        with pytest.raises(SchemaError):
+            ArraySchema("A", (), (Dimension("x"),))
+        with pytest.raises(SchemaError):
+            ArraySchema("A", (Attribute("v", FLOAT64),), ())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            define_array("A", {"x": "float"}, ["x"])
+
+    def test_lookup_errors(self):
+        s = define_array("A", {"v": "float"}, ["x"])
+        with pytest.raises(SchemaError):
+            s.attribute("nope")
+        with pytest.raises(SchemaError):
+            s.dimension("nope")
+        with pytest.raises(SchemaError):
+            s.dim_index("nope")
+
+    def test_nested_array_attribute(self):
+        """Section 2.1: cells contain records that may contain arrays."""
+        inner = define_array("Results", {"item": "int64"}, ["rank"])
+        outer = define_array("Click", {"query": "string", "results": inner}, ["t"])
+        assert outer.attribute("results").is_nested
+
+
+class TestBind:
+    def test_create_binds_bounds(self):
+        remote = define_array("Remote", {"s1": "float"}, ["I", "J"])
+        bound = remote.bind([1024, 1024])
+        assert bound.dimension("I").size == 1024
+
+    def test_unbounded_star(self):
+        remote = define_array("Remote", {"s1": "float"}, ["I", "J"])
+        bound = remote.bind([UNBOUNDED, UNBOUNDED])
+        assert bound.dimension("I").unbounded and bound.dimension("J").unbounded
+
+    def test_wrong_bound_count(self):
+        remote = define_array("Remote", {"s1": "float"}, ["I", "J"])
+        with pytest.raises(SchemaError):
+            remote.bind([4])
+
+    def test_non_integer_bound(self):
+        remote = define_array("Remote", {"s1": "float"}, ["I"])
+        with pytest.raises(SchemaError):
+            remote.bind([2.5])
+
+
+class TestUpdatableHistory:
+    """Section 2.5: updatable arrays automatically gain a history dim."""
+
+    def test_history_dimension_added(self):
+        remote2 = define_array(
+            "Remote_2", {"s1": "float"}, ["I", "J"], updatable=True
+        )
+        bound = remote2.bind([1024, 1024])
+        assert bound.dim_names == ("I", "J", HISTORY_DIMENSION)
+        assert bound.dimension(HISTORY_DIMENSION).unbounded
+
+    def test_explicit_history_dimension_kept(self):
+        remote2 = define_array(
+            "Remote_2", {"s1": "float"}, ["I", "J", HISTORY_DIMENSION],
+            updatable=True,
+        )
+        bound = remote2.bind([1024, 1024, UNBOUNDED])
+        assert bound.dim_names.count(HISTORY_DIMENSION) == 1
+
+    def test_bounded_history_rejected(self):
+        remote2 = define_array("R", {"s1": "float"}, ["I"], updatable=True)
+        with pytest.raises(SchemaError):
+            remote2.bind([4, 10])
+
+    def test_create_paper_syntax(self):
+        """create my_remote_2 as Remote_2 [1024, 1024, *]."""
+        remote2 = define_array(
+            "Remote_2", {"s1": "float", "s2": "float", "s3": "float"},
+            ["I", "J"], updatable=True,
+        )
+        inst = remote2.create("my_remote_2", [1024, 1024, UNBOUNDED])
+        assert inst.ndim == 3
+        assert inst.schema.has_history

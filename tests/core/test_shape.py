@@ -1,0 +1,196 @@
+"""Unit tests for shape functions / ragged arrays (Section 2.1)."""
+
+import pytest
+
+from repro import (
+    BoundsError,
+    SchemaError,
+    apply_shape,
+    define_array,
+    shape_of,
+)
+from repro.core.shape import (
+    BandShape,
+    CallableShape,
+    CircleShape,
+    LowerTriangleShape,
+    RectangleShape,
+    SeparableShape,
+)
+
+
+class TestLowerTriangle:
+    def test_slice_bounds_given_i(self):
+        s = LowerTriangleShape(4)
+        # shape-function (A[3, *]) — bounds of J for I = 3
+        assert s.slice_bounds((3, None)) == (1, 3)
+
+    def test_slice_bounds_given_j(self):
+        s = LowerTriangleShape(4)
+        assert s.slice_bounds((None, 2)) == (2, 4)
+
+    def test_contains(self):
+        s = LowerTriangleShape(4)
+        assert s.contains((3, 2))
+        assert not s.contains((2, 3))
+        assert not s.contains((0, 0))
+        assert not s.contains((5, 1))
+
+    def test_global_bounds(self):
+        """shape-function (A[I, *]): max high-water and min low-water."""
+        s = LowerTriangleShape(4)
+        assert s.global_bounds(1) == (1, 4)
+        assert s.global_bounds(0) == (1, 4)
+
+    def test_cell_count(self):
+        assert LowerTriangleShape(4).cell_count() == 10  # 1+2+3+4
+
+
+class TestBand:
+    def test_bounds(self):
+        s = BandShape(10, width=1)
+        assert s.slice_bounds((5, None)) == (4, 6)
+        assert s.slice_bounds((1, None)) == (1, 2)
+        assert s.slice_bounds((10, None)) == (9, 10)
+
+    def test_contains(self):
+        s = BandShape(10, width=1)
+        assert s.contains((5, 5)) and s.contains((5, 6))
+        assert not s.contains((5, 7))
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(SchemaError):
+            BandShape(10, width=-1)
+
+
+class TestCircle:
+    """'Arrays that digitize circles ... are possible' — raggedness in
+    both the lower and upper bound."""
+
+    def test_ragged_both_ends(self):
+        s = CircleShape(center=(8.0, 8.0), radius=5.0)
+        mid = s.slice_bounds((8, None))
+        edge = s.slice_bounds((4, None))
+        assert mid == (3, 13)
+        assert edge[0] > mid[0] and edge[1] < mid[1]
+
+    def test_outside_radius_slice_is_empty(self):
+        s = CircleShape(center=(8.0, 8.0), radius=3.0)
+        assert s.slice_bounds((1, None)) is None
+
+    def test_contains_matches_euclidean(self):
+        s = CircleShape(center=(8.0, 8.0), radius=4.0)
+        for i in range(1, 13):
+            for j in range(1, 13):
+                expected = (i - 8.0) ** 2 + (j - 8.0) ** 2 <= 16.0
+                assert s.contains((i, j)) == expected
+
+    def test_cells_enumeration_consistent(self):
+        s = CircleShape(center=(6.0, 6.0), radius=3.0)
+        cells = set(s.cells())
+        assert all(s.contains(c) for c in cells)
+        assert s.cell_count() == len(cells)
+
+
+class TestSeparable:
+    """The paper's separable case: per-dimension shape functions."""
+
+    def test_bounds_independent_of_other_dims(self):
+        s = SeparableShape([(2, 5), (1, 3)])
+        assert s.slice_bounds((4, None)) == (1, 3)
+        assert s.slice_bounds((None, 2)) == (2, 5)
+
+    def test_out_of_range_fixed_coordinate(self):
+        s = SeparableShape([(2, 5), (1, 3)])
+        assert s.slice_bounds((1, None)) is None
+
+    def test_contains(self):
+        s = SeparableShape([(2, 5), (1, 3)])
+        assert s.contains((2, 1)) and s.contains((5, 3))
+        assert not s.contains((1, 1)) and not s.contains((2, 4))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(SchemaError):
+            SeparableShape([(3, 2)])
+
+    def test_rectangle_is_full_box(self):
+        r = RectangleShape([3, 2])
+        assert r.cell_count() == 6
+
+
+class TestCallableShape:
+    def test_user_function(self):
+        """A shape function defined by an arbitrary user callable —
+        the 'raggedness in the upper and lower bounds' general case."""
+        s = CallableShape([4, 10], lambda i: (i, 2 * i))
+        assert s.slice_bounds((3, None)) == (3, 6)
+        assert s.contains((3, 4))
+        assert not s.contains((3, 7))
+
+    def test_scan_other_axis(self):
+        s = CallableShape([4, 10], lambda i: (i, 2 * i))
+        # Free dimension 0 answered by scanning.
+        assert s.slice_bounds((None, 4)) == (2, 4)
+
+    def test_empty_slice(self):
+        s = CallableShape([4, 4], lambda i: None if i == 2 else (1, i))
+        assert s.slice_bounds((2, None)) is None
+        assert not s.contains((2, 1))
+
+    def test_bounds_clamped_to_outer(self):
+        s = CallableShape([4, 4], lambda i: (0, 99))
+        assert s.slice_bounds((1, None)) == (1, 4)
+
+
+class TestApplyShape:
+    def test_shape_restricts_writes(self):
+        schema = define_array("T", {"v": "float"}, ["I", "J"])
+        arr = schema.create("t", [4, 4])
+        apply_shape(arr, LowerTriangleShape(4))
+        arr[3, 2] = 1.0
+        with pytest.raises(BoundsError):
+            arr[2, 3] = 1.0
+
+    def test_one_shape_per_array(self):
+        schema = define_array("T", {"v": "float"}, ["I", "J"])
+        arr = schema.create("t", [4, 4])
+        apply_shape(arr, LowerTriangleShape(4))
+        with pytest.raises(SchemaError):
+            apply_shape(arr, BandShape(4, 1))
+
+    def test_dimensionality_checked(self):
+        schema = define_array("T", {"v": "float"}, ["I"])
+        arr = schema.create("t", [4])
+        with pytest.raises(SchemaError):
+            apply_shape(arr, LowerTriangleShape(4))
+
+    def test_shape_of_query(self):
+        schema = define_array("T", {"v": "float"}, ["I", "J"])
+        arr = schema.create("t", [4, 4])
+        apply_shape(arr, LowerTriangleShape(4))
+        # The paper's shape-function (A[3, *])
+        assert shape_of(arr, (3, None)) == (1, 3)
+
+    def test_shape_of_without_shape(self):
+        schema = define_array("T", {"v": "float"}, ["I", "J"])
+        arr = schema.create("t", [4, 4])
+        with pytest.raises(SchemaError):
+            shape_of(arr, (3, None))
+
+    def test_exists_outside_shape_is_false(self):
+        schema = define_array("T", {"v": "float"}, ["I", "J"])
+        arr = schema.create("t", [4, 4])
+        apply_shape(arr, LowerTriangleShape(4))
+        assert not arr.exists(2, 3)
+
+
+class TestSpecValidation:
+    def test_wrong_length(self):
+        with pytest.raises(SchemaError):
+            LowerTriangleShape(4).slice_bounds((1, None, None))
+
+    def test_exactly_one_free(self):
+        with pytest.raises(SchemaError):
+            LowerTriangleShape(4).slice_bounds((None, None))
+        with pytest.raises(SchemaError):
+            LowerTriangleShape(4).slice_bounds((1, 2))

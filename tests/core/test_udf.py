@@ -1,0 +1,243 @@
+"""Unit tests for UDFs and user-defined aggregates (Sections 2.1, 2.3)."""
+
+import pytest
+
+from repro import (
+    SchemaError,
+    TypeMismatchError,
+    UnknownFunctionError,
+    define_aggregate,
+    define_function,
+    get_aggregate,
+    get_function,
+)
+from repro.core.udf import FunctionRegistry
+
+
+@pytest.fixture
+def reg():
+    return FunctionRegistry()
+
+
+class TestUserFunctions:
+    def test_paper_scale10(self, reg):
+        """Define function Scale10 (integer I, integer J)
+        returns (integer K, integer L)."""
+        f = reg.define_function(
+            "Scale10",
+            inputs=[("I", "integer"), ("J", "integer")],
+            outputs=[("K", "integer"), ("L", "integer")],
+            fn=lambda i, j: (10 * i, 10 * j),
+            inverse=lambda k, l: (k // 10, l // 10),
+        )
+        assert f(7, 8) == (70, 80)
+        assert f.invert(70, 80) == (7, 8)
+
+    def test_arity_checked(self, reg):
+        f = reg.define_function("inc", [("x", "integer")], [("y", "integer")],
+                                lambda x: x + 1)
+        with pytest.raises(TypeMismatchError):
+            f(1, 2)
+
+    def test_input_types_checked(self, reg):
+        f = reg.define_function("inc", [("x", "integer")], [("y", "integer")],
+                                lambda x: x + 1)
+        with pytest.raises(TypeMismatchError):
+            f(1.5)
+
+    def test_output_types_checked(self, reg):
+        f = reg.define_function("bad", [("x", "integer")], [("y", "integer")],
+                                lambda x: "oops")
+        with pytest.raises(TypeMismatchError):
+            f(1)
+
+    def test_single_output_unwrapped(self, reg):
+        f = reg.define_function("inc", [("x", "integer")], [("y", "integer")],
+                                lambda x: x + 1)
+        assert f(1) == 2
+
+    def test_multi_output_width_checked(self, reg):
+        f = reg.define_function("pair", [("x", "integer")],
+                                [("a", "integer"), ("b", "integer")],
+                                lambda x: (x,))
+        with pytest.raises(TypeMismatchError):
+            f(1)
+
+    def test_no_inverse(self, reg):
+        f = reg.define_function("inc", [("x", "integer")], [("y", "integer")],
+                                lambda x: x + 1)
+        with pytest.raises(UnknownFunctionError):
+            f.invert(2)
+
+    def test_duplicate_rejected_unless_replace(self, reg):
+        reg.define_function("f", [("x", "integer")], [("y", "integer")], lambda x: x)
+        with pytest.raises(SchemaError):
+            reg.define_function("f", [("x", "integer")], [("y", "integer")], lambda x: x)
+        reg.define_function("f", [("x", "integer")], [("y", "integer")],
+                            lambda x: -x, replace=True)
+        assert reg.get_function("f")(3) == -3
+
+    def test_unknown_lookup(self, reg):
+        with pytest.raises(UnknownFunctionError):
+            reg.get_function("missing")
+
+    def test_duplicate_parameter_names(self, reg):
+        with pytest.raises(SchemaError):
+            reg.define_function("f", [("x", "integer"), ("x", "integer")],
+                                [("y", "integer")], lambda a, b: a)
+
+    def test_udf_can_call_udf(self, reg):
+        """Postgres style: 'UDFs can internally run queries and call other
+        UDFs'."""
+        double = reg.define_function("double", [("x", "integer")],
+                                     [("y", "integer")], lambda x: 2 * x)
+        quad = reg.define_function("quad", [("x", "integer")], [("y", "integer")],
+                                   lambda x: double(double(x)))
+        assert quad(3) == 12
+
+
+class TestBuiltinAggregates:
+    @pytest.mark.parametrize(
+        "name,values,expected",
+        [
+            ("sum", [1, 2, 3], 6),
+            ("count", [1, 2, 3], 3),
+            ("avg", [1.0, 2.0, 3.0], 2.0),
+            ("min", [3, 1, 2], 1),
+            ("max", [3, 1, 2], 3),
+        ],
+    )
+    def test_values(self, name, values, expected):
+        assert get_aggregate(name).compute(values) == expected
+
+    def test_stdev(self):
+        assert get_aggregate("stdev").compute([2.0, 2.0]) == 0.0
+        assert get_aggregate("stdev").compute([0.0, 2.0]) == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert get_aggregate("sum").compute([]) == 0
+        assert get_aggregate("avg").compute([]) is None
+        assert get_aggregate("min").compute([]) is None
+
+    def test_case_insensitive(self):
+        assert get_aggregate("SUM") is get_aggregate("sum")
+
+
+class TestUserAggregates:
+    def test_define_and_use(self, reg):
+        geo = reg.define_aggregate(
+            "product", initial=lambda: 1.0, transition=lambda s, v: s * v
+        )
+        assert geo.compute([2.0, 3.0, 4.0]) == 24.0
+        assert reg.get_aggregate("product") is geo
+
+    def test_final_function(self, reg):
+        rng = reg.define_aggregate(
+            "value_range",
+            initial=lambda: (None, None),
+            transition=lambda s, v: (
+                v if s[0] is None else min(s[0], v),
+                v if s[1] is None else max(s[1], v),
+            ),
+            final=lambda s: None if s[0] is None else s[1] - s[0],
+        )
+        assert rng.compute([5.0, 1.0, 3.0]) == 4.0
+
+    def test_duplicate_rejected(self, reg):
+        reg.define_aggregate("agg1", lambda: 0, lambda s, v: s)
+        with pytest.raises(SchemaError):
+            reg.define_aggregate("agg1", lambda: 0, lambda s, v: s)
+
+
+class TestGlobalRegistry:
+    def test_define_function_global(self):
+        f = define_function(
+            "test_global_fn_unique",
+            [("x", "integer")],
+            [("y", "integer")],
+            lambda x: x + 100,
+        )
+        assert get_function("test_global_fn_unique") is f
+
+    def test_define_aggregate_global(self):
+        a = define_aggregate(
+            "test_global_agg_unique", lambda: 0, lambda s, v: s + v * v
+        )
+        assert get_aggregate("test_global_agg_unique") is a
+
+
+class TestFunctionFromFile:
+    """The paper's 'file_handle' form of define function."""
+
+    def make_file(self, tmp_path, body):
+        path = tmp_path / "scale10_impl.py"
+        path.write_text(body)
+        return path
+
+    def test_load_and_call(self, tmp_path):
+        from repro import define_function_from_file
+
+        path = self.make_file(
+            tmp_path,
+            "def fn(i, j):\n    return (10 * i, 10 * j)\n"
+            "def inverse(k, l):\n    return (k // 10, l // 10)\n",
+        )
+        f = define_function_from_file(
+            "Scale10FromFile",
+            inputs=[("I", "integer"), ("J", "integer")],
+            outputs=[("K", "integer"), ("L", "integer")],
+            file_handle=str(path),
+            replace=True,
+        )
+        assert f(7, 8) == (70, 80)
+        assert f.invert(70, 80) == (7, 8)
+
+    def test_usable_as_enhancement(self, tmp_path):
+        from repro import define_array, define_function_from_file, enhance
+
+        path = self.make_file(
+            tmp_path,
+            "def fn(i):\n    return 100 * i\n"
+            "def inverse(k):\n    return k // 100\n",
+        )
+        define_function_from_file(
+            "Scale100FromFile",
+            inputs=[("I", "integer")],
+            outputs=[("K", "integer")],
+            file_handle=str(path),
+            replace=True,
+        )
+        arr = define_array("FF", {"v": "float"}, ["I"]).create("ff", [8])
+        arr[3] = 1.5
+        enhance(arr, "Scale100FromFile")
+        assert arr.mapped[300].v == 1.5
+
+    def test_missing_file(self, tmp_path):
+        from repro import define_function_from_file
+
+        with pytest.raises(UnknownFunctionError):
+            define_function_from_file(
+                "Nope", [("x", "integer")], [("y", "integer")],
+                file_handle=str(tmp_path / "missing.py"),
+            )
+
+    def test_file_without_fn(self, tmp_path):
+        from repro import define_function_from_file
+
+        path = self.make_file(tmp_path, "x = 1\n")
+        with pytest.raises(UnknownFunctionError):
+            define_function_from_file(
+                "NoFn", [("x", "integer")], [("y", "integer")],
+                file_handle=str(path),
+            )
+
+    def test_signature_still_enforced(self, tmp_path):
+        from repro import define_function_from_file
+
+        path = self.make_file(tmp_path, "def fn(x):\n    return 'oops'\n")
+        f = define_function_from_file(
+            "BadOutputFromFile", [("x", "integer")], [("y", "integer")],
+            file_handle=str(path), replace=True,
+        )
+        with pytest.raises(TypeMismatchError):
+            f(1)

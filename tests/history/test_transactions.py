@@ -1,0 +1,215 @@
+"""Unit tests for no-overwrite transactions and time travel (Section 2.5)."""
+
+import datetime
+
+import pytest
+
+from repro import EmptyCellError, TransactionError, define_array
+from repro.history import DELETED, UpdatableArray, cell_history, snapshot
+from repro.history.timetravel import history_sizes, snapshot_at_time
+
+
+@pytest.fixture
+def schema():
+    return define_array(
+        "Remote_2",
+        {"s1": "float", "s2": "float", "s3": "float"},
+        ["I", "J"],
+        updatable=True,
+    )
+
+
+@pytest.fixture
+def arr(schema):
+    return UpdatableArray(schema, bounds=[8, 8, "*"], name="my_remote_2")
+
+
+class TestCommitAdvancesHistory:
+    def test_initial_transaction_is_history_1(self, arr):
+        txn = arr.begin()
+        txn.set((1, 1), (1.0, 2.0, 3.0))
+        assert txn.commit() == 1
+        assert arr.current_history == 1
+        assert arr.get(1, 1).s1 == 1.0
+
+    def test_subsequent_transactions_increment(self, arr):
+        for h in range(1, 4):
+            txn = arr.begin()
+            txn.set((1, 1), (float(h), 0.0, 0.0))
+            assert txn.commit() == h
+
+    def test_old_values_never_overwritten(self, arr):
+        with arr.begin() as t:
+            t.set((2, 2), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.set((2, 2), (2.0, 0.0, 0.0))
+        # Both deltas physically present in the store.
+        assert arr.store.get((2, 2, 1)).s1 == 1.0
+        assert arr.store.get((2, 2, 2)).s1 == 2.0
+
+    def test_one_open_transaction_at_a_time(self, arr):
+        arr.begin()
+        with pytest.raises(TransactionError):
+            arr.begin()
+
+    def test_empty_commit_rejected(self, arr):
+        txn = arr.begin()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort_discards(self, arr):
+        txn = arr.begin()
+        txn.set((1, 1), (9.0, 9.0, 9.0))
+        txn.abort()
+        assert arr.current_history == 0
+        assert not arr.exists(1, 1)
+
+    def test_context_manager_aborts_on_exception(self, arr):
+        with pytest.raises(RuntimeError):
+            with arr.begin() as t:
+                t.set((1, 1), (1.0, 1.0, 1.0))
+                raise RuntimeError("boom")
+        assert arr.current_history == 0
+
+    def test_finished_transaction_unusable(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 1.0, 1.0))
+        with pytest.raises(TransactionError):
+            t.set((1, 2), (1.0, 1.0, 1.0))
+
+
+class TestAsOfReads:
+    def test_as_of_sees_old_state(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.set((1, 1), (2.0, 0.0, 0.0))
+        assert arr.get(1, 1).s1 == 2.0
+        assert arr.get(1, 1, as_of=1).s1 == 1.0
+
+    def test_unwritten_cell_raises(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        with pytest.raises(EmptyCellError):
+            arr.get(3, 3)
+
+    def test_as_of_before_insert_raises(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.set((2, 2), (5.0, 0.0, 0.0))
+        with pytest.raises(EmptyCellError):
+            arr.get(2, 2, as_of=1)
+
+    def test_wrong_arity(self, arr):
+        with pytest.raises(TransactionError):
+            arr.get(1, 1, 1)  # history is implicit
+
+
+class TestDeletionFlags:
+    def test_delete_inserts_flag_not_removal(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.delete((1, 1))
+        with pytest.raises(EmptyCellError):
+            arr.get(1, 1)
+        # Time travel before the delete still works.
+        assert arr.get(1, 1, as_of=1).s1 == 1.0
+
+    def test_reinsert_after_delete(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.delete((1, 1))
+        with arr.begin() as t:
+            t.set((1, 1), (3.0, 0.0, 0.0))
+        assert arr.get(1, 1).s1 == 3.0
+        assert not arr.exists(1, 1, as_of=2)
+
+    def test_cell_history_walk(self, arr):
+        """'A user who starts at a particular cell ... and travels along
+        the history dimension will see the history of activity.'"""
+        with arr.begin() as t:
+            t.set((2, 2), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.set((2, 2), (2.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.delete((2, 2))
+        events = cell_history(arr, (2, 2))
+        assert [h for h, _ in events] == [1, 2, 3]
+        assert events[0][1].s1 == 1.0
+        assert events[2][1] is DELETED
+
+    def test_null_delta(self, arr):
+        with arr.begin() as t:
+            t.set_null((1, 1))
+        assert arr.get(1, 1) is None
+
+
+class TestSnapshots:
+    def test_snapshot_materialises_state(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+            t.set((2, 2), (2.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.set((1, 1), (10.0, 0.0, 0.0))
+            t.delete((2, 2))
+        latest = snapshot(arr)
+        assert latest[1, 1].s1 == 10.0
+        assert not latest.exists(2, 2)
+        old = snapshot(arr, as_of=1)
+        assert old[1, 1].s1 == 1.0
+        assert old[2, 2].s1 == 2.0
+
+    def test_snapshot_schema_drops_history(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        snap = snapshot(arr)
+        assert snap.dim_names == ("I", "J")
+
+    def test_history_sizes(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+            t.set((1, 2), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.delete((1, 1))
+        assert history_sizes(arr) == {1: 2, 2: 1}
+
+
+class TestWallClock:
+    def test_commit_timestamps_resolve(self, arr):
+        t1 = datetime.datetime(2009, 3, 1, 12, 0)
+        t2 = datetime.datetime(2009, 3, 2, 12, 0)
+        with arr.begin() as txn:
+            txn.set((1, 1), (1.0, 0.0, 0.0))
+            txn.commit(timestamp=t1)
+        with arr.begin() as txn:
+            txn.set((1, 1), (2.0, 0.0, 0.0))
+            txn.commit(timestamp=t2)
+        between = datetime.datetime(2009, 3, 1, 18, 0)
+        assert arr.get_as_of_time((1, 1), between).s1 == 1.0
+        snap = snapshot_at_time(arr, between)
+        assert snap[1, 1].s1 == 1.0
+
+    def test_synthetic_timestamps_default(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.set((1, 1), (2.0, 0.0, 0.0))
+        # Two commits recorded on the clock.
+        assert len(arr.wallclock._times) == 2
+
+
+class TestSchemaValidation:
+    def test_non_updatable_schema_rejected(self):
+        plain = define_array("P", {"v": "float"}, ["x"])
+        with pytest.raises(TransactionError):
+            UpdatableArray(plain, bounds=[4])
+
+    def test_delta_count(self, arr):
+        with arr.begin() as t:
+            t.set((1, 1), (1.0, 0.0, 0.0))
+        with arr.begin() as t:
+            t.delete((1, 1))
+        assert arr.delta_count() == 2

@@ -1,0 +1,160 @@
+"""Unit tests for named versions (Section 2.11)."""
+
+import pytest
+
+from repro import EmptyCellError, VersionError, define_array
+from repro.history import UpdatableArray, VersionTree
+
+
+@pytest.fixture
+def base():
+    schema = define_array(
+        "composite", {"v": "float"}, ["x", "y"], updatable=True
+    )
+    arr = UpdatableArray(schema, bounds=[16, 16, "*"], name="composite")
+    with arr.begin() as t:
+        for x in range(1, 17):
+            for y in range(1, 17):
+                t.set((x, y), float(x * 100 + y))
+    return arr
+
+
+@pytest.fixture
+def tree(base):
+    return VersionTree(base)
+
+
+class TestCreation:
+    def test_version_initially_identical_to_parent(self, tree, base):
+        v = tree.create("study_area")
+        for x, y in [(1, 1), (8, 8), (16, 16)]:
+            assert v.get(x, y) == base.get(x, y)
+
+    def test_new_version_consumes_essentially_no_space(self, tree, base):
+        v = tree.create("study_area")
+        assert v.delta_count() == 0
+        assert base.delta_count() == 256
+
+    def test_creation_time_recorded(self, tree, base):
+        v = tree.create("study_area")
+        assert v.created_at == base.current_history == 1
+
+    def test_duplicate_name_rejected(self, tree):
+        tree.create("v1")
+        with pytest.raises(VersionError):
+            tree.create("v1")
+
+    def test_unknown_lookup(self, tree):
+        with pytest.raises(VersionError):
+            tree.get("missing")
+
+
+class TestDivergence:
+    def test_writes_go_to_delta_only(self, tree, base):
+        v = tree.create("recook")
+        with v.begin() as t:
+            t.set((3, 3), 999.0)
+        assert v.get(3, 3).v == 999.0
+        assert base.get(3, 3).v == 303.0  # parent untouched
+        assert v.delta_count() == 1
+
+    def test_unmodified_region_reads_parent(self, tree):
+        v = tree.create("recook")
+        with v.begin() as t:
+            t.set((3, 3), 999.0)
+        assert v.get(10, 10).v == 1010.0
+
+    def test_delete_in_version(self, tree, base):
+        v = tree.create("recook")
+        with v.begin() as t:
+            t.delete((5, 5))
+        with pytest.raises(EmptyCellError):
+            v.get(5, 5)
+        assert base.get(5, 5).v == 505.0
+
+    def test_version_history_dimension(self, tree):
+        """Versions are themselves time-travelled: successive commits to
+        the delta advance its own history."""
+        v = tree.create("recook")
+        with v.begin() as t:
+            t.set((3, 3), 1.0)
+        with v.begin() as t:
+            t.set((3, 3), 2.0)
+        assert v.delta.current_history == 2
+        assert v.get(3, 3).v == 2.0
+        assert v.delta.get(3, 3, as_of=1).v == 1.0
+
+    def test_cells_merges_delta_over_parent(self, tree):
+        v = tree.create("recook")
+        with v.begin() as t:
+            t.set((1, 1), -1.0)
+            t.delete((2, 2))
+        cells = dict(v.cells())
+        assert cells[(1, 1)].v == -1.0
+        assert (2, 2) not in cells
+        assert cells[(16, 16)].v == 1616.0
+        assert len(cells) == 255  # 256 - 1 deleted
+
+
+class TestParentPinning:
+    def test_creation_pinning_isolates_from_later_base_commits(self, tree, base):
+        v = tree.create("pinned")  # default: pinned at T
+        with base.begin() as t:
+            t.set((1, 1), -42.0)
+        assert base.get(1, 1).v == -42.0
+        assert v.get(1, 1).v == 101.0  # still the value as of T
+
+    def test_follow_latest_sees_base_commits(self, tree, base):
+        v = tree.create("tracking", follow_parent="latest")
+        with base.begin() as t:
+            t.set((1, 1), -42.0)
+        assert v.get(1, 1).v == -42.0
+
+    def test_invalid_follow_mode(self, tree):
+        with pytest.raises(VersionError):
+            tree.create("bad", follow_parent="sometimes")
+
+
+class TestVersionTrees:
+    def test_version_of_version_chain_lookup(self, tree, base):
+        """'In turn, if A is a version, it will repeat this process until
+        it reaches a base array.'"""
+        v1 = tree.create("v1")
+        with v1.begin() as t:
+            t.set((1, 1), 111.0)
+        v2 = tree.create("v2", parent=v1)
+        with v2.begin() as t:
+            t.set((2, 2), 222.0)
+        assert v2.get(2, 2).v == 222.0        # own delta
+        assert v2.get(1, 1).v == 111.0        # parent version's delta
+        assert v2.get(9, 9).v == 909.0        # base array
+        assert v2.chain_depth() == 2
+        assert v2.base() is base
+
+    def test_tree_structure(self, tree):
+        v1 = tree.create("v1")
+        tree.create("v1a", parent=v1)
+        tree.create("v1b", parent="v1")
+        tree.create("v2")
+        t = tree.tree()
+        assert sorted(t["composite"]) == ["v1", "v2"]
+        assert sorted(t["v1"]) == ["v1a", "v1b"]
+
+    def test_total_delta_cells(self, tree):
+        v1 = tree.create("v1")
+        with v1.begin() as t:
+            t.set((1, 1), 0.0)
+            t.set((1, 2), 0.0)
+        v2 = tree.create("v2")
+        with v2.begin() as t:
+            t.set((3, 3), 0.0)
+        assert tree.total_delta_cells() == 3
+
+    def test_space_grows_with_divergence_not_array_size(self, tree, base):
+        """The E4 claim in miniature: delta space tracks modified cells."""
+        v = tree.create("v")
+        for k in range(1, 11):
+            with v.begin() as t:
+                t.set((1, k), 0.0)
+        assert v.delta_count() == 10
+        assert base.delta_count() == 256  # unchanged

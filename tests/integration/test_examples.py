@@ -1,0 +1,31 @@
+"""The example scripts must run clean — they are documentation that
+executes."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_examples_exist():
+    assert "quickstart.py" in SCRIPTS
+    assert len(SCRIPTS) >= 3  # the deliverable: at least three examples
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert "OK" in proc.stdout

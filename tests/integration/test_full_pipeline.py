@@ -1,0 +1,148 @@
+"""End-to-end integration: survey -> grid -> storage -> query -> history
+-> provenance, every layer touching the next."""
+
+import numpy as np
+import pytest
+
+from repro import SciArray, define_array
+from repro.cluster import BlockPartitioner, Grid, HashPartitioner
+from repro.core import ops
+from repro.history import UpdatableArray, VersionTree, snapshot
+from repro.provenance import ProvenanceEngine, trace_backward, trace_forward
+from repro.query import Executor, array, attr, dim
+from repro.storage.format import read_container, write_container
+from repro.storage.loader import BulkLoader
+from repro.storage.manager import PersistentArray
+from repro.workloads import SkySurvey
+from repro.workloads.skysurvey import SKY_SCHEMA
+
+
+class TestSurveyToGridToQuery:
+    def test_whole_stack(self, tmp_path):
+        # 1. Instrument -> bulk-load stream -> distributed array.
+        survey = SkySurvey(sky_size=64, n_objects=150, seed=9)
+        grid = Grid(4, tmp_path / "grid")
+        dist = grid.create_array(
+            "sky",
+            SKY_SCHEMA.bind([64, 64, "*"]),
+            BlockPartitioner(4, bounds=[64, 64, 1000], blocks=[2, 2, 1]),
+        )
+        n = dist.load(survey.load_records(epochs=2))
+        assert n > 0
+        # Two objects can land in one cell; the newest record wins, so the
+        # stored count is bounded by the record count.
+        assert 0 < dist.cell_count() <= n
+
+        # 2. Distributed aggregate == local recompute.
+        per_epoch = dist.aggregate(["epoch"], "count")
+        gathered = list(dist.scan())
+        local_counts = {}
+        for coords, _ in gathered:
+            local_counts[coords[2]] = local_counts.get(coords[2], 0) + 1
+        for e, count in local_counts.items():
+            assert per_epoch[e].count == count
+
+        # 3. Materialise and push through the query layer.
+        mat = dist.materialize()
+        ex = Executor()
+        ex.register("sky", mat)
+        bright = ex.run(
+            array("sky").filter(attr("flux") > 50.0).node
+        ).array
+        manual = sum(
+            1 for _, c in mat.cells(include_null=False) if c.flux > 50.0
+        )
+        assert bright.count_present() == manual
+
+    def test_storage_round_trip_through_container(self, tmp_path):
+        # Engine array -> self-describing container -> in-situ -> engine.
+        survey = SkySurvey(sky_size=32, n_objects=60, seed=10)
+        arr = SciArray(SKY_SCHEMA.bind([32, 32, "*"]), name="sky")
+        for rec in survey.load_records(epochs=1):
+            arr.set(rec.coords, rec.values)
+        write_container(tmp_path / "sky.scidb", arr)
+        again = read_container(tmp_path / "sky.scidb").to_sciarray()
+        assert again.content_equal(arr)
+
+    def test_persistent_array_behind_bulk_loader(self, tmp_path):
+        survey = SkySurvey(sky_size=32, n_objects=80, seed=11)
+        pa = PersistentArray(
+            SKY_SCHEMA.bind([32, 32, "*"]), tmp_path / "pa",
+            memory_budget=2048, stride=(16, 16, 4),
+        )
+        loader = BulkLoader({"n0": pa}, dominant_dimension=2)
+        loader.load(survey.load_records(epochs=3))
+        loader.finish()
+        assert pa.stats.spills >= 1
+        stored = {c for c, _ in pa.scan()}
+        assert len(stored) == loader.records_loaded or len(stored) > 0
+
+
+class TestHistoryVersionProvenanceStack:
+    def test_cook_version_trace(self, tmp_path):
+        # 1. Cook inside the provenance engine.
+        engine = ProvenanceEngine()
+        rng = np.random.default_rng(12)
+        raw_schema = define_array("RawI", {"v": "float"}, ["x", "y"])
+        engine.register_external(
+            "raw",
+            SciArray.from_numpy(raw_schema, rng.normal(10, 1, (8, 8)), name="raw"),
+            program="ingest",
+        )
+        cooked = engine.execute(
+            "apply", ["raw"], "cooked",
+            fn=lambda c: c.v * 2.0, output=[("w", "float")],
+        )
+
+        # 2. Store the cooked product as an updatable array + version it.
+        schema = define_array("CookedU", {"w": "float"}, ["x", "y"],
+                              updatable=True)
+        base = UpdatableArray(schema, bounds=[8, 8, "*"], name="cooked_base")
+        with base.begin() as t:
+            for coords, cell in cooked.cells(include_null=False):
+                t.set(coords, cell.w)
+        tree = VersionTree(base)
+        v = tree.create("recal")
+        with v.begin() as t:
+            t.set((1, 1), -1.0)
+        assert v.get(1, 1).w == -1.0
+        assert v.get(2, 2) == base.get(2, 2)
+
+        # 3. Time travel on the base after another commit.
+        with base.begin() as t:
+            t.set((1, 1), 99.0)
+        assert base.get(1, 1, as_of=1).w != 99.0
+        assert snapshot(base, as_of=1)[1, 1].w == pytest.approx(
+            cooked[1, 1].w
+        )
+
+        # 4. Provenance across the derivation.
+        steps = trace_backward(engine, ("cooked", (3, 3)))
+        assert steps[0].command.op == "apply"
+        affected = trace_forward(engine, ("raw", (3, 3)))
+        assert ("cooked", (3, 3)) in affected
+
+
+class TestQueryLayerOverGridMaterialisation:
+    def test_textual_pipeline(self, tmp_path):
+        from repro import define_function
+
+        define_function(
+            "Magnify",
+            inputs=[("flux", "float")],
+            outputs=[("mag", "float")],
+            fn=lambda flux: flux * 10.0,
+            replace=True,
+        )
+        survey = SkySurvey(sky_size=16, n_objects=40, seed=13)
+        arr = SciArray(SKY_SCHEMA.bind([16, 16, "*"]), name="sky")
+        for rec in survey.load_records(epochs=1):
+            arr.set(rec.coords, rec.values)
+        ex = Executor()
+        ex.register("sky", arr)
+        result = ex.run("select apply(sky, Magnify(flux)) into Mags").array
+        for coords, cell in result.cells(include_null=False):
+            assert cell.mag == pytest.approx(arr.get(coords).flux * 10.0)
+        # And the catalog now serves the derived array to further queries.
+        total = ex.run("select aggregate(Mags, {epoch}, sum(*))").array
+        assert total.exists(1)

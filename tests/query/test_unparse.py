@@ -1,0 +1,93 @@
+"""Round-trip tests for the AST unparser (parse . unparse == id)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PlanError
+from repro.query import array, attr, dim, parse_statement, unparse
+
+STATEMENTS = [
+    "define array Remote (s1 = float, s2 = float, s3 = float) (I, J)",
+    "define updatable array R (a = float, b = uncertain float) (I, J)",
+    "create My_remote as Remote [1024, 1024]",
+    "create M as Remote [*, *]",
+    "enhance My_remote with Scale10",
+    "select subsample(F, even(X))",
+    "select subsample(F, X >= 2 and Y <= 3 and odd(Z))",
+    "select filter(A, v > 3) into Big",
+    "select aggregate(H, {Y}, sum(*))",
+    "select aggregate(H, {Y, X}, avg(s1))",
+    "select sjoin(A, B, A.x = B.x and A.y = B.y)",
+    "select cjoin(A, B, A.val = B.val)",
+    "select regrid(M, [2, 2], avg(v))",
+    "select reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])",
+    "select project(M, s1, s3)",
+    "select transpose(M, [J, I])",
+    "select apply(M, Scale(v))",
+    "select aggregate(subsample(M, even(I)), {J}, sum(*)) into S",
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("stmt", STATEMENTS)
+    def test_parse_unparse_parse(self, stmt):
+        tree = parse_statement(stmt)
+        assert parse_statement(unparse(tree)) == tree
+
+
+class TestFluentTreesUnparse:
+    def test_fluent_query_to_text(self):
+        q = (
+            array("M")
+            .subsample((dim("I") >= 2) & (dim("J") <= 3))
+            .aggregate(["J"], "sum")
+            .into("S")
+        )
+        text = unparse(q)
+        assert text == (
+            "select aggregate(subsample(M, I >= 2 and J <= 3), {J}, sum(*)) "
+            "into S"
+        )
+        assert parse_statement(text) == q
+
+    def test_callable_predicates_rejected(self):
+        q = array("M").filter(lambda c: True).node
+        with pytest.raises(PlanError):
+            unparse(q)
+
+    def test_callable_cjoin_rejected(self):
+        q = array("A").cjoin("B", lambda l, r: True).node
+        with pytest.raises(PlanError):
+            unparse(q)
+
+
+class TestPropertyBased:
+    name = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,6}", fullmatch=True).filter(
+        lambda s: s.lower() not in {
+            "define", "updatable", "array", "create", "as", "select", "into",
+            "enhance", "with", "and", "even", "odd",
+        }
+    )
+
+    @given(
+        arr=name,
+        dim_name=name,
+        op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        value=st.integers(1, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_subsample_round_trip(self, arr, dim_name, op, value):
+        stmt = f"select subsample({arr}, {dim_name} {op} {value})"
+        tree = parse_statement(stmt)
+        assert parse_statement(unparse(tree)) == tree
+
+    @given(instance=name, type_name=name,
+           bounds=st.lists(st.one_of(st.integers(1, 999), st.none()),
+                           min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_create_round_trip(self, instance, type_name, bounds):
+        rendered = ", ".join("*" if b is None else str(b) for b in bounds)
+        stmt = f"create {instance} as {type_name} [{rendered}]"
+        tree = parse_statement(stmt)
+        assert parse_statement(unparse(tree)) == tree

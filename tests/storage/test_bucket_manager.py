@@ -1,0 +1,226 @@
+"""Unit tests for buckets and the storage manager (Section 2.8)."""
+
+import numpy as np
+import pytest
+
+from repro import define_array
+from repro.core.errors import StorageError
+from repro.storage.bucket import Bucket
+from repro.storage.manager import PersistentArray, StorageManager
+
+
+@pytest.fixture
+def schema():
+    return define_array("S", {"v": "float", "flag": "int32"}, ["x", "y"]).bind(
+        [1000, 1000]
+    )
+
+
+def cell_stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    seen = set()
+    out = []
+    while len(out) < n:
+        c = (int(rng.integers(1, 1000)), int(rng.integers(1, 1000)))
+        if c in seen:
+            continue
+        seen.add(c)
+        out.append((c, (float(rng.normal()), int(rng.integers(0, 3)))))
+    return out
+
+
+class TestBucket:
+    def test_from_cells_tight_box(self, schema):
+        cells = [((5, 7), (1.0, 0)), ((9, 3), (2.0, 1))]
+        b = Bucket.from_cells(schema, cells)
+        assert b.origin == (5, 3)
+        assert b.shape == (5, 5)
+        assert b.cell_count == 2
+        assert b.occupancy == pytest.approx(2 / 25)
+
+    def test_round_trip_bytes(self, schema):
+        cells = cell_stream(50)
+        b = Bucket.from_cells(schema, cells)
+        again = Bucket.from_bytes(schema, b.to_bytes("zlib"))
+        assert dict(
+            (c, None if cell is None else cell.values) for c, cell in again.cells()
+        ) == dict(cells)
+
+    def test_round_trip_auto_codec(self, schema):
+        cells = cell_stream(30, seed=2)
+        b = Bucket.from_cells(schema, cells)
+        again = Bucket.from_bytes(schema, b.to_bytes("auto"))
+        assert again.cell_count == 30
+
+    def test_null_cells_survive(self, schema):
+        cells = [((1, 1), (1.0, 0)), ((2, 2), None)]
+        b = Bucket.from_cells(schema, cells)
+        again = Bucket.from_bytes(schema, b.to_bytes())
+        got = dict(again.cells())
+        assert got[(2, 2)] is None
+        assert got[(1, 1)].v == 1.0
+
+    def test_bad_magic(self, schema):
+        with pytest.raises(StorageError):
+            Bucket.from_bytes(schema, b"garbage-bytes")
+
+    def test_empty_cells_rejected(self, schema):
+        with pytest.raises(StorageError):
+            Bucket.from_cells(schema, [])
+
+    def test_merge(self, schema):
+        b1 = Bucket.from_cells(schema, [((1, 1), (1.0, 0))])
+        b2 = Bucket.from_cells(schema, [((10, 10), (2.0, 1))])
+        m = b1.merge(b2)
+        assert m.cell_count == 2
+        assert m.box == ((1, 1), (10, 10))
+
+
+class TestPersistentArray:
+    def test_write_flush_scan(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=10**9)
+        cells = cell_stream(200)
+        for coords, values in cells:
+            pa.append(coords, values)
+        pa.flush()
+        assert pa.bucket_count() >= 1
+        got = {c: cell.values for c, cell in pa.scan()}
+        assert got == {c: v for c, v in cells}
+
+    def test_spill_on_memory_pressure(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=400,
+                             stride=(64, 64))
+        for coords, values in cell_stream(300):
+            pa.append(coords, values)
+        # Spills happened automatically before any flush call.
+        assert pa.stats.spills >= 1
+        assert pa.bucket_count() >= 2
+
+    def test_buffered_cells_visible_before_flush(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=10**9)
+        pa.append((3, 4), (1.5, 1))
+        assert pa.get((3, 4)).v == 1.5
+        got = dict(pa.scan())
+        assert (3, 4) in got
+
+    def test_rewrite_latest_wins(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=10**9)
+        pa.append((1, 1), (1.0, 0))
+        pa.flush()
+        pa.append((1, 1), (2.0, 0))
+        pa.flush()
+        assert pa.get((1, 1)).v == 2.0
+        assert sum(1 for c, _ in pa.scan() if c == (1, 1)) == 1
+
+    def test_window_scan_prunes_buckets(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=10**9,
+                             stride=(100, 100))
+        for coords, values in cell_stream(500, seed=1):
+            pa.append(coords, values)
+        pa.flush()
+        total = pa.bucket_count()
+        before = pa.stats.buckets_read
+        hits = list(pa.scan(((1, 1), (80, 80))))
+        read = pa.stats.buckets_read - before
+        assert read < total
+        assert pa.stats.buckets_pruned > 0
+        for coords, _ in hits:
+            assert coords[0] <= 80 and coords[1] <= 80
+
+    def test_null_cells_round_trip(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=10**9)
+        pa.append((5, 5), None)
+        pa.flush()
+        assert pa.get((5, 5)) is None
+
+    def test_to_sciarray(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s")
+        cells = cell_stream(50, seed=4)
+        for coords, values in cells:
+            pa.append(coords, values)
+        pa.flush()
+        arr = pa.to_sciarray("mat")
+        assert arr.count_present() == 50
+        for coords, values in cells:
+            assert arr[coords].v == values[0]
+
+    def test_get_missing(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s")
+        with pytest.raises(StorageError):
+            pa.get((1, 1))
+
+    def test_stride_validation(self, schema, tmp_path):
+        with pytest.raises(StorageError):
+            PersistentArray(schema, tmp_path / "s", stride=(10,))
+
+
+class TestMerge:
+    def test_merge_reduces_bucket_count(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=10**9,
+                             stride=(8, 8))
+        # Many tiny spills -> many tiny buckets in the same neighbourhood.
+        for k in range(40):
+            pa.append((1 + k % 16, 1 + k // 16), (float(k), 0))
+            pa.flush()
+        before = pa.bucket_count()
+        merges = pa.merge_small_buckets(min_cells=512, group_factor=4)
+        assert merges > 0
+        assert pa.bucket_count() < before
+        # Data intact after merging.
+        assert len(list(pa.scan())) == 40
+
+    def test_background_merger_thread(self, schema, tmp_path):
+        import time
+
+        pa = PersistentArray(schema, tmp_path / "s", memory_budget=10**9,
+                             stride=(8, 8))
+        for k in range(30):
+            pa.append((1 + k % 8, 1 + k // 8), (float(k), 0))
+            pa.flush()
+        before = pa.bucket_count()
+        pa.start_background_merger(interval=0.01, min_cells=512)
+        deadline = time.time() + 2.0
+        while pa.bucket_count() >= before and time.time() < deadline:
+            time.sleep(0.01)
+        pa.stop_background_merger()
+        assert pa.bucket_count() < before
+        assert len(list(pa.scan())) == 30
+
+    def test_double_start_rejected(self, schema, tmp_path):
+        pa = PersistentArray(schema, tmp_path / "s")
+        pa.start_background_merger(interval=10)
+        try:
+            with pytest.raises(StorageError):
+                pa.start_background_merger(interval=10)
+        finally:
+            pa.stop_background_merger()
+
+
+class TestStorageManager:
+    def test_create_get_drop(self, schema, tmp_path):
+        sm = StorageManager(tmp_path)
+        pa = sm.create_array("survey", schema)
+        assert sm.get_array("survey") is pa
+        pa.append((1, 1), (1.0, 0))
+        pa.flush()
+        sm.drop_array("survey")
+        with pytest.raises(StorageError):
+            sm.get_array("survey")
+
+    def test_duplicate_create(self, schema, tmp_path):
+        sm = StorageManager(tmp_path)
+        sm.create_array("a", schema)
+        with pytest.raises(StorageError):
+            sm.create_array("a", schema)
+
+    def test_total_stats(self, schema, tmp_path):
+        sm = StorageManager(tmp_path)
+        a = sm.create_array("a", schema)
+        b = sm.create_array("b", schema)
+        a.append((1, 1), (1.0, 0))
+        b.append((2, 2), (2.0, 1))
+        a.flush()
+        b.flush()
+        totals = sm.total_stats()
+        assert totals["cells_written"] == 2
+        assert totals["buckets_written"] == 2

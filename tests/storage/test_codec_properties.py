@@ -1,0 +1,97 @@
+"""Property-based tests: every codec is lossless on arbitrary numeric
+arrays (the invariant the storage manager's correctness rests on)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.storage.compression import get_codec
+
+CODECS = ["none", "zlib", "delta", "rle"]
+
+float_arrays = st.one_of(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+        elements=st.floats(min_value=-1e12, max_value=1e12, allow_nan=False),
+    ),
+    hnp.arrays(
+        dtype=np.float32,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+        elements=st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, width=32
+        ),
+    ),
+)
+
+int_arrays = hnp.arrays(
+    dtype=st.sampled_from([np.int64, np.int32, np.int8]),
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+    elements=st.integers(-127, 127),
+)
+
+bool_arrays = hnp.arrays(
+    dtype=np.bool_,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=20),
+)
+
+
+class TestLossless:
+    @given(arr=float_arrays, codec=st.sampled_from(CODECS))
+    @settings(max_examples=60, deadline=None)
+    def test_floats(self, arr, codec):
+        c = get_codec(codec)
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    @given(arr=int_arrays, codec=st.sampled_from(CODECS))
+    @settings(max_examples=60, deadline=None)
+    def test_ints(self, arr, codec):
+        c = get_codec(codec)
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)
+
+    @given(arr=bool_arrays, codec=st.sampled_from(CODECS))
+    @settings(max_examples=30, deadline=None)
+    def test_bools(self, arr, codec):
+        c = get_codec(codec)
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)
+
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(-10, 10),
+                st.text(max_size=5),
+                st.tuples(st.floats(allow_nan=False), st.floats(0, 1)),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        codec=st.sampled_from(CODECS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_object_payloads(self, values, codec):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        c = get_codec(codec)
+        out = c.decode(c.encode(arr), np.dtype(object), arr.shape)
+        assert out.tolist() == values
+
+    @given(arr=float_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_special_float_values(self, arr):
+        """Signed zeros and subnormals survive the bit-pattern delta."""
+        arr = arr.copy()
+        flat = arr.reshape(-1)
+        flat[0] = -0.0
+        if flat.size > 1:
+            flat[1] = np.finfo(arr.dtype).tiny / 2  # subnormal
+        c = get_codec("delta")
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(
+            out.view(np.uint8), arr.view(np.uint8)
+        )

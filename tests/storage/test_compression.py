@@ -1,0 +1,101 @@
+"""Unit tests for the compression codecs (Section 2.8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.compression import (
+    CODECS,
+    DeltaZlibCodec,
+    NoneCodec,
+    RleCodec,
+    ZlibCodec,
+    best_codec,
+    get_codec,
+    register_codec,
+)
+
+ALL = ["none", "zlib", "delta", "rle"]
+
+
+def samples():
+    rng = np.random.default_rng(7)
+    return {
+        "random_float": rng.normal(size=(16, 16)),
+        "smooth_float": np.cumsum(rng.normal(0, 0.01, size=256)).reshape(16, 16),
+        "constant": np.full((16, 16), 3.5),
+        "int_ramp": np.arange(256, dtype=np.int64).reshape(16, 16),
+        "flags": np.repeat(np.array([0, 1, 0, 1], dtype=np.int32), 64).reshape(16, 16),
+        "float32": rng.normal(size=(8, 8)).astype(np.float32),
+        "empty": np.empty((0,), dtype=np.float64),
+        "single": np.array([42.0]),
+    }
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("codec_name", ALL)
+    @pytest.mark.parametrize("sample_name", list(samples()))
+    def test_lossless(self, codec_name, sample_name):
+        codec = get_codec(codec_name)
+        arr = samples()[sample_name]
+        out = codec.decode(codec.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    @pytest.mark.parametrize("codec_name", ALL)
+    def test_object_arrays(self, codec_name):
+        codec = get_codec(codec_name)
+        arr = np.empty((2, 2), dtype=object)
+        arr[0, 0] = "hello"
+        arr[0, 1] = None
+        arr[1, 0] = (1.0, 0.5)
+        arr[1, 1] = 3
+        out = codec.decode(codec.encode(arr), np.dtype(object), (2, 2))
+        assert out.tolist() == arr.tolist()
+
+
+class TestEffectiveness:
+    def test_rle_wins_on_constant_data(self):
+        arr = np.full((64, 64), 7.0)
+        sizes = {n: len(get_codec(n).encode(arr)) for n in ALL}
+        assert sizes["rle"] < sizes["none"] / 50
+
+    def test_delta_beats_plain_zlib_on_ramps(self):
+        arr = np.arange(4096, dtype=np.int64)
+        assert len(get_codec("delta").encode(arr)) < len(
+            get_codec("zlib").encode(arr)
+        )
+
+    def test_compression_helps_on_smooth_fields(self):
+        arr = samples()["smooth_float"]
+        assert len(get_codec("zlib").encode(arr)) < len(
+            get_codec("none").encode(arr)
+        )
+
+
+class TestBestCodec:
+    def test_picks_small_encoding(self):
+        arr = np.full((64, 64), 1.0)
+        chosen = best_codec(arr)
+        assert chosen.name in ("rle", "delta", "zlib")
+        assert len(chosen.encode(arr)) <= min(
+            len(get_codec(n).encode(arr)) for n in ALL
+        )
+
+    def test_candidate_restriction(self):
+        arr = np.zeros(100)
+        assert best_codec(arr, candidates=["none"]).name == "none"
+
+
+class TestRegistry:
+    def test_unknown_codec(self):
+        with pytest.raises(StorageError):
+            get_codec("lzma-nope")
+
+    def test_duplicate_registration(self):
+        with pytest.raises(StorageError):
+            register_codec(NoneCodec())
+
+    def test_builtins_present(self):
+        for name in ALL:
+            assert name in CODECS

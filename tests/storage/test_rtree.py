@@ -1,0 +1,183 @@
+"""Unit tests for the R-tree (Section 2.8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.storage.rtree import RTree
+
+
+def boxes_2d(n, seed=0, span=1000, side=20):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        lo = rng.integers(1, span, size=2)
+        hi = lo + rng.integers(0, side, size=2)
+        out.append(((int(lo[0]), int(lo[1])), (int(hi[0]), int(hi[1]))))
+    return out
+
+
+def brute_search(entries, window):
+    (wl, wh) = window
+    hits = []
+    for box, v in entries:
+        lo, hi = box
+        if all(l <= qh and ql <= h for l, h, ql, qh in zip(lo, hi, wl, wh)):
+            hits.append((box, v))
+    return hits
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        t = RTree()
+        t.insert(((1, 1), (4, 4)), "a")
+        t.insert(((10, 10), (12, 12)), "b")
+        assert len(t) == 2
+        hits = dict(t.search(((2, 2), (3, 3))))
+        assert list(hits.values()) == ["a"]
+
+    def test_covering_point(self):
+        t = RTree()
+        t.insert(((1, 1), (4, 4)), "a")
+        assert [v for _, v in t.covering((2, 2))] == ["a"]
+        assert list(t.covering((9, 9))) == []
+
+    def test_empty_tree_search(self):
+        t = RTree()
+        assert list(t.search(((1, 1), (2, 2)))) == []
+        assert t.bounding_box() is None
+
+    def test_invalid_box(self):
+        t = RTree()
+        with pytest.raises(StorageError):
+            t.insert(((5, 5), (1, 1)), "bad")
+        with pytest.raises(StorageError):
+            t.insert(((1,), (1, 2)), "bad")
+
+    def test_dimensionality_fixed_on_first_insert(self):
+        t = RTree()
+        t.insert(((1, 1), (2, 2)), "a")
+        with pytest.raises(StorageError):
+            t.insert(((1,), (2,)), "b")
+
+    def test_bounding_box_grows(self):
+        t = RTree()
+        t.insert(((5, 5), (6, 6)), 0)
+        t.insert(((1, 1), (2, 2)), 1)
+        assert t.bounding_box() == ((1, 1), (6, 6))
+
+    def test_parameter_validation(self):
+        with pytest.raises(StorageError):
+            RTree(max_entries=1)
+        with pytest.raises(StorageError):
+            RTree(max_entries=8, min_entries=5)
+
+
+class TestSplitsAndScale:
+    def test_many_inserts_split_nodes(self):
+        t = RTree(max_entries=4)
+        entries = [(b, i) for i, b in enumerate(boxes_2d(200))]
+        for box, v in entries:
+            t.insert(box, v)
+        assert len(t) == 200
+        assert t.depth() >= 3
+
+    def test_search_matches_brute_force(self):
+        t = RTree(max_entries=4)
+        entries = [(b, i) for i, b in enumerate(boxes_2d(300, seed=3))]
+        for box, v in entries:
+            t.insert(box, v)
+        for window in boxes_2d(20, seed=4, side=100):
+            got = sorted(v for _, v in t.search(window))
+            want = sorted(v for _, v in brute_search(entries, window))
+            assert got == want
+
+    def test_all_entries_complete(self):
+        t = RTree(max_entries=4)
+        entries = [(b, i) for i, b in enumerate(boxes_2d(100, seed=5))]
+        for box, v in entries:
+            t.insert(box, v)
+        assert sorted(v for _, v in t.all_entries()) == list(range(100))
+
+    def test_duplicate_boxes_allowed(self):
+        t = RTree(max_entries=4)
+        for i in range(20):
+            t.insert(((1, 1), (2, 2)), i)
+        assert len(list(t.covering((1, 1)))) == 20
+
+
+class TestDelete:
+    def test_delete_present(self):
+        t = RTree(max_entries=4)
+        entries = [(b, i) for i, b in enumerate(boxes_2d(60, seed=6))]
+        for box, v in entries:
+            t.insert(box, v)
+        for box, v in entries[:30]:
+            assert t.delete(box, v)
+        assert len(t) == 30
+        remaining = sorted(v for _, v in t.all_entries())
+        assert remaining == sorted(v for _, v in entries[30:])
+
+    def test_delete_absent_returns_false(self):
+        t = RTree()
+        t.insert(((1, 1), (2, 2)), "a")
+        assert not t.delete(((1, 1), (2, 2)), "b")
+        assert not t.delete(((5, 5), (6, 6)), "a")
+
+    def test_search_correct_after_deletes(self):
+        t = RTree(max_entries=4)
+        entries = [(b, i) for i, b in enumerate(boxes_2d(120, seed=8))]
+        for box, v in entries:
+            t.insert(box, v)
+        kept = []
+        for k, (box, v) in enumerate(entries):
+            if k % 3 == 0:
+                t.delete(box, v)
+            else:
+                kept.append((box, v))
+        for window in boxes_2d(10, seed=9, side=80):
+            got = sorted(v for _, v in t.search(window))
+            want = sorted(v for _, v in brute_search(kept, window))
+            assert got == want
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 50), st.integers(1, 50),
+                st.integers(0, 10), st.integers(0, 10),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_inserts_searchable(self, raw):
+        t = RTree(max_entries=4)
+        entries = []
+        for i, (x, y, w, h) in enumerate(raw):
+            box = ((x, y), (x + w, y + h))
+            t.insert(box, i)
+            entries.append((box, i))
+        window = ((1, 1), (60, 60))
+        assert sorted(v for _, v in t.search(window)) == list(range(len(raw)))
+        for box, v in entries:
+            assert any(vv == v for _, vv in t.search(box))
+
+
+class TestEmptyRootRegression:
+    def test_insert_after_deleting_everything(self):
+        """Deleting every entry may leave an empty inner root; the next
+        insert must recover (regression from the bucket-merge path)."""
+        t = RTree(max_entries=4)
+        entries = [(b, i) for i, b in enumerate(boxes_2d(40, seed=11))]
+        for box, v in entries:
+            t.insert(box, v)
+        for box, v in entries:
+            assert t.delete(box, v)
+        assert len(t) == 0
+        t.insert(((1, 1), (2, 2)), "fresh")
+        assert [v for _, v in t.covering((1, 1))] == ["fresh"]

@@ -1,0 +1,76 @@
+"""Unit tests for the biology (graph) workload (Section 2.1's
+one-size-will-not-fit-all argument)."""
+
+import pytest
+
+from repro.workloads.bio import ProteinNetwork
+
+
+@pytest.fixture(scope="module")
+def net():
+    return ProteinNetwork(n_proteins=80, edges_per_node=2, seed=3)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = ProteinNetwork(n_proteins=50, seed=5).edges
+        b = ProteinNetwork(n_proteins=50, seed=5).edges
+        assert a == b
+
+    def test_scale_free_degree_skew(self, net):
+        adj = net.as_adjacency_dict()
+        degrees = sorted((len(v) for v in adj.values()), reverse=True)
+        # Preferential attachment: hubs dominate.
+        assert degrees[0] > 4 * (sum(degrees) / len(degrees))
+
+    def test_no_self_loops(self, net):
+        assert all(a != b for a, b in net.edges)
+
+    def test_confidences_in_unit_interval(self, net):
+        assert all(0 < c <= 1 for c in net._confidence.values())
+
+
+class TestRepresentations:
+    def test_array_is_symmetric(self, net):
+        arr = net.as_sciarray()
+        for a, b in net.edges[:20]:
+            assert arr[a, b].confidence == arr[b, a].confidence
+
+    def test_table_has_both_directions(self, net):
+        t = net.as_table()
+        assert len(t) == 2 * len(net.edges)
+
+    def test_networkx_matches(self, net):
+        g = net.as_networkx()
+        assert g.number_of_edges() == len(net.edges)
+
+
+class TestQueriesAgree:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_khop_all_forms(self, net, k):
+        adj = net.as_adjacency_dict()
+        arr = net.as_sciarray()
+        table = net.as_table()
+        for start in (1, 10, 40):
+            g = net.khop_graph(adj, start, k)
+            assert net.khop_array(arr, start, k) == g
+            assert net.khop_table(table, start, k) == g
+
+    def test_khop_excludes_start(self, net):
+        adj = net.as_adjacency_dict()
+        assert 1 not in net.khop_graph(adj, 1, 2)
+
+    def test_components(self, net):
+        import networkx as nx
+
+        adj = net.as_adjacency_dict()
+        expected = nx.number_connected_components(net.as_networkx())
+        assert net.components_graph(adj) == expected
+        assert net.components_array(net.as_sciarray()) == expected
+
+    def test_isolated_node_is_own_component(self):
+        net = ProteinNetwork(n_proteins=30, seed=7)
+        adj = net.as_adjacency_dict()
+        adj[999] = []  # an isolated protein
+        base = net.components_graph(net.as_adjacency_dict())
+        assert net.components_graph(adj) == base + 1

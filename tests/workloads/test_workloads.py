@@ -1,0 +1,192 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ClickstreamGenerator,
+    OceanSimulation,
+    SatelliteInstrument,
+    SkySurvey,
+)
+from repro.workloads.clickstream import (
+    click_ranks,
+    ignored_content,
+    sessions_to_array,
+    surfaced_counts,
+)
+
+
+class TestSkySurvey:
+    def test_deterministic(self):
+        a = list(SkySurvey(sky_size=64, n_objects=100, seed=7).load_records(2))
+        b = list(SkySurvey(sky_size=64, n_objects=100, seed=7).load_records(2))
+        assert [(r.coords, r.values) for r in a] == [
+            (r.coords, r.values) for r in b
+        ]
+
+    def test_epoch_is_dominant_dimension(self):
+        records = list(SkySurvey(sky_size=64, n_objects=50, seed=1).load_records(3))
+        epochs = [r.coords[2] for r in records]
+        assert epochs == sorted(epochs)
+
+    def test_positions_in_bounds(self):
+        survey = SkySurvey(sky_size=32, n_objects=200, seed=2)
+        for obs in survey.epoch_observations(1):
+            assert 1 <= obs.cell[0] <= 32
+            assert 1 <= obs.cell[1] <= 32
+            assert obs.pos_error > 0
+
+    def test_fluxes_power_law_skewed(self):
+        survey = SkySurvey(n_objects=2000, seed=3)
+        fluxes = survey.fluxes
+        # Heavy tail: the max dwarfs the median.
+        assert fluxes.max() > 10 * np.median(fluxes)
+
+    def test_detection_rate_thins_epochs(self):
+        dense = SkySurvey(n_objects=500, detection_rate=1.0, seed=4)
+        sparse = SkySurvey(n_objects=500, detection_rate=0.3, seed=4)
+        assert len(list(sparse.epoch_observations(1))) < len(
+            list(dense.epoch_observations(1))
+        )
+
+    def test_clustered_population(self):
+        """Objects cluster: cell occupancy is skewed vs uniform."""
+        survey = SkySurvey(sky_size=128, n_objects=1000, n_clusters=4, seed=5)
+        cells = survey.cell_sample()
+        from collections import Counter
+
+        block_counts = Counter((x // 16, y // 16) for x, y, _ in cells)
+        counts = np.array(list(block_counts.values()))
+        assert counts.max() > 3 * counts.mean()
+
+
+class TestSatelliteInstrument:
+    def test_pass_schema(self):
+        p = SatelliteInstrument(width=8, height=8, seed=0).acquire_pass(1)
+        assert p.attr_names == ("value", "cloud", "zenith")
+        assert p.bounds == (8, 8)
+
+    def test_cloud_in_unit_interval(self):
+        inst = SatelliteInstrument(width=16, height=16, seed=1)
+        cloud = inst.cloud_field(3)
+        assert cloud.min() >= 0.0 and cloud.max() <= 1.0
+
+    def test_zenith_track_moves_between_passes(self):
+        inst = SatelliteInstrument(width=32, height=32, seed=2)
+        z1 = inst.zenith_field(1)
+        z2 = inst.zenith_field(2)
+        assert np.argmin(z1[:, 0]) != np.argmin(z2[:, 0])
+
+    def test_cloud_attenuates_signal(self):
+        inst = SatelliteInstrument(width=32, height=32, seed=3)
+        p = inst.acquire_pass(1)
+        values = p.to_numpy("value")
+        clouds = p.to_numpy("cloud")
+        clear = values[clouds < 0.2]
+        overcast = values[clouds > 0.8]
+        assert clear.mean() > overcast.mean()
+
+    def test_raw_frame_counts(self):
+        inst = SatelliteInstrument(width=8, height=8, seed=4)
+        raw = inst.acquire_raw_frame(1)
+        assert raw.attr_names == ("counts", "detector_temp")
+        for _, cell in raw.cells(include_null=False):
+            assert 0 <= cell.counts <= 65535
+
+
+class TestOcean:
+    def test_quiet_epochs_roughly_uniform(self):
+        sim = OceanSimulation(grid=(64, 32), event_epochs=[], seed=0,
+                              measurements_per_epoch=2000)
+        records = list(sim.epoch_measurements(1))
+        in_hot = sum(1 for r in records if sim._in_hotspot(*r.coords[:2]))
+        hot_area = (
+            (sim.hotspot[0][1] - sim.hotspot[0][0] + 1)
+            * (sim.hotspot[1][1] - sim.hotspot[1][0] + 1)
+        )
+        expected = len(records) * hot_area / (64 * 32)
+        assert in_hot < 3 * expected
+
+    def test_event_epochs_concentrate_measurements(self):
+        sim = OceanSimulation(grid=(64, 32), event_epochs=[2], seed=0,
+                              measurements_per_epoch=1000)
+        quiet = list(sim.epoch_measurements(1))
+        event = list(sim.epoch_measurements(2))
+        hot_quiet = sum(1 for r in quiet if sim._in_hotspot(*r.coords[:2]))
+        hot_event = sum(1 for r in event if sim._in_hotspot(*r.coords[:2]))
+        assert hot_event > 5 * hot_quiet
+
+    def test_warm_anomaly_during_event(self):
+        sim = OceanSimulation(grid=(64, 32), event_epochs=[2], seed=1,
+                              measurements_per_epoch=3000)
+        def mean_hot_sst(epoch):
+            vals = [
+                r.values[0]
+                for r in sim.epoch_measurements(epoch)
+                if sim._in_hotspot(*r.coords[:2])
+            ]
+            return sum(vals) / len(vals)
+
+        assert mean_hot_sst(2) > mean_hot_sst(1) + 1.0
+
+    def test_stream_epoch_ordered(self):
+        sim = OceanSimulation(seed=2, measurements_per_epoch=50)
+        epochs = [r.coords[2] for r in sim.load_records(4)]
+        assert epochs == sorted(epochs)
+
+
+class TestClickstream:
+    def test_session_structure(self):
+        gen = ClickstreamGenerator(seed=0)
+        s = gen.session(1)
+        kinds = [c.kind for _, c in s.events.cells(include_null=False)]
+        assert kinds[0] == "search"
+        assert kinds[-1] == "exit"
+        assert s.searches >= 1
+
+    def test_nested_result_arrays(self):
+        """Section 2.14: embedded arrays represent the search results."""
+        gen = ClickstreamGenerator(results_per_search=10, seed=1)
+        s = gen.session(1)
+        first = s.events[1]
+        assert first.kind == "search"
+        assert first.results.high_water("rank") == 10
+
+    def test_clicks_reference_surfaced_items(self):
+        gen = ClickstreamGenerator(seed=2)
+        log = sessions_to_array(list(gen.sessions(20)))
+        surfaced = set(surfaced_counts(log))
+        for _, cell in log.cells(include_null=False):
+            if cell.kind == "click":
+                assert cell.item in surfaced
+
+    def test_ignored_content_analysis(self):
+        """'How often did a particular item get surfaced but was never
+        clicked on?'"""
+        gen = ClickstreamGenerator(seed=3)
+        log = sessions_to_array(list(gen.sessions(30)))
+        ignored = ignored_content(log)
+        clicked = {
+            c.item for _, c in log.cells(include_null=False) if c.kind == "click"
+        }
+        assert ignored  # some content is always ignored
+        assert not (set(ignored) & clicked)
+
+    def test_click_ranks_reflect_engine_quality(self):
+        """A flawed engine (interest deep in the ranking) yields higher
+        click ranks than a good one — the banjo analysis."""
+        good = ClickstreamGenerator(relevance_decay=0.3, seed=4)
+        bad = ClickstreamGenerator(relevance_decay=0.9, seed=4)
+        good_log = sessions_to_array(list(good.sessions(40)))
+        bad_log = sessions_to_array(list(bad.sessions(40)))
+        good_ranks = click_ranks(good_log)
+        bad_ranks = click_ranks(bad_log)
+        assert sum(good_ranks) / len(good_ranks) < sum(bad_ranks) / len(bad_ranks)
+
+    def test_deterministic(self):
+        a = ClickstreamGenerator(seed=5).session(1)
+        b = ClickstreamGenerator(seed=5).session(1)
+        assert [
+            (c.kind, c.item) for _, c in a.events.cells(include_null=False)
+        ] == [(c.kind, c.item) for _, c in b.events.cells(include_null=False)]
