@@ -12,8 +12,22 @@ its own storage manager, connected by an explicitly metered message fabric
 The simulation substitutes for physical distribution (see DESIGN.md §2):
 every design question above is a question about data *placement and
 movement*, which the ledger accounts exactly and deterministically.
+
+At grid scale node failure is the common case, so the cluster layer also
+carries a fault-tolerance stack: a deterministic
+:class:`~repro.cluster.faults.FaultInjector`, k-way chunk replication
+(:mod:`~repro.cluster.replication`), failover reads with bounded retries,
+degraded-mode partial results, and WAL-driven node rebuild
+(:meth:`~repro.cluster.grid.Grid.rebuild_node`).  Cluster failures raise
+the :class:`~repro.core.errors.GridError` family re-exported here.
 """
 
+from ..core.errors import (
+    GridError,
+    NodeFailedError,
+    QuorumError,
+    ReplicationError,
+)
 from .node import Node
 from .partitioning import (
     BlockCyclicPartitioner,
@@ -22,6 +36,15 @@ from .partitioning import (
     Partitioner,
     RangePartitioner,
     TimeEpochPartitioner,
+)
+from .faults import FaultEvent, FaultInjector, FailoverEvent
+from .replication import (
+    ChainedDeclusteringPlacement,
+    CoverageReport,
+    DegradedResult,
+    RebuildReport,
+    ReplicaPlacement,
+    ScatterPlacement,
 )
 from .grid import DataMovementLedger, DistributedArray, Grid
 from .copartition import copartition, is_copartitioned
@@ -43,4 +66,18 @@ __all__ = [
     "AutomaticDesigner",
     "WorkloadQuery",
     "DesignCandidate",
+    # fault tolerance & replication
+    "GridError",
+    "NodeFailedError",
+    "QuorumError",
+    "ReplicationError",
+    "FaultInjector",
+    "FaultEvent",
+    "FailoverEvent",
+    "ReplicaPlacement",
+    "ChainedDeclusteringPlacement",
+    "ScatterPlacement",
+    "CoverageReport",
+    "DegradedResult",
+    "RebuildReport",
 ]

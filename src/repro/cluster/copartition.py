@@ -45,19 +45,24 @@ def copartition(
     schemas: Sequence[tuple[str, ArraySchema]],
     partitioner: Partitioner,
     stride: Optional[Sequence[int]] = None,
+    replication: Optional[int] = None,
+    placement: Optional[object] = None,
 ) -> list[DistributedArray]:
     """Create several distributed arrays under one shared partitioner.
 
     All schemas must share a coordinate system (dimension count and
     compatible bounds); the returned arrays satisfy
     :func:`is_copartitioned` pairwise, so grid joins between them move no
-    data.
+    data.  ``replication``/``placement`` apply to every member — a family
+    replicated together fails over together, keeping joins shuffle-free
+    even after a node loss.
     """
     if not schemas:
         raise PartitioningError("copartition needs at least one array")
     _common_coordinate_system([s for _, s in schemas])
     return [
-        grid.create_array(name, schema, partitioner, stride=stride)
+        grid.create_array(name, schema, partitioner, stride=stride,
+                          replication=replication, placement=placement)
         for name, schema in schemas
     ]
 

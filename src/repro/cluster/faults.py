@@ -1,0 +1,217 @@
+"""Deterministic fault injection for the simulated grid (Section 2.7).
+
+"Self-orchestrated ... recovery" is a stated SciDB requirement because a
+grid large enough for LSST always contains broken nodes.  This module
+supplies the *failures*: a seedable :class:`FaultInjector` that can
+
+* kill nodes — immediately, or scheduled ``after`` the N-th metered
+  transfer, which is how a crash lands *mid-query* deterministically
+  (the grid's ledger ticks the injector on every transfer it records);
+* drop or corrupt individual cell deliveries (seeded Bernoulli per
+  transfer), observable in the ledger's ``dropped`` list;
+* tear the tail off a node's write-ahead log mid-record, exercising the
+  torn-tail path of :meth:`~repro.storage.wal.WriteAheadLog.entries`.
+
+Every injected fault is appended to :attr:`FaultInjector.events`, and the
+same seed reproduces the same fault sequence byte-for-byte — the
+benchmarks rely on that to report deterministic availability numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..core.errors import GridError
+
+if TYPE_CHECKING:
+    from .grid import Grid, Transfer
+    from .node import Node
+
+__all__ = ["FaultEvent", "FailoverEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, in injection order."""
+
+    kind: str  #: "node_kill" | "transfer_drop" | "transfer_corrupt" | "wal_tear"
+    tick: int  #: metered-transfer count at injection time
+    target: int  #: node id (kills, WAL tears) or destination site (transfers)
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One failover step a query took around a dead replica.
+
+    ``backoff_ms`` is the *deterministic* exponential backoff the retry
+    policy charges (simulated time — the in-process grid does not sleep).
+    """
+
+    array: str
+    partition: int
+    failed_site: int
+    attempt: int
+    backoff_ms: float
+
+
+class FaultInjector:
+    """Seedable source of node, network, and log faults.
+
+    Attach to a grid either via ``Grid(..., fault_injector=inj)`` or
+    :meth:`attach`.  All randomness flows from one ``random.Random(seed)``
+    so a run is reproducible from ``(workload, seed)`` alone.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_rate <= 1.0 or not 0.0 <= corrupt_rate <= 1.0:
+            raise GridError("fault rates must be probabilities in [0, 1]")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.corrupt_rate = corrupt_rate
+        self._rng = random.Random(seed)
+        self.events: list[FaultEvent] = []
+        self.tick = 0
+        self._kill_at: dict[int, int] = {}  # node_id -> tick threshold
+        self.grid: Optional["Grid"] = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, grid: "Grid") -> "FaultInjector":
+        if self.grid is not None and self.grid is not grid:
+            raise GridError("fault injector is already attached to a grid")
+        self.grid = grid
+        grid.faults = self
+        grid.ledger.on_record = self.on_transfer
+        return self
+
+    def _require_grid(self) -> "Grid":
+        if self.grid is None:
+            raise GridError("fault injector is not attached to a grid")
+        return self.grid
+
+    def _node(self, node_id: int) -> "Node":
+        grid = self._require_grid()
+        if not 0 <= node_id < len(grid.nodes):
+            raise GridError(
+                f"no node {node_id} on a {len(grid.nodes)}-node grid"
+            )
+        return grid.nodes[node_id]
+
+    # -- node failures -----------------------------------------------------------
+
+    def kill(self, node_id: int) -> None:
+        """Kill a node now: its storage becomes unreachable until rebuilt."""
+        node = self._node(node_id)
+        if node.alive:
+            node.fail()
+            self.events.append(
+                FaultEvent("node_kill", self.tick, node_id, "explicit kill")
+            )
+
+    def schedule_kill(self, node_id: int, after: int) -> None:
+        """Kill *node_id* once *after* more transfers have been metered.
+
+        Because every cross-node byte ticks the injector, this is how a
+        crash is planted deterministically in the middle of a load, a
+        gather, or a shuffle.
+        """
+        if after < 0:
+            raise GridError("schedule_kill needs after >= 0")
+        self._node(node_id)
+        self._kill_at[node_id] = self.tick + after
+
+    def on_transfer(self, transfer: "Transfer") -> None:
+        """Ledger hook: advance simulated time, firing scheduled kills."""
+        self.tick += 1
+        grid = self.grid
+        if grid is None:
+            return
+        due = [n for n, at in self._kill_at.items() if self.tick >= at]
+        for node_id in due:
+            del self._kill_at[node_id]
+            node = grid.nodes[node_id]
+            if node.alive:
+                node.fail()
+                self.events.append(
+                    FaultEvent(
+                        "node_kill", self.tick, node_id,
+                        f"scheduled at transfer {self.tick}",
+                    )
+                )
+
+    # -- transfer faults -----------------------------------------------------------
+
+    def intercept(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        reason: str,
+        values: Optional[tuple],
+    ) -> tuple[str, Optional[tuple]]:
+        """Decide the fate of one cell delivery: deliver, drop, or corrupt.
+
+        Returns ``(verdict, values)`` where verdict is ``"deliver"`` or
+        ``"drop"``; a corrupted delivery still arrives, with its float
+        payload deterministically perturbed.
+        """
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.events.append(
+                FaultEvent("transfer_drop", self.tick, dst, reason)
+            )
+            return "drop", values
+        if (
+            self.corrupt_rate
+            and values is not None
+            and self._rng.random() < self.corrupt_rate
+        ):
+            corrupted = tuple(
+                -v if isinstance(v, float) else v for v in values
+            )
+            self.events.append(
+                FaultEvent("transfer_corrupt", self.tick, dst, reason)
+            )
+            return "deliver", corrupted
+        return "deliver", values
+
+    # -- WAL faults ------------------------------------------------------------------
+
+    def tear_wal_tail(self, node: "Node", nbytes: Optional[int] = None) -> int:
+        """Truncate the final record of *node*'s WAL mid-write.
+
+        Removes *nbytes* from the end of the log (default: half of the
+        final record), simulating a crash during an append.  Returns the
+        number of bytes torn off.
+        """
+        if node.wal is None:
+            raise GridError(f"node {node.node_id} has no write-ahead log")
+        node.wal.commit()
+        path = node.wal.path
+        body = path.read_bytes().rstrip(b"\n")
+        if not body:
+            return 0
+        last_nl = body.rfind(b"\n")
+        last_len = len(body) - last_nl - 1
+        cut = min(nbytes if nbytes is not None else max(1, last_len // 2),
+                  len(body))
+        path.write_bytes(body[: len(body) - cut])
+        self.events.append(
+            FaultEvent(
+                "wal_tear", self.tick, node.node_id, f"tore {cut} bytes"
+            )
+        )
+        return cut
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out

@@ -9,7 +9,9 @@ instead of noisy wall-clock proxies.
 
 Distributed operators implemented on :class:`DistributedArray`:
 
-* ``load`` / ``write`` — route cells by the array's partitioner;
+* ``load`` / ``write`` — route cells by the array's partitioner, to every
+  replica site when ``replication`` > 1 (extra copies metered as
+  ``"replication"``);
 * ``load_uncertain`` — PanSTARRS-style boundary replication: an
   observation whose true position may fall in a neighbouring partition is
   stored redundantly in every candidate partition, so "uncertain spatial
@@ -22,27 +24,55 @@ Distributed operators implemented on :class:`DistributedArray`:
   an explicit repartition of the right operand first;
 * ``repartition`` — migrate to a new partitioning scheme, as the paper's
   time-varying partitioning requires.
+
+Fault tolerance (the common case on a grid "sufficiently large that there
+will always be broken nodes"): reads are organised around *logical
+partitions* — partition ``p`` is the set of cells whose primary site is
+``p``, and with k-way replication it is stored on every site of
+``placement.chain(p, n, k)``.  A query that finds a replica dead — even
+mid-scan, when a scheduled fault fires on a metered transfer — retries
+the partition on the next site of the chain, with bounded retries and
+deterministic (simulated) exponential backoff, recorded in
+:attr:`Grid.failover_log`.  Only when *every* replica of some partition is
+dead does the query raise :class:`~repro.core.errors.QuorumError` —
+unless called with ``degraded=True``, which instead returns the partial
+answer plus a :class:`~repro.cluster.replication.CoverageReport`.
+:meth:`Grid.rebuild_node` brings a crashed node back by replaying its
+per-node WAL and copying anything missing (metered ``"rebuild"``) from
+surviving replicas.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from ..core.array import SciArray
 from ..core.cells import Cell
 from ..core.datatypes import ScalarType
-from ..core.errors import PartitioningError, SchemaError
-from ..core.ops import content as content_ops
+from ..core.errors import (
+    NodeFailedError,
+    PartitioningError,
+    QuorumError,
+    SchemaError,
+    StorageError,
+)
 from ..core.ops import structural as structural_ops
 from ..core.schema import ArraySchema
 from ..core.udf import UserAggregate, get_aggregate
 from ..core.uncertainty import PositionUncertainty
 from ..storage.loader import LoadRecord
+from .faults import FailoverEvent, FaultInjector
 from .node import Node
 from .partitioning import Partitioner
+from .replication import (
+    ChainedDeclusteringPlacement,
+    CoverageReport,
+    DegradedResult,
+    RebuildReport,
+    ReplicaPlacement,
+)
 
 __all__ = ["Transfer", "DataMovementLedger", "DistributedArray", "Grid"]
 
@@ -73,18 +103,39 @@ class Transfer:
 
 
 class DataMovementLedger:
-    """Append-only record of all inter-node traffic."""
+    """Append-only record of all inter-node traffic.
+
+    Besides delivered transfers, the ledger tracks *dropped* ones —
+    deliveries addressed to a dead node or eaten by the fault injector —
+    so injected faults stay observable in the same accounting that the
+    partitioning experiments use.
+    """
 
     def __init__(self) -> None:
         self.transfers: list[Transfer] = []
+        self.dropped: list[Transfer] = []
+        #: Optional hook called with each recorded Transfer (the fault
+        #: injector's simulated clock ticks here).
+        self.on_record: Optional[Callable[[Transfer], None]] = None
 
     def record(self, src: int, dst: int, nbytes: int, reason: str) -> None:
         if src != dst:  # local work is free by definition of shared-nothing
-            self.transfers.append(Transfer(src, dst, nbytes, reason))
+            transfer = Transfer(src, dst, nbytes, reason)
+            self.transfers.append(transfer)
+            if self.on_record is not None:
+                self.on_record(transfer)
+
+    def record_dropped(self, src: int, dst: int, nbytes: int, reason: str) -> None:
+        self.dropped.append(Transfer(src, dst, nbytes, reason))
 
     def total_bytes(self, reason: Optional[str] = None) -> int:
         return sum(
             t.nbytes for t in self.transfers if reason is None or t.reason == reason
+        )
+
+    def dropped_bytes(self, reason: Optional[str] = None) -> int:
+        return sum(
+            t.nbytes for t in self.dropped if reason is None or t.reason == reason
         )
 
     def by_reason(self) -> dict[str, int]:
@@ -95,6 +146,7 @@ class DataMovementLedger:
 
     def reset(self) -> None:
         self.transfers.clear()
+        self.dropped.clear()
 
 
 def _cell_nbytes(schema: ArraySchema) -> int:
@@ -109,7 +161,7 @@ def _cell_nbytes(schema: ArraySchema) -> int:
 
 
 class DistributedArray:
-    """One array partitioned across the grid's nodes."""
+    """One array partitioned across the grid's nodes, ``k`` replicas deep."""
 
     def __init__(
         self,
@@ -117,6 +169,8 @@ class DistributedArray:
         name: str,
         schema: ArraySchema,
         partitioner: Partitioner,
+        replication: int = 1,
+        placement: Optional[ReplicaPlacement] = None,
     ) -> None:
         if partitioner.n_sites != len(grid.nodes):
             raise PartitioningError(
@@ -127,14 +181,46 @@ class DistributedArray:
         self.name = name
         self.schema = schema
         self.partitioner = partitioner
+        self.replication = replication
+        self.placement = placement or ChainedDeclusteringPlacement()
+        # Validate the chain for every partition up front.
+        for p in range(partitioner.n_sites):
+            self.placement.chain(p, partitioner.n_sites, replication)
         self.cell_nbytes = _cell_nbytes(schema)
+
+    # -- replica routing ---------------------------------------------------------
+
+    def partition_chain(self, p: int) -> tuple[int, ...]:
+        """Replica chain (primary first) for logical partition *p*."""
+        return self.placement.chain(p, self.partitioner.n_sites, self.replication)
+
+    def replica_sites(self, coords: Coords) -> tuple[int, ...]:
+        return self.partition_chain(self.partitioner.site_of(coords))
 
     # -- writes ------------------------------------------------------------------
 
     def write(self, coords: Coords, values: Optional[tuple]) -> None:
-        site = self.partitioner.site_of(coords)
-        self.grid.ledger.record(COORDINATOR, site, self.cell_nbytes, "load")
-        self.grid.nodes[site].store(self.name, coords, values)
+        """Route one cell to all of its replica sites.
+
+        The primary copy is metered as ``"load"``, the extras as
+        ``"replication"``.  Delivery is fire-and-forget: a transfer lost
+        in flight (an injected drop, or a node crashing on this very
+        tick) loses that copy silently, like a real lossy fabric.  Only
+        when *every* replica site is already dead — no copy could
+        possibly land — does the write raise :class:`QuorumError`.
+        """
+        sites = self.replica_sites(coords)
+        if not any(self.grid.nodes[s].alive for s in sites):
+            raise QuorumError(
+                f"write {coords} to {self.name!r}: every replica site of "
+                f"{sites} is dead"
+            )
+        for i, site in enumerate(sites):
+            reason = "load" if i == 0 else "replication"
+            self.grid.deliver(
+                COORDINATOR, site, self.cell_nbytes, reason,
+                self.name, coords, values,
+            )
 
     def load(self, records: Iterable[LoadRecord]) -> int:
         n = 0
@@ -152,51 +238,120 @@ class DistributedArray:
         """Load (position, values) observations with boundary replication.
 
         Each observation is stored in its home cell on every site that owns
-        one of its candidate cells; replicas beyond the home site are
-        metered with reason ``"replication"``.
+        one of its candidate cells — plus, with ``replication`` > 1, the
+        home cell's replica chain; copies beyond the home site are metered
+        with reason ``"replication"``.
         """
         n = 0
         for position, values in observations:
             home = uncertainty.home_cell(position)
             sites = {self.partitioner.site_of(c)
                      for c in uncertainty.candidate_cells(position)}
-            home_site = self.partitioner.site_of(home)
+            replicas = self.replica_sites(home)
+            sites.update(replicas)
+            home_site = replicas[0]
+            if not any(self.grid.nodes[s].alive for s in sites):
+                raise QuorumError(
+                    f"uncertain load at {home}: every candidate site of "
+                    f"{sorted(sites)} is dead"
+                )
             for site in sorted(sites):
                 reason = "load" if site == home_site else "replication"
-                self.grid.ledger.record(COORDINATOR, site, self.cell_nbytes, reason)
-                self.grid.nodes[site].store(self.name, home, values)
+                self.grid.deliver(
+                    COORDINATOR, site, self.cell_nbytes, reason,
+                    self.name, home, values,
+                )
             n += 1
         self.flush()
         return n
 
     def flush(self) -> None:
-        for node in self.grid.nodes:
+        for node in self.grid.alive_nodes():
             node.partition(self.name).flush()
+
+    # -- partition reads with failover ---------------------------------------------
+
+    def _read_partition(
+        self,
+        p: int,
+        window: Optional[tuple[Coords, Coords]] = None,
+        per_cell_reason: Optional[str] = None,
+        degraded: bool = False,
+    ) -> tuple[Optional[int], Optional[list[tuple[Coords, Optional[Cell]]]]]:
+        """Read logical partition *p* from the first surviving replica.
+
+        Walks the replica chain (bounded to ``grid.max_read_retries``
+        passes, with deterministic exponential backoff recorded per failed
+        attempt); a node dying *mid-scan* discards the partial read and
+        fails over.  Returns ``(serving_site, cells)`` where cells are
+        restricted to coordinates whose primary is *p* — which both
+        deduplicates replicas and makes per-partition reads exactly-once
+        for aggregation.  With ``per_cell_reason`` set, each returned cell
+        is metered as a transfer from the serving site to the coordinator.
+
+        Raises :class:`QuorumError` when the chain is exhausted, or
+        returns ``(None, None)`` instead if *degraded* is True.
+        """
+        chain = self.partition_chain(p)
+        grid = self.grid
+        attempt = 0
+        for _ in range(grid.max_read_retries):
+            for site in chain:
+                attempt += 1
+                node = grid.nodes[site]
+                if not node.alive:
+                    grid._log_failover(self.name, p, site, attempt)
+                    continue
+                cells: list[tuple[Coords, Optional[Cell]]] = []
+                try:
+                    for coords, cell in node.scan_partition(self.name, window):
+                        if self.partitioner.site_of(coords) != p:
+                            continue  # replica of another partition
+                        if per_cell_reason is not None:
+                            node.counters.cells_scanned += 1
+                            grid.ledger.record(
+                                site, COORDINATOR, self.cell_nbytes,
+                                per_cell_reason,
+                            )
+                        cells.append((coords, cell))
+                except NodeFailedError:
+                    # Died under the scan: drop the partial read, fail over.
+                    grid._log_failover(self.name, p, site, attempt)
+                    continue
+                if site != chain[0]:
+                    node.counters.failovers_served += 1
+                return site, cells
+        if degraded:
+            return None, None
+        raise QuorumError(
+            f"partition {p} of {self.name!r}: no surviving replica among "
+            f"sites {chain} after {attempt} attempts"
+        )
 
     # -- reads -------------------------------------------------------------------
 
     def scan(self, window: Optional[tuple[Coords, Coords]] = None
              ) -> Iterator[tuple[Coords, Optional[Cell]]]:
-        """Gather (windowed) cells at the coordinator, metering the gather."""
-        seen: set[Coords] = set()
-        for node in self.grid.nodes:
-            part = node.partition(self.name)
-            for coords, cell in part.scan(window):
-                if coords in seen:
-                    continue  # replicas (uncertain load) deduplicate here
-                seen.add(coords)
-                node.counters.cells_scanned += 1
-                self.grid.ledger.record(
-                    node.node_id, COORDINATOR, self.cell_nbytes, "gather"
-                )
-                yield coords, cell
+        """Gather (windowed) cells at the coordinator, metering the gather.
+
+        Reads each logical partition from its first surviving replica, so
+        the scan survives up to ``replication - 1`` failures per chain.
+        """
+        for p in range(self.partitioner.n_sites):
+            _site, cells = self._read_partition(p, window, "gather")
+            assert cells is not None
+            yield from cells
 
     def cell_count(self) -> int:
         """Total stored cells (replicas included) — the balance metric."""
         return sum(self.cells_per_node())
 
     def cells_per_node(self) -> list[int]:
-        return [node.cell_count(self.name) for node in self.grid.nodes]
+        """Stored cells per node; dead nodes report 0 (unreachable)."""
+        return [
+            node.cell_count(self.name) if node.alive else 0
+            for node in self.grid.nodes
+        ]
 
     def imbalance(self) -> float:
         """max/mean stored cells per node; 1.0 is perfect balance."""
@@ -204,11 +359,29 @@ class DistributedArray:
         mean = sum(counts) / len(counts)
         return max(counts) / mean if mean else 0.0
 
-    def subsample(self, window: tuple[Coords, Coords]) -> SciArray:
-        """Window query executed with per-node bucket pruning."""
+    def subsample(
+        self,
+        window: tuple[Coords, Coords],
+        degraded: bool = False,
+    ) -> "SciArray | DegradedResult":
+        """Window query executed with per-node bucket pruning.
+
+        With ``degraded=True``, partitions that lost every replica are
+        skipped and the partial answer comes back with a coverage report
+        instead of a :class:`QuorumError`.
+        """
         out = SciArray(self.schema, name=f"{self.name}_window")
-        for coords, cell in self.scan(window):
-            out.set(coords, cell)
+        missing: list[tuple[str, int]] = []
+        for p in range(self.partitioner.n_sites):
+            _site, cells = self._read_partition(p, window, "gather", degraded)
+            if cells is None:
+                missing.append((self.name, p))
+                continue
+            for coords, cell in cells:
+                out.set(coords, cell)
+        if degraded:
+            report = CoverageReport(self.partitioner.n_sites, tuple(missing))
+            return DegradedResult(out, report)
         return out
 
     def materialize(self) -> SciArray:
@@ -224,22 +397,33 @@ class DistributedArray:
         group_dims: Sequence[str],
         agg: "str | UserAggregate",
         attr: Optional[str] = None,
-    ) -> SciArray:
-        """Grouped aggregation with local partials where algebraic."""
+        degraded: bool = False,
+    ) -> "SciArray | DegradedResult":
+        """Grouped aggregation with local partials where algebraic.
+
+        Each logical partition is aggregated exactly once, at the serving
+        site of its replica chain — so the partials stay node-local even
+        when the primary is dead, and replicas are never double-counted.
+        """
         aggregate_fn = agg if isinstance(agg, UserAggregate) else get_aggregate(agg)
         attr_name = attr or self.schema.attr_names[0]
         positions = [self.schema.dim_index(d) for d in group_dims]
         merge = _ALGEBRAIC_MERGES.get(aggregate_fn.name)
 
         merged: dict[Coords, Any] = {}
-        if merge is not None:
-            state_nbytes = 24  # partial-state wire estimate
-            for node in self.grid.nodes:
+        missing: list[tuple[str, int]] = []
+        for p in range(self.partitioner.n_sites):
+            if merge is not None:
+                site, cells = self._read_partition(p, degraded=degraded)
+                if cells is None:
+                    missing.append((self.name, p))
+                    continue
+                state_nbytes = 24  # partial-state wire estimate
                 local: dict[Coords, Any] = {}
-                for coords, cell in node.partition(self.name).scan():
+                for coords, cell in cells:
                     if cell is None:
                         continue
-                    key = tuple(coords[p] for p in positions)
+                    key = tuple(coords[q] for q in positions)
                     state = local.get(key)
                     if key not in local:
                         state = aggregate_fn.initial()
@@ -248,22 +432,25 @@ class DistributedArray:
                     )
                 for key, state in local.items():
                     self.grid.ledger.record(
-                        node.node_id, COORDINATOR, state_nbytes, "aggregate"
+                        site, COORDINATOR, state_nbytes, "aggregate"
                     )
                     if key in merged:
                         merged[key] = merge(merged[key], state)
                     else:
                         merged[key] = state
-        else:
-            # Holistic user aggregate: ship raw values to the coordinator.
-            for node in self.grid.nodes:
-                for coords, cell in node.partition(self.name).scan():
+            else:
+                # Holistic user aggregate: ship raw values to the coordinator.
+                site, cells = self._read_partition(p, degraded=degraded)
+                if cells is None:
+                    missing.append((self.name, p))
+                    continue
+                for coords, cell in cells:
                     if cell is None:
                         continue
                     self.grid.ledger.record(
-                        node.node_id, COORDINATOR, self.cell_nbytes, "aggregate"
+                        site, COORDINATOR, self.cell_nbytes, "aggregate"
                     )
-                    key = tuple(coords[p] for p in positions)
+                    key = tuple(coords[q] for q in positions)
                     state = merged.get(key)
                     if key not in merged:
                         state = aggregate_fn.initial()
@@ -271,7 +458,7 @@ class DistributedArray:
                         state, getattr(cell, attr_name)
                     )
 
-        from ..core.schema import Attribute, Dimension
+        from ..core.schema import Attribute
         from ..core.ops.content import _result_type
 
         out_schema = ArraySchema(
@@ -282,16 +469,26 @@ class DistributedArray:
         out = SciArray(out_schema, name=f"{self.name}_agg")
         for key, state in merged.items():
             out.set(key, aggregate_fn.final(state))
+        if degraded:
+            report = CoverageReport(self.partitioner.n_sites, tuple(missing))
+            return DegradedResult(out, report)
         return out
 
-    def sjoin(self, other: "DistributedArray",
-              on: Optional[Sequence[tuple[str, str]]] = None) -> SciArray:
+    def sjoin(
+        self,
+        other: "DistributedArray",
+        on: Optional[Sequence[tuple[str, str]]] = None,
+        degraded: bool = False,
+    ) -> "SciArray | DegradedResult":
         """Structured join of two distributed arrays on all dimensions.
 
         Co-partitioned operands (equal partitioners — see
         :func:`repro.cluster.copartition.is_copartitioned`) join locally
         with **zero** shuffle; otherwise the right operand's cells are first
         repartitioned to the left's scheme (metered as ``"join_shuffle"``).
+        Either side failing over to a replica keeps the join running; a
+        partition with no surviving replica raises :class:`QuorumError`
+        unless ``degraded=True``.
         """
         if on is None:
             on = list(zip(self.schema.dim_names, other.schema.dim_names))
@@ -301,32 +498,70 @@ class DistributedArray:
                 "local sjoin for partial-dimension joins"
             )
 
-        if self.partitioner == other.partitioner:
-            right_parts = [
-                _materialize_node(other, node) for node in self.grid.nodes
-            ]
+        n_sites = self.partitioner.n_sites
+        missing: list[tuple[str, int]] = []
+        copartitioned = self.partitioner == other.partitioner
+
+        # Read every left partition (no per-cell metering: the join runs
+        # at the serving site, which holds the cells locally).
+        left_served: dict[int, tuple[int, list]] = {}
+        for p in range(n_sites):
+            site, cells = self._read_partition(p, degraded=degraded)
+            if cells is None:
+                missing.append((self.name, p))
+                continue
+            left_served[p] = (site, cells)
+
+        # Assemble the right side per left partition.
+        right_parts: dict[int, SciArray] = {
+            p: SciArray(other.schema, name=f"{other.name}@p{p}")
+            for p in left_served
+        }
+        total_partitions = n_sites
+        if copartitioned:
+            for p, (left_site, _cells) in left_served.items():
+                r_site, r_cells = other._read_partition(p, degraded=degraded)
+                if r_cells is None:
+                    missing.append((other.name, p))
+                    continue
+                for coords, cell in r_cells:
+                    if r_site != left_site:
+                        # Replica chains diverge (different k/placement):
+                        # the right cells must travel to the join site.
+                        self.grid.ledger.record(
+                            r_site, left_site, other.cell_nbytes, "join_shuffle"
+                        )
+                    right_parts[p].set(coords, cell)
         else:
-            # Shuffle right cells to the node owning the matching left cell.
-            right_parts = [
-                SciArray(other.schema, name=f"{other.name}@n{node.node_id}")
-                for node in self.grid.nodes
-            ]
-            for node in self.grid.nodes:
-                for coords, cell in node.partition(other.name).scan():
+            # Shuffle right cells to the site joining the matching left cell.
+            total_partitions += other.partitioner.n_sites
+            for q in range(other.partitioner.n_sites):
+                r_site, r_cells = other._read_partition(q, degraded=degraded)
+                if r_cells is None:
+                    missing.append((other.name, q))
+                    continue
+                for coords, cell in r_cells:
                     target = self.partitioner.site_of(coords)
-                    self.grid.ledger.record(
-                        node.node_id, target, other.cell_nbytes, "join_shuffle"
-                    )
+                    if target not in left_served:
+                        continue  # left side lost: nothing to join against
+                    left_site = left_served[target][0]
+                    if r_site != left_site:
+                        self.grid.ledger.record(
+                            r_site, left_site, other.cell_nbytes, "join_shuffle"
+                        )
                     right_parts[target].set(coords, cell)
 
         out: Optional[SciArray] = None
-        for node, right in zip(self.grid.nodes, right_parts):
-            left = _materialize_node(self, node)
+        for p, (left_site, cells) in left_served.items():
+            left = SciArray(self.schema, name=f"{self.name}@p{p}")
+            for coords, cell in cells:
+                left.set(coords, cell)
+            right = right_parts[p]
             if left.count_occupied() == 0 or right.count_occupied() == 0:
                 continue
             local = structural_ops.sjoin(left, right, on=on)
             self.grid.ledger.record(
-                node.node_id,
+                left_site,
                 COORDINATOR,
                 local.count_occupied() * (self.cell_nbytes + other.cell_nbytes),
                 "gather",
@@ -340,6 +575,9 @@ class DistributedArray:
             left = SciArray(self.schema)
             right = SciArray(other.schema)
             out = structural_ops.sjoin(left, right, on=on)
+        if degraded:
+            report = CoverageReport(total_partitions, tuple(missing))
+            return DegradedResult(out, report)
         return out
 
     def filter(
@@ -350,22 +588,28 @@ class DistributedArray:
         """Distributed Filter: runs node-local with **zero** movement.
 
         Filter preserves cell addresses, so each node filters its own
-        partition in place under the same partitioner — the easy
-        shared-nothing case the paper's operators are designed around.
-        The result is a new distributed array (no-overwrite).
+        partition in place under the same partitioner — replica copies
+        included, which keeps the output replicated exactly like the
+        input.  Nodes that die mid-filter are skipped: their partitions'
+        surviving replicas still produce complete output copies.
         """
+        self._check_coverage()
         out = self.grid.create_array(
-            output_name or f"{self.name}_filtered", self.schema, self.partitioner
+            output_name or f"{self.name}_filtered", self.schema,
+            self.partitioner, replication=self.replication,
+            placement=self.placement,
         )
-        for node in self.grid.nodes:
-            part = node.partition(self.name)
-            target = node.partition(out.name)
-            for coords, cell in part.scan():
-                if cell is not None and predicate(cell):
-                    target.append(coords, cell.values)
-                else:
-                    target.append(coords, None)
-            target.flush()
+        for node in self.grid.alive_nodes():
+            try:
+                target = node.partition(out.name)
+                for coords, cell in node.scan_partition(self.name):
+                    if cell is not None and predicate(cell):
+                        target.append(coords, cell.values)
+                    else:
+                        target.append(coords, None)
+                target.flush()
+            except NodeFailedError:
+                continue  # replicas on surviving nodes cover this partition
         return out
 
     def apply(
@@ -377,28 +621,43 @@ class DistributedArray:
         """Distributed Apply: node-local per-cell computation, no movement."""
         from ..core.schema import define_array
 
+        self._check_coverage()
         out_schema = define_array(
             f"{self.schema.name}_applied",
             values=list(output),
             dims=[(d.name, d.size) for d in self.schema.dimensions],
         )
         out = self.grid.create_array(
-            output_name or f"{self.name}_applied", out_schema, self.partitioner
+            output_name or f"{self.name}_applied", out_schema,
+            self.partitioner, replication=self.replication,
+            placement=self.placement,
         )
         n_out = len(output)
-        for node in self.grid.nodes:
-            part = node.partition(self.name)
-            target = node.partition(out.name)
-            for coords, cell in part.scan():
-                if cell is None:
-                    target.append(coords, None)
-                    continue
-                result = fn(cell)
-                if n_out == 1 and not isinstance(result, tuple):
-                    result = (result,)
-                target.append(coords, result)
-            target.flush()
+        for node in self.grid.alive_nodes():
+            try:
+                target = node.partition(out.name)
+                for coords, cell in node.scan_partition(self.name):
+                    if cell is None:
+                        target.append(coords, None)
+                        continue
+                    result = fn(cell)
+                    if n_out == 1 and not isinstance(result, tuple):
+                        result = (result,)
+                    target.append(coords, result)
+                target.flush()
+            except NodeFailedError:
+                continue
         return out
+
+    def _check_coverage(self) -> None:
+        """Raise QuorumError if any partition has lost every replica."""
+        for p in range(self.partitioner.n_sites):
+            chain = self.partition_chain(p)
+            if not any(self.grid.nodes[s].alive for s in chain):
+                raise QuorumError(
+                    f"partition {p} of {self.name!r}: every replica site "
+                    f"of {chain} is dead"
+                )
 
     def regrid(
         self,
@@ -426,9 +685,11 @@ class DistributedArray:
                 f"regrid needs {self.schema.ndim} factors, got {len(factors)}"
             )
         merged: dict[Coords, Any] = {}
-        for node in self.grid.nodes:
+        for p in range(self.partitioner.n_sites):
+            site, cells = self._read_partition(p)
+            assert cells is not None
             local: dict[Coords, Any] = {}
-            for coords, cell in node.partition(self.name).scan():
+            for coords, cell in cells:
                 if cell is None:
                     continue
                 key = tuple((c - 1) // f + 1 for c, f in zip(coords, factors))
@@ -439,7 +700,7 @@ class DistributedArray:
                     state, getattr(cell, attr_name)
                 )
             for key, state in local.items():
-                self.grid.ledger.record(node.node_id, COORDINATOR, 24, "regrid")
+                self.grid.ledger.record(site, COORDINATOR, 24, "regrid")
                 if key in merged:
                     merged[key] = merge(merged[key], state)
                 else:
@@ -469,9 +730,10 @@ class DistributedArray:
         declared = self.schema.dimensions[dim_index].size
         if declared is not None:
             return declared
-        # Unbounded: take the max coordinate stored anywhere.
+        # Unbounded: take the max coordinate stored anywhere (replicas
+        # share the max, so alive nodes suffice).
         hw = 0
-        for node in self.grid.nodes:
+        for node in self.grid.alive_nodes():
             for coords, _ in node.partition(self.name).scan():
                 hw = max(hw, coords[dim_index])
         return hw
@@ -479,50 +741,54 @@ class DistributedArray:
     # -- repartitioning --------------------------------------------------------------
 
     def repartition(self, new_partitioner: Partitioner) -> int:
-        """Migrate to *new_partitioner*; returns cells moved.
+        """Migrate to *new_partitioner*; returns cells whose primary moved.
 
-        Movement is metered as ``"repartition"``; cells already on their
-        new home node do not move (and cost nothing).
+        Movement is metered as ``"repartition"``; replica copies already
+        resident on their (new) target node do not move (and cost
+        nothing).  Reads fail over to surviving replicas, so a
+        repartition can run through a node failure.
         """
         if new_partitioner.n_sites != len(self.grid.nodes):
             raise PartitioningError("new partitioner targets a different grid size")
-        moves: list[tuple[int, int, Coords, Optional[tuple]]] = []
-        for node in self.grid.nodes:
-            for coords, cell in node.partition(self.name).scan():
-                target = new_partitioner.site_of(coords)
-                if target != node.node_id:
-                    moves.append(
-                        (node.node_id, target, coords,
-                         None if cell is None else cell.values)
-                    )
-        # Rebuild partitions: drop and recreate, then replay.
-        survivors: dict[int, list[tuple[Coords, Optional[tuple]]]] = {
-            node.node_id: [] for node in self.grid.nodes
-        }
-        for node in self.grid.nodes:
-            for coords, cell in node.partition(self.name).scan():
-                if new_partitioner.site_of(coords) == node.node_id:
-                    survivors[node.node_id].append(
-                        (coords, None if cell is None else cell.values)
-                    )
-        for node in self.grid.nodes:
+        n_sites = self.partitioner.n_sites
+        # Gather every logical cell once, remembering who served it.
+        collected: list[tuple[int, Coords, Optional[tuple]]] = []
+        for p in range(n_sites):
+            site, cells = self._read_partition(p)
+            assert site is not None and cells is not None
+            for coords, cell in cells:
+                collected.append(
+                    (site, coords, None if cell is None else cell.values)
+                )
+        # Snapshot current physical placement: copies already on their new
+        # home are free.
+        prior: dict[int, frozenset[Coords]] = {}
+        for node in self.grid.alive_nodes():
+            prior[node.node_id] = node.partition(self.name).live_coords()
+        # Rebuild partitions on every live node, then replay.
+        for node in self.grid.alive_nodes():
             node.storage.drop_array(self.name)
             node.create_partition(self.name, self.schema)
-            for coords, values in survivors[node.node_id]:
-                node.store(self.name, coords, values)
-        for src, dst, coords, values in moves:
-            self.grid.ledger.record(src, dst, self.cell_nbytes, "repartition")
-            self.grid.nodes[dst].store(self.name, coords, values)
+        moved = 0
+        for src_site, coords, values in collected:
+            new_primary = new_partitioner.site_of(coords)
+            if new_primary != self.partitioner.site_of(coords):
+                moved += 1
+            chain = self.placement.chain(new_primary, n_sites, self.replication)
+            for dst in chain:
+                if coords in prior.get(dst, ()):
+                    # Already resident before the migration: free.
+                    node = self.grid.nodes[dst]
+                    if node.alive:
+                        node.store(self.name, coords, values)
+                    continue
+                self.grid.deliver(
+                    src_site, dst, self.cell_nbytes, "repartition",
+                    self.name, coords, values,
+                )
         self.flush()
         self.partitioner = new_partitioner
-        return len(moves)
-
-
-def _materialize_node(array: DistributedArray, node: Node) -> SciArray:
-    out = SciArray(array.schema, name=f"{array.name}@n{node.node_id}")
-    for coords, cell in node.partition(array.name).scan():
-        out.set(coords, cell)
-    return out
+        return moved
 
 
 class Grid:
@@ -533,6 +799,10 @@ class Grid:
         n_nodes: int,
         directory: "str | Path",
         memory_budget: int = 1 << 20,
+        fault_injector: Optional[FaultInjector] = None,
+        default_replication: int = 1,
+        max_read_retries: int = 2,
+        backoff_base_ms: float = 1.0,
     ) -> None:
         if n_nodes < 1:
             raise PartitioningError("a grid needs at least one node")
@@ -542,7 +812,67 @@ class Grid:
             for i in range(n_nodes)
         ]
         self.ledger = DataMovementLedger()
+        self.default_replication = default_replication
+        self.max_read_retries = max_read_retries
+        self.backoff_base_ms = backoff_base_ms
+        self.failover_log: list[FailoverEvent] = []
+        self.faults: Optional[FaultInjector] = None
+        if fault_injector is not None:
+            fault_injector.attach(self)
         self._arrays: dict[str, DistributedArray] = {}
+
+    # -- liveness --------------------------------------------------------------------
+
+    def alive_nodes(self) -> list[Node]:
+        return [node for node in self.nodes if node.alive]
+
+    def _log_failover(self, array: str, partition: int, site: int,
+                      attempt: int) -> None:
+        self.failover_log.append(
+            FailoverEvent(
+                array, partition, site, attempt,
+                backoff_ms=self.backoff_base_ms * 2 ** (attempt - 1),
+            )
+        )
+
+    # -- the delivery fabric -----------------------------------------------------------
+
+    def deliver(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        reason: str,
+        array_name: str,
+        coords: Coords,
+        values: Optional[tuple],
+    ) -> bool:
+        """Send one cell to a node, through the fault injector.
+
+        Returns True when the cell was stored.  Deliveries to a dead node
+        — or eaten by an injected drop — are recorded in the ledger's
+        ``dropped`` list instead of the transfer log.  Metering happens
+        *before* the store, so a scheduled kill firing on this transfer
+        loses the cell, exactly like a real crash between receive and ack.
+        """
+        node = self.nodes[dst]
+        if not node.alive:
+            self.ledger.record_dropped(src, dst, nbytes, reason)
+            return False
+        if self.faults is not None:
+            verdict, values = self.faults.intercept(
+                src, dst, nbytes, reason, values
+            )
+            if verdict == "drop":
+                self.ledger.record_dropped(src, dst, nbytes, reason)
+                return False
+        self.ledger.record(src, dst, nbytes, reason)  # may fire a kill
+        if not node.alive:
+            return False
+        node.store(array_name, coords, values)
+        return True
+
+    # -- catalog ------------------------------------------------------------------------
 
     def create_array(
         self,
@@ -550,12 +880,19 @@ class Grid:
         schema: ArraySchema,
         partitioner: Partitioner,
         stride: Optional[Sequence[int]] = None,
+        replication: Optional[int] = None,
+        placement: Optional[ReplicaPlacement] = None,
     ) -> DistributedArray:
         if name in self._arrays:
             raise PartitioningError(f"distributed array {name!r} already exists")
-        for node in self.nodes:
+        for node in self.alive_nodes():
             node.create_partition(name, schema, stride=stride)
-        arr = DistributedArray(self, name, schema, partitioner)
+        arr = DistributedArray(
+            self, name, schema, partitioner,
+            replication=replication if replication is not None
+            else self.default_replication,
+            placement=placement,
+        )
         self._arrays[name] = arr
         return arr
 
@@ -567,3 +904,67 @@ class Grid:
 
     def names(self) -> list[str]:
         return sorted(self._arrays)
+
+    # -- node rebuild -------------------------------------------------------------------
+
+    def rebuild_node(self, node_id: int) -> RebuildReport:
+        """Bring a crashed node back: WAL replay plus replica copy-back.
+
+        The node restarts with empty storage (a crash loses all in-memory
+        state; only the per-node write-ahead log survives on disk).  The
+        rebuild then (1) re-creates every registered partition, (2)
+        replays the WAL — a torn tail legally ends the replay early — and
+        (3) copies every cell the node should hold but doesn't (WAL gaps,
+        writes that happened while it was down) from the first surviving
+        replica in each affected chain, metered as ``"rebuild"``.
+        """
+        node = self.nodes[node_id]
+        node.restart()
+        try:
+            for name, arr in self._arrays.items():
+                node.create_partition(name, arr.schema)
+            from_wal = node.replay_wal(set(self._arrays))
+        except StorageError:
+            # A damaged WAL aborts the rebuild; the node must not come
+            # back up half-empty pretending to be healthy.
+            node.fail()
+            raise
+        before = self.ledger.total_bytes("rebuild")
+        from_replicas = 0
+        for name, arr in self._arrays.items():
+            have = set(node.partition(name).live_coords())
+            n_sites = arr.partitioner.n_sites
+            for p in range(n_sites):
+                chain = arr.partition_chain(p)
+                if node_id not in chain:
+                    continue
+                sources = [
+                    s for s in chain
+                    if s != node_id and self.nodes[s].alive
+                ]
+                for source in sources:
+                    try:
+                        for coords, cell in self.nodes[source].scan_partition(
+                            name
+                        ):
+                            if arr.partitioner.site_of(coords) != p:
+                                continue
+                            if coords in have:
+                                continue
+                            values = None if cell is None else cell.values
+                            if self.deliver(
+                                source, node_id, arr.cell_nbytes, "rebuild",
+                                name, coords, values,
+                            ):
+                                have.add(coords)
+                                from_replicas += 1
+                        break  # one surviving source suffices
+                    except NodeFailedError:
+                        continue  # source died mid-copy: try the next one
+            node.partition(name).flush()
+        return RebuildReport(
+            node_id=node_id,
+            cells_from_wal=from_wal,
+            cells_from_replicas=from_replicas,
+            bytes_moved=self.ledger.total_bytes("rebuild") - before,
+        )

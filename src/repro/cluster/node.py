@@ -4,18 +4,32 @@ Each node owns a private :class:`~repro.storage.manager.StorageManager`
 (shared-nothing: no node ever touches another's storage) and counts the
 work it does.  The grid layer is the only channel between nodes, and every
 transfer through it is metered.
+
+Fault-tolerance additions: a node can **fail** (``alive`` flips to False
+and every storage access raises
+:class:`~repro.core.errors.NodeFailedError`, including mid-scan — which is
+how queries detect a crash under them) and later **restart**: a restart
+wipes the in-memory storage state, exactly like a process crash, leaving
+only the per-node write-ahead log on disk.  Recovery replays that WAL and
+:meth:`Grid.rebuild_node <repro.cluster.grid.Grid.rebuild_node>` fills any
+gap (e.g. a torn WAL tail) from surviving replicas.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
+from ..core.cells import Cell
+from ..core.errors import NodeFailedError
 from ..core.schema import ArraySchema
 from ..storage.manager import PersistentArray, StorageManager
+from ..storage.wal import WriteAheadLog
 
 __all__ = ["Node", "NodeCounters"]
+
+Coords = tuple[int, ...]
 
 
 @dataclass
@@ -27,20 +41,56 @@ class NodeCounters:
     bytes_received: int = 0
     bytes_sent: int = 0
     local_queries: int = 0
+    failovers_served: int = 0
 
 
 class Node:
-    """One shared-nothing worker: local storage plus counters."""
+    """One shared-nothing worker: local storage, a WAL, plus counters."""
 
     def __init__(
         self,
         node_id: int,
         directory: "str | Path",
         memory_budget: int = 1 << 20,
+        wal: bool = True,
     ) -> None:
         self.node_id = node_id
-        self.storage = StorageManager(Path(directory), memory_budget=memory_budget)
+        self.directory = Path(directory)
+        self.memory_budget = memory_budget
+        self.storage = StorageManager(self.directory, memory_budget=memory_budget)
         self.counters = NodeCounters()
+        self.alive = True
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(self.directory / "node.wal") if wal else None
+        )
+
+    # -- liveness ------------------------------------------------------------------
+
+    def check_alive(self) -> None:
+        if not self.alive:
+            raise NodeFailedError(self.node_id)
+
+    def fail(self) -> None:
+        """Crash this node: storage unreachable until :meth:`restart`."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Come back from a crash with empty storage (the WAL survives).
+
+        A crash loses all in-memory state (write buffers, bucket catalog,
+        R-trees); the simulated restart therefore discards the whole
+        storage manager and deletes stale bucket files.  Partitions must
+        be re-created and repopulated — from the WAL plus surviving
+        replicas — by :meth:`Grid.rebuild_node`.
+        """
+        for stale in self.directory.glob("*/bucket_*.bkt"):
+            stale.unlink(missing_ok=True)
+        self.storage = StorageManager(
+            self.directory, memory_budget=self.memory_budget
+        )
+        self.alive = True
+
+    # -- storage ----------------------------------------------------------------------
 
     def create_partition(
         self,
@@ -50,21 +100,76 @@ class Node:
         codec: str = "auto",
     ) -> PersistentArray:
         """Create this node's partition of a distributed array."""
+        self.check_alive()
         return self.storage.create_array(
             array_name, schema, stride=stride, codec=codec
         )
 
     def partition(self, array_name: str) -> PersistentArray:
+        self.check_alive()
         return self.storage.get_array(array_name)
 
     def store(self, array_name: str, coords: tuple, values: Optional[tuple]) -> None:
+        """WAL-then-store one cell (write-ahead: log before acknowledge)."""
+        self.check_alive()
+        if self.wal is not None:
+            self.wal.log_write(array_name, coords, values)
         self.partition(array_name).append(coords, values)
         self.counters.cells_stored += 1
 
+    def scan_partition(
+        self,
+        array_name: str,
+        window: Optional[tuple[Coords, Coords]] = None,
+    ) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        """Scan a partition, re-checking liveness at every cell.
+
+        A node killed mid-scan (a scheduled fault firing on a metered
+        transfer) raises :class:`NodeFailedError` at the next cell, which
+        the grid's failover logic catches and retries on a replica.
+        """
+        self.check_alive()
+        for coords, cell in self.partition(array_name).scan(window):
+            self.check_alive()
+            yield coords, cell
+
     def cell_count(self, array_name: str) -> int:
-        part = self.partition(array_name)
-        part.flush()
-        return sum(1 for _ in part.scan())
+        """Distinct cells stored in a partition — O(1) via the live-cell
+        counter, not a full scan."""
+        return self.partition(array_name).live_cells
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def replay_wal(self, array_names: "set[str] | None" = None) -> int:
+        """Replay write records from the per-node WAL into live partitions.
+
+        Partitions must already exist.  Records for unknown arrays (e.g.
+        arrays since dropped) are skipped.  A torn final record ends the
+        replay silently; mid-log corruption raises ``StorageError``.
+        Returns the number of cells restored.  Replayed cells are applied
+        directly (not re-logged), so the WAL does not self-amplify.
+        """
+        if self.wal is None:
+            return 0
+        # Drop a torn final record *on disk* before replaying: post-recovery
+        # appends must not concatenate onto the partial line, which would
+        # turn a legal torn tail into mid-log corruption.
+        self.wal.truncate_torn_tail()
+        known = array_names if array_names is not None else set(
+            self.storage.names()
+        )
+        restored = 0
+        for record in self.wal.entries():
+            if record.get("op") != "write" or record["array"] not in known:
+                continue
+            values = record["values"]
+            self.partition(record["array"]).append(
+                tuple(record["coords"]),
+                None if values is None else tuple(values),
+            )
+            restored += 1
+        return restored
 
     def __repr__(self) -> str:
-        return f"<Node {self.node_id}: {self.storage.names()}>"
+        state = "up" if self.alive else "DOWN"
+        return f"<Node {self.node_id} [{state}]: {self.storage.names()}>"

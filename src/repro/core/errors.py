@@ -4,6 +4,17 @@ Every error raised by the engine derives from :class:`SciDBError` so that
 applications can catch engine failures without also swallowing programming
 errors (``TypeError`` etc. are still raised for misuse of the Python API
 itself).
+
+Cluster-level failures form their own sub-tree under :class:`GridError`,
+so grid clients can distinguish *availability* problems (a node died, a
+partition lost its last replica) from *programming* problems (a bad schema
+or partitioning spec):
+
+* :class:`NodeFailedError` — an operation addressed a dead node;
+* :class:`QuorumError` — no surviving replica could serve a partition
+  (after bounded, deterministic failover retries);
+* :class:`ReplicationError` — invalid replication configuration (e.g.
+  a replication factor larger than the grid).
 """
 
 from __future__ import annotations
@@ -53,6 +64,26 @@ class StorageError(SciDBError):
 class PartitioningError(SciDBError):
     """Invalid partitioning specification or an address that no partition
     covers."""
+
+
+class GridError(SciDBError):
+    """Base of cluster-level (availability) failures on the grid."""
+
+
+class NodeFailedError(GridError):
+    """An operation addressed a grid node that has failed."""
+
+    def __init__(self, node_id: int, message: "str | None" = None) -> None:
+        self.node_id = node_id
+        super().__init__(message or f"node {node_id} has failed")
+
+
+class QuorumError(GridError):
+    """No surviving replica could serve a partition (or accept a write)."""
+
+
+class ReplicationError(GridError):
+    """Invalid replication configuration (factor, placement, or chain)."""
 
 
 class ParseError(SciDBError):

@@ -18,6 +18,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
+from .cluster.faults import FaultInjector
+from .cluster.grid import Grid
 from .core.array import SciArray
 from .core.errors import SchemaError, VersionError
 from .core.schema import ArraySchema
@@ -71,6 +73,7 @@ class SciDB:
             self.wal = WriteAheadLog(self.directory / "wal.log")
         self._updatable: dict[str, UpdatableArray] = {}
         self._version_trees: dict[str, VersionTree] = {}
+        self._grids: dict[str, Grid] = {}
 
     # -- statements (both bindings) ---------------------------------------------
 
@@ -191,6 +194,48 @@ class SciDB:
         arr = self.storage.get_array(name).to_sciarray(name)
         self.executor.arrays[name] = arr
         return arr
+
+    # -- the shared-nothing grid (Section 2.7) ---------------------------------------------
+
+    def create_grid(
+        self,
+        name: str = "grid",
+        n_nodes: int = 4,
+        replication: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
+        memory_budget: int = 1 << 20,
+    ) -> Grid:
+        """Create a named shared-nothing grid rooted under this database.
+
+        ``replication`` sets the grid's default replica factor — with
+        k > 1 every loaded cell lands on k sites and queries survive
+        (k - 1)-site failures per replica chain; see
+        :mod:`repro.cluster.replication`.  A seeded
+        :class:`~repro.cluster.faults.FaultInjector` can be attached for
+        deterministic failure drills.
+        """
+        if self.directory is None:
+            raise SchemaError("this SciDB instance has no storage directory")
+        if name in self._grids:
+            raise SchemaError(f"grid {name!r} already exists")
+        grid = Grid(
+            n_nodes,
+            self.directory / "grids" / name,
+            memory_budget=memory_budget,
+            fault_injector=fault_injector,
+            default_replication=replication,
+        )
+        self._grids[name] = grid
+        return grid
+
+    def grid(self, name: str = "grid") -> Grid:
+        try:
+            return self._grids[name]
+        except KeyError:
+            raise SchemaError(f"no grid named {name!r}") from None
+
+    def grids(self) -> list[str]:
+        return sorted(self._grids)
 
     # -- in-situ data (Section 2.9) --------------------------------------------------------
 

@@ -97,6 +97,7 @@ class PersistentArray:
         self.stats = StorageStats()
         self._buffer: dict[Coords, Optional[tuple]] = {}
         self._buffer_bytes = 0
+        self._live_coords: set[Coords] = set()
         self._cell_cost = 8 * schema.ndim + 16 * len(schema.attributes)
         self._rtree = RTree(max_entries=8)
         self._next_bucket = 0
@@ -113,6 +114,7 @@ class PersistentArray:
             if coords not in self._buffer:
                 self._buffer_bytes += self._cell_cost
             self._buffer[coords] = values
+            self._live_coords.add(coords)
             self.stats.cells_written += 1
             if self._buffer_bytes >= self.memory_budget:
                 self._spill_locked()
@@ -129,6 +131,7 @@ class PersistentArray:
                 if coords not in self._buffer:
                     self._buffer_bytes += self._cell_cost
                 self._buffer[coords] = record
+                self._live_coords.add(coords)
                 self.stats.cells_written += 1
             if self._buffer_bytes >= self.memory_budget:
                 self._spill_locked()
@@ -172,6 +175,20 @@ class PersistentArray:
         self.stats.bytes_read += len(payload)
         self.stats.buckets_read += 1
         return Bucket.from_bytes(self.schema, payload)
+
+    @property
+    def live_cells(self) -> int:
+        """Distinct stored cell addresses, maintained incrementally.
+
+        O(1), unlike counting a full :meth:`scan` — grid bookkeeping
+        (balance metrics, rebuild diffs) calls this per query.
+        """
+        return len(self._live_coords)
+
+    def live_coords(self) -> frozenset[Coords]:
+        """Snapshot of every stored cell address (buffered or spilled)."""
+        with self._lock:
+            return frozenset(self._live_coords)
 
     # -- read path ----------------------------------------------------------------
 

@@ -7,13 +7,20 @@ to a per-store log before being acknowledged, and :meth:`WriteAheadLog.recover`
 replays the log into fresh arrays after a crash.  The in-situ benchmark
 (E9) uses this to make the service-level trade-off concrete.
 
-Records are newline-delimited JSON, fsync'd per commit batch.
+Records are newline-delimited JSON, fsync'd per commit batch.  Every
+record carries a CRC32 of its own payload (the ``"crc"`` field, appended
+last), so recovery can tell a *torn tail* — a crash mid-append, which is
+legal and simply ends the replayable prefix — from *mid-log corruption*
+(bit rot, a truncated middle, an edited file), which raises
+:class:`~repro.core.errors.StorageError` rather than silently dropping
+every committed record after the bad line.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
@@ -22,6 +29,15 @@ from ..core.errors import StorageError
 from ..core.schema import ArraySchema, define_array
 
 __all__ = ["WriteAheadLog"]
+
+
+def _jsonable(obj: Any) -> Any:
+    """Narrow numpy scalars (int64 etc.) to their Python equivalents so
+    cell payloads scanned off disk buckets stay loggable."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"WAL record value {obj!r} is not JSON-serializable")
 
 
 class WriteAheadLog:
@@ -174,7 +190,12 @@ class WriteAheadLog:
             os.fsync(self._fh.fileno())
 
     def _append(self, record: dict[str, Any]) -> None:
-        self._fh.write(json.dumps(record) + "\n")
+        payload = json.dumps(record, default=_jsonable)
+        crc = zlib.crc32(payload.encode("utf-8"))
+        # Splice the checksum in as the final key: the CRC covers exactly
+        # the serialization of the record without it, which entries() can
+        # reconstruct (json.loads preserves key order).
+        self._fh.write(payload[:-1] + f', "crc": {crc}}}\n')
         self.records_appended += 1
 
     def close(self) -> None:
@@ -184,17 +205,74 @@ class WriteAheadLog:
     # -- recovery -------------------------------------------------------------------
 
     def entries(self) -> Iterator[dict[str, Any]]:
+        """Iterate verified records.
+
+        A bad **final** line (unparsable or failing its CRC) is a torn
+        tail from a crash mid-append: legal, replay stops silently there.
+        A bad line **followed by further records** means the log itself is
+        damaged — raising :class:`StorageError` is mandatory, because
+        silently truncating would discard committed records after the bad
+        line.
+        """
         self.commit()
         with open(self.path, encoding="utf-8") as f:
-            for line in f:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn final record from a crash is legal; stop there.
-                    return
+            lines = [
+                (i, stripped)
+                for i, raw in enumerate(f, start=1)
+                if (stripped := raw.strip())
+            ]
+        for pos, (lineno, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
+                crc = record.pop("crc", None)
+                if crc is not None and zlib.crc32(
+                    json.dumps(record).encode("utf-8")
+                ) != crc:
+                    raise ValueError("checksum mismatch")
+            except ValueError as exc:  # JSONDecodeError is a ValueError
+                if pos == len(lines) - 1:
+                    return  # torn final record from a crash: legal
+                raise StorageError(
+                    f"WAL corruption at {self.path.name}:{lineno} "
+                    f"({exc}) with committed records after it"
+                ) from None
+            yield record
+
+    def truncate_torn_tail(self) -> int:
+        """Chop an unparsable/bad-CRC final record off the log file.
+
+        A crash mid-append leaves a torn tail; real logs must remove it
+        before appending again, or the next record would concatenate onto
+        the partial line and turn a legal torn tail into mid-log
+        corruption.  Returns the number of bytes removed (0 when the log
+        is clean or empty).
+        """
+        self.commit()
+        with open(self.path, encoding="utf-8") as f:
+            raw_lines = f.readlines()
+        kept = len(raw_lines)
+        while kept:
+            last = raw_lines[kept - 1].strip()
+            if not last:
+                kept -= 1
+                continue
+            try:
+                record = json.loads(last)
+                crc = record.pop("crc", None)
+                if crc is not None and zlib.crc32(
+                    json.dumps(record).encode("utf-8")
+                ) != crc:
+                    raise ValueError("checksum mismatch")
+            except ValueError:
+                kept -= 1
+            break
+        if kept == len(raw_lines):
+            return 0
+        keep_bytes = len("".join(raw_lines[:kept]).encode("utf-8"))
+        total = os.path.getsize(self.path)
+        with open(self.path, "r+", encoding="utf-8") as f:
+            f.truncate(keep_bytes)
+        return total - keep_bytes
 
     def recover(self) -> dict[str, SciArray]:
         """Replay the log, returning the reconstructed arrays by name."""

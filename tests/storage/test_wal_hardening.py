@@ -1,0 +1,179 @@
+"""WAL hardening: per-record CRC32, torn-tail vs mid-log corruption.
+
+A crash mid-append legally tears the final record — recovery stops there
+silently.  Anything wrong *before* committed records (bit rot, truncated
+middles, edits) must raise StorageError instead of silently discarding
+the records after it.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro import SciDB, define_array
+from repro.core.errors import EmptyCellError, StorageError
+from repro.storage.wal import WriteAheadLog
+
+
+def make_log(path, n=5):
+    wal = WriteAheadLog(path / "wal.log")
+    schema = define_array("A", {"v": "float"}, ["x"]).bind([100])
+    from repro.core.array import SciArray
+
+    wal.log_create(SciArray(schema, name="A"))
+    for i in range(n):
+        wal.log_write("A", (i + 1,), (float(i),))
+    wal.commit()
+    return wal
+
+
+class TestChecksums:
+    def test_every_record_carries_a_valid_crc(self, tmp_path):
+        wal = make_log(tmp_path)
+        for line in wal.path.read_text().splitlines():
+            record = json.loads(line)
+            crc = record.pop("crc")
+            assert crc == zlib.crc32(json.dumps(record).encode("utf-8"))
+
+    def test_entries_round_trip(self, tmp_path):
+        wal = make_log(tmp_path, n=3)
+        ops = [r["op"] for r in wal.entries()]
+        assert ops == ["create", "write", "write", "write"]
+
+    def test_legacy_records_without_crc_still_replay(self, tmp_path):
+        wal = make_log(tmp_path, n=2)
+        lines = [json.loads(l) for l in wal.path.read_text().splitlines()]
+        for rec in lines:
+            rec.pop("crc")
+        wal.path.write_text(
+            "".join(json.dumps(r) + "\n" for r in lines)
+        )
+        assert len(list(wal.entries())) == 3
+
+
+class TestTornTail:
+    def test_torn_final_record_ends_replay_silently(self, tmp_path):
+        wal = make_log(tmp_path, n=4)
+        data = wal.path.read_bytes()
+        torn = data[: len(data) - len(data.splitlines(True)[-1]) // 2 - 1]
+        wal.path.write_bytes(torn)
+        records = list(wal.entries())
+        assert [r["op"] for r in records] == ["create"] + ["write"] * 3
+
+    def test_bitrot_in_final_record_is_treated_as_torn(self, tmp_path):
+        # Valid JSON, wrong CRC, last line: indistinguishable from a crash
+        # mid-append after a rewrite — legal, replay just stops before it.
+        wal = make_log(tmp_path, n=2)
+        lines = wal.path.read_text().splitlines(True)
+        last = json.loads(lines[-1])
+        last["values"] = [99.0]  # flip the payload, keep the stale crc
+        lines[-1] = json.dumps(last) + "\n"
+        wal.path.write_text("".join(lines))
+        assert len(list(wal.entries())) == 2
+
+    def test_recover_through_torn_tail(self, tmp_path):
+        wal = make_log(tmp_path, n=4)
+        data = wal.path.read_bytes()
+        wal.path.write_bytes(data[:-10])
+        arrays = wal.recover()
+        arr = arrays["A"]
+        # Writes 1..3 survived; the torn 4th did not.
+        assert arr.get((3,)).v == 2.0
+        with pytest.raises(EmptyCellError):
+            arr.get((4,))
+
+    def test_truncate_torn_tail_chops_only_the_bad_record(self, tmp_path):
+        wal = make_log(tmp_path, n=3)
+        clean_lines = len(wal.path.read_text().splitlines())
+        data = wal.path.read_bytes()
+        wal.path.write_bytes(data[:-7])
+        removed = wal.truncate_torn_tail()
+        assert removed > 0
+        text = wal.path.read_text()
+        assert len(text.splitlines()) == clean_lines - 1
+        assert text.endswith("\n")  # next append starts a fresh line
+        assert wal.truncate_torn_tail() == 0  # idempotent on a clean log
+
+    def test_appends_after_truncation_stay_replayable(self, tmp_path):
+        wal = make_log(tmp_path, n=3)
+        data = wal.path.read_bytes()
+        wal.path.write_bytes(data[:-7])
+        wal.truncate_torn_tail()
+        wal.log_write("A", (50,), (7.0,))
+        wal.commit()
+        records = list(wal.entries())
+        assert records[-1]["coords"] == [50]
+        assert len(records) == 4  # create + writes 1, 2, new
+
+
+class TestMidLogCorruption:
+    def test_unparsable_middle_line_raises(self, tmp_path):
+        wal = make_log(tmp_path, n=4)
+        lines = wal.path.read_text().splitlines(True)
+        lines[2] = lines[2][: len(lines[2]) // 2] + "\n"
+        wal.path.write_text("".join(lines))
+        with pytest.raises(StorageError, match="corruption"):
+            list(wal.entries())
+
+    def test_bitrot_middle_line_raises_via_crc(self, tmp_path):
+        # The line the old code would have silently truncated at: valid
+        # JSON whose payload no longer matches its checksum.
+        wal = make_log(tmp_path, n=4)
+        lines = wal.path.read_text().splitlines(True)
+        rec = json.loads(lines[2])
+        rec["values"] = [123.0]
+        lines[2] = json.dumps(rec) + "\n"
+        wal.path.write_text("".join(lines))
+        with pytest.raises(StorageError, match="checksum"):
+            list(wal.entries())
+
+    def test_recover_refuses_a_damaged_log(self, tmp_path):
+        wal = make_log(tmp_path, n=4)
+        lines = wal.path.read_text().splitlines(True)
+        lines[1] = "garbage\n"
+        wal.path.write_text("".join(lines))
+        with pytest.raises(StorageError):
+            wal.recover()
+
+
+class TestUpdatableRecovery:
+    def _committed_db(self, tmp_path):
+        db = SciDB(tmp_path)
+        schema = define_array(
+            "obs", {"v": "float"}, ["x"], updatable=True
+        )
+        u = db.create_updatable(schema, bounds=[8, "*"], name="obs")
+        with u.transaction() as txn:
+            txn.set((1,), 1.0)
+            txn.set((2,), 2.0)
+        with u.transaction() as txn:
+            txn.set((1,), 10.0)
+        return db
+
+    def test_recover_updatable_through_torn_tail(self, tmp_path):
+        db = self._committed_db(tmp_path)
+        db.wal.commit()
+        data = db.wal.path.read_bytes()
+        # Tear the second commit record mid-append.
+        db.wal.path.write_bytes(data[:-15])
+        db2 = SciDB(tmp_path)
+        assert db2.recover() == ["obs"]
+        u = db2.updatable("obs")
+        # Only the first commit survived: (1,) still reads 1.0.
+        assert u.current_history == 1
+        assert u.get(1).v == 1.0
+        assert u.get(2).v == 2.0
+
+    def test_recover_updatable_raises_on_midlog_damage(self, tmp_path):
+        db = self._committed_db(tmp_path)
+        db.wal.commit()
+        lines = db.wal.path.read_text().splitlines(True)
+        assert len(lines) == 3  # create_updatable + 2 commits
+        rec = json.loads(lines[1])
+        rec["history"] = 7
+        lines[1] = json.dumps(rec) + "\n"
+        db.wal.path.write_text("".join(lines))
+        db2 = SciDB(tmp_path)
+        with pytest.raises(StorageError):
+            db2.recover()
