@@ -10,7 +10,16 @@ supplies the *failures*: a seedable :class:`FaultInjector` that can
 * drop or corrupt individual cell deliveries (seeded Bernoulli per
   transfer), observable in the ledger's ``dropped`` list;
 * tear the tail off a node's write-ahead log mid-record, exercising the
-  torn-tail path of :meth:`~repro.storage.wal.WriteAheadLog.entries`.
+  torn-tail path of :meth:`~repro.storage.wal.WriteAheadLog.entries`;
+* inject *transient I/O faults* into the ingest path: intermittent store
+  failures (seeded Bernoulli or scheduled per-site bursts) that surface
+  as :class:`~repro.core.errors.TransientIOError` and are absorbed by the
+  loader's bounded-retry policy, and *slow sites* whose simulated latency
+  is charged to the load report instead of wall-clock;
+* kill the *loader itself* at a seeded record mid-stream
+  (:meth:`FaultInjector.schedule_load_crash`), which is how the
+  checkpoint/resume experiments (E16) plant a deterministic crash at 25/
+  50/75% of the stream.
 
 Every injected fault is appended to :attr:`FaultInjector.events`, and the
 same seed reproduces the same fault sequence byte-for-byte — the
@@ -23,7 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from ..core.errors import GridError
+from ..core.errors import GridError, LoadInterrupted, TransientIOError
 
 if TYPE_CHECKING:
     from .grid import Grid, Transfer
@@ -36,7 +45,8 @@ __all__ = ["FaultEvent", "FailoverEvent", "FaultInjector"]
 class FaultEvent:
     """One injected fault, in injection order."""
 
-    kind: str  #: "node_kill" | "transfer_drop" | "transfer_corrupt" | "wal_tear"
+    kind: str  #: "node_kill" | "transfer_drop" | "transfer_corrupt" |
+    #: "wal_tear" | "io_transient" | "slow_store" | "load_crash"
     tick: int  #: metered-transfer count at injection time
     target: int  #: node id (kills, WAL tears) or destination site (transfers)
     detail: str = ""
@@ -70,16 +80,25 @@ class FaultInjector:
         seed: int = 0,
         drop_rate: float = 0.0,
         corrupt_rate: float = 0.0,
+        io_fault_rate: float = 0.0,
     ) -> None:
-        if not 0.0 <= drop_rate <= 1.0 or not 0.0 <= corrupt_rate <= 1.0:
+        if not all(
+            0.0 <= r <= 1.0
+            for r in (drop_rate, corrupt_rate, io_fault_rate)
+        ):
             raise GridError("fault rates must be probabilities in [0, 1]")
         self.seed = seed
         self.drop_rate = drop_rate
         self.corrupt_rate = corrupt_rate
+        self.io_fault_rate = io_fault_rate
         self._rng = random.Random(seed)
         self.events: list[FaultEvent] = []
         self.tick = 0
         self._kill_at: dict[int, int] = {}  # node_id -> tick threshold
+        self._io_bursts: dict[int, int] = {}  # site -> remaining forced faults
+        self._slow_sites: dict[int, float] = {}  # site -> penalty_ms per store
+        self._load_records = 0  # the loader's record clock
+        self._load_crash_at: Optional[int] = None
         self.grid: Optional["Grid"] = None
 
     # -- wiring ------------------------------------------------------------------
@@ -209,6 +228,90 @@ class FaultInjector:
             )
         )
         return cut
+
+    # -- transient I/O faults (the ingest path) ----------------------------------
+
+    def schedule_transient_io(self, site: int, failures: int) -> None:
+        """Force the next *failures* stores on *site* to fail transiently.
+
+        Deterministic complement to ``io_fault_rate``: the loader's
+        bounded-retry policy must absorb exactly this burst (or give up,
+        when the burst exceeds ``max_retries``).
+        """
+        if failures < 0:
+            raise GridError("schedule_transient_io needs failures >= 0")
+        self._node(site)
+        self._io_bursts[site] = self._io_bursts.get(site, 0) + failures
+
+    def set_slow_site(self, site: int, penalty_ms: float) -> None:
+        """Charge *penalty_ms* of simulated latency per store on *site*."""
+        if penalty_ms < 0:
+            raise GridError("slow-site penalty must be >= 0 ms")
+        self._node(site)
+        self._slow_sites[site] = penalty_ms
+
+    def intercept_store(self, site: int) -> float:
+        """Gate one store on *site*: may raise, returns latency charged.
+
+        Raises :class:`TransientIOError` for a scheduled burst fault or a
+        seeded Bernoulli ``io_fault_rate`` hit; otherwise returns the
+        site's slow-site penalty (0.0 when healthy) for the caller to
+        charge as simulated time.
+        """
+        burst = self._io_bursts.get(site, 0)
+        if burst > 0:
+            self._io_bursts[site] = burst - 1
+            self.events.append(
+                FaultEvent("io_transient", self.tick, site, "scheduled burst")
+            )
+            raise TransientIOError(
+                f"site {site}: injected transient append failure"
+            )
+        if self.io_fault_rate and self._rng.random() < self.io_fault_rate:
+            self.events.append(
+                FaultEvent("io_transient", self.tick, site, "bernoulli")
+            )
+            raise TransientIOError(
+                f"site {site}: injected transient append failure"
+            )
+        penalty = self._slow_sites.get(site, 0.0)
+        if penalty:
+            self.events.append(
+                FaultEvent("slow_store", self.tick, site, f"{penalty} ms")
+            )
+        return penalty
+
+    # -- loader crashes ---------------------------------------------------------------
+
+    def schedule_load_crash(self, after_records: int) -> None:
+        """Kill the bulk loader once it has consumed *after_records* more.
+
+        The loader ticks :meth:`on_load_record` per consumed record; when
+        the clock hits the threshold a :class:`LoadInterrupted` is raised
+        from inside the stream — a process kill planted deterministically
+        at a seeded point mid-load.
+        """
+        if after_records < 1:
+            raise GridError("schedule_load_crash needs after_records >= 1")
+        self._load_crash_at = self._load_records + after_records
+
+    def on_load_record(self) -> None:
+        """Loader hook: advance the record clock, firing a scheduled crash."""
+        self._load_records += 1
+        if (
+            self._load_crash_at is not None
+            and self._load_records >= self._load_crash_at
+        ):
+            self._load_crash_at = None
+            self.events.append(
+                FaultEvent(
+                    "load_crash", self.tick, -1,
+                    f"loader killed at record {self._load_records}",
+                )
+            )
+            raise LoadInterrupted(
+                f"injected loader crash at record {self._load_records}"
+            )
 
     def counts(self) -> dict[str, int]:
         out: dict[str, int] = {}

@@ -40,6 +40,16 @@ answer plus a :class:`~repro.cluster.replication.CoverageReport`.
 :meth:`Grid.rebuild_node` brings a crashed node back by replaying its
 per-node WAL and copying anything missing (metered ``"rebuild"``) from
 surviving replicas.
+
+The *write* path gets the same treatment via
+:meth:`DistributedArray.load_checkpointed`: the load stream is divided
+into numbered batches committed atomically per replica chain (cursor
+files + WAL ``load_commit`` records), malformed records are quarantined
+instead of aborting the stream, transient I/O faults are retried with
+recorded backoff, a substream whose primary dies mid-load fails over to
+the replica chain (metered ``"load_failover"``), and a killed loader
+resumes from the last committed batch with idempotent replay — see
+:mod:`repro.storage.loader`.
 """
 
 from __future__ import annotations
@@ -57,12 +67,14 @@ from ..core.errors import (
     QuorumError,
     SchemaError,
     StorageError,
+    TransientIOError,
 )
 from ..core.ops import structural as structural_ops
 from ..core.schema import ArraySchema
 from ..core.udf import UserAggregate, get_aggregate
 from ..core.uncertainty import PositionUncertainty
-from ..storage.loader import LoadRecord
+from ..storage.loader import BulkLoader, LoadRecord, LoadReport
+from ..storage.quarantine import QuarantineStore
 from .faults import FailoverEvent, FaultInjector
 from .node import Node
 from .partitioning import Partitioner
@@ -229,6 +241,94 @@ class DistributedArray:
             n += 1
         self.flush()
         return n
+
+    def write_failover(self, coords: Coords,
+                       values: Optional[tuple]) -> tuple[int, bool]:
+        """Write one cell, failing the serving copy over past dead sites.
+
+        Unlike the fire-and-forget :meth:`write`, the *serving* copy of a
+        cell whose primary is dead moves to the first surviving site of
+        the replica chain — PR 1's placement, now used on the write path —
+        metered under the ``"load_failover"`` ledger category.  Copies to
+        other chain sites stay ``"replication"``; deliveries addressed to
+        dead sites are recorded as dropped, exactly as :meth:`write` does.
+        Returns ``(serving_site, failed_over)``; raises
+        :class:`QuorumError` only when the chain is fully dead.
+        """
+        sites = self.replica_sites(coords)
+        serving = next(
+            (s for s in sites if self.grid.nodes[s].alive), None
+        )
+        if serving is None:
+            raise QuorumError(
+                f"write {coords} to {self.name!r}: every replica site of "
+                f"{sites} is dead"
+            )
+        failed_over = serving != sites[0]
+        for site in sites:
+            if site == serving:
+                reason = "load_failover" if failed_over else "load"
+            else:
+                reason = "replication"
+            self.grid.deliver(
+                COORDINATOR, site, self.cell_nbytes, reason,
+                self.name, coords, values,
+            )
+        return serving, failed_over
+
+    def load_checkpointed(
+        self,
+        stream: Iterable[LoadRecord],
+        batch_size: int = 64,
+        load_epoch: int = 0,
+        tolerant: bool = True,
+        quarantine: Optional[QuarantineStore] = None,
+        max_retries: int = 3,
+    ) -> LoadReport:
+        """Checkpointed, fault-tolerant, resumable bulk load (Section 2.8).
+
+        The stream is divided into numbered batches routed to per-partition
+        substreams; each batch commits atomically on every surviving site
+        of the partition's replica chain (cursor file + WAL ``load_commit``
+        record).  The load survives:
+
+        * **malformed records** — quarantined with reason + offset
+          (``tolerant=True``), surfaced in the returned
+          :class:`~repro.storage.loader.LoadReport`;
+        * **transient I/O faults** — bounded retries with recorded
+          exponential backoff;
+        * **node death mid-load** — the substream fails over to the
+          replica chain (``"load_failover"`` in the ledger);
+          :class:`QuorumError` only when a chain is fully dead;
+        * **loader crashes** — re-drive the same stream with the same
+          ``load_epoch``: committed batches are skipped per site, the
+          in-flight batch replays idempotently, and the result is
+          cell-for-cell identical to an uninterrupted load.
+        """
+        sinks = {
+            p: _PartitionLoadSink(self, p)
+            for p in range(self.partitioner.n_sites)
+        }
+        faults = self.grid.faults
+        latency_before = self.grid.store_latency_ms
+        loader = BulkLoader(
+            sinks,
+            route=self.partitioner.site_of,
+            batch_size=batch_size,
+            load_epoch=load_epoch,
+            tolerant=tolerant,
+            quarantine=quarantine,
+            max_retries=max_retries,
+            backoff_base_ms=self.grid.backoff_base_ms,
+            on_record=faults.on_load_record if faults is not None else None,
+        )
+        with loader:
+            loader.load(stream)
+        report = loader.report()
+        report.store_latency_ms = (
+            self.grid.store_latency_ms - latency_before
+        )
+        return report
 
     def load_uncertain(
         self,
@@ -791,6 +891,79 @@ class DistributedArray:
         return moved
 
 
+class _PartitionLoadSink:
+    """One logical partition's substream target for the checkpointed loader.
+
+    The :class:`~repro.storage.loader.BulkLoader` sees the same sink
+    surface a :class:`~repro.storage.manager.PersistentArray` offers
+    (``schema``/``append``/``flush``/``load_cursor``/``commit_load_batch``)
+    but every append routes through the grid's failover write and every
+    checkpoint commits on each surviving site of the partition's replica
+    chain — so the checkpoint survives exactly the failures the data does.
+    """
+
+    def __init__(self, array: DistributedArray, partition: int) -> None:
+        self.array = array
+        self.partition = partition
+        self.schema = array.schema
+        self._serving: Optional[int] = None
+
+    def _alive_chain(self) -> list["Node"]:
+        grid = self.array.grid
+        return [
+            grid.nodes[s]
+            for s in self.array.partition_chain(self.partition)
+            if grid.nodes[s].alive
+        ]
+
+    def append(self, coords: Coords, values: Optional[tuple]) -> None:
+        serving, failed_over = self.array.write_failover(coords, values)
+        if failed_over and serving != self._serving:
+            # One failover event per serving-site transition, not per cell.
+            primary = self.array.partition_chain(self.partition)[0]
+            self.array.grid._log_failover(
+                self.array.name, self.partition, primary, attempt=1
+            )
+        self._serving = serving
+
+    def flush(self) -> None:
+        for node in self._alive_chain():
+            node.partition(self.array.name).flush()
+
+    def _cursor_key(self, epoch: "int | str") -> str:
+        # Replica chains overlap (chained declustering guarantees it), so
+        # one node's partition store backs several logical partitions.
+        # Scoping the cursor key by partition keeps one substream's
+        # commits from making a sibling substream skip its own batches.
+        return f"{epoch}/p{self.partition}"
+
+    def load_cursor(self, epoch: "int | str" = 0) -> int:
+        """Furthest batch any surviving replica committed for *this*
+        partition's substream.
+
+        ``max`` is sound because commits happen only after the batch's
+        cells were delivered to the whole chain: a replica whose cursor
+        lags still holds (or can WAL-replay) every cell of the batch.
+        """
+        key = self._cursor_key(epoch)
+        cursors = [
+            node.partition(self.array.name).load_cursor(key)
+            for node in self._alive_chain()
+        ]
+        return max(cursors, default=-1)
+
+    def commit_load_batch(self, epoch: "int | str", seq: int) -> None:
+        nodes = self._alive_chain()
+        if not nodes:
+            raise QuorumError(
+                f"commit of load batch {seq} for partition "
+                f"{self.partition} of {self.array.name!r}: chain is dead"
+            )
+        key = self._cursor_key(epoch)
+        for node in nodes:
+            node.commit_load_batch(self.array.name, key, seq)
+
+
 class Grid:
     """A simulated shared-nothing cluster rooted at one directory."""
 
@@ -816,6 +989,8 @@ class Grid:
         self.max_read_retries = max_read_retries
         self.backoff_base_ms = backoff_base_ms
         self.failover_log: list[FailoverEvent] = []
+        #: simulated latency charged by slow-site faults (the grid never sleeps)
+        self.store_latency_ms = 0.0
         self.faults: Optional[FaultInjector] = None
         if fault_injector is not None:
             fault_injector.attach(self)
@@ -866,6 +1041,14 @@ class Grid:
             if verdict == "drop":
                 self.ledger.record_dropped(src, dst, nbytes, reason)
                 return False
+            # Transient I/O fault at the receiving disk: the bytes moved
+            # but nothing was stored.  Recorded as dropped, then raised
+            # for the loader's bounded-retry policy to absorb.
+            try:
+                self.store_latency_ms += self.faults.intercept_store(dst)
+            except TransientIOError:
+                self.ledger.record_dropped(src, dst, nbytes, reason)
+                raise
         self.ledger.record(src, dst, nbytes, reason)  # may fire a kill
         if not node.alive:
             return False
@@ -967,4 +1150,5 @@ class Grid:
             cells_from_wal=from_wal,
             cells_from_replicas=from_replicas,
             bytes_moved=self.ledger.total_bytes("rebuild") - before,
+            load_cursors_restored=node.load_cursors_restored,
         )

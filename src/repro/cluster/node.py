@@ -60,6 +60,8 @@ class Node:
         self.storage = StorageManager(self.directory, memory_budget=memory_budget)
         self.counters = NodeCounters()
         self.alive = True
+        #: load-batch cursors recovered by the last :meth:`replay_wal`
+        self.load_cursors_restored = 0
         self.wal: Optional[WriteAheadLog] = (
             WriteAheadLog(self.directory / "node.wal") if wal else None
         )
@@ -84,6 +86,10 @@ class Node:
         replicas — by :meth:`Grid.rebuild_node`.
         """
         for stale in self.directory.glob("*/bucket_*.bkt"):
+            stale.unlink(missing_ok=True)
+        # Load cursors die with the crash too; WAL load_commit records
+        # bring them back consistently with the replayed cells.
+        for stale in self.directory.glob("*/load_cursor.json"):
             stale.unlink(missing_ok=True)
         self.storage = StorageManager(
             self.directory, memory_budget=self.memory_budget
@@ -117,6 +123,23 @@ class Node:
         self.partition(array_name).append(coords, values)
         self.counters.cells_stored += 1
 
+    def commit_load_batch(
+        self, array_name: str, epoch: "int | str", seq: int
+    ) -> None:
+        """Durably commit one load batch on this node's partition.
+
+        WAL-first like :meth:`store`: the ``load_commit`` marker lands in
+        the log (after the batch's cell writes, which :meth:`store`
+        already logged), then the partition spills and persists its
+        cursor atomically.  *epoch* may be a scoped string key (e.g.
+        ``"0/p2"``) when one node's storage backs several replica chains.
+        """
+        self.check_alive()
+        if self.wal is not None:
+            self.wal.log_load_commit(array_name, epoch, seq)
+            self.wal.commit()
+        self.partition(array_name).commit_load_batch(epoch, seq)
+
     def scan_partition(
         self,
         array_name: str,
@@ -149,6 +172,7 @@ class Node:
         Returns the number of cells restored.  Replayed cells are applied
         directly (not re-logged), so the WAL does not self-amplify.
         """
+        self.load_cursors_restored = 0
         if self.wal is None:
             return 0
         # Drop a torn final record *on disk* before replaying: post-recovery
@@ -160,7 +184,16 @@ class Node:
         )
         restored = 0
         for record in self.wal.entries():
-            if record.get("op") != "write" or record["array"] not in known:
+            op = record.get("op")
+            if op == "load_commit" and record["array"] in known:
+                # The marker follows its batch's cell writes in the log,
+                # so the cursor never claims cells the replay lacks.
+                self.partition(record["array"]).restore_load_cursor(
+                    record["epoch"], record["seq"]
+                )
+                self.load_cursors_restored += 1
+                continue
+            if op != "write" or record["array"] not in known:
                 continue
             values = record["values"]
             self.partition(record["array"]).append(

@@ -170,6 +170,10 @@ class RebuildReport:
     cells_from_wal: int
     cells_from_replicas: int
     bytes_moved: int
+    #: checkpointed-load cursors restored from WAL ``load_commit`` records,
+    #: so a resumed ingest can keep skipping batches this node committed
+    #: before it crashed
+    load_cursors_restored: int = 0
 
     @property
     def cells_recovered(self) -> int:

@@ -21,6 +21,7 @@ from .pipeline import (
     cloud_filter,
     composite_passes,
     decode_counts,
+    load_stage,
     recook_region,
     regrid_step,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "RawDecoder",
     "CookingStep",
     "CookingPipeline",
+    "load_stage",
     "decode_counts",
     "calibrate",
     "cloud_filter",

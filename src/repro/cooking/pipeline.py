@@ -18,19 +18,24 @@ re-composites only their study region into a named version.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..core.array import SciArray
 from ..core.cells import Cell
 from ..core.errors import SchemaError
 from ..core.ops import register_operator
-from ..core.schema import define_array
+from ..core.schema import ArraySchema, define_array
 from ..history.versions import Version
 from ..provenance.log import ProvenanceEngine
+from ..storage.loader import BulkLoader, LoadRecord, LoadReport
+from ..storage.manager import StorageManager
+from ..storage.quarantine import QuarantineStore
 
 __all__ = [
     "CookingStep",
     "CookingPipeline",
+    "load_stage",
     "decode_counts",
     "calibrate",
     "cloud_filter",
@@ -96,6 +101,48 @@ class CookingPipeline:
             current = out
         assert result is not None
         return result
+
+
+# -- stage 0: durable ingest of the raw stream -------------------------------------
+
+
+def load_stage(
+    stream: Iterable[LoadRecord],
+    schema: ArraySchema,
+    directory: "str | Path",
+    name: str = "raw",
+    batch_size: int = 64,
+    tolerant: bool = True,
+    quarantine: Optional[QuarantineStore] = None,
+    load_epoch: int = 0,
+) -> tuple[SciArray, LoadReport]:
+    """Stage 0 of every cooking pipeline: get the raw data in, durably.
+
+    The paper's scientists are "still trying to load my data" — so the
+    ingest that feeds a pipeline must not restart from byte zero when a
+    feed hiccups.  This drives *stream* through the checkpointed
+    :class:`~repro.storage.loader.BulkLoader` into a persistent array
+    under *directory*: batches commit atomically, a crash mid-stream
+    resumes from the last committed batch on the next call with the same
+    *load_epoch*, and (in the default tolerant mode) malformed records are
+    quarantined with their source offsets instead of poisoning the cook.
+
+    Returns the materialised raw array (ready for
+    :meth:`CookingPipeline.run`) and the :class:`LoadReport` describing
+    what was loaded, skipped, and quarantined.
+    """
+    manager = StorageManager(Path(directory))
+    target = manager.ensure_array(name, schema)
+    loader = BulkLoader(
+        {0: target},
+        batch_size=batch_size,
+        load_epoch=load_epoch,
+        tolerant=tolerant,
+        quarantine=quarantine,
+    )
+    with loader:
+        loader.load(stream)
+    return target.to_sciarray(name), loader.report()
 
 
 # -- step constructors -------------------------------------------------------------

@@ -61,6 +61,31 @@ class StorageError(SciDBError):
     """Bucket/disk-level failure in the storage manager."""
 
 
+class IngestError(StorageError):
+    """Base of bulk-load / streaming-ingest failures (Section 2.8)."""
+
+
+class TransientIOError(IngestError):
+    """A retryable site I/O failure during ingest (intermittent append
+    fault, briefly unreachable disk).  Loaders retry these with bounded,
+    recorded exponential backoff before giving up."""
+
+
+class LoadInterrupted(IngestError):
+    """The load stream died mid-flight (process kill, injected crash).
+
+    Carries enough state to resume: the load epoch and the last batch the
+    loader *started* (committed batches are already durable per site, so a
+    resume with the same epoch replays idempotently from the checkpoint).
+    """
+
+    def __init__(self, message: str, epoch: int = 0,
+                 batch_seq: "int | None" = None) -> None:
+        self.epoch = epoch
+        self.batch_seq = batch_seq
+        super().__init__(message)
+
+
 class PartitioningError(SciDBError):
     """Invalid partitioning specification or an address that no partition
     covers."""
@@ -97,3 +122,20 @@ class PlanError(SciDBError):
 
 class InSituError(SciDBError):
     """An in-situ adaptor could not interpret an external file."""
+
+
+class InSituFormatError(InSituError):
+    """An external file is truncated or structurally corrupt.
+
+    Raised instead of leaking ``ValueError``/``KeyError``/``struct.error``
+    from the underlying parser, and carries *where* the damage is:
+    ``offset`` is a line number (CSV), byte offset (NPY header), or chunk
+    index (container), as the adaptor documents.
+    """
+
+    def __init__(self, path: object, detail: str,
+                 offset: "int | None" = None) -> None:
+        self.path = path
+        self.offset = offset
+        where = f"{path}" if offset is None else f"{path} @ {offset}"
+        super().__init__(f"{where}: {detail}")

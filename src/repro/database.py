@@ -16,7 +16,7 @@ external files.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from .cluster.faults import FaultInjector
 from .cluster.grid import Grid
@@ -32,7 +32,9 @@ from .query.ast import Node
 from .query.executor import ExecutionResult, Executor
 from .query.planner import Planner
 from .storage.insitu import InSituArray, open_in_situ
+from .storage.loader import BulkLoader, LoadRecord, LoadReport
 from .storage.manager import StorageManager
+from .storage.quarantine import QuarantineStore
 from .storage.wal import WriteAheadLog
 
 __all__ = ["SciDB"]
@@ -74,6 +76,7 @@ class SciDB:
         self._updatable: dict[str, UpdatableArray] = {}
         self._version_trees: dict[str, VersionTree] = {}
         self._grids: dict[str, Grid] = {}
+        self._quarantines: dict[str, QuarantineStore] = {}
 
     # -- statements (both bindings) ---------------------------------------------
 
@@ -186,6 +189,63 @@ class SciDB:
             n += 1
         pa.flush()
         return n
+
+    def ingest(
+        self,
+        name: str,
+        stream: "Iterable[LoadRecord] | InSituArray",
+        schema: Optional[ArraySchema] = None,
+        batch_size: int = 64,
+        tolerant: bool = True,
+        quarantine: Optional[QuarantineStore] = None,
+        load_epoch: int = 0,
+        max_retries: int = 3,
+    ) -> LoadReport:
+        """Crash-safe bulk load into a persisted, catalogued array.
+
+        *stream* is an iterable of
+        :class:`~repro.storage.loader.LoadRecord` or an attached
+        :class:`~repro.storage.insitu.InSituArray` (whose offset-tagged
+        record stream and schema are used directly).  Batches of
+        *batch_size* records commit atomically to durable storage; calling
+        :meth:`ingest` again with the same *name*, stream, and
+        *load_epoch* after a crash resumes from the last committed batch
+        instead of reloading from record zero.  In the default tolerant
+        mode malformed records are quarantined — inspect them afterwards
+        via :meth:`quarantined`.
+
+        The loaded array is (re)registered in the query catalog, and the
+        :class:`~repro.storage.loader.LoadReport` is returned.
+        """
+        if self.storage is None:
+            raise SchemaError("this SciDB instance has no storage directory")
+        if isinstance(stream, InSituArray):
+            schema = schema or stream.schema
+            stream = stream.records()
+        if schema is None:
+            target = self.storage.get_array(name)
+        else:
+            target = self.storage.ensure_array(name, schema)
+        loader = BulkLoader(
+            {0: target},
+            batch_size=batch_size,
+            load_epoch=load_epoch,
+            tolerant=tolerant,
+            quarantine=quarantine,
+            max_retries=max_retries,
+        )
+        with loader:
+            loader.load(stream)
+        report = loader.report()
+        self.executor.arrays[name] = target.to_sciarray(name)
+        if report.quarantine is not None:
+            self._quarantines[name] = report.quarantine
+        return report
+
+    def quarantined(self, name: str) -> Optional[QuarantineStore]:
+        """Quarantined records from the last :meth:`ingest` of *name*
+        (``None`` if it has never been tolerantly ingested)."""
+        return self._quarantines.get(name)
 
     def restore(self, name: str) -> SciArray:
         """Materialise a persisted array back into the catalog."""

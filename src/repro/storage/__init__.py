@@ -35,7 +35,8 @@ from .compression import (
 )
 from .rtree import RTree
 from .manager import PersistentArray, StorageManager, StorageStats
-from .loader import BulkLoader, LoadRecord
+from .loader import BulkLoader, LoadRecord, LoadReport
+from .quarantine import QuarantinedRecord, QuarantineStore
 from .format import read_container, write_container
 from .insitu import CsvAdaptor, InSituArray, NpyAdaptor, SciDBContainerAdaptor, open_in_situ
 from .wal import WriteAheadLog
@@ -57,6 +58,9 @@ __all__ = [
     "StorageStats",
     "BulkLoader",
     "LoadRecord",
+    "LoadReport",
+    "QuarantineStore",
+    "QuarantinedRecord",
     "write_container",
     "read_container",
     "InSituArray",

@@ -14,6 +14,17 @@ recovery since it is under user control and not DBMS control": adaptors are
 read-only, unlogged, and unversioned.  :attr:`InSituArray.services` spells
 that out programmatically.
 
+External files are also exactly where malformed bytes come from, so every
+adaptor raises a typed :class:`~repro.core.errors.InSituFormatError`
+carrying the file path and a source offset (CSV line number, NPY header,
+container chunk index) instead of leaking ``ValueError``/``KeyError``/
+``struct.error`` from its parsing internals.  :meth:`InSituArray.records`
+exposes the file as a stream of offset-tagged
+:class:`~repro.storage.loader.LoadRecord`\\ s and
+:meth:`InSituArray.load_into` drives that stream through the checkpointed
+:class:`~repro.storage.loader.BulkLoader` — the explicit load stage gains
+crash-resumability and quarantine exactly like any other ingest.
+
 Adaptors provided: CSV (coords + attribute columns), NPY (a dense numpy
 array, one attribute), and the SciDB container format of
 :mod:`repro.storage.format` — the stand-ins for the paper's HDF-5 and
@@ -24,6 +35,9 @@ chunk directory).
 from __future__ import annotations
 
 import csv
+import json
+import struct
+import zlib
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence
 
@@ -31,9 +45,11 @@ import numpy as np
 
 from ..core.array import SciArray
 from ..core.cells import Cell, CellState
-from ..core.errors import InSituError
+from ..core.errors import InSituError, InSituFormatError
 from ..core.schema import ArraySchema, define_array
 from .format import ContainerReader
+from .loader import BulkLoader, LoadRecord, LoadReport
+from .quarantine import QuarantineStore
 
 __all__ = [
     "InSituArray",
@@ -100,12 +116,59 @@ class InSituArray:
             return False
         return True
 
+    def records(self) -> Iterator[LoadRecord]:
+        """The file as an offset-tagged load stream.
+
+        Offsets are cell ordinals by default; adaptors override this to
+        report source-native offsets (CSV line numbers, chunk indexes).
+        """
+        for i, (coords, cell) in enumerate(self.cells()):
+            yield LoadRecord(
+                coords, None if cell is None else tuple(cell.values), offset=i
+            )
+
     def load(self, name: Optional[str] = None) -> SciArray:
         """The explicit load stage: copy everything into a SciArray."""
         arr = SciArray(self.schema, name=name or self.name)
-        for coords, cell in self.cells():
-            arr.set(coords, cell)
+        for record in self.records():
+            arr.set(
+                record.coords,
+                None if record.values is None
+                else Cell(self.schema.attr_names, tuple(record.values)),
+            )
         return arr
+
+    def load_into(
+        self,
+        target,
+        batch_size: int = 64,
+        tolerant: bool = False,
+        quarantine: Optional[QuarantineStore] = None,
+        load_epoch: int = 0,
+        max_retries: int = 3,
+    ) -> LoadReport:
+        """Durable load stage: drive :meth:`records` through the
+        checkpointed :class:`~repro.storage.loader.BulkLoader` into
+        *target* (a :class:`~repro.storage.manager.PersistentArray` or any
+        object with the same sink surface).
+
+        Batches commit atomically on the target; re-running after a crash
+        under the same *load_epoch* skips committed batches, so a load
+        interrupted halfway through a large external file resumes instead
+        of restarting.  With ``tolerant=True`` malformed-but-routable
+        records land in the quarantine store instead of aborting.
+        """
+        loader = BulkLoader(
+            {0: target},
+            batch_size=batch_size,
+            load_epoch=load_epoch,
+            tolerant=tolerant,
+            quarantine=quarantine,
+            max_retries=max_retries,
+        )
+        with loader:
+            loader.load(self.records())
+        return loader.report()
 
     def count(self) -> int:
         return sum(1 for _ in self.cells())
@@ -150,33 +213,61 @@ class CsvAdaptor(InSituArray):
         self._header = header
 
     def cells(self) -> Iterator[tuple[Coords, Optional[Cell]]]:
-        idx = {c: i for i, c in enumerate(self._header)}
         names = self.schema.attr_names
+        for record in self.records():
+            yield record.coords, Cell(names, tuple(record.values))
+
+    def records(self) -> Iterator[LoadRecord]:
+        """Rows as load records; ``offset`` is the 1-based source line.
+
+        Malformed rows — wrong column count, non-integer dimension,
+        unparsable attribute — raise :class:`InSituFormatError` naming the
+        line, so a tolerant checkpointed load can quarantine by source
+        position and a strict one aborts with an actionable message.
+        """
+        idx = {c: i for i, c in enumerate(self._header)}
+        expect = len(self._header)
         with open(self.path, newline="") as f:
             reader = csv.reader(f)
-            next(reader)  # header
-            for row in reader:
+            next(reader)  # header (line 1)
+            for lineno, row in enumerate(reader, start=2):
                 if not row:
                     continue
+                if len(row) != expect:
+                    raise InSituFormatError(
+                        self.path,
+                        f"row has {len(row)} columns, expected {expect}",
+                        offset=f"line {lineno}",
+                    )
                 try:
                     coords = tuple(int(row[idx[d]]) for d in self._dims)
                 except ValueError as exc:
-                    raise InSituError(
-                        f"{self.path}: non-integer dimension value in row {row}"
+                    raise InSituFormatError(
+                        self.path,
+                        f"non-integer dimension value: {exc}",
+                        offset=f"line {lineno}",
                     ) from exc
                 values = []
                 for c in self._attr_cols:
                     raw = row[idx[c]]
                     a = self.schema.attribute(c)
-                    if raw == "":
-                        values.append(None)
-                    elif a.type.name in ("string",):
-                        values.append(raw)
-                    elif "int" in a.type.name:
-                        values.append(int(raw))
-                    else:
-                        values.append(float(raw))
-                yield coords, Cell(names, tuple(values))
+                    try:
+                        if raw == "":
+                            values.append(None)
+                        elif a.type.name in ("string",):
+                            values.append(raw)
+                        elif "int" in a.type.name:
+                            values.append(int(raw))
+                        else:
+                            values.append(float(raw))
+                    except ValueError as exc:
+                        raise InSituFormatError(
+                            self.path,
+                            f"attribute {c!r} unparsable as "
+                            f"{a.type.name}: {raw!r}",
+                            offset=f"line {lineno}",
+                        ) from exc
+                yield LoadRecord(coords, tuple(values), offset=lineno)
 
 
 class NpyAdaptor(InSituArray):
@@ -193,7 +284,19 @@ class NpyAdaptor(InSituArray):
         dims: Optional[Sequence[str]] = None,
     ) -> None:
         path = Path(path)
-        self._data = np.load(path, mmap_mode="r")
+        try:
+            self._data = np.load(path, mmap_mode="r")
+        except (ValueError, OSError, EOFError) as exc:
+            # np.load reports a truncated or corrupt header as a bare
+            # ValueError; surface it as a typed in-situ failure instead.
+            raise InSituFormatError(
+                path, f"unreadable NPY file: {exc}", offset="header"
+            ) from exc
+        if self._data.dtype == object:
+            raise InSituFormatError(
+                path, "object-dtype NPY arrays are not in-situ readable",
+                offset="header",
+            )
         ndim = self._data.ndim
         dims = list(dims) if dims else [f"d{i}" for i in range(1, ndim + 1)]
         if len(dims) != ndim:
@@ -210,7 +313,17 @@ class NpyAdaptor(InSituArray):
         names = self.schema.attr_names
         for off in np.ndindex(*self._data.shape):
             coords = tuple(int(i + 1) for i in off)
-            yield coords, Cell(names, (self._data[off].item(),))
+            try:
+                value = self._data[off].item()
+            except (ValueError, OSError) as exc:
+                # A file truncated below what its header promises fails
+                # here, on the first touch of an unbacked page.
+                raise InSituFormatError(
+                    self.path,
+                    f"data truncated below header-declared shape: {exc}",
+                    offset=f"cell {coords}",
+                ) from exc
+            yield coords, Cell(names, (value,))
 
     def get(self, *coords: int) -> Optional[Cell]:
         target = tuple(coords[0]) if len(coords) == 1 and isinstance(
@@ -226,19 +339,70 @@ class NpyAdaptor(InSituArray):
         return np.asarray(self._data[sel])
 
 
+#: parsing internals a corrupt container leaks without the typed wrapper
+_CONTAINER_ERRORS = (
+    KeyError, IndexError, ValueError, TypeError,
+    struct.error, zlib.error, json.JSONDecodeError, OSError, EOFError,
+)
+
+
 class SciDBContainerAdaptor(InSituArray):
-    """The self-describing container format, read lazily chunk by chunk."""
+    """The self-describing container format, read lazily chunk by chunk.
+
+    Header and chunk-directory corruption raises
+    :class:`InSituFormatError` with the failing chunk index — never a raw
+    ``KeyError``/``struct.error`` from the decoder.
+    """
 
     def __init__(self, path: "str | Path") -> None:
-        self._reader = ContainerReader(path)
+        try:
+            self._reader = ContainerReader(path)
+        except InSituError:
+            raise
+        except _CONTAINER_ERRORS as exc:
+            raise InSituFormatError(
+                Path(path), f"corrupt container header: {exc!r}",
+                offset="header",
+            ) from exc
         super().__init__(self._reader.schema, Path(path))
+
+    def _chunk(self, index: int) -> dict[str, np.ndarray]:
+        try:
+            planes = self._reader.read_chunk(index)
+            if "__state__" not in planes:
+                raise InSituFormatError(
+                    self.path, "chunk lacks a cell-state plane",
+                    offset=f"chunk {index}",
+                )
+            return planes
+        except InSituError:
+            raise
+        except _CONTAINER_ERRORS as exc:
+            raise InSituFormatError(
+                self.path,
+                f"corrupt chunk directory or payload: {exc!r}",
+                offset=f"chunk {index}",
+            ) from exc
 
     def cells(self) -> Iterator[tuple[Coords, Optional[Cell]]]:
         names = self.schema.attr_names
-        for i, entry in enumerate(self._reader.header["chunks"]):
-            planes = self._reader.read_chunk(i)
+        try:
+            entries = list(self._reader.header["chunks"])
+        except _CONTAINER_ERRORS as exc:
+            raise InSituFormatError(
+                self.path, f"corrupt chunk directory: {exc!r}",
+                offset="header",
+            ) from exc
+        for i, entry in enumerate(entries):
+            planes = self._chunk(i)
             state = planes["__state__"]
-            origin = tuple(entry["origin"])
+            try:
+                origin = tuple(entry["origin"])
+            except _CONTAINER_ERRORS as exc:
+                raise InSituFormatError(
+                    self.path, f"chunk entry lacks an origin: {exc!r}",
+                    offset=f"chunk {i}",
+                ) from exc
             for off in map(tuple, np.argwhere(state != CellState.EMPTY)):
                 coords = tuple(int(o + k) for o, k in zip(origin, off))
                 if state[off] == CellState.NULL:
@@ -253,10 +417,24 @@ class SciDBContainerAdaptor(InSituArray):
                 yield coords, Cell(names, values)
 
     def chunk_boxes(self):
-        return self._reader.chunk_boxes()
+        try:
+            return self._reader.chunk_boxes()
+        except _CONTAINER_ERRORS as exc:
+            raise InSituFormatError(
+                self.path, f"corrupt chunk directory: {exc!r}",
+                offset="header",
+            ) from exc
 
     def load(self, name: Optional[str] = None) -> SciArray:
-        return self._reader.to_sciarray(name=name or self.name)
+        try:
+            return self._reader.to_sciarray(name=name or self.name)
+        except InSituError:
+            raise
+        except _CONTAINER_ERRORS as exc:
+            raise InSituFormatError(
+                self.path, f"corrupt container payload: {exc!r}",
+                offset="load",
+            ) from exc
 
 
 def _safe_name(stem: str) -> str:

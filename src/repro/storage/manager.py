@@ -18,6 +18,7 @@ Every byte written/read and every bucket event is counted in
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import threading
 from dataclasses import dataclass, field
@@ -104,6 +105,13 @@ class PersistentArray:
         self._lock = threading.RLock()
         self._merger: Optional[threading.Thread] = None
         self._merger_stop = threading.Event()
+        # Per-epoch load cursors (checkpointed bulk load, Section 2.8):
+        # epoch key -> last batch_seq committed on this site.  The key is
+        # stringified so callers can scope it ("3" for a plain epoch,
+        # "3/p2" for epoch 3 of logical partition 2 on a grid node whose
+        # storage backs several replica chains).  Survives process restart
+        # via an atomically replaced JSON file in the directory.
+        self._load_cursors: dict[str, int] = self._read_load_cursors()
 
     # -- write path -----------------------------------------------------------
 
@@ -141,6 +149,53 @@ class PersistentArray:
         with self._lock:
             if self._buffer:
                 self._spill_locked()
+
+    # -- checkpointed load (Section 2.8 ingest) ------------------------------------
+
+    @property
+    def _cursor_path(self) -> Path:
+        return self.directory / "load_cursor.json"
+
+    def _read_load_cursors(self) -> dict[str, int]:
+        if not self._cursor_path.exists():
+            return {}
+        raw = json.loads(self._cursor_path.read_text(encoding="utf-8"))
+        return {str(k): int(v) for k, v in raw.items()}
+
+    def load_cursor(self, epoch: "int | str" = 0) -> int:
+        """Last batch committed on this site for *epoch* (-1: none yet)."""
+        with self._lock:
+            return self._load_cursors.get(str(epoch), -1)
+
+    def commit_load_batch(self, epoch: "int | str", batch_seq: int) -> None:
+        """Atomically commit one load batch: spill, then persist the cursor.
+
+        The cursor file is replaced via ``os.replace`` so a crash between
+        spill and rename leaves the *previous* cursor intact — the batch
+        simply replays on resume, and replay is idempotent because cells
+        are keyed by coordinates.
+        """
+        with self._lock:
+            if self._buffer:
+                self._spill_locked()
+            self.restore_load_cursor(epoch, batch_seq)
+
+    def restore_load_cursor(self, epoch: "int | str", batch_seq: int) -> None:
+        """Advance (never regress) the persisted cursor without spilling.
+
+        Used by WAL replay, which re-applies cells directly and only needs
+        the checkpoint bookkeeping brought back.
+        """
+        key = str(epoch)
+        with self._lock:
+            if batch_seq <= self._load_cursors.get(key, -1):
+                return
+            self._load_cursors[key] = batch_seq
+            tmp = self._cursor_path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(self._load_cursors), encoding="utf-8"
+            )
+            os.replace(tmp, self._cursor_path)
 
     def _spill_locked(self) -> None:
         groups: dict[Coords, list[tuple[Coords, Optional[tuple]]]] = {}
@@ -354,6 +409,32 @@ class StorageManager:
         self._arrays[name] = arr
         return arr
 
+    def ensure_array(
+        self,
+        name: str,
+        schema: ArraySchema,
+        stride: Optional[Sequence[int]] = None,
+        codec: "str | Codec" = "auto",
+        memory_budget: Optional[int] = None,
+    ) -> PersistentArray:
+        """Get *name* if registered, else create it over its directory.
+
+        The resumable-ingest entry point: after a crash a fresh process
+        re-opens the same directory and the new :class:`PersistentArray`
+        picks its load cursors back up from disk.
+        """
+        if name in self._arrays:
+            existing = self._arrays[name]
+            if existing.schema.attr_names != schema.attr_names:
+                raise StorageError(
+                    f"array {name!r} already exists with different attributes"
+                )
+            return existing
+        return self.create_array(
+            name, schema, stride=stride, codec=codec,
+            memory_budget=memory_budget,
+        )
+
     def get_array(self, name: str) -> PersistentArray:
         try:
             return self._arrays[name]
@@ -365,6 +446,7 @@ class StorageManager:
         arr.stop_background_merger()
         for path in arr.directory.glob("bucket_*.bkt"):
             path.unlink()
+        arr._cursor_path.unlink(missing_ok=True)
         del self._arrays[name]
 
     def names(self) -> list[str]:

@@ -1,0 +1,107 @@
+"""Quarantine (dead-letter) store for the streaming bulk loader.
+
+Section 2.8 makes streaming bulk load a first-class citizen; at LSST scale
+the stream *will* contain malformed records, and stopping the world for
+each one is not an option.  In tolerant mode the loader routes every
+record it cannot store — bad arity, coordinates outside the shape, type
+errors, dominant-dimension regressions — here instead of aborting, with
+the reason and the record's source offset, so an operator can enumerate,
+fix, and re-drive exactly the rejected tail of the stream.
+
+The store is in-memory by default; give it a ``path`` and every entry is
+also appended durably as one JSON line (same newline-delimited-JSON
+discipline as the WAL), so quarantine survives the very crashes the
+checkpointed loader is built to survive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+__all__ = ["QuarantinedRecord", "QuarantineStore"]
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One rejected load record and why it was rejected."""
+
+    offset: int  #: 0-based ordinal of the record in the source stream
+    reason: str  #: machine-readable category, e.g. "bad_arity"
+    detail: str  #: human-readable explanation
+    coords: Optional[tuple] = None  #: the record's coords, when parseable
+    batch_seq: Optional[int] = None  #: load batch the record fell in
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "offset": self.offset,
+                "reason": self.reason,
+                "detail": self.detail,
+                "coords": None if self.coords is None else list(self.coords),
+                "batch_seq": self.batch_seq,
+            }
+        )
+
+
+class QuarantineStore:
+    """Append-only collection of rejected load records."""
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: list[QuarantinedRecord] = []
+        if self.path is not None and self.path.exists():
+            # A resumed load reopens its dead-letter file.
+            with open(self.path, encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    raw = json.loads(line)
+                    self._records.append(
+                        QuarantinedRecord(
+                            offset=raw["offset"],
+                            reason=raw["reason"],
+                            detail=raw["detail"],
+                            coords=None if raw["coords"] is None
+                            else tuple(raw["coords"]),
+                            batch_seq=raw.get("batch_seq"),
+                        )
+                    )
+
+    def add(
+        self,
+        offset: int,
+        reason: str,
+        detail: str,
+        coords: Optional[tuple] = None,
+        batch_seq: Optional[int] = None,
+    ) -> QuarantinedRecord:
+        rec = QuarantinedRecord(offset, reason, detail, coords, batch_seq)
+        self._records.append(rec)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as f:
+                f.write(rec.to_json() + "\n")
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[QuarantinedRecord]:
+        return iter(self._records)
+
+    def offsets(self) -> list[int]:
+        return [r.offset for r in self._records]
+
+    def reasons(self) -> dict[str, int]:
+        """Rejection counts per reason — the triage summary."""
+        out: dict[str, int] = {}
+        for r in self._records:
+            out[r.reason] = out.get(r.reason, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return f"<QuarantineStore {len(self)} records {self.reasons()}>"

@@ -83,6 +83,21 @@ class WriteAheadLog:
     def log_delete(self, array_name: str, coords: tuple) -> None:
         self._append({"op": "delete", "array": array_name, "coords": list(coords)})
 
+    def log_load_commit(
+        self, array_name: str, epoch: "int | str", seq: int
+    ) -> None:
+        """Record one checkpointed load-batch commit (Section 2.8 ingest).
+
+        Written *after* the batch's cell writes, so a WAL replay that sees
+        the marker has already re-applied every cell of the batch — the
+        restored cursor never claims more than the replay delivered.
+        *epoch* may be a scoped string key (``"0/p2"``) on grid nodes.
+        """
+        self._append(
+            {"op": "load_commit", "array": array_name,
+             "epoch": epoch, "seq": int(seq)}
+        )
+
     # -- updatable (no-overwrite) arrays -----------------------------------------
 
     def log_create_updatable(self, array: "Any") -> None:
@@ -294,8 +309,8 @@ class WriteAheadLog:
             elif op == "delete":
                 arr = self._target(arrays, record)
                 arr.delete(tuple(record["coords"]))
-            elif op in ("create_updatable", "commit"):
-                continue  # replayed by recover_updatable()
+            elif op in ("create_updatable", "commit", "load_commit"):
+                continue  # replayed by recover_updatable() / node replay
             else:
                 raise StorageError(f"unknown WAL op {op!r}")
         return arrays

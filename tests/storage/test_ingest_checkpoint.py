@@ -1,0 +1,300 @@
+"""Checkpointed, resumable, quarantining bulk load (Section 2.8).
+
+The stream is divided into numbered batches that commit atomically per
+site; a crash mid-load resumes from the last committed batch under the
+same epoch; malformed records are quarantined with reasons and source
+offsets instead of aborting the stream.
+"""
+
+import pytest
+
+from repro.core.errors import (
+    IngestError,
+    LoadInterrupted,
+    StorageError,
+    TransientIOError,
+)
+from repro.core.schema import define_array
+from repro.storage.loader import BulkLoader, LoadRecord
+from repro.storage.manager import PersistentArray, StorageManager
+from repro.storage.quarantine import QuarantineStore
+
+pytestmark = pytest.mark.tier1
+
+SIDE = 20
+
+
+def schema():
+    return define_array("obs", {"flux": "float"}, ["x", "y"]).bind(
+        [SIDE, SIDE]
+    )
+
+
+def records(n):
+    out = []
+    for i in range(n):
+        x, y = (i % SIDE) + 1, (i // SIDE) + 1
+        out.append(LoadRecord((x, y), (float(i),), offset=i))
+    return out
+
+
+def make_site(tmp_path, sub="store", name="obs"):
+    return StorageManager(tmp_path / sub).create_array(name, schema())
+
+
+def reopen_site(tmp_path, sub="store", name="obs"):
+    # A fresh process re-attaching to the same on-disk array directory.
+    return PersistentArray(schema(), tmp_path / sub / name)
+
+
+class FlakySink:
+    """A site whose first *failures* appends raise TransientIOError."""
+
+    def __init__(self, inner, failures):
+        self.inner = inner
+        self.failures = failures
+        self.schema = inner.schema
+
+    def append(self, coords, values):
+        if self.failures > 0:
+            self.failures -= 1
+            raise TransientIOError("injected append failure")
+        self.inner.append(coords, values)
+
+    def flush(self):
+        self.inner.flush()
+
+    def load_cursor(self, epoch=0):
+        return self.inner.load_cursor(epoch)
+
+    def commit_load_batch(self, epoch, seq):
+        self.inner.commit_load_batch(epoch, seq)
+
+
+class TestBatchedCommit:
+    def test_batches_commit_and_cursor_advances(self, tmp_path):
+        site = make_site(tmp_path)
+        loader = BulkLoader({0: site}, batch_size=10)
+        with loader:
+            loader.load(records(35))
+        rep = loader.report()
+        assert rep.records_loaded == 35
+        assert rep.batches_committed == 4  # 10+10+10+5
+        assert site.load_cursor(0) == 3
+
+    def test_cursor_survives_reopen(self, tmp_path):
+        site = make_site(tmp_path)
+        with BulkLoader({0: site}, batch_size=10) as loader:
+            loader.load(records(20))
+        again = reopen_site(tmp_path)
+        assert again.load_cursor(0) == 1
+
+    def test_epochs_have_independent_cursors(self, tmp_path):
+        site = make_site(tmp_path)
+        with BulkLoader({0: site}, batch_size=10, load_epoch=7) as loader:
+            loader.load(records(10))
+        assert site.load_cursor(7) == 0
+        assert site.load_cursor(0) == -1
+
+    def test_streaming_mode_unchanged(self, tmp_path):
+        site = make_site(tmp_path)
+        loader = BulkLoader({0: site})
+        assert loader.load(records(15)) == 15
+        loader.finish()
+        assert site.load_cursor(0) == -1  # no checkpointing requested
+
+
+class TestCrashResume:
+    def crash_at(self, n):
+        state = {"left": n}
+
+        def clock():
+            state["left"] -= 1
+            if state["left"] < 0:
+                raise LoadInterrupted("injected crash")
+
+        return clock
+
+    def test_resume_skips_committed_batches(self, tmp_path):
+        baseline = make_site(tmp_path, "base")
+        with BulkLoader({0: baseline}, batch_size=10) as loader:
+            loader.load(records(50))
+        truth = sorted(
+            (c, cell.values) for c, cell in baseline.scan() if cell
+        )
+
+        site = make_site(tmp_path, "crashy")
+        crashed = BulkLoader(
+            {0: site}, batch_size=10, on_record=self.crash_at(25)
+        )
+        with pytest.raises(LoadInterrupted) as exc:
+            with crashed:
+                crashed.load(records(50))
+        assert exc.value.epoch == 0
+        assert exc.value.batch_seq == 2  # two batches durably committed
+
+        resumed = BulkLoader({0: site}, batch_size=10)
+        with resumed:
+            resumed.load(records(50))
+        rep = resumed.report()
+        assert rep.records_skipped == 20
+        assert rep.batches_replayed == 2
+        assert rep.records_loaded == 30
+        got = sorted((c, cell.values) for c, cell in site.scan() if cell)
+        assert got == truth
+        assert site.live_cells == 50  # no duplicates
+
+    def test_replay_is_idempotent(self, tmp_path):
+        site = make_site(tmp_path)
+        with BulkLoader({0: site}, batch_size=10) as loader:
+            loader.load(records(30))
+        replay = BulkLoader({0: site}, batch_size=10)
+        with replay:
+            replay.load(records(30))
+        rep = replay.report()
+        assert rep.records_loaded == 0
+        assert rep.records_skipped == 30
+        assert rep.batches_replayed == 3
+        assert site.live_cells == 30
+
+    def test_new_epoch_reloads(self, tmp_path):
+        site = make_site(tmp_path)
+        with BulkLoader({0: site}, batch_size=10) as loader:
+            loader.load(records(20))
+        fresh = BulkLoader({0: site}, batch_size=10, load_epoch=1)
+        with fresh:
+            fresh.load(records(20))
+        assert fresh.report().records_loaded == 20
+        assert site.live_cells == 20  # same coords: overwrite, not append
+
+
+class TestQuarantine:
+    def dirty_stream(self):
+        return [
+            LoadRecord((1, 1), (1.0,), offset=0),  # fine
+            LoadRecord((1, 2, 3), (2.0,), offset=1),  # bad arity
+            LoadRecord((999, 1), (3.0,), offset=2),  # out of bounds
+            LoadRecord((2, 2), ("zap",), offset=3),  # type error
+            LoadRecord((3, 3), (4.0, 5.0), offset=4),  # too many values
+            LoadRecord((4, 4), (6.0,), offset=5),  # fine
+        ]
+
+    def test_tolerant_mode_quarantines_with_reasons(self, tmp_path):
+        site = make_site(tmp_path)
+        loader = BulkLoader({0: site}, batch_size=4, tolerant=True)
+        with loader:
+            loader.load(self.dirty_stream())
+        rep = loader.report()
+        assert rep.records_loaded == 2
+        assert rep.records_quarantined == 4
+        assert rep.quarantine_rate == pytest.approx(4 / 6)
+        assert list(rep.quarantine.offsets()) == [1, 2, 3, 4]
+        reasons = [r.reason for r in rep.quarantine]
+        assert reasons == [
+            "bad_arity", "out_of_bounds", "type_error", "bad_arity",
+        ]
+
+    def test_quarantine_store_is_durable(self, tmp_path):
+        site = make_site(tmp_path)
+        q = QuarantineStore(tmp_path / "dead_letters.jsonl")
+        with BulkLoader(
+            {0: site}, batch_size=4, tolerant=True, quarantine=q
+        ) as loader:
+            loader.load(self.dirty_stream())
+        reloaded = QuarantineStore(tmp_path / "dead_letters.jsonl")
+        assert len(reloaded) == 4
+        assert list(reloaded.offsets()) == [1, 2, 3, 4]
+
+    def test_strict_mode_preserves_fail_fast(self, tmp_path):
+        site = make_site(tmp_path)
+        loader = BulkLoader(
+            {0: site}, dominant_dimension=0, batch_size=0
+        )
+        with pytest.raises(StorageError):
+            loader.load(
+                [LoadRecord((5, 1), (1.0,)), LoadRecord((2, 1), (2.0,))]
+            )
+
+    def test_dominant_regression_quarantined_when_tolerant(self, tmp_path):
+        site = make_site(tmp_path)
+        loader = BulkLoader(
+            {0: site}, dominant_dimension=0, tolerant=True
+        )
+        with loader:
+            loader.load(
+                [LoadRecord((5, 1), (1.0,)), LoadRecord((2, 1), (2.0,)),
+                 LoadRecord((6, 1), (3.0,))]
+            )
+        rep = loader.report()
+        assert rep.records_loaded == 2
+        assert [r.reason for r in rep.quarantine] == ["dominant_regression"]
+
+
+class TestDominantAcrossCalls:
+    def test_order_state_persists_between_load_calls(self, tmp_path):
+        """A second load() call continues the stream-order contract."""
+        site = make_site(tmp_path)
+        loader = BulkLoader({0: site}, dominant_dimension=0)
+        loader.load([LoadRecord((4, 1), (1.0,)), LoadRecord((7, 1), (2.0,))])
+        with pytest.raises(StorageError):
+            loader.load([LoadRecord((3, 1), (3.0,))])  # regresses past 7
+
+    def test_resumed_call_at_watermark_is_fine(self, tmp_path):
+        site = make_site(tmp_path)
+        loader = BulkLoader({0: site}, dominant_dimension=0)
+        loader.load([LoadRecord((4, 1), (1.0,))])
+        loader.load([LoadRecord((4, 2), (2.0,)), LoadRecord((5, 1), (3.0,))])
+        loader.finish()
+        assert loader.records_loaded == 3
+
+
+class TestContextManager:
+    def test_flushes_on_error_path(self, tmp_path):
+        site = make_site(tmp_path)
+        flushed = []
+        original = site.flush
+        site.flush = lambda: (flushed.append(True), original())[1]
+
+        def stream():
+            yield LoadRecord((1, 1), (1.0,))
+            raise RuntimeError("feed died")
+
+        with pytest.raises(RuntimeError):
+            with BulkLoader({0: site}) as loader:
+                loader.load(stream())
+        assert flushed  # buffered cells were not stranded
+
+    def test_flush_failure_does_not_mask_stream_error(self, tmp_path):
+        site = make_site(tmp_path)
+
+        def bad_flush():
+            raise OSError("disk gone")
+
+        site.flush = bad_flush
+
+        def stream():
+            yield LoadRecord((1, 1), (1.0,))
+            raise RuntimeError("feed died first")
+
+        with pytest.raises(RuntimeError, match="feed died first"):
+            with BulkLoader({0: site}) as loader:
+                loader.load(stream())
+
+
+class TestBoundedRetries:
+    def test_transient_faults_absorbed_with_recorded_backoff(self, tmp_path):
+        site = FlakySink(make_site(tmp_path), failures=2)
+        loader = BulkLoader({0: site}, batch_size=10, max_retries=3)
+        with loader:
+            loader.load(records(10))
+        rep = loader.report()
+        assert rep.records_loaded == 10
+        assert rep.records_retried == 2
+        assert rep.backoff_ms == pytest.approx(1.0 + 2.0)  # 2^0 + 2^1
+
+    def test_exhausted_retries_raise_ingest_error(self, tmp_path):
+        site = FlakySink(make_site(tmp_path), failures=50)
+        loader = BulkLoader({0: site}, batch_size=10, max_retries=3)
+        with pytest.raises(IngestError):
+            with loader:
+                loader.load(records(10))

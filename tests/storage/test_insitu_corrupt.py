@@ -1,0 +1,184 @@
+"""Corrupt external files must surface typed in-situ errors (Section 2.9).
+
+Adaptors sit on files "under user control and not DBMS control" — exactly
+where malformed bytes come from — so every parsing failure must raise an
+:class:`InSituFormatError` carrying the path and a source offset, never a
+raw ``ValueError``/``KeyError``/``struct.error`` from the decoder.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InSituError, InSituFormatError
+from repro.core.schema import define_array
+from repro.storage.format import MAGIC, write_container
+from repro.storage.insitu import open_in_situ
+from repro.storage.manager import StorageManager
+
+pytestmark = pytest.mark.tier1
+
+
+def good_container(tmp_path, name="box.scidb"):
+    schema = define_array("box", {"v": "float"}, ["x", "y"])
+    arr = schema.create("box", [4, 4])
+    for x in range(1, 5):
+        for y in range(1, 5):
+            arr[(x, y)] = (float(x * y),)
+    path = tmp_path / name
+    write_container(path, arr)
+    return path
+
+
+class TestCsvCorruption:
+    def test_wrong_column_count_names_the_line(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("x,y,flux\n1,2,3.0\n4,5\n")
+        adaptor = open_in_situ(p, dims=["x", "y"])
+        with pytest.raises(InSituFormatError) as exc:
+            list(adaptor.records())
+        assert exc.value.offset == "line 3"
+        assert "2 columns" in str(exc.value)
+
+    def test_extra_columns_rejected_too(self, tmp_path):
+        p = tmp_path / "wide.csv"
+        p.write_text("x,y,flux\n1,2,3.0,9.9\n")
+        with pytest.raises(InSituFormatError):
+            list(open_in_situ(p, dims=["x", "y"]).cells())
+
+    def test_non_integer_dimension_is_typed(self, tmp_path):
+        p = tmp_path / "dim.csv"
+        p.write_text("x,y,flux\n1,zap,3.0\n")
+        with pytest.raises(InSituFormatError) as exc:
+            list(open_in_situ(p, dims=["x", "y"]).cells())
+        assert exc.value.offset == "line 2"
+
+    def test_unparsable_attribute_is_typed(self, tmp_path):
+        p = tmp_path / "attr.csv"
+        p.write_text("x,y,flux\n1,2,not_a_float\n")
+        with pytest.raises(InSituFormatError) as exc:
+            list(open_in_situ(p, dims=["x", "y"]).cells())
+        assert "flux" in str(exc.value)
+
+    def test_never_a_bare_value_error(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("x,y,flux\n1,oops,3.0\n")
+        try:
+            list(open_in_situ(p, dims=["x", "y"]).cells())
+        except Exception as exc:
+            assert isinstance(exc, InSituError)
+        else:
+            pytest.fail("corrupt CSV was silently accepted")
+
+
+class TestNpyCorruption:
+    def test_truncated_header_is_typed(self, tmp_path):
+        ok = tmp_path / "ok.npy"
+        np.save(ok, np.arange(12.0).reshape(3, 4))
+        trunc = tmp_path / "trunc.npy"
+        trunc.write_bytes(ok.read_bytes()[:30])  # cut inside the header
+        with pytest.raises(InSituFormatError) as exc:
+            open_in_situ(trunc)
+        assert exc.value.offset == "header"
+
+    def test_garbage_bytes_are_typed(self, tmp_path):
+        p = tmp_path / "junk.npy"
+        p.write_bytes(b"this is not an npy file at all")
+        with pytest.raises(InSituFormatError):
+            open_in_situ(p)
+
+
+class TestContainerCorruption:
+    def test_good_container_roundtrips(self, tmp_path):
+        adaptor = open_in_situ(good_container(tmp_path))
+        assert adaptor.count() == 16
+
+    def test_bad_chunk_directory_is_typed(self, tmp_path):
+        path = good_container(tmp_path)
+        raw = path.read_bytes()
+        (hlen,) = struct.unpack("<I", raw[len(MAGIC):len(MAGIC) + 4])
+        header = json.loads(raw[len(MAGIC) + 4:len(MAGIC) + 4 + hlen])
+        for entry in header["chunks"]:
+            del entry["origin"]  # tear the chunk directory
+        hb = json.dumps(header).encode("utf-8")
+        path.write_bytes(
+            MAGIC + struct.pack("<I", len(hb)) + hb
+            + raw[len(MAGIC) + 4 + hlen:]
+        )
+        adaptor = open_in_situ(path)
+        with pytest.raises(InSituFormatError) as exc:
+            list(adaptor.cells())
+        assert "chunk" in str(exc.value.offset)
+
+    def test_truncated_payload_is_typed(self, tmp_path):
+        path = good_container(tmp_path)
+        raw = path.read_bytes()
+        (hlen,) = struct.unpack("<I", raw[len(MAGIC):len(MAGIC) + 4])
+        data_start = len(MAGIC) + 4 + hlen
+        # Keep the header whole; cut the chunk payload mid-blob.
+        path.write_bytes(raw[: data_start + 4])
+        adaptor = open_in_situ(path)
+        with pytest.raises(InSituError):
+            list(adaptor.cells())
+
+    def test_header_garbage_is_typed(self, tmp_path):
+        path = tmp_path / "junk.scidb"
+        path.write_bytes(MAGIC + struct.pack("<I", 12) + b"not-json-at!")
+        with pytest.raises(InSituError):
+            open_in_situ(path)
+
+    def test_never_a_bare_key_error(self, tmp_path):
+        path = good_container(tmp_path)
+        raw = path.read_bytes()
+        (hlen,) = struct.unpack("<I", raw[len(MAGIC):len(MAGIC) + 4])
+        header = json.loads(raw[len(MAGIC) + 4:len(MAGIC) + 4 + hlen])
+        header.pop("chunks")
+        hb = json.dumps(header).encode("utf-8")
+        path.write_bytes(
+            MAGIC + struct.pack("<I", len(hb)) + hb
+            + raw[len(MAGIC) + 4 + hlen:]
+        )
+        try:
+            list(open_in_situ(path).cells())
+        except Exception as exc:
+            assert isinstance(exc, InSituError)
+        else:
+            pytest.fail("torn chunk directory was silently accepted")
+
+
+class TestInSituCheckpointedLoad:
+    def test_load_into_is_resumable(self, tmp_path):
+        rows = ["x,y,flux"] + [
+            f"{x},{y},{float(x + y)}" for x in range(1, 6) for y in range(1, 6)
+        ]
+        p = tmp_path / "feed.csv"
+        p.write_text("\n".join(rows) + "\n")
+        adaptor = open_in_situ(p, dims=["x", "y"])
+        target = StorageManager(tmp_path / "store").create_array(
+            "feed", adaptor.schema
+        )
+        first = adaptor.load_into(target, batch_size=10)
+        assert first.records_loaded == 25
+        again = adaptor.load_into(target, batch_size=10)
+        assert again.records_loaded == 0
+        assert again.records_skipped == 25
+        assert target.live_cells == 25
+
+    def test_quarantined_offsets_are_source_lines(self, tmp_path):
+        p = tmp_path / "feed.csv"
+        p.write_text("x,y,flux\n1,1,1.0\n9,9,2.0\n2,2,3.0\n")
+        adaptor = open_in_situ(p, dims=["x", "y"])
+        schema = define_array("feed", {"flux": "float"}, ["x", "y"]).bind(
+            [4, 4]
+        )
+        target = StorageManager(tmp_path / "store").create_array(
+            "feed", schema
+        )
+        report = adaptor.load_into(target, batch_size=10, tolerant=True)
+        assert report.records_loaded == 2
+        assert report.records_quarantined == 1
+        (bad,) = list(report.quarantine)
+        assert bad.offset == 3  # the 1-based source line of the 9,9 row
+        assert bad.reason == "out_of_bounds"
