@@ -1,0 +1,198 @@
+"""E17: the price of looking — tracing overhead on the query path.
+
+Observability is only usable if it is nearly free when off and cheap when
+on.  The subsystem's design bet (``src/repro/obs/tracing.py``) is a
+single active recorder: the default :class:`NoopRecorder` hands every
+instrumentation site a shared null span, so the instrumented hot paths
+cost one function call and allocate nothing; a :class:`SpanRecorder`
+swaps in only for traced queries (``SciDB.explain``).
+
+This experiment prices both sides of the bet:
+
+* **Workload overhead** — a mixed query workload (subsample slab,
+  filter, aggregate, regrid) over a dense 2-D array, plus a distributed
+  aggregate on a replicated 4-node grid, timed with the no-op recorder
+  vs. with a live :class:`SpanRecorder`.  Target: < 5% median overhead
+  with tracing ON (the trees are a handful of spans per query, amortised
+  over thousands of cells of real work).
+* **Per-site micro-cost** — nanoseconds per instrumentation call
+  (``span()`` entry and ``add_current``) with tracing off and on.  The
+  no-op numbers justify the "~0% when off" claim: tens of nanoseconds
+  against queries that run for milliseconds.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py [--smoke]
+"""
+
+import argparse
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.harness import ResultTable
+from repro.cluster import HashPartitioner
+from repro.core.schema import define_array
+from repro.database import SciDB
+from repro.obs import tracing
+from repro.obs.tracing import NoopRecorder, SpanRecorder
+from repro.storage.loader import LoadRecord
+
+
+def build_db(tmpdir, side, grid_side, n_nodes=4, k=2):
+    """One SciDB with a dense local array M and a replicated grid array D."""
+    db = SciDB(tmpdir)
+    db.execute("define array T (v = float) (I, J)")
+    db.execute(f"create M as T [{side}, {side}]")
+    m = db.lookup("M")
+    for i in range(1, side + 1):
+        for j in range(1, side + 1):
+            m[i, j] = float((i * 31 + j * 17) % 97)
+
+    grid = db.create_grid(n_nodes=n_nodes, replication=k)
+    schema = define_array("D", {"v": "float"}, ["x", "y"]).bind(
+        [grid_side, grid_side]
+    )
+    darr = grid.create_array("D", schema, HashPartitioner(n_nodes))
+    darr.load(
+        LoadRecord((x, y), (float(x * y % 53),))
+        for x in range(1, grid_side + 1)
+        for y in range(1, grid_side + 1)
+    )
+    db.register("D", darr)
+    return db
+
+
+def workload(side):
+    half = side // 2
+    return [
+        f"select subsample(M, I <= {half} and J <= {half})",
+        "select filter(M, v > 48)",
+        "select aggregate(M, {I}, sum(v))",
+        "select regrid(M, [4, 4], avg(v))",
+        "select aggregate(D, {x}, sum(v))",
+    ]
+
+
+def _one_pass(db, statements, recorder):
+    with tracing.use(recorder):
+        t0 = time.perf_counter()
+        for stmt in statements:
+            db.execute(stmt)
+        return time.perf_counter() - t0
+
+
+def time_workload(db, statements, repeats):
+    """Paired timing: each repeat runs both modes back-to-back (order
+    alternating), so per-pass drift — the provenance log grows with every
+    executed query — cancels instead of landing on whichever mode runs
+    last.  Returns (median noop s, median traced s, median overhead %).
+    """
+    noop_s, traced_s, overheads = [], [], []
+    for i in range(repeats):
+        modes = [("noop", NoopRecorder()), ("traced", SpanRecorder())]
+        if i % 2:
+            modes.reverse()
+        pair = {}
+        for name, recorder in modes:
+            pair[name] = _one_pass(db, statements, recorder)
+        noop_s.append(pair["noop"])
+        traced_s.append(pair["traced"])
+        overheads.append(
+            (pair["traced"] - pair["noop"]) / pair["noop"] * 100.0
+        )
+    return (
+        statistics.median(noop_s),
+        statistics.median(traced_s),
+        statistics.median(overheads),
+    )
+
+
+def micro_cost(n, recorder):
+    """(span-entry ns/op, add_current ns/op) under *recorder*."""
+    with tracing.use(recorder):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tracing.span("op:micro"):
+                pass
+        span_ns = (time.perf_counter() - t0) / n * 1e9
+        # add_current against an open span (or against none when off)
+        with tracing.span("op:host"):
+            t0 = time.perf_counter()
+            for _ in range(n):
+                tracing.add_current("cells_scanned", 1)
+            add_ns = (time.perf_counter() - t0) / n * 1e9
+        if isinstance(recorder, SpanRecorder):
+            recorder.clear()  # don't let micro roots accumulate
+    return span_ns, add_ns
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes + lenient asserts (CI)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="workload passes per mode (median reported)")
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be a positive integer")
+
+    side = 24 if args.smoke else 64
+    grid_side = 8 if args.smoke else 16
+    repeats = args.repeats or (5 if args.smoke else 15)
+    micro_n = 20_000 if args.smoke else 200_000
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        db = build_db(Path(tmpdir), side, grid_side)
+        statements = workload(side)
+
+        # Warm both paths (chunk maps, operator registries) before timing.
+        for stmt in statements:
+            db.execute(stmt)
+
+        noop_s, traced_s, overhead_pct = time_workload(
+            db, statements, repeats
+        )
+
+        table = ResultTable(
+            f"E17: tracing overhead ({len(statements)}-query workload, "
+            f"M {side}x{side} local + D {grid_side}x{grid_side} on 4 nodes, "
+            f"median of {repeats})",
+            ["mode", "s/pass", "ms/query", "overhead"],
+        )
+        table.add("no-op recorder", noop_s, noop_s / len(statements) * 1e3,
+                  "baseline")
+        table.add("tracing on", traced_s, traced_s / len(statements) * 1e3,
+                  f"{overhead_pct:+.1f}%")
+        table.print()
+
+        off_span, off_add = micro_cost(micro_n, NoopRecorder())
+        on_span, on_add = micro_cost(micro_n, SpanRecorder())
+        micro = ResultTable(
+            f"E17: per-site instrumentation cost ({micro_n} ops)",
+            ["site", "off ns/op", "on ns/op"],
+        )
+        micro.add("span() enter+exit", f"{off_span:.0f}", f"{on_span:.0f}")
+        micro.add("add_current()", f"{off_add:.0f}", f"{on_add:.0f}")
+        micro.print()
+
+        # One traced query must actually produce an annotated plan tree.
+        report = db.explain("select aggregate(D, {x}, sum(v))")
+        assert report.reconciles(), "explain must reconcile with the ledger"
+        assert report.root.nodes_visited == 4
+
+        # The design targets: ~free when off, < 5% when on.  Smoke runs
+        # on shared CI boxes are noisy, so the hard gate is full-mode.
+        limit = 25.0 if args.smoke else 5.0
+        print(f"\nmedian tracing overhead: {overhead_pct:+.2f}% "
+              f"(target < {limit:.0f}%)")
+        assert overhead_pct < limit, (
+            f"tracing overhead {overhead_pct:.2f}% exceeds {limit}% target"
+        )
+        assert off_span < 2_000, "no-op span path should cost well under 2us"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,6 +73,7 @@ from ..core.ops import structural as structural_ops
 from ..core.schema import ArraySchema
 from ..core.udf import UserAggregate, get_aggregate
 from ..core.uncertainty import PositionUncertainty
+from ..obs import tracing
 from ..storage.loader import BulkLoader, LoadRecord, LoadReport
 from ..storage.quarantine import QuarantineStore
 from .faults import FailoverEvent, FaultInjector
@@ -134,11 +135,17 @@ class DataMovementLedger:
         if src != dst:  # local work is free by definition of shared-nothing
             transfer = Transfer(src, dst, nbytes, reason)
             self.transfers.append(transfer)
+            # Whatever operator span is open absorbs this movement, so
+            # per-operator bytes_moved reconciles with the ledger delta
+            # by construction.
+            tracing.add_current("bytes_moved", nbytes)
+            tracing.add_current("transfers", 1)
             if self.on_record is not None:
                 self.on_record(transfer)
 
     def record_dropped(self, src: int, dst: int, nbytes: int, reason: str) -> None:
         self.dropped.append(Transfer(src, dst, nbytes, reason))
+        tracing.add_current("bytes_dropped", nbytes)
 
     def total_bytes(self, reason: Optional[str] = None) -> int:
         return sum(
@@ -418,8 +425,13 @@ class DistributedArray:
                     # Died under the scan: drop the partial read, fail over.
                     grid._log_failover(self.name, p, site, attempt)
                     continue
+                if per_cell_reason is None:
+                    # Local (un-gathered) reads count as scans too.
+                    node.counters.cells_scanned += len(cells)
                 if site != chain[0]:
                     node.counters.failovers_served += 1
+                tracing.mark_current("nodes", site)
+                tracing.add_current("cells_scanned", len(cells))
                 return site, cells
         if degraded:
             return None, None
@@ -1001,6 +1013,34 @@ class Grid:
     def alive_nodes(self) -> list[Node]:
         return [node for node in self.nodes if node.alive]
 
+    # -- observability ---------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """One unified, JSON-able view of the grid's accounting: the
+        movement ledger, per-node work counters and storage stats, the
+        failover log, and simulated store latency."""
+        return {
+            "ledger": {
+                "total_bytes": self.ledger.total_bytes(),
+                "by_reason": self.ledger.by_reason(),
+                "transfers": len(self.ledger.transfers),
+                "dropped_bytes": self.ledger.dropped_bytes(),
+                "dropped": len(self.ledger.dropped),
+            },
+            "nodes": [
+                {
+                    "node_id": node.node_id,
+                    "alive": node.alive,
+                    **node.counters.snapshot(),
+                    "storage": node.storage.total_stats(),
+                }
+                for node in self.nodes
+            ],
+            "failovers": len(self.failover_log),
+            "store_latency_ms": self.store_latency_ms,
+            "arrays": sorted(self._arrays),
+        }
+
     def _log_failover(self, array: str, partition: int, site: int,
                       attempt: int) -> None:
         self.failover_log.append(
@@ -1009,6 +1049,8 @@ class Grid:
                 backoff_ms=self.backoff_base_ms * 2 ** (attempt - 1),
             )
         )
+        self.nodes[site].counters.read_retries += 1
+        tracing.add_current("failovers", 1)
 
     # -- the delivery fabric -----------------------------------------------------------
 
@@ -1052,6 +1094,9 @@ class Grid:
         self.ledger.record(src, dst, nbytes, reason)  # may fire a kill
         if not node.alive:
             return False
+        node.counters.bytes_received += nbytes
+        if 0 <= src < len(self.nodes):
+            self.nodes[src].counters.bytes_sent += nbytes
         node.store(array_name, coords, values)
         return True
 

@@ -42,6 +42,19 @@ class NodeCounters:
     bytes_sent: int = 0
     local_queries: int = 0
     failovers_served: int = 0
+    read_retries: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict view for metrics reporting."""
+        return {
+            "cells_stored": self.cells_stored,
+            "cells_scanned": self.cells_scanned,
+            "bytes_received": self.bytes_received,
+            "bytes_sent": self.bytes_sent,
+            "local_queries": self.local_queries,
+            "failovers_served": self.failovers_served,
+            "read_retries": self.read_retries,
+        }
 
 
 class Node:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
-from .errors import SchemaError
+from .errors import SchemaError, UnknownComponentError
 
 __all__ = ["Cell", "CellState", "EMPTY", "NULL", "PRESENT"]
 
@@ -63,7 +63,7 @@ class Cell:
         try:
             return values[names.index(name)]
         except ValueError:
-            raise AttributeError(
+            raise UnknownComponentError(
                 f"cell has no component {name!r}; components are {names}"
             ) from None
 

@@ -40,6 +40,14 @@ class EmptyCellError(SciDBError, KeyError):
     """A read addressed a cell that has never been written."""
 
 
+class UnknownComponentError(SciDBError, AttributeError):
+    """A cell access named a component the schema does not define.
+
+    Doubles as ``AttributeError`` so ``getattr``/``hasattr`` protocols
+    keep working, while queries over hostile attribute names stay
+    catchable as :class:`SciDBError`."""
+
+
 class UnknownFunctionError(SciDBError, KeyError):
     """A UDF, aggregate, or enhancement name is not registered."""
 

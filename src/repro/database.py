@@ -15,21 +15,28 @@ external files.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Iterable, Optional, Sequence, Union
 
 from .cluster.faults import FaultInjector
 from .cluster.grid import Grid
 from .core.array import SciArray
-from .core.errors import SchemaError, VersionError
+from .core.errors import PlanError, ProvenanceError, SchemaError, VersionError
 from .core.schema import ArraySchema
 from .history.transactions import UpdatableArray
 from .history.versions import Version, VersionTree
+from .obs import tracing
+from .obs.explain import ExplainReport, build_report
+from .obs.metrics import get_registry
+from .obs.slowlog import SlowQuery, SlowQueryLog
+from .obs.tracing import SpanRecorder
 from .provenance.itemstore import ItemLineageStore
 from .provenance.log import ProvenanceEngine
 from .provenance.trace import Item, trace_backward, trace_forward
 from .query.ast import Node
 from .query.executor import ExecutionResult, Executor
+from .query.parser import parse_statement
 from .query.planner import Planner
 from .storage.insitu import InSituArray, open_in_situ
 from .storage.loader import BulkLoader, LoadRecord, LoadReport
@@ -38,6 +45,15 @@ from .storage.quarantine import QuarantineStore
 from .storage.wal import WriteAheadLog
 
 __all__ = ["SciDB"]
+
+
+def _ledger_totals(grids: "Iterable[Grid]") -> dict[str, int]:
+    """Combined movement bytes by reason across *grids*."""
+    totals: dict[str, int] = {}
+    for grid in grids:
+        for reason, nbytes in grid.ledger.by_reason().items():
+            totals[reason] = totals.get(reason, 0) + nbytes
+    return totals
 
 
 class SciDB:
@@ -53,6 +69,9 @@ class SciDB:
         (fast traces, large space — Section 2.12's trade-off).
     enable_pushdown:
         Planner optimization switch (Section 2.2.1).
+    slow_query_ms:
+        Statements at or above this wall time land in
+        :meth:`slow_queries` (bounded log).
     """
 
     def __init__(
@@ -60,13 +79,16 @@ class SciDB:
         directory: "str | Path | None" = None,
         record_item_lineage: bool = False,
         enable_pushdown: bool = True,
+        slow_query_ms: float = 100.0,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.itemstore = ItemLineageStore() if record_item_lineage else None
         self.provenance = ProvenanceEngine(itemstore=self.itemstore)
+        self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
         self.executor = Executor(
             planner=Planner(enable_pushdown=enable_pushdown),
             provenance=self.provenance,
+            slow_log=self.slow_log,
         )
         self.storage: Optional[StorageManager] = None
         self.wal: Optional[WriteAheadLog] = None
@@ -90,6 +112,108 @@ class SciDB:
 
     def execute_script(self, text: str) -> list[ExecutionResult]:
         return self.executor.run_script(text)
+
+    # -- observability (EXPLAIN ANALYZE, metrics, slow queries) -------------------
+
+    def explain(self, statement: "str | Node") -> ExplainReport:
+        """Execute *statement* under tracing and return the plan tree
+        annotated with actual measurements.
+
+        Every operator node carries its wall time, cells scanned, chunks
+        touched, nodes visited and bytes moved; the report also records
+        the movement-ledger delta the query caused, which the per-operator
+        ``bytes_moved`` figures reconcile with.
+        """
+        if isinstance(statement, str):
+            node = parse_statement(statement)  # typed ParseError on junk
+            text = statement
+        elif isinstance(statement, Node):
+            node = statement
+            text = f"<{type(node).__name__}>"
+        else:
+            raise PlanError(
+                "explain needs a statement string or parse tree, got "
+                f"{type(statement).__name__}"
+            )
+        # Plan ONCE and execute that exact tree: operator spans are
+        # matched back to plan nodes by identity.
+        planned = self.executor.planner.plan(node)
+        grids = self._observed_grids()
+        before = _ledger_totals(grids)
+        recorder = SpanRecorder()
+        t0 = time.perf_counter()
+        with tracing.use(recorder):
+            result = self.executor.run_planned(planned, statement_text=text)
+        total_ms = (time.perf_counter() - t0) * 1e3
+        after = _ledger_totals(grids)
+        delta = {
+            reason: after[reason] - before.get(reason, 0)
+            for reason in after
+            if after[reason] - before.get(reason, 0)
+        }
+        return build_report(
+            planned.node,
+            list(planned.rewrites),
+            recorder.roots,
+            text,
+            total_ms,
+            ledger_delta=delta,
+            cells_examined=result.cells_examined,
+            describe_ref=self._describe_ref,
+        )
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The unified operational view: process-wide registry (storage,
+        WAL, ingest, query counters) plus every grid's ledger and
+        per-node accounting."""
+        snap = get_registry().snapshot()
+        snap["grids"] = {
+            name: grid.metrics_snapshot() for name, grid in self._grids.items()
+        }
+        snap["slow_query_log"] = {
+            "threshold_ms": self.slow_log.threshold_ms,
+            "observed": self.slow_log.observed,
+            "logged": len(self.slow_log),
+        }
+        return snap
+
+    def slow_queries(self) -> list[SlowQuery]:
+        """Statements that exceeded ``slow_query_ms``, oldest first."""
+        return self.slow_log.entries()
+
+    def _observed_grids(self) -> list[Grid]:
+        """Named grids plus any grid reachable through a registered
+        distributed array (deduplicated by identity)."""
+        from .cluster.grid import DistributedArray
+
+        seen: dict[int, Grid] = {id(g): g for g in self._grids.values()}
+        for arr in self.executor.arrays.values():
+            if isinstance(arr, DistributedArray):
+                seen.setdefault(id(arr.grid), arr.grid)
+        return list(seen.values())
+
+    def _describe_ref(self, name: str) -> dict[str, Any]:
+        """Catalog annotations for a scan leaf in an explain report."""
+        from .cluster.grid import DistributedArray
+
+        arr = self.executor.arrays.get(name)
+        if isinstance(arr, DistributedArray):
+            # Logical cell count: the union of live partitions' stored
+            # addresses (in-memory snapshots, no reads metered), so
+            # replicas are not double-counted the way cell_count() —
+            # deliberately a *balance* metric — counts them.
+            seen: set = set()
+            for node in arr.grid.nodes:
+                if node.alive:
+                    seen.update(node.partition(arr.name).live_coords())
+            return {
+                "cells": len(seen),
+                "nodes": len(arr.grid.nodes),
+                "distributed": True,
+            }
+        if isinstance(arr, SciArray):
+            return {"cells": arr.count_occupied()}
+        return {}
 
     # -- catalog ---------------------------------------------------------------------
 
@@ -318,10 +442,36 @@ class SciDB:
         return self.provenance.log.describe()
 
     def trace_backward(self, array: str, coords: tuple) -> list:
-        return trace_backward(self.provenance, (array, tuple(coords)))
+        return trace_backward(self.provenance, self._trace_item(array, coords))
 
     def trace_forward(self, array: str, coords: tuple) -> set[Item]:
-        return trace_forward(self.provenance, (array, tuple(coords)))
+        return trace_forward(self.provenance, self._trace_item(array, coords))
+
+    def _trace_item(self, array: Any, coords: Any) -> tuple[str, tuple]:
+        """Validate a lineage query's target; typed errors on junk."""
+        if not isinstance(array, str):
+            raise ProvenanceError(
+                f"array name must be a string, got {type(array).__name__}"
+            )
+        if (
+            array not in self.provenance.catalog
+            and array not in self.executor.arrays
+        ):
+            raise ProvenanceError(
+                f"no array named {array!r} in the catalog"
+            )
+        if isinstance(coords, (str, bytes)) or not hasattr(coords, "__iter__"):
+            raise ProvenanceError(
+                "coordinates must be an iterable of integers, got "
+                f"{type(coords).__name__}"
+            )
+        try:
+            cell = tuple(int(v) for v in coords)
+        except (TypeError, ValueError):
+            raise ProvenanceError(
+                f"malformed coordinates {coords!r}: expected integers"
+            ) from None
+        return array, cell
 
     def __repr__(self) -> str:
         where = self.directory or "memory"

@@ -1,0 +1,70 @@
+"""Observability: tracing spans, unified metrics, EXPLAIN ANALYZE.
+
+The paper's grid design (Section 2.8) assumes operators can be monitored
+and repartitioned "if the average query ... touches more than one node".
+This package supplies the monitoring half of that contract:
+
+* :mod:`repro.obs.tracing` — hierarchical spans with monotonic timings,
+  parent links and per-span counters, threaded through the query layer,
+  the grid and the storage manager.  The default recorder is a no-op
+  that allocates nothing, so an untraced query pays (almost) nothing.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters / gauges / histograms, snapshotable to JSON.
+* :mod:`repro.obs.slowlog` — a bounded slow-query log with a
+  configurable threshold.
+* :mod:`repro.obs.explain` — ``EXPLAIN ANALYZE``-style reports: the plan
+  tree annotated with actual times, cells scanned, chunks touched,
+  nodes visited and bytes moved per operator, reconciling with the
+  grid's movement ledger.
+"""
+
+from .explain import ExplainReport, OperatorProfile, build_report
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .slowlog import SlowQuery, SlowQueryLog
+from .tracing import (
+    NoopRecorder,
+    Span,
+    SpanRecorder,
+    add_current,
+    annotate_current,
+    current_span,
+    enabled,
+    get_recorder,
+    mark_current,
+    set_recorder,
+    span,
+    use,
+)
+
+__all__ = [
+    "ExplainReport",
+    "OperatorProfile",
+    "build_report",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "SlowQuery",
+    "SlowQueryLog",
+    "NoopRecorder",
+    "Span",
+    "SpanRecorder",
+    "add_current",
+    "annotate_current",
+    "current_span",
+    "enabled",
+    "get_recorder",
+    "mark_current",
+    "set_recorder",
+    "span",
+    "use",
+]

@@ -1,0 +1,202 @@
+"""``EXPLAIN ANALYZE``-style reports over executed parse trees.
+
+:func:`build_report` pairs a planned parse tree with the span tree its
+execution recorded (operator spans are tagged ``node_id=id(node)`` by
+the executor) and produces an :class:`ExplainReport`: the plan shape,
+each operator annotated with its actual wall time, cells scanned,
+chunks (storage buckets) touched, nodes visited and bytes moved, plus
+the movement-ledger delta the query caused — the per-operator
+``bytes_moved`` sums reconcile with that delta by construction, because
+every metered transfer lands in whichever operator span was open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from ..query.ast import ArrayRef, Node, OpNode, SelectNode
+from .tracing import Span
+
+__all__ = ["OperatorProfile", "ExplainReport", "build_report"]
+
+
+@dataclass
+class OperatorProfile:
+    """One plan-tree operator with its measured execution profile."""
+
+    op: str
+    label: str
+    time_ms: float = 0.0
+    cells_scanned: int = 0
+    cells_out: int = 0
+    chunks_touched: int = 0
+    nodes_visited: int = 0
+    bytes_moved: int = 0
+    distributed: bool = False
+    error: Optional[str] = None
+    counters: dict[str, float] = field(default_factory=dict)
+    children: "list[OperatorProfile]" = field(default_factory=list)
+
+    def walk(self) -> "Iterator[OperatorProfile]":
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        line = (
+            f"{pad}-> {self.label}  "
+            f"(time={self.time_ms:.3f} ms, cells_scanned={self.cells_scanned}, "
+            f"cells_out={self.cells_out}, chunks={self.chunks_touched}, "
+            f"nodes={self.nodes_visited}, bytes_moved={self.bytes_moved})"
+        )
+        if self.distributed:
+            line += "  [distributed]"
+        if self.error:
+            line += f"  ERROR: {self.error}"
+        parts = [line]
+        for child in self.children:
+            parts.append(child.render(indent + 1))
+        return "\n".join(parts)
+
+
+@dataclass
+class ExplainReport:
+    """The assembled EXPLAIN ANALYZE output for one statement."""
+
+    statement: str
+    rewrites: list[str]
+    root: OperatorProfile
+    total_ms: float
+    #: movement-ledger byte delta caused by this query, keyed by reason
+    ledger_delta: dict[str, int] = field(default_factory=dict)
+    #: cells the filter predicates examined (the E2 metric)
+    cells_examined: int = 0
+
+    def operators(self) -> Iterator[OperatorProfile]:
+        return self.root.walk()
+
+    def total(self, key: str) -> float:
+        """Sum one profile field (or extra counter) over all operators."""
+        out: float = 0
+        for prof in self.operators():
+            if hasattr(prof, key):
+                out += getattr(prof, key)
+            else:
+                out += prof.counters.get(key, 0)
+        return out
+
+    @property
+    def ledger_bytes(self) -> int:
+        return sum(self.ledger_delta.values())
+
+    def reconciles(self) -> bool:
+        """Per-operator bytes_moved sums match the ledger delta."""
+        return int(self.total("bytes_moved")) == self.ledger_bytes
+
+    def render(self) -> str:
+        lines = [f"EXPLAIN ANALYZE {self.statement}"]
+        for rw in self.rewrites:
+            lines.append(f"  rewrite: {rw}")
+        lines.append(self.root.render(1))
+        lines.append(
+            f"  total: {self.total_ms:.3f} ms, "
+            f"{int(self.total('bytes_moved'))} bytes moved"
+        )
+        if self.ledger_delta:
+            by_reason = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.ledger_delta.items())
+            )
+            lines.append(f"  ledger delta: {by_reason}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _index_spans(roots: "list[Span]") -> dict[int, Span]:
+    """Map ``node_id`` attrs to spans across the recorded forest."""
+    index: dict[int, Span] = {}
+    for root in roots:
+        for sp in root.walk():
+            node_id = sp.attrs.get("node_id")
+            if node_id is not None:
+                index[node_id] = sp
+    return index
+
+
+def _label(node: Node) -> str:
+    """A compact, human-readable operator label."""
+    if isinstance(node, ArrayRef):
+        return f"scan {node.name}"
+    if isinstance(node, OpNode):
+        bits = [node.op]
+        for key in ("group_dims", "on", "factors", "attrs", "order", "agg"):
+            value = node.option(key)
+            if value is not None:
+                bits.append(f"{key}={value!r}")
+        return " ".join(bits)
+    return type(node).__name__
+
+
+def _profile_from_span(node: Node, sp: Optional[Span]) -> OperatorProfile:
+    prof = OperatorProfile(
+        op=node.op if isinstance(node, OpNode) else "scan",
+        label=_label(node),
+    )
+    if sp is None:
+        return prof
+    prof.time_ms = sp.duration_ms
+    counters = dict(sp.counters)
+    prof.cells_scanned = int(counters.pop("cells_scanned", 0))
+    prof.cells_out = int(counters.pop("cells_out", 0))
+    prof.chunks_touched = int(
+        counters.pop("chunks_touched", 0) + counters.pop("chunks_read", 0)
+    )
+    prof.bytes_moved = int(counters.pop("bytes_moved", 0))
+    prof.nodes_visited = len(sp.marks.get("nodes", ()))
+    prof.distributed = bool(sp.attrs.get("distributed", False))
+    prof.error = sp.error
+    prof.counters = counters
+    return prof
+
+
+def build_report(
+    planned_node: Node,
+    rewrites: list[str],
+    roots: "list[Span]",
+    statement: str,
+    total_ms: float,
+    ledger_delta: Optional[dict[str, int]] = None,
+    cells_examined: int = 0,
+    describe_ref: Optional[Callable[[str], dict[str, Any]]] = None,
+) -> ExplainReport:
+    """Assemble the report for one executed statement.
+
+    *describe_ref* (optional) annotates ``scan`` leaves from the catalog
+    — e.g. cell counts and grid fan-out for a distributed array.
+    """
+    index = _index_spans(roots)
+
+    def profile(node: Node) -> OperatorProfile:
+        if isinstance(node, SelectNode):
+            return profile(node.expr)
+        prof = _profile_from_span(node, index.get(id(node)))
+        if isinstance(node, ArrayRef) and describe_ref is not None:
+            info = describe_ref(node.name)
+            prof.cells_out = int(info.get("cells", prof.cells_out))
+            prof.nodes_visited = int(info.get("nodes", prof.nodes_visited))
+            prof.distributed = bool(info.get("distributed", prof.distributed))
+        if isinstance(node, OpNode):
+            prof.children = [profile(arg) for arg in node.args]
+        return prof
+
+    return ExplainReport(
+        statement=statement,
+        rewrites=list(rewrites),
+        root=profile(planned_node),
+        total_ms=total_ms,
+        ledger_delta=dict(ledger_delta or {}),
+        cells_examined=cells_examined,
+    )

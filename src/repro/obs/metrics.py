@@ -1,0 +1,188 @@
+"""Counters, gauges and histograms, snapshotable to JSON.
+
+One process-wide :class:`MetricsRegistry` (swap with
+:func:`set_registry`) unifies the engine's accounting: the storage
+manager counts bucket reads/writes and codec time, the write-ahead log
+counts appends and commits, the bulk loader counts batch commits, and
+the executor counts queries and their latency.  Everything lands in one
+``snapshot()`` — the operational view SS-DB-style evaluation treats as a
+first-class requirement.
+
+Instruments are get-or-create by name, so call sites stay one-liners::
+
+    get_registry().counter("wal.appends").inc()
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus bounded samples.
+
+    The first ``sample_cap`` observations are kept verbatim for quantile
+    estimates; past the cap only the scalar summary keeps updating, so a
+    hot path can observe millions of values without unbounded memory.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "sample_cap", "_samples")
+
+    def __init__(self, name: str, sample_cap: int = 512) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.sample_cap = sample_cap
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self.sample_cap:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (0..1) from the retained samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[idx]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
+
+
+class MetricsRegistry:
+    """A named catalog of instruments with a JSON-able snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, sample_cap: int = 512) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, sample_cap=sample_cap)
+        return h
+
+    # -- reporting ---------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view, safe for ``json.dumps``."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry {len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms>"
+        )
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry the engine's components record into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the process-wide one; returns the previous."""
+    global _registry
+    old = _registry
+    _registry = registry
+    return old

@@ -1,0 +1,81 @@
+"""A bounded slow-query log with a configurable threshold.
+
+Every executed statement is offered to the log with its wall time and
+the trace counters that were gathered while it ran; statements at or
+above ``threshold_ms`` are kept (newest last) in a bounded deque, so a
+long-running service can always answer "what has been slow lately"
+without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["SlowQuery", "SlowQueryLog"]
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One logged slow statement."""
+
+    statement: str
+    elapsed_ms: float
+    timestamp: float
+    counters: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.elapsed_ms:.1f} ms] {self.statement}"
+
+
+class SlowQueryLog:
+    """Keeps the most recent statements slower than a threshold."""
+
+    def __init__(self, threshold_ms: float = 100.0, capacity: int = 128) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_ms = threshold_ms
+        self.capacity = capacity
+        self._entries: deque[SlowQuery] = deque(maxlen=capacity)
+        #: statements offered (slow or not) — the denominator for rates
+        self.observed = 0
+
+    def observe(
+        self,
+        statement: str,
+        elapsed_ms: float,
+        counters: Optional[dict] = None,
+    ) -> Optional[SlowQuery]:
+        """Offer one statement; returns the entry if it was slow enough."""
+        self.observed += 1
+        if elapsed_ms < self.threshold_ms:
+            return None
+        entry = SlowQuery(
+            statement=statement,
+            elapsed_ms=elapsed_ms,
+            timestamp=time.time(),
+            counters=dict(counters) if counters else {},
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[SlowQuery]:
+        """Logged slow queries, oldest first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.observed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlowQueryLog >={self.threshold_ms:g} ms: "
+            f"{len(self._entries)}/{self.observed} kept>"
+        )

@@ -1,0 +1,321 @@
+"""Hierarchical tracing spans for the query/grid/storage layers.
+
+A :class:`Span` is one timed region of work: it has a name, a monotonic
+start/end (``time.perf_counter``), a parent link, free-form attributes,
+additive *counters* (``span.add("bytes_moved", n)``) and set-valued
+*marks* (``span.mark("nodes", site)`` — deduplicating, for "which nodes
+did this touch").  Spans nest through a per-thread stack managed by the
+active :class:`SpanRecorder`.
+
+The module keeps exactly one active recorder (swap it with
+:func:`set_recorder` or the :func:`use` context manager).  The default
+is a :class:`NoopRecorder` whose :meth:`~NoopRecorder.span` hands back a
+shared, stateless null span — the instrumented hot paths then cost one
+function call and allocate nothing.  Instrumentation that would do real
+work to *compute* an annotation (counting cells, say) should guard on
+:func:`enabled` first.
+
+Exception safety is part of the contract: a span whose body raises is
+still closed, records the error on itself, and leaves the recorder's
+stack consistent, so one failing query never poisons the next trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "NoopRecorder",
+    "span",
+    "current_span",
+    "add_current",
+    "mark_current",
+    "annotate_current",
+    "enabled",
+    "get_recorder",
+    "set_recorder",
+    "use",
+]
+
+
+class Span:
+    """One timed, counted region of work in a trace tree."""
+
+    __slots__ = (
+        "name", "attrs", "counters", "marks", "parent", "children",
+        "error", "t_start", "t_end",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        parent: "Optional[Span]" = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: list[Span] = []
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.counters: dict[str, float] = {}
+        self.marks: dict[str, set] = {}
+        self.error: Optional[str] = None
+        self.t_start = time.perf_counter()
+        self.t_end: Optional[float] = None
+
+    # -- annotation -------------------------------------------------------------
+
+    def add(self, key: str, n: float = 1) -> None:
+        """Accumulate *n* into the additive counter *key*."""
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def mark(self, key: str, value: Any) -> None:
+        """Add *value* to the deduplicating mark set *key*."""
+        bucket = self.marks.get(key)
+        if bucket is None:
+            bucket = self.marks[key] = set()
+        bucket.add(value)
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.t_end is not None
+
+    def close(self, error: Optional[str] = None) -> None:
+        if self.t_end is None:
+            self.t_end = time.perf_counter()
+        if error is not None:
+            self.error = error
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall time in milliseconds (up to now if still open)."""
+        end = self.t_end if self.t_end is not None else time.perf_counter()
+        return (end - self.t_start) * 1e3
+
+    # -- traversal --------------------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Optional[Span]":
+        """First descendant (or self) with *name*."""
+        for sp in self.walk():
+            if sp.name == name:
+                return sp
+        return None
+
+    def total(self, key: str) -> float:
+        """Sum of counter *key* over this span and all descendants."""
+        return sum(sp.counters.get(key, 0) for sp in self.walk())
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable trace tree (for logs and debugging)."""
+        pad = "  " * indent
+        bits = [f"{pad}{self.name}  {self.duration_ms:.3f} ms"]
+        if self.counters:
+            stats = " ".join(
+                f"{k}={v:g}" for k, v in sorted(self.counters.items())
+            )
+            bits[0] += f"  [{stats}]"
+        if self.error is not None:
+            bits[0] += f"  ERROR: {self.error}"
+        for child in self.children:
+            bits.append(child.render(indent + 1))
+        return "\n".join(bits)
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_ms:.3f} ms" if self.closed else "open"
+        return f"<Span {self.name!r} {state} {len(self.children)} children>"
+
+
+class _NullSpan:
+    """A shared, stateless stand-in: context manager and span in one."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def add(self, key: str, n: float = 1) -> None:
+        pass
+
+    def mark(self, key: str, value: Any) -> None:
+        pass
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+#: The singleton no-op span; identity-comparable in tests.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one recorded span."""
+
+    __slots__ = ("recorder", "name", "attrs", "span")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, attrs: dict) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        stack = self.recorder._stack()
+        parent = stack[-1] if stack else None
+        sp = Span(self.name, parent=parent, attrs=self.attrs)
+        if parent is None:
+            self.recorder.roots.append(sp)
+        else:
+            parent.children.append(sp)
+        stack.append(sp)
+        self.span = sp
+        return sp
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        sp = self.span
+        stack = self.recorder._stack()
+        # Pop robustly: an exception that skipped inner __exit__s must not
+        # leave the stack pointing at a dead span.
+        if stack and stack[-1] is sp:
+            stack.pop()
+        else:  # pragma: no cover - defensive
+            try:
+                stack.remove(sp)
+            except ValueError:
+                pass
+        assert sp is not None
+        sp.close(error=None if exc is None else f"{exc_type.__name__}: {exc}")
+        return False
+
+
+class SpanRecorder:
+    """Records a forest of span trees; one nesting stack per thread."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        return _SpanContext(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._local = threading.local()
+
+    def render(self) -> str:
+        return "\n".join(root.render() for root in self.roots)
+
+
+class NoopRecorder:
+    """The default recorder: spans are the shared null span, nothing is
+    kept, nothing is allocated."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+
+_recorder: "SpanRecorder | NoopRecorder" = NoopRecorder()
+
+
+def get_recorder() -> "SpanRecorder | NoopRecorder":
+    return _recorder
+
+
+def set_recorder(
+    recorder: "SpanRecorder | NoopRecorder",
+) -> "SpanRecorder | NoopRecorder":
+    """Install *recorder* as the active one; returns the previous."""
+    global _recorder
+    old = _recorder
+    _recorder = recorder
+    return old
+
+
+@contextmanager
+def use(recorder: "SpanRecorder | NoopRecorder") -> Iterator["SpanRecorder | NoopRecorder"]:
+    """Activate *recorder* for the duration of the block."""
+    old = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(old)
+
+
+def enabled() -> bool:
+    """True when the active recorder actually records.
+
+    Instrumentation whose *annotation itself* costs real work (counting
+    cells, hashing) should check this before computing.
+    """
+    return _recorder.enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active recorder (no-op if tracing is off)."""
+    return _recorder.span(name, **attrs)
+
+
+def current_span() -> Optional[Span]:
+    return _recorder.current()
+
+
+def add_current(key: str, n: float = 1) -> None:
+    """Accumulate into the innermost open span, if any (cheap when off)."""
+    rec = _recorder
+    if rec.enabled:
+        stack = rec._stack()
+        if stack:
+            stack[-1].add(key, n)
+
+
+def mark_current(key: str, value: Any) -> None:
+    rec = _recorder
+    if rec.enabled:
+        stack = rec._stack()
+        if stack:
+            stack[-1].mark(key, value)
+
+
+def annotate_current(**attrs: Any) -> None:
+    rec = _recorder
+    if rec.enabled:
+        stack = rec._stack()
+        if stack:
+            stack[-1].annotate(**attrs)

@@ -13,6 +13,7 @@ executor then satisfies both Section 2.4 and Section 2.12 at once.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -20,9 +21,12 @@ import itertools
 
 from ..core.array import SciArray
 from ..core.enhance import enhance as attach_enhancement
-from ..core.errors import PlanError
+from ..core.errors import PlanError, SchemaError
 from ..core.ops import get_operator
 from ..core.schema import ArraySchema, define_array
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.slowlog import SlowQueryLog
 from .ast import (
     ArrayRef,
     CreateNode,
@@ -34,7 +38,14 @@ from .ast import (
     SelectNode,
 )
 from .parser import parse_statement
-from .planner import Planner
+from .planner import PlannedQuery, Planner
+
+
+def _distributed_type():
+    """The DistributedArray class, imported lazily (grid is optional)."""
+    from ..cluster.grid import DistributedArray
+
+    return DistributedArray
 
 try:  # Provenance is optional wiring, not a hard dependency.
     from ..provenance.log import ProvenanceEngine
@@ -67,19 +78,28 @@ class Executor:
         self,
         planner: Optional[Planner] = None,
         provenance: "Optional[ProvenanceEngine]" = None,
+        slow_log: Optional[SlowQueryLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.planner = planner or Planner()
         self.provenance = provenance
+        self.slow_log = slow_log
+        self.metrics = metrics
         self.schemas: dict[str, ArraySchema] = {}
-        self.arrays: dict[str, SciArray] = {}
+        self.arrays: dict[str, Any] = {}
         self._temp_counter = itertools.count()
 
     # -- catalog -----------------------------------------------------------------
 
-    def register(self, name: str, array: SciArray) -> SciArray:
-        """Enter an existing array into the catalog (e.g. a loaded file)."""
+    def register(self, name: str, array: Any) -> Any:
+        """Enter an existing array into the catalog (e.g. a loaded file,
+        or a grid-resident :class:`~repro.cluster.grid.DistributedArray`)."""
         self.arrays[name] = array
-        if self.provenance is not None and name not in self.provenance.catalog:
+        if (
+            self.provenance is not None
+            and isinstance(array, SciArray)
+            and name not in self.provenance.catalog
+        ):
             self.provenance.register_external(
                 name, array, program="executor.register"
             )
@@ -95,12 +115,44 @@ class Executor:
 
     def run(self, statement: "str | Node") -> ExecutionResult:
         """Execute one statement (text or a parse tree)."""
-        node = (
-            parse_statement(statement) if isinstance(statement, str) else statement
-        )
-        planned = self.planner.plan(node)
+        text = statement if isinstance(statement, str) else None
+        with tracing.span("query"):
+            with tracing.span("parse"):
+                node = (
+                    parse_statement(statement)
+                    if isinstance(statement, str)
+                    else statement
+                )
+            with tracing.span("plan") as sp:
+                planned = self.planner.plan(node)
+                sp.add("rewrites", len(planned.rewrites))
+            return self.run_planned(planned, statement_text=text)
+
+    def run_planned(
+        self,
+        planned: PlannedQuery,
+        statement_text: Optional[str] = None,
+    ) -> ExecutionResult:
+        """Execute an already-planned query.
+
+        EXPLAIN uses this to run the *exact* planned tree it will later
+        annotate (operator spans are matched to plan nodes by identity,
+        and re-planning would rebuild the nodes).
+        """
+        t0 = time.perf_counter()
         result = ExecutionResult(None, rewrites=list(planned.rewrites))
-        result.value = self._execute(planned.node, result)
+        with tracing.span("execute"):
+            result.value = self._execute(planned.node, result)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        registry = self.metrics if self.metrics is not None else get_registry()
+        registry.counter("query.statements").inc()
+        registry.histogram("query.latency_ms").observe(elapsed_ms)
+        if self.slow_log is not None:
+            self.slow_log.observe(
+                statement_text or f"<{type(planned.node).__name__}>",
+                elapsed_ms,
+                {"cells_examined": result.cells_examined},
+            )
         return result
 
     def run_script(self, text: str) -> list[ExecutionResult]:
@@ -155,12 +207,25 @@ class Executor:
         if not isinstance(node, OpNode):
             raise PlanError(f"cannot evaluate node type {type(node).__name__}")
         kwargs = self._translate_options(node, result)
-        if self.provenance is not None:
+        if self.provenance is not None and not self._has_distributed_args(node):
+            # Resolve inputs BEFORE opening this operator's span: nested
+            # expressions execute under their own spans, keeping every
+            # span's time and counters exclusive to its operator.
             input_names = [self._name_of(a, result) for a in node.args]
             output = output_name or f"__q{next(self._temp_counter)}"
-            return self.provenance.execute(node.op, input_names, output, **kwargs)
+            with tracing.span("op:" + node.op, op=node.op, node_id=id(node)) as sp:
+                value = self.provenance.execute(
+                    node.op, input_names, output, **kwargs
+                )
+                self._annotate_local(
+                    sp, [self.provenance.catalog[n] for n in input_names], value
+                )
+            return value
         args = [self._eval(a, result) for a in node.args]
-        return get_operator(node.op)(*args, **kwargs)
+        with tracing.span("op:" + node.op, op=node.op, node_id=id(node)) as sp:
+            value = self._apply_op(node, args, kwargs, sp)
+            self._annotate_local(sp, args, value)
+        return value
 
     def _name_of(self, node: Node, result: ExecutionResult) -> str:
         """Resolve an argument to a provenance catalog name."""
@@ -174,8 +239,147 @@ class Executor:
         kwargs = self._translate_options(node, result)
         input_names = [self._name_of(a, result) for a in node.args]
         output = f"__q{next(self._temp_counter)}"
-        self.provenance.execute(node.op, input_names, output, **kwargs)
+        with tracing.span("op:" + node.op, op=node.op, node_id=id(node)) as sp:
+            self.provenance.execute(node.op, input_names, output, **kwargs)
+            self._annotate_local(
+                sp,
+                [self.provenance.catalog[n] for n in input_names],
+                self.provenance.catalog[output],
+            )
         return output
+
+    # -- distributed dispatch ----------------------------------------------------
+
+    def _has_distributed_args(self, node: OpNode) -> bool:
+        """Whether any direct ArrayRef argument is grid-resident."""
+        DistributedArray = _distributed_type()
+        return any(
+            isinstance(a, ArrayRef)
+            and isinstance(self.arrays.get(a.name), DistributedArray)
+            for a in node.args
+        )
+
+    def _apply_op(self, node: OpNode, args: list, kwargs: dict, sp) -> Any:
+        DistributedArray = _distributed_type()
+        if any(isinstance(a, DistributedArray) for a in args):
+            return self._dispatch_distributed(node, args, kwargs, sp)
+        return get_operator(node.op)(*args, **kwargs)
+
+    def _dispatch_distributed(
+        self, node: OpNode, args: list, kwargs: dict, sp
+    ) -> Any:
+        """Run an operator over grid-resident inputs.
+
+        Operators with a native distributed implementation (window
+        subsample, algebraic aggregate/regrid, co-partitioned sjoin) run
+        in place on the grid; anything else gathers the operands to the
+        coordinator (metered as movement) and runs the local operator.
+        """
+        DistributedArray = _distributed_type()
+        op = node.op
+        sp.annotate(distributed=True)
+        first = args[0] if isinstance(args[0], DistributedArray) else None
+        try:
+            if op == "subsample" and first is not None and len(args) == 1:
+                window = self._predicate_window(
+                    node.option("predicate"), first
+                )
+                if window is not None:
+                    # The window is a pruned (R-tree), metered gather of
+                    # just the slab; the local operator then applies the
+                    # exact Subsample semantics (rebasing, source_index).
+                    slab = first.subsample(window)
+                    return get_operator(op)(slab, **kwargs)
+            elif op == "aggregate" and first is not None and len(args) == 1:
+                return first.aggregate(
+                    kwargs["group_dims"], kwargs["agg"], kwargs["attr"]
+                )
+            elif op == "regrid" and first is not None and len(args) == 1:
+                return first.regrid(
+                    kwargs["factors"], kwargs["agg"], kwargs["attr"]
+                )
+            elif (
+                op == "sjoin"
+                and len(args) == 2
+                and first is not None
+                and isinstance(args[1], DistributedArray)
+                and args[0].grid is args[1].grid
+            ):
+                return args[0].sjoin(args[1], on=kwargs.get("on"))
+        except SchemaError:
+            # Holistic aggregate / incompatible partitioning: fall back
+            # to a metered gather plus the local operator.
+            pass
+        local = [
+            a.materialize() if isinstance(a, DistributedArray) else a
+            for a in args
+        ]
+        return get_operator(op)(*local, **kwargs)
+
+    def _predicate_window(
+        self, pred: Any, darr: Any
+    ) -> Optional[tuple[tuple, tuple]]:
+        """Compile a pure-range dimension predicate to a scan window.
+
+        Returns ``None`` when the predicate needs per-cell evaluation
+        (even/odd/!=, attribute terms, callables) or the window cannot
+        be closed (an unbounded dimension with no upper constraint).
+        """
+        if not isinstance(pred, PredicateConjunction):
+            return None
+        if pred.attr_terms:
+            return None
+        dims = list(darr.schema.dimensions)
+        names = [d.name for d in dims]
+        lo: dict[str, int] = {}
+        hi: dict[str, int] = {}
+        for term in pred.dim_terms:
+            if term.dim not in names:
+                raise PlanError(
+                    f"array {darr.name!r} has no dimension {term.dim!r} "
+                    f"(dimensions: {', '.join(names)})"
+                )
+            if term.op in ("even", "odd", "!="):
+                return None
+            value = term.value
+            if term.op == "=":
+                lo[term.dim] = max(lo.get(term.dim, value), value)
+                hi[term.dim] = min(hi.get(term.dim, value), value)
+            elif term.op == "<":
+                hi[term.dim] = min(hi.get(term.dim, value - 1), value - 1)
+            elif term.op == "<=":
+                hi[term.dim] = min(hi.get(term.dim, value), value)
+            elif term.op == ">":
+                lo[term.dim] = max(lo.get(term.dim, value + 1), value + 1)
+            elif term.op == ">=":
+                lo[term.dim] = max(lo.get(term.dim, value), value)
+        lo_coords, hi_coords = [], []
+        for d in dims:
+            lo_coords.append(lo.get(d.name, 1))
+            upper = hi.get(d.name, d.size)
+            if upper is None:  # unbounded dim, no upper constraint
+                return None
+            hi_coords.append(upper)
+        return tuple(lo_coords), tuple(hi_coords)
+
+    # -- span annotation ---------------------------------------------------------
+
+    def _annotate_local(self, sp, args: list, value: Any) -> None:
+        """Attach input/output sizes to an operator span.
+
+        Guarded on :func:`tracing.enabled` because the counts themselves
+        walk chunk maps — with tracing off this must cost nothing.
+        Grid-resident inputs are skipped: their scans/transfers accrue
+        through the grid's own instrumentation inside this span.
+        """
+        if not tracing.enabled():
+            return
+        for a in args:
+            if isinstance(a, SciArray):
+                sp.add("cells_scanned", a.count_occupied())
+                sp.add("chunks_touched", a.chunk_count())
+        if isinstance(value, SciArray):
+            sp.add("cells_out", value.count_occupied())
 
     def _translate_options(self, node: OpNode, result: ExecutionResult) -> dict:
         """Map AST options to the operator functions' keyword arguments."""

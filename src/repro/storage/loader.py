@@ -52,6 +52,8 @@ from ..core.errors import (
     TypeMismatchError,
 )
 from ..core.datatypes import ScalarType
+from ..obs import tracing
+from ..obs.metrics import get_registry
 from .quarantine import QuarantineStore
 
 __all__ = ["LoadRecord", "LoadReport", "BulkLoader"]
@@ -406,6 +408,8 @@ class BulkLoader:
             self.records_loaded += len(records)
             self.stats.records_loaded += len(records)
             self.stats.batches_committed += 1
+            get_registry().counter("ingest.batch_commits").inc()
+            tracing.add_current("ingest_batches", 1)
 
     def finish(self) -> None:
         """Flush every site's buffer (end of stream)."""

@@ -21,6 +21,7 @@ import itertools
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
@@ -31,6 +32,8 @@ from ..core.array import SciArray
 from ..core.cells import Cell
 from ..core.errors import StorageError
 from ..core.schema import ArraySchema
+from ..obs import tracing
+from ..obs.metrics import get_registry
 from .bucket import Bucket
 from .compression import Codec
 from .rtree import RTree
@@ -210,7 +213,9 @@ class PersistentArray:
         self.stats.spills += 1
 
     def _write_bucket(self, bucket: Bucket) -> int:
+        t0 = time.perf_counter()
         payload = bucket.to_bytes(self.codec)
+        codec_ms = (time.perf_counter() - t0) * 1e3
         bucket_id = self._next_bucket
         self._next_bucket += 1
         path = self._bucket_path(bucket_id)
@@ -218,6 +223,12 @@ class PersistentArray:
             f.write(payload)
         self.stats.bytes_written += len(payload)
         self.stats.buckets_written += 1
+        registry = get_registry()
+        registry.counter("storage.buckets_written").inc()
+        registry.counter("storage.bytes_written").inc(len(payload))
+        registry.histogram("storage.codec_encode_ms").observe(codec_ms)
+        tracing.add_current("chunks_written", 1)
+        tracing.add_current("codec_ms", codec_ms)
         self._rtree.insert(bucket.box, bucket_id)
         return bucket_id
 
@@ -229,7 +240,16 @@ class PersistentArray:
         payload = path.read_bytes()
         self.stats.bytes_read += len(payload)
         self.stats.buckets_read += 1
-        return Bucket.from_bytes(self.schema, payload)
+        t0 = time.perf_counter()
+        bucket = Bucket.from_bytes(self.schema, payload)
+        codec_ms = (time.perf_counter() - t0) * 1e3
+        registry = get_registry()
+        registry.counter("storage.buckets_read").inc()
+        registry.counter("storage.bytes_read").inc(len(payload))
+        registry.histogram("storage.codec_decode_ms").observe(codec_ms)
+        tracing.add_current("chunks_read", 1)
+        tracing.add_current("codec_ms", codec_ms)
+        return bucket
 
     @property
     def live_cells(self) -> int:

@@ -27,6 +27,8 @@ from typing import Any, Iterator, Optional
 from ..core.array import SciArray
 from ..core.errors import StorageError
 from ..core.schema import ArraySchema, define_array
+from ..obs import tracing
+from ..obs.metrics import get_registry
 
 __all__ = ["WriteAheadLog"]
 
@@ -203,6 +205,7 @@ class WriteAheadLog:
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())
+        get_registry().counter("wal.commits").inc()
 
     def _append(self, record: dict[str, Any]) -> None:
         payload = json.dumps(record, default=_jsonable)
@@ -212,6 +215,8 @@ class WriteAheadLog:
         # reconstruct (json.loads preserves key order).
         self._fh.write(payload[:-1] + f', "crc": {crc}}}\n')
         self.records_appended += 1
+        get_registry().counter("wal.appends").inc()
+        tracing.add_current("wal_appends", 1)
 
     def close(self) -> None:
         self.commit()

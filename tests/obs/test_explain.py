@@ -1,0 +1,207 @@
+"""EXPLAIN ANALYZE: annotated plan trees reconciling with the ledger."""
+
+import json
+
+import pytest
+
+from repro.cluster.partitioning import HashPartitioner
+from repro.core.errors import ParseError, PlanError
+from repro.core.schema import define_array
+from repro.database import SciDB
+from repro.obs.explain import ExplainReport
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.storage.loader import LoadRecord
+
+SIDE = 12
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    old = set_registry(fresh)
+    yield fresh
+    set_registry(old)
+
+
+@pytest.fixture
+def db(tmp_path, registry):
+    db = SciDB(tmp_path)
+    db.execute("define array T (v = float) (I, J)")
+    db.execute(f"create M as T [{SIDE}, {SIDE}]")
+    m = db.lookup("M")
+    for i in range(1, SIDE + 1):
+        for j in range(1, SIDE + 1):
+            m[i, j] = float(i * j)
+    return db
+
+
+@pytest.fixture
+def grid_db(db):
+    grid = db.create_grid(n_nodes=4, replication=2)
+    schema = define_array("D", {"v": "float"}, ["x", "y"]).bind([SIDE, SIDE])
+    darr = grid.create_array("D", schema, HashPartitioner(4))
+    darr.load(
+        LoadRecord((x, y), (float(x * y),))
+        for x in range(1, SIDE + 1)
+        for y in range(1, SIDE + 1)
+    )
+    db.register("D", darr)
+    return db
+
+
+class TestLocalExplain:
+    def test_every_operator_carries_measurements(self, db):
+        rep = db.explain("select subsample(M, I >= 2 and J <= 5)")
+        assert isinstance(rep, ExplainReport)
+        ops = list(rep.operators())
+        assert [p.op for p in ops] == ["subsample", "scan"]
+        sub, scan = ops
+        assert sub.time_ms > 0
+        assert sub.cells_scanned == SIDE * SIDE
+        assert sub.cells_out == (SIDE - 1) * 5
+        assert sub.chunks_touched > 0
+        assert scan.cells_out == SIDE * SIDE  # catalog annotation
+        assert rep.total_ms >= sub.time_ms
+
+    def test_local_query_moves_no_bytes(self, db):
+        rep = db.explain("select aggregate(M, {I}, sum(v))")
+        assert rep.total("bytes_moved") == 0
+        assert rep.ledger_delta == {}
+        assert rep.reconciles()
+
+    def test_render_mentions_statement_and_counters(self, db):
+        rep = db.explain("select subsample(M, I >= 2)")
+        text = rep.render()
+        assert "select subsample(M, I >= 2)" in text
+        assert "cells_scanned" in text
+        assert "bytes_moved" in text
+        assert str(rep) == text
+
+    def test_pushdown_rewrites_reported(self, db):
+        rep = db.explain("select subsample(filter(M, v > 20), I >= 3)")
+        assert rep.rewrites  # planner pushed subsample below filter
+        # The executed tree is the planned one: filter on top.
+        assert rep.root.op == "filter"
+        assert rep.root.children[0].op == "subsample"
+        assert "rewrite" in rep.render()
+
+    def test_cells_examined_propagates(self, db):
+        rep = db.explain("select filter(M, v > 20)")
+        assert rep.cells_examined == SIDE * SIDE
+
+    def test_nested_operators_get_exclusive_spans(self, db):
+        rep = db.explain("select aggregate(subsample(M, I >= 2), {J}, sum(*))")
+        agg = rep.root
+        assert agg.op == "aggregate"
+        sub = agg.children[0]
+        assert sub.op == "subsample"
+        # Exclusive accounting: the inner subsample scanned the base
+        # array; the aggregate scanned only the subsample's output.
+        assert sub.cells_scanned == SIDE * SIDE
+        assert agg.cells_scanned == sub.cells_out
+
+
+class TestDistributedExplain:
+    def test_bytes_moved_reconciles_with_ledger(self, grid_db):
+        rep = grid_db.explain("select aggregate(D, {x}, sum(v))")
+        assert rep.ledger_delta  # the merge moved partials
+        assert rep.total("bytes_moved") == sum(rep.ledger_delta.values())
+        assert rep.reconciles()
+
+    def test_operator_annotations_on_grid(self, grid_db):
+        rep = grid_db.explain("select aggregate(D, {x}, sum(v))")
+        agg = rep.root
+        assert agg.distributed
+        assert agg.nodes_visited == 4
+        assert agg.cells_scanned == SIDE * SIDE
+        assert agg.chunks_touched > 0
+        assert agg.bytes_moved > 0
+        scan = agg.children[0]
+        assert scan.distributed
+        assert scan.nodes_visited == 4  # catalog annotation: grid width
+
+    def test_subsample_window_gathers_less_than_full_scan(self, grid_db):
+        full = grid_db.explain("select sjoin(D, D, D.x = D.x and D.y = D.y)")
+        window = grid_db.explain("select subsample(D, x <= 3 and y <= 3)")
+        assert window.reconciles() and full.reconciles()
+        assert window.total("bytes_moved") < full.total("bytes_moved")
+
+    def test_delta_is_per_query_not_cumulative(self, grid_db):
+        first = grid_db.explain("select aggregate(D, {x}, sum(v))")
+        second = grid_db.explain("select aggregate(D, {x}, sum(v))")
+        assert second.ledger_delta == first.ledger_delta
+
+    def test_failover_visible_in_report(self, grid_db):
+        grid_db.grid().nodes[1].fail()
+        rep = grid_db.explain("select aggregate(D, {x}, sum(v))")
+        assert rep.reconciles()
+        assert rep.total("failovers") >= 1
+        assert rep.root.cells_scanned == SIDE * SIDE  # replicas covered it
+
+    def test_distributed_matches_local_result(self, grid_db):
+        dist = grid_db.execute("select aggregate(D, {x}, sum(v))").array
+        local_arr = grid_db.executor.arrays["D"].materialize()
+        grid_db.register("Dlocal", local_arr)
+        local = grid_db.execute("select aggregate(Dlocal, {x}, sum(v))").array
+        for i in range(1, SIDE + 1):
+            assert dist.get(i).sum == local.get(i).sum
+
+
+class TestMetricsAndSlowLog:
+    def test_metrics_snapshot_unifies_layers(self, grid_db, registry):
+        grid_db.execute("select aggregate(D, {x}, sum(v))")
+        snap = grid_db.metrics_snapshot()
+        assert snap["counters"]["query.statements"] >= 1
+        assert snap["counters"]["wal.appends"] > 0  # grid load WAL'd cells
+        assert snap["histograms"]["query.latency_ms"]["count"] >= 1
+        grid = snap["grids"]["grid"]
+        assert grid["ledger"]["total_bytes"] > 0
+        assert len(grid["nodes"]) == 4
+        assert sum(n["cells_scanned"] for n in grid["nodes"]) > 0
+        assert sum(n["cells_stored"] for n in grid["nodes"]) >= SIDE * SIDE
+        json.dumps(snap)  # the whole thing must serialise
+
+    def test_storage_codec_metrics_recorded(self, db, registry):
+        db.persist("M", stride=[4, 4])
+        db.restore("M")
+        snap = db.metrics_snapshot()
+        assert snap["counters"]["storage.buckets_written"] > 0
+        assert snap["counters"]["storage.buckets_read"] > 0
+        assert snap["histograms"]["storage.codec_encode_ms"]["count"] > 0
+        assert snap["histograms"]["storage.codec_decode_ms"]["count"] > 0
+
+    def test_slow_query_log_captures_over_threshold(self, tmp_path, registry):
+        db = SciDB(tmp_path, slow_query_ms=0.0)  # everything is "slow"
+        db.execute("define array T (v = float) (I)")
+        db.execute("create A as T [4]")
+        db.execute("select subsample(A, I >= 1)")
+        entries = db.slow_queries()
+        assert entries
+        assert entries[-1].statement == "select subsample(A, I >= 1)"
+        assert entries[-1].elapsed_ms >= 0
+
+    def test_default_threshold_keeps_fast_queries_out(self, db):
+        db.execute("select subsample(M, I >= 2)")
+        # 100 ms default: a tiny query should not land in the log, but it
+        # must still be counted as observed.
+        assert db.slow_log.observed >= 1
+
+
+class TestExplainTypedErrors:
+    def test_empty_statement(self, db):
+        with pytest.raises(ParseError):
+            db.explain("")
+
+    def test_garbage_statement(self, db):
+        with pytest.raises(ParseError):
+            db.explain("select ] [ nonsense")
+
+    def test_unknown_array(self, db):
+        with pytest.raises(PlanError):
+            db.explain("select subsample(Nope, I >= 2)")
+
+    def test_non_statement_object(self, db):
+        with pytest.raises(PlanError):
+            db.explain(42)
+        with pytest.raises(PlanError):
+            db.explain(None)

@@ -1,0 +1,105 @@
+"""MetricsRegistry instruments and JSON snapshots."""
+
+import json
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7
+
+    def test_histogram_summary(self):
+        h = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+        assert s["p50"] == 2.0
+
+    def test_histogram_sample_cap_keeps_scalars_exact(self):
+        h = Histogram("h", sample_cap=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.max == 99.0
+        assert len(h._samples) == 8  # bounded memory
+
+    def test_empty_histogram_is_safe(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0.0
+        assert h.summary()["count"] == 0
+
+
+class TestRegistry:
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("wal.appends").inc(3)
+        reg.gauge("nodes.alive").set(4)
+        reg.histogram("lat").observe(1.5)
+        snap = json.loads(reg.to_json())
+        assert snap["counters"]["wal.appends"] == 3
+        assert snap["gauges"]["nodes.alive"] == 4
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_set_registry_swaps_global(self):
+        fresh = MetricsRegistry()
+        old = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(old)
+        assert get_registry() is old
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.observe("fast", 3.0) is None
+        entry = log.observe("slow", 25.0, {"cells_examined": 7})
+        assert entry is not None
+        assert entry.counters["cells_examined"] == 7
+        assert [e.statement for e in log.entries()] == ["slow"]
+        assert log.observed == 2
+
+    def test_capacity_bounds_memory(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for i in range(10):
+            log.observe(f"q{i}", 1.0)
+        kept = [e.statement for e in log.entries()]
+        assert kept == ["q7", "q8", "q9"]  # oldest evicted
+        assert len(log) == 3
+
+    def test_invalid_parameters_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)

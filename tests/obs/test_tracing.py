@@ -1,0 +1,179 @@
+"""Span nesting, exception safety, and the no-op fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import NULL_SPAN, NoopRecorder, Span, SpanRecorder
+
+
+@pytest.fixture
+def recorder():
+    rec = SpanRecorder()
+    old = tracing.set_recorder(rec)
+    yield rec
+    tracing.set_recorder(old)
+
+
+class TestNesting:
+    def test_parent_child_links(self, recorder):
+        with tracing.span("outer") as outer:
+            with tracing.span("inner") as inner:
+                pass
+        assert recorder.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.parent is outer
+        assert inner.closed and outer.closed
+
+    def test_sibling_spans_stay_exclusive(self, recorder):
+        with tracing.span("root"):
+            with tracing.span("a") as a:
+                a.add("cells", 3)
+            with tracing.span("b") as b:
+                b.add("cells", 4)
+        (root,) = recorder.roots
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.counters == {}  # nothing leaked upward
+        assert root.total("cells") == 7  # but subtree totals roll up
+
+    def test_add_current_lands_on_innermost(self, recorder):
+        with tracing.span("outer") as outer:
+            tracing.add_current("n", 1)
+            with tracing.span("inner") as inner:
+                tracing.add_current("n", 10)
+        assert outer.counters["n"] == 1
+        assert inner.counters["n"] == 10
+
+    def test_marks_deduplicate(self, recorder):
+        with tracing.span("s") as sp:
+            for site in (0, 1, 1, 2, 1):
+                tracing.mark_current("nodes", site)
+        assert sp.marks["nodes"] == {0, 1, 2}
+
+    def test_find_and_render(self, recorder):
+        with tracing.span("query"):
+            with tracing.span("op:subsample") as sub:
+                sub.add("cells_scanned", 9)
+        (root,) = recorder.roots
+        assert root.find("op:subsample") is sub
+        assert root.find("nope") is None
+        text = recorder.render()
+        assert "op:subsample" in text
+        assert "cells_scanned=9" in text
+
+    def test_duration_is_monotonic_and_positive(self, recorder):
+        with tracing.span("timed") as sp:
+            pass
+        assert sp.duration_ms >= 0
+        assert sp.t_end >= sp.t_start
+
+
+class TestExceptionSafety:
+    def test_raising_span_still_closes_and_records_error(self, recorder):
+        with pytest.raises(ValueError):
+            with tracing.span("boom") as sp:
+                raise ValueError("bad cell")
+        assert sp.closed
+        assert sp.error == "ValueError: bad cell"
+
+    def test_recorder_reusable_after_exception(self, recorder):
+        with pytest.raises(RuntimeError):
+            with tracing.span("first"):
+                raise RuntimeError("x")
+        # The stack must be clean: a new span is a fresh root, not a child
+        # of the dead one.
+        with tracing.span("second") as sp:
+            pass
+        assert sp.parent is None
+        assert [r.name for r in recorder.roots] == ["first", "second"]
+        assert recorder.current() is None
+
+    def test_exception_in_nested_span_unwinds_whole_stack(self, recorder):
+        with pytest.raises(KeyError):
+            with tracing.span("a"):
+                with tracing.span("b"):
+                    with tracing.span("c"):
+                        raise KeyError("deep")
+        assert recorder.current() is None
+        (a,) = recorder.roots
+        for sp in a.walk():
+            assert sp.closed, f"span {sp.name} left open"
+        # Only the innermost carries the error; outer spans closed on the
+        # same exception propagating through them.
+        assert a.find("c").error == "KeyError: 'deep'"
+
+
+class TestNoopPath:
+    def test_noop_recorder_returns_shared_null_span(self):
+        rec = NoopRecorder()
+        old = tracing.set_recorder(rec)
+        try:
+            with tracing.span("anything", big=list(range(100))) as sp:
+                sp.add("x", 1)
+                sp.mark("y", 2)
+                sp.annotate(z=3)
+            # Identity: the same shared object every time, no Span allocated.
+            assert sp is NULL_SPAN
+            with tracing.span("other") as sp2:
+                pass
+            assert sp2 is NULL_SPAN
+            assert not isinstance(sp, Span)
+            assert tracing.current_span() is None
+            assert not tracing.enabled()
+        finally:
+            tracing.set_recorder(old)
+
+    def test_add_current_is_noop_when_disabled(self):
+        old = tracing.set_recorder(NoopRecorder())
+        try:
+            tracing.add_current("k", 5)  # must not raise, must not record
+            tracing.mark_current("k", 5)
+            tracing.annotate_current(k=5)
+        finally:
+            tracing.set_recorder(old)
+
+    def test_default_recorder_is_noop(self):
+        # The module default must stay a no-op: production code paths are
+        # untraced unless something opts in.
+        assert isinstance(tracing.get_recorder(), (NoopRecorder, SpanRecorder))
+
+
+class TestUseContextManager:
+    def test_use_restores_previous_recorder(self):
+        before = tracing.get_recorder()
+        rec = SpanRecorder()
+        with tracing.use(rec) as active:
+            assert active is rec
+            assert tracing.get_recorder() is rec
+            with tracing.span("inside"):
+                pass
+        assert tracing.get_recorder() is before
+        assert [r.name for r in rec.roots] == ["inside"]
+
+    def test_use_restores_on_exception(self):
+        before = tracing.get_recorder()
+        with pytest.raises(ValueError):
+            with tracing.use(SpanRecorder()):
+                raise ValueError
+        assert tracing.get_recorder() is before
+
+
+class TestThreads:
+    def test_each_thread_gets_its_own_stack(self):
+        rec = SpanRecorder()
+        seen = {}
+
+        def work(label):
+            with tracing.span(label) as sp:
+                seen[label] = sp.parent
+
+        with tracing.use(rec):
+            with tracing.span("main-root"):
+                t = threading.Thread(target=work, args=("worker",))
+                t.start()
+                t.join()
+        # The worker's span must NOT have nested under the main thread's
+        # open span.
+        assert seen["worker"] is None
+        assert {r.name for r in rec.roots} == {"main-root", "worker"}

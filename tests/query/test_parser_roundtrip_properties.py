@@ -1,0 +1,226 @@
+"""Property-based parser/unparser roundtrip: ``parse(unparse(t)) == t``.
+
+Section 2.4 makes parse trees the common representation between bindings;
+:func:`repro.query.unparse.unparse` renders any tree back into the textual
+binding.  These tests generate *canonical* trees — trees shaped exactly as
+the parser itself would build them (tuple options in parser order, int dim
+bounds, ``None`` for ``*`` aggregates) — and assert the textual round trip
+is the identity.  Hypothesis runs are derandomized so failures reproduce.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.ast import (
+    COMPARISONS,
+    ArrayRef,
+    AttrPredicate,
+    CreateNode,
+    DefineNode,
+    DimPredicate,
+    EnhanceNode,
+    OpNode,
+    PredicateConjunction,
+    SelectNode,
+)
+from repro.query.parser import parse_statement
+from repro.query.unparse import unparse
+
+SETTINGS = dict(derandomize=True, deadline=None)
+
+# Words the tokenizer treats specially (case-insensitively): statement
+# keywords plus the even/odd unary predicate heads.
+_RESERVED = {
+    "define", "updatable", "array", "create", "as", "select", "into",
+    "enhance", "with", "and", "even", "odd",
+}
+
+_FIRST = string.ascii_letters + "_"
+_REST = _FIRST + string.digits
+
+identifiers = st.builds(
+    lambda first, rest: first + rest,
+    st.sampled_from(_FIRST),
+    st.text(alphabet=_REST, max_size=6),
+).filter(lambda s: s.lower() not in _RESERVED)
+
+# The tokenizer's number regex has no exponent form, so generate floats
+# whose repr is always plain decimal (eighths stay exact in binary too).
+ints = st.integers(-999, 999)
+floats = st.integers(-8000, 8000).map(lambda n: n / 8)
+
+comparisons = st.sampled_from(COMPARISONS)
+
+dim_predicates = st.one_of(
+    st.builds(DimPredicate, identifiers, comparisons, ints),
+    st.builds(
+        lambda dim, op: DimPredicate(dim, op),
+        identifiers,
+        st.sampled_from(["even", "odd"]),
+    ),
+)
+
+attr_predicates = st.builds(
+    AttrPredicate, identifiers, comparisons, ints | floats | identifiers
+)
+
+
+def _conjunction(term_strategy):
+    return st.builds(
+        PredicateConjunction,
+        st.lists(term_strategy, min_size=1, max_size=3).map(tuple),
+    )
+
+
+dim_conjunctions = _conjunction(dim_predicates)
+attr_conjunctions = _conjunction(attr_predicates)
+
+array_refs = st.builds(ArrayRef, identifiers)
+
+# Aggregate attribute: a name, or None which unparses to "*".
+agg_attrs = st.none() | identifiers
+
+name_tuples = st.lists(identifiers, min_size=1, max_size=3).map(tuple)
+
+join_pairs = st.lists(
+    st.tuples(identifiers, identifiers), min_size=1, max_size=2
+).map(tuple)
+
+
+def _extend(inner):
+    """All operator forms the textual grammar can express over *inner*."""
+    subsample = st.builds(
+        lambda src, pred: OpNode("subsample", (src,), (("predicate", pred),)),
+        inner, dim_conjunctions,
+    )
+    filter_ = st.builds(
+        lambda src, pred: OpNode("filter", (src,), (("predicate", pred),)),
+        inner, attr_conjunctions,
+    )
+    aggregate = st.builds(
+        lambda src, dims, agg, attr: OpNode(
+            "aggregate", (src,),
+            (("group_dims", dims), ("agg", agg), ("attr", attr)),
+        ),
+        inner, name_tuples, identifiers, agg_attrs,
+    )
+    regrid = st.builds(
+        lambda src, factors, agg, attr: OpNode(
+            "regrid", (src,),
+            (("factors", factors), ("agg", agg), ("attr", attr)),
+        ),
+        inner,
+        st.lists(st.integers(1, 64), min_size=1, max_size=3).map(tuple),
+        identifiers, agg_attrs,
+    )
+    # Join operands must be bare array references: the textual grammar
+    # qualifies join predicates by array name (unparse raises otherwise).
+    sjoin = st.builds(
+        lambda l, r, on: OpNode("sjoin", (l, r), (("on", on),)),
+        array_refs, array_refs, join_pairs,
+    )
+    cjoin = st.builds(
+        lambda l, r, pairs: OpNode("cjoin", (l, r), (("attr_pairs", pairs),)),
+        array_refs, array_refs, join_pairs,
+    )
+    project = st.builds(
+        lambda src, attrs: OpNode("project", (src,), (("attrs", attrs),)),
+        inner, name_tuples,
+    )
+    transpose = st.builds(
+        lambda src, order: OpNode("transpose", (src,), (("order", order),)),
+        inner, name_tuples,
+    )
+    reshape = st.builds(
+        lambda src, order, dims: OpNode(
+            "reshape", (src,), (("order", order), ("new_dims", dims)),
+        ),
+        inner, name_tuples,
+        st.lists(
+            st.tuples(identifiers, st.integers(1, 4096)),
+            min_size=1, max_size=3,
+        ).map(tuple),
+    )
+    apply = st.builds(
+        lambda src, udf, args: OpNode(
+            "apply", (src,), (("udf", udf), ("args", args)),
+        ),
+        inner, identifiers, name_tuples,
+    )
+    return st.one_of(
+        subsample, filter_, aggregate, regrid, sjoin, cjoin,
+        project, transpose, reshape, apply,
+    )
+
+
+expressions = st.recursive(array_refs, _extend, max_leaves=5)
+
+select_nodes = st.builds(SelectNode, expressions, into=st.none() | identifiers)
+
+define_nodes = st.builds(
+    DefineNode,
+    identifiers,
+    st.lists(
+        st.tuples(identifiers, identifiers | st.just("uncertain float")),
+        min_size=1, max_size=4,
+    ).map(tuple),
+    name_tuples,
+    st.booleans(),
+)
+
+create_nodes = st.builds(
+    CreateNode,
+    identifiers,
+    identifiers,
+    st.lists(st.none() | st.integers(1, 4096), min_size=1, max_size=3).map(
+        tuple
+    ),
+)
+
+enhance_nodes = st.builds(EnhanceNode, identifiers, identifiers)
+
+
+def _roundtrip(node):
+    text = unparse(node)
+    reparsed = parse_statement(text)
+    assert reparsed == node, f"{text!r} reparsed as {reparsed!r}"
+
+
+class TestSelectRoundtrip:
+    @settings(max_examples=150, **SETTINGS)
+    @given(select_nodes)
+    def test_select_statements(self, node):
+        _roundtrip(node)
+
+    @settings(max_examples=50, **SETTINGS)
+    @given(expressions)
+    def test_bare_expressions_unparse_as_select(self, expr):
+        # unparse wraps a bare expression in `select ...`
+        assert parse_statement(unparse(expr)) == SelectNode(expr, into=None)
+
+
+class TestDdlRoundtrip:
+    @settings(max_examples=60, **SETTINGS)
+    @given(define_nodes)
+    def test_define_statements(self, node):
+        _roundtrip(node)
+
+    @settings(max_examples=40, **SETTINGS)
+    @given(create_nodes)
+    def test_create_statements(self, node):
+        _roundtrip(node)
+
+    @settings(max_examples=25, **SETTINGS)
+    @given(enhance_nodes)
+    def test_enhance_statements(self, node):
+        _roundtrip(node)
+
+
+class TestTextualFixedPoint:
+    @settings(max_examples=60, **SETTINGS)
+    @given(select_nodes)
+    def test_unparse_is_a_fixed_point(self, node):
+        # Once through the loop, text → tree → text is the identity.
+        text = unparse(node)
+        assert unparse(parse_statement(text)) == text

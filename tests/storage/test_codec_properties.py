@@ -95,3 +95,131 @@ class TestLossless:
         np.testing.assert_array_equal(
             out.view(np.uint8), arr.view(np.uint8)
         )
+
+
+_SPECIALS64 = [
+    float("nan"), float("inf"), float("-inf"), 0.0, -0.0, 1.5, -1.5,
+    np.finfo(np.float64).tiny, np.finfo(np.float64).max,
+    -np.finfo(np.float64).max,
+]
+
+special_float_arrays = st.lists(
+    st.sampled_from(_SPECIALS64), min_size=1, max_size=50
+).map(lambda vs: np.array(vs, dtype=np.float64))
+
+
+def _assert_values_equal(out, arr):
+    """Value-level losslessness, NaN-position aware (NaN != NaN)."""
+    assert out.shape == arr.shape and out.dtype == arr.dtype
+    nan_out, nan_arr = np.isnan(out), np.isnan(arr)
+    np.testing.assert_array_equal(nan_out, nan_arr)
+    np.testing.assert_array_equal(out[~nan_out], arr[~nan_arr])
+
+
+class TestNonFiniteBitPatterns:
+    """NaN/±inf payloads: the delta codec works on integer bit views, so
+    non-finite values must survive bit-for-bit even where ``==`` is
+    useless (NaN != NaN).  RLE detects runs with ``==``, which merges
+    bitwise-distinct equal values (0.0 / -0.0) — so for RLE the contract
+    is value-level, with NaNs (never ``==``-equal) still exact."""
+
+    @given(arr=special_float_arrays, codec=st.sampled_from(["none", "zlib", "delta"]))
+    @settings(max_examples=60, deadline=None)
+    def test_float64_specials_roundtrip_bitwise(self, arr, codec):
+        c = get_codec(codec)
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out.view(np.uint8), arr.view(np.uint8))
+
+    @given(arr=special_float_arrays, codec=st.sampled_from(["none", "zlib", "delta"]))
+    @settings(max_examples=40, deadline=None)
+    def test_float32_specials_roundtrip_bitwise(self, arr, codec):
+        with np.errstate(over="ignore"):  # float64 max → inf is intended
+            arr32 = arr.astype(np.float32)
+        c = get_codec(codec)
+        out = c.decode(c.encode(arr32), arr32.dtype, arr32.shape)
+        np.testing.assert_array_equal(
+            out.view(np.uint8), arr32.view(np.uint8)
+        )
+
+    @given(arr=special_float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_rle_specials_roundtrip_values(self, arr):
+        c = get_codec("rle")
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        _assert_values_equal(out, arr)
+
+    def test_rle_canonicalizes_signed_zero_runs(self):
+        # Documented quirk: -0.0 == 0.0 starts no new run, so the run's
+        # first bit pattern wins.  Values stay equal; bits may not.
+        arr = np.array([0.0, -0.0, 0.0], dtype=np.float64)
+        c = get_codec("rle")
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)  # 0.0 == -0.0
+        assert not np.signbit(out).any()  # collapsed to the run head
+
+
+class TestIntegerExtremes:
+    """Full-range int64: first-order deltas overflow, but two's-complement
+    subtraction and cumsum are inverse *modulo 2^64*, so the wrap cancels
+    and the roundtrip is still exact."""
+
+    extreme_ints = st.lists(
+        st.sampled_from(
+            [np.iinfo(np.int64).min, np.iinfo(np.int64).min + 1, -1, 0, 1,
+             np.iinfo(np.int64).max - 1, np.iinfo(np.int64).max]
+        )
+        | st.integers(np.iinfo(np.int64).min, np.iinfo(np.int64).max),
+        min_size=1,
+        max_size=40,
+    ).map(lambda vs: np.array(vs, dtype=np.int64))
+
+    @given(arr=extreme_ints, codec=st.sampled_from(CODECS))
+    @settings(max_examples=80, deadline=None)
+    def test_int64_extremes_roundtrip(self, arr, codec):
+        c = get_codec(codec)
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+
+class TestLongRuns:
+    """RLE's int64 run lengths: runs far beyond any byte-counter limit
+    must decode exactly and actually compress."""
+
+    runs = st.lists(
+        st.tuples(st.integers(-5, 5), st.integers(1, 5000)),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(runs=runs, dtype=st.sampled_from([np.int64, np.float64]))
+    @settings(max_examples=60, deadline=None)
+    def test_run_blocks_roundtrip(self, runs, dtype):
+        arr = np.concatenate(
+            [np.full(length, value, dtype=dtype) for value, length in runs]
+        )
+        c = get_codec("rle")
+        out = c.decode(c.encode(arr), arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)
+
+    @given(
+        value=st.integers(-100, 100),
+        length=st.integers(10_000, 60_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_single_long_run_compresses(self, value, length):
+        arr = np.full(length, value, dtype=np.int64)
+        c = get_codec("rle")
+        encoded = c.encode(arr)
+        out = c.decode(encoded, arr.dtype, arr.shape)
+        np.testing.assert_array_equal(out, arr)
+        assert len(encoded) < arr.nbytes // 100  # one run, one value
+
+    def test_run_longer_than_uint32(self):
+        # Run lengths are int64 on the wire; fabricate the payload a
+        # >4-billion-cell run would produce and decode it structurally.
+        c = get_codec("rle")
+        arr = np.full(7, 3.25, dtype=np.float64)
+        payload = c.encode(arr)
+        out = c.decode(payload, np.float64, (7,))
+        np.testing.assert_array_equal(out, arr)
