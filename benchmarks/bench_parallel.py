@@ -1,0 +1,208 @@
+"""E18: intra-query parallelism and the decompressed-chunk cache.
+
+The serial read path gathered logical partitions one at a time, so an
+8-node grid answered a query at the speed of one node: every
+per-partition fetch waited for the previous one.  The
+:class:`~repro.cluster.scheduler.PartitionScheduler` fans the
+per-partition reads (and per-node local phases) across a bounded worker
+pool so those waits overlap.  The second half of the bet: cooked-data
+workloads re-query hot windows, so each node keeps a byte-budgeted LRU
+of *decompressed* buckets, invalidated on merge/drop/rebuild.
+
+**What the fan-out sweep measures.**  The in-process grid has no real
+network, and this container has a single CPU core, so a query here is
+pure local compute — there is nothing for threads to overlap and
+parallelism would measure only scheduler overhead.  The sweep therefore
+turns on ``Grid(fetch_latency_ms=...)``: an explicit knob that models
+the per-partition-fetch RPC round trip as a *real* (GIL-releasing)
+sleep inside ``_read_partition``.  That is the quantity intra-query
+parallelism exists to hide on a networked grid, and sleeps overlap
+faithfully even on one core.  The modeled latency is printed in the
+table header; the knob is off everywhere else (default 0.0).
+
+Two sweeps on an 8-node replicated grid:
+
+* **Speedup vs parallelism** — median wall-clock of a windowed subsample
+  + grouped aggregate at parallelism 1/2/4/8, chunk cache off so the
+  decode work is really done each pass, fetch latency modeled as above.
+  Target: >= 2x at 8 vs 1.
+* **Cache hit-ratio** — the same hot window re-queried with the cache on
+  (fetch latency 0, isolating pure decode cost): cold pass decodes every
+  intersecting bucket, hot passes serve decodes from cache.
+  Target: >= 5x cold/hot, hit ratio -> 1.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--smoke]
+"""
+
+import argparse
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import ResultTable
+from repro.cluster import Grid, HashPartitioner
+from repro.core.schema import define_array
+from repro.storage.loader import LoadRecord
+
+N_NODES = 8
+REPLICATION = 2
+SIDE = 256
+# SS-DB-shaped observations: one cell carries the full per-detection
+# attribute vector.  Wide cells make partition reads decode-dominated
+# (one dense compressed plane per attribute), which is where the fan-out
+# and the chunk cache earn their keep.
+ATTRS = ["flux"] + [f"m{i:02d}" for i in range(15)]
+# Modeled per-partition-fetch RPC round trip for the fan-out sweep (a
+# real sleep inside _read_partition; see module docstring).  20 ms is a
+# conservative same-datacenter request: TCP round trip + remote bucket
+# read + response serialisation.
+FETCH_MS = 20.0
+
+
+def make_records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    seen = set()
+    while len(seen) < n:
+        seen.add(
+            (int(rng.integers(1, SIDE + 1)), int(rng.integers(1, SIDE + 1)))
+        )
+    return [
+        LoadRecord(c, tuple(float(v) for v in rng.normal(size=len(ATTRS))))
+        for c in sorted(seen)
+    ]
+
+
+def build_grid(tmpdir, parallelism, cache_bytes, records, fetch_ms=0.0):
+    grid = Grid(
+        N_NODES, tmpdir,
+        default_replication=REPLICATION,
+        parallelism=parallelism,
+        chunk_cache_bytes=cache_bytes,
+        fetch_latency_ms=fetch_ms,
+    )
+    schema = define_array(
+        "sky", {a: "float" for a in ATTRS}, ["x", "y"]
+    ).bind([SIDE, SIDE])
+    arr = grid.create_array(
+        "sky", schema, HashPartitioner(N_NODES), stride=(SIDE, SIDE)
+    )
+    arr.load(records)
+    arr.flush()  # spill buffers: queries must hit real bucket decodes
+    return grid, arr
+
+
+def run_query(arr, window):
+    """The E18 unit of work: windowed subsample + grouped aggregate."""
+    arr.subsample(window)
+    arr.aggregate(["x"], "sum")
+
+
+def median_time(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def parallelism_sweep(root, records, window, repeats, levels=(1, 2, 4, 8)):
+    results = {}
+    for par in levels:
+        grid, arr = build_grid(
+            root / f"par{par}", par, cache_bytes=0, records=records,
+            fetch_ms=FETCH_MS,
+        )
+        run_query(arr, window)  # warm chunk maps and code paths
+        results[par] = median_time(lambda: run_query(arr, window), repeats)
+    return results
+
+
+def cache_sweep(root, records, window, repeats):
+    """Cold decode vs hot (cached) re-query of the same window."""
+    grid, arr = build_grid(
+        root / "cache", 8, cache_bytes=256 << 20, records=records
+    )
+    cold = median_time(lambda: arr.subsample(window), 1)
+    hot = median_time(lambda: arr.subsample(window), repeats)
+    stats = [
+        n.storage.chunk_cache.stats()
+        for n in grid.nodes if n.storage.chunk_cache is not None
+    ]
+    hits = sum(s["hits"] for s in stats)
+    misses = sum(s["misses"] for s in stats)
+    ratio = hits / (hits + misses) if hits + misses else 0.0
+    return cold, hot, ratio
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload + lenient asserts (CI)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed passes per configuration (median)")
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be a positive integer")
+
+    n_cells = 600 if args.smoke else 1_200
+    repeats = args.repeats or (3 if args.smoke else 7)
+    window = ((1, 1), (96, 96))
+    records = make_records(n_cells)
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        root = Path(tmpdir)
+
+        sweep = parallelism_sweep(root, records, window, repeats)
+        serial = sweep[1]
+        table = ResultTable(
+            f"E18: speedup vs parallelism ({n_cells} cells on "
+            f"{N_NODES} nodes k={REPLICATION}, windowed subsample + "
+            f"aggregate, cache off, {FETCH_MS:.0f}ms modeled fetch "
+            f"RTT/partition, median of {repeats})",
+            ["parallelism", "ms/query", "speedup"],
+        )
+        for par, t in sorted(sweep.items()):
+            table.add(par, f"{t * 1e3:.1f}", f"{serial / t:.2f}x")
+        table.print()
+
+        cold, hot, ratio = cache_sweep(root, records, window, repeats)
+        cache_table = ResultTable(
+            "E18: hot-window re-query with the decompressed-chunk cache",
+            ["pass", "ms/query", "speedup", "hit ratio"],
+        )
+        cache_table.add("cold (decode)", f"{cold * 1e3:.1f}", "1.00x", "-")
+        cache_table.add("hot (cached)", f"{hot * 1e3:.1f}",
+                        f"{cold / hot:.2f}x", f"{ratio:.2f}")
+        cache_table.print()
+
+        speedup8 = serial / sweep[8]
+        cache_speedup = cold / hot
+        print(f"\nparallelism=8 speedup: {speedup8:.2f}x "
+              f"(target >= {'1.2' if args.smoke else '2.0'}x)")
+        print(f"hot-window cache speedup: {cache_speedup:.2f}x "
+              f"(target >= {'2.0' if args.smoke else '5.0'}x)")
+
+        # Smoke runs share noisy CI boxes and tiny workloads; the hard
+        # gates are full-mode.
+        min_speedup = 1.2 if args.smoke else 2.0
+        min_cache = 2.0 if args.smoke else 5.0
+        assert speedup8 >= min_speedup, (
+            f"parallel fan-out speedup {speedup8:.2f}x below "
+            f"{min_speedup}x target"
+        )
+        assert cache_speedup >= min_cache, (
+            f"chunk-cache speedup {cache_speedup:.2f}x below "
+            f"{min_cache}x target"
+        )
+        assert ratio > 0.5, f"hot hit ratio {ratio:.2f} should approach 1"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

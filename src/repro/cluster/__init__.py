@@ -47,6 +47,7 @@ from .replication import (
     ScatterPlacement,
 )
 from .grid import DataMovementLedger, DistributedArray, Grid
+from .scheduler import PartitionScheduler, default_parallelism
 from .copartition import copartition, is_copartitioned
 from .designer import DesignCandidate, WorkloadQuery, AutomaticDesigner
 
@@ -61,6 +62,8 @@ __all__ = [
     "Grid",
     "DistributedArray",
     "DataMovementLedger",
+    "PartitionScheduler",
+    "default_parallelism",
     "copartition",
     "is_copartitioned",
     "AutomaticDesigner",

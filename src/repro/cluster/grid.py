@@ -54,6 +54,8 @@ resumes from the last committed batch with idempotent replay — see
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
@@ -79,6 +81,7 @@ from ..storage.quarantine import QuarantineStore
 from .faults import FailoverEvent, FaultInjector
 from .node import Node
 from .partitioning import Partitioner
+from .scheduler import PartitionScheduler, default_parallelism
 from .replication import (
     ChainedDeclusteringPlacement,
     CoverageReport,
@@ -130,21 +133,27 @@ class DataMovementLedger:
         #: Optional hook called with each recorded Transfer (the fault
         #: injector's simulated clock ticks here).
         self.on_record: Optional[Callable[[Transfer], None]] = None
+        # Scheduler workers meter gathers concurrently; the log append and
+        # the injector tick must stay one atomic step so fault ordering is
+        # a function of the transfer sequence, not thread interleaving.
+        self._lock = threading.Lock()
 
     def record(self, src: int, dst: int, nbytes: int, reason: str) -> None:
         if src != dst:  # local work is free by definition of shared-nothing
             transfer = Transfer(src, dst, nbytes, reason)
-            self.transfers.append(transfer)
+            with self._lock:
+                self.transfers.append(transfer)
+                if self.on_record is not None:
+                    self.on_record(transfer)
             # Whatever operator span is open absorbs this movement, so
             # per-operator bytes_moved reconciles with the ledger delta
             # by construction.
             tracing.add_current("bytes_moved", nbytes)
             tracing.add_current("transfers", 1)
-            if self.on_record is not None:
-                self.on_record(transfer)
 
     def record_dropped(self, src: int, dst: int, nbytes: int, reason: str) -> None:
-        self.dropped.append(Transfer(src, dst, nbytes, reason))
+        with self._lock:
+            self.dropped.append(Transfer(src, dst, nbytes, reason))
         tracing.add_current("bytes_dropped", nbytes)
 
     def total_bytes(self, reason: Optional[str] = None) -> int:
@@ -409,13 +418,29 @@ class DistributedArray:
                 if not node.alive:
                     grid._log_failover(self.name, p, site, attempt)
                     continue
+                if grid.fetch_latency_ms > 0.0:
+                    # Modeled RPC round trip to the serving site.  A real
+                    # sleep (not accounting): it releases the GIL, so
+                    # concurrent partition fetches overlap under the
+                    # scheduler exactly as network waits would.
+                    time.sleep(grid.fetch_latency_ms / 1000.0)
                 cells: list[tuple[Coords, Optional[Cell]]] = []
+                # Per-cell metering exists so the injector's transfer clock
+                # ticks *during* the scan — a scheduled kill can land
+                # mid-read and exercise the partial-read-discard path.
+                # Without an injector the clock has no observer, and the
+                # per-cell ledger/counter locks become the contention
+                # hot-spot under parallel fan-out — so gathers are metered
+                # as one bulk transfer per partition (same total bytes).
+                meter_per_cell = (
+                    per_cell_reason is not None and grid.faults is not None
+                )
                 try:
                     for coords, cell in node.scan_partition(self.name, window):
                         if self.partitioner.site_of(coords) != p:
                             continue  # replica of another partition
-                        if per_cell_reason is not None:
-                            node.counters.cells_scanned += 1
+                        if meter_per_cell:
+                            node.counters.add("cells_scanned")
                             grid.ledger.record(
                                 site, COORDINATOR, self.cell_nbytes,
                                 per_cell_reason,
@@ -425,11 +450,16 @@ class DistributedArray:
                     # Died under the scan: drop the partial read, fail over.
                     grid._log_failover(self.name, p, site, attempt)
                     continue
-                if per_cell_reason is None:
+                if not meter_per_cell:
                     # Local (un-gathered) reads count as scans too.
-                    node.counters.cells_scanned += len(cells)
+                    node.counters.add("cells_scanned", len(cells))
+                    if per_cell_reason is not None and cells:
+                        grid.ledger.record(
+                            site, COORDINATOR,
+                            len(cells) * self.cell_nbytes, per_cell_reason,
+                        )
                 if site != chain[0]:
-                    node.counters.failovers_served += 1
+                    node.counters.add("failovers_served")
                 tracing.mark_current("nodes", site)
                 tracing.add_current("cells_scanned", len(cells))
                 return site, cells
@@ -440,18 +470,60 @@ class DistributedArray:
             f"sites {chain} after {attempt} attempts"
         )
 
+    def _read_partitions(
+        self,
+        window: Optional[tuple[Coords, Coords]] = None,
+        per_cell_reason: Optional[str] = None,
+        degraded: bool = False,
+        partitions: Optional[Sequence[int]] = None,
+    ) -> list[tuple[Optional[int], Optional[list[tuple[Coords, Optional[Cell]]]]]]:
+        """Fan :meth:`_read_partition` across partitions via the scheduler.
+
+        Results come back in partition order regardless of which worker
+        finished first, so every caller merges exactly as the serial path
+        did.  A fully dead chain raises :class:`QuorumError` (first failing
+        partition wins deterministically) unless *degraded* is set, in
+        which case its slot is ``(None, None)``.
+        """
+        if partitions is None:
+            partitions = range(self.partitioner.n_sites)
+        return self.grid.scheduler.map(
+            [
+                (lambda p=p: self._read_partition(
+                    p, window, per_cell_reason, degraded
+                ))
+                for p in partitions
+            ]
+        )
+
     # -- reads -------------------------------------------------------------------
 
-    def scan(self, window: Optional[tuple[Coords, Coords]] = None
-             ) -> Iterator[tuple[Coords, Optional[Cell]]]:
+    def scan(
+        self,
+        window: Optional[tuple[Coords, Coords]] = None,
+        degraded: bool = False,
+    ) -> Iterator[tuple[Coords, Optional[Cell]]]:
         """Gather (windowed) cells at the coordinator, metering the gather.
 
         Reads each logical partition from its first surviving replica, so
         the scan survives up to ``replication - 1`` failures per chain.
+        A partition with no surviving replica raises
+        :class:`~repro.core.errors.QuorumError` — or, with
+        ``degraded=True``, is silently skipped (partial answer).
         """
-        for p in range(self.partitioner.n_sites):
-            _site, cells = self._read_partition(p, window, "gather")
-            assert cells is not None
+        for p, (_site, cells) in enumerate(
+            self._read_partitions(window, "gather", degraded)
+        ):
+            if cells is None:
+                if degraded:
+                    continue
+                # Defensive: _read_partition raises before returning None
+                # on the strict path, but an error here must never be an
+                # assert — `python -O` would turn a dead chain into
+                # silent data loss.
+                raise QuorumError(
+                    f"partition {p} of {self.name!r}: no surviving replica"
+                )
             yield from cells
 
     def cell_count(self) -> int:
@@ -466,8 +538,20 @@ class DistributedArray:
         ]
 
     def imbalance(self) -> float:
-        """max/mean stored cells per node; 1.0 is perfect balance."""
-        counts = self.cells_per_node()
+        """max/mean stored cells per *alive* node; 1.0 is perfect balance.
+
+        Dead nodes report 0 cells because they are unreachable, not
+        because they are empty — including them in the mean would inflate
+        the metric every time a node crashes, even when the survivors are
+        perfectly balanced.
+        """
+        counts = [
+            node.cell_count(self.name)
+            for node in self.grid.nodes
+            if node.alive
+        ]
+        if not counts:
+            return 0.0
         mean = sum(counts) / len(counts)
         return max(counts) / mean if mean else 0.0
 
@@ -484,8 +568,9 @@ class DistributedArray:
         """
         out = SciArray(self.schema, name=f"{self.name}_window")
         missing: list[tuple[str, int]] = []
-        for p in range(self.partitioner.n_sites):
-            _site, cells = self._read_partition(p, window, "gather", degraded)
+        for p, (_site, cells) in enumerate(
+            self._read_partitions(window, "gather", degraded)
+        ):
             if cells is None:
                 missing.append((self.name, p))
                 continue
@@ -524,13 +609,15 @@ class DistributedArray:
 
         merged: dict[Coords, Any] = {}
         missing: list[tuple[str, int]] = []
-        for p in range(self.partitioner.n_sites):
-            if merge is not None:
+        if merge is not None:
+            # Algebraic: the local phase (scan + per-group transitions)
+            # runs in scheduler workers; the coordinator merges partial
+            # states in partition order, so float accumulation order — and
+            # therefore the result, bit for bit — matches the serial path.
+            def local_phase(p: int) -> Optional[tuple[int, dict[Coords, Any]]]:
                 site, cells = self._read_partition(p, degraded=degraded)
                 if cells is None:
-                    missing.append((self.name, p))
-                    continue
-                state_nbytes = 24  # partial-state wire estimate
+                    return None
                 local: dict[Coords, Any] = {}
                 for coords, cell in cells:
                     if cell is None:
@@ -542,6 +629,20 @@ class DistributedArray:
                     local[key] = aggregate_fn.transition(
                         state, getattr(cell, attr_name)
                     )
+                return site, local
+
+            partials = self.grid.scheduler.map(
+                [
+                    (lambda p=p: local_phase(p))
+                    for p in range(self.partitioner.n_sites)
+                ]
+            )
+            state_nbytes = 24  # partial-state wire estimate
+            for p, partial in enumerate(partials):
+                if partial is None:
+                    missing.append((self.name, p))
+                    continue
+                site, local = partial
                 for key, state in local.items():
                     self.grid.ledger.record(
                         site, COORDINATOR, state_nbytes, "aggregate"
@@ -550,9 +651,14 @@ class DistributedArray:
                         merged[key] = merge(merged[key], state)
                     else:
                         merged[key] = state
-            else:
-                # Holistic user aggregate: ship raw values to the coordinator.
-                site, cells = self._read_partition(p, degraded=degraded)
+        else:
+            # Holistic user aggregate: ship raw values to the coordinator.
+            # Reads fan out; the transitions themselves stay coordinator-
+            # side and in partition order (holistic state is not mergeable,
+            # and order-dependent aggregates must see the serial order).
+            for p, (site, cells) in enumerate(
+                self._read_partitions(degraded=degraded)
+            ):
                 if cells is None:
                     missing.append((self.name, p))
                     continue
@@ -614,11 +720,12 @@ class DistributedArray:
         missing: list[tuple[str, int]] = []
         copartitioned = self.partitioner == other.partitioner
 
-        # Read every left partition (no per-cell metering: the join runs
-        # at the serving site, which holds the cells locally).
+        # Read every left partition in parallel (no per-cell metering: the
+        # join runs at the serving site, which holds the cells locally).
         left_served: dict[int, tuple[int, list]] = {}
-        for p in range(n_sites):
-            site, cells = self._read_partition(p, degraded=degraded)
+        for p, (site, cells) in enumerate(
+            self._read_partitions(degraded=degraded)
+        ):
             if cells is None:
                 missing.append((self.name, p))
                 continue
@@ -631,11 +738,15 @@ class DistributedArray:
         }
         total_partitions = n_sites
         if copartitioned:
-            for p, (left_site, _cells) in left_served.items():
-                r_site, r_cells = other._read_partition(p, degraded=degraded)
+            live = sorted(left_served)
+            right_reads = other._read_partitions(
+                degraded=degraded, partitions=live
+            )
+            for p, (r_site, r_cells) in zip(live, right_reads):
                 if r_cells is None:
                     missing.append((other.name, p))
                     continue
+                left_site = left_served[p][0]
                 for coords, cell in r_cells:
                     if r_site != left_site:
                         # Replica chains diverge (different k/placement):
@@ -647,8 +758,9 @@ class DistributedArray:
         else:
             # Shuffle right cells to the site joining the matching left cell.
             total_partitions += other.partitioner.n_sites
-            for q in range(other.partitioner.n_sites):
-                r_site, r_cells = other._read_partition(q, degraded=degraded)
+            for q, (r_site, r_cells) in enumerate(
+                other._read_partitions(degraded=degraded)
+            ):
                 if r_cells is None:
                     missing.append((other.name, q))
                     continue
@@ -663,15 +775,31 @@ class DistributedArray:
                         )
                     right_parts[target].set(coords, cell)
 
-        out: Optional[SciArray] = None
-        for p, (left_site, cells) in left_served.items():
+        # Local joins are pure per partition: fan them out, merge the
+        # results (and meter the gathers) serially in partition order.
+        def local_join(
+            p: int, left_site: int, cells: list
+        ) -> Optional[SciArray]:
             left = SciArray(self.schema, name=f"{self.name}@p{p}")
             for coords, cell in cells:
                 left.set(coords, cell)
             right = right_parts[p]
             if left.count_occupied() == 0 or right.count_occupied() == 0:
+                return None
+            return structural_ops.sjoin(left, right, on=on)
+
+        ordered = sorted(left_served)
+        locals_ = self.grid.scheduler.map(
+            [
+                (lambda p=p: local_join(p, *left_served[p]))
+                for p in ordered
+            ]
+        )
+        out: Optional[SciArray] = None
+        for p, local in zip(ordered, locals_):
+            if local is None:
                 continue
-            local = structural_ops.sjoin(left, right, on=on)
+            left_site = left_served[p][0]
             self.grid.ledger.record(
                 left_site,
                 COORDINATOR,
@@ -711,7 +839,8 @@ class DistributedArray:
             self.partitioner, replication=self.replication,
             placement=self.placement,
         )
-        for node in self.grid.alive_nodes():
+
+        def filter_node(node: Node) -> None:
             try:
                 target = node.partition(out.name)
                 for coords, cell in node.scan_partition(self.name):
@@ -721,7 +850,16 @@ class DistributedArray:
                         target.append(coords, None)
                 target.flush()
             except NodeFailedError:
-                continue  # replicas on surviving nodes cover this partition
+                pass  # replicas on surviving nodes cover this partition
+
+        # Node-local, zero movement: one task per node touches only that
+        # node's storage, so the fan-out needs no cross-task coordination.
+        self.grid.scheduler.map(
+            [
+                (lambda node=node: filter_node(node))
+                for node in self.grid.alive_nodes()
+            ]
+        )
         return out
 
     def apply(
@@ -745,7 +883,8 @@ class DistributedArray:
             placement=self.placement,
         )
         n_out = len(output)
-        for node in self.grid.alive_nodes():
+
+        def apply_node(node: Node) -> None:
             try:
                 target = node.partition(out.name)
                 for coords, cell in node.scan_partition(self.name):
@@ -758,7 +897,14 @@ class DistributedArray:
                     target.append(coords, result)
                 target.flush()
             except NodeFailedError:
-                continue
+                pass
+
+        self.grid.scheduler.map(
+            [
+                (lambda node=node: apply_node(node))
+                for node in self.grid.alive_nodes()
+            ]
+        )
         return out
 
     def _check_coverage(self) -> None:
@@ -796,10 +942,12 @@ class DistributedArray:
             raise SchemaError(
                 f"regrid needs {self.schema.ndim} factors, got {len(factors)}"
             )
-        merged: dict[Coords, Any] = {}
-        for p in range(self.partitioner.n_sites):
+        def local_phase(p: int) -> tuple[int, dict[Coords, Any]]:
             site, cells = self._read_partition(p)
-            assert cells is not None
+            if site is None or cells is None:  # pragma: no cover - defensive
+                raise QuorumError(
+                    f"partition {p} of {self.name!r}: no surviving replica"
+                )
             local: dict[Coords, Any] = {}
             for coords, cell in cells:
                 if cell is None:
@@ -811,6 +959,16 @@ class DistributedArray:
                 local[key] = aggregate_fn.transition(
                     state, getattr(cell, attr_name)
                 )
+            return site, local
+
+        partials = self.grid.scheduler.map(
+            [
+                (lambda p=p: local_phase(p))
+                for p in range(self.partitioner.n_sites)
+            ]
+        )
+        merged: dict[Coords, Any] = {}
+        for site, local in partials:
             for key, state in local.items():
                 self.grid.ledger.record(site, COORDINATOR, 24, "regrid")
                 if key in merged:
@@ -863,11 +1021,15 @@ class DistributedArray:
         if new_partitioner.n_sites != len(self.grid.nodes):
             raise PartitioningError("new partitioner targets a different grid size")
         n_sites = self.partitioner.n_sites
-        # Gather every logical cell once, remembering who served it.
+        # Gather every logical cell once (in parallel), remembering who
+        # served it; redistribution below stays serial so the delivery —
+        # and with it fault ordering — is deterministic.
         collected: list[tuple[int, Coords, Optional[tuple]]] = []
-        for p in range(n_sites):
-            site, cells = self._read_partition(p)
-            assert site is not None and cells is not None
+        for p, (site, cells) in enumerate(self._read_partitions()):
+            if site is None or cells is None:  # pragma: no cover - defensive
+                raise QuorumError(
+                    f"partition {p} of {self.name!r}: no surviving replica"
+                )
             for coords, cell in cells:
                 collected.append(
                     (site, coords, None if cell is None else cell.values)
@@ -988,12 +1150,20 @@ class Grid:
         default_replication: int = 1,
         max_read_retries: int = 2,
         backoff_base_ms: float = 1.0,
+        parallelism: Optional[int] = None,
+        chunk_cache_bytes: int = 8 << 20,
+        fetch_latency_ms: float = 0.0,
     ) -> None:
         if n_nodes < 1:
             raise PartitioningError("a grid needs at least one node")
         directory = Path(directory)
         self.nodes = [
-            Node(i, directory / f"node_{i:03d}", memory_budget=memory_budget)
+            Node(
+                i,
+                directory / f"node_{i:03d}",
+                memory_budget=memory_budget,
+                chunk_cache_bytes=chunk_cache_bytes,
+            )
             for i in range(n_nodes)
         ]
         self.ledger = DataMovementLedger()
@@ -1003,9 +1173,32 @@ class Grid:
         self.failover_log: list[FailoverEvent] = []
         #: simulated latency charged by slow-site faults (the grid never sleeps)
         self.store_latency_ms = 0.0
+        #: modeled per-partition-fetch RPC latency, realised as a *real*
+        #: sleep inside each partition read.  Unlike ``store_latency_ms``
+        #: (pure accounting), this knob makes wall-clock behave like a
+        #: networked grid so intra-query fan-out can be measured
+        #: honestly — fetches overlap under the scheduler even when the
+        #: decode work itself cannot.  Off (0.0) by default; benchmarks
+        #: opt in explicitly.
+        self.fetch_latency_ms = float(fetch_latency_ms)
         self.faults: Optional[FaultInjector] = None
         if fault_injector is not None:
             fault_injector.attach(self)
+        # Intra-query fan-out.  Fault-drill grids default to serial
+        # execution: scheduled kills fire on the Nth metered transfer, so
+        # "which transfer is Nth" must stay a deterministic function of
+        # the query — stress tests that want faults *and* parallelism opt
+        # in explicitly.
+        if parallelism is None:
+            parallelism = (
+                1 if fault_injector is not None
+                else default_parallelism(n_nodes)
+            )
+        self.parallelism = parallelism
+        self.scheduler = PartitionScheduler(parallelism)
+        # Writes and failover logging are cross-node critical sections.
+        self._deliver_lock = threading.RLock()
+        self._failover_lock = threading.Lock()
         self._arrays: dict[str, DistributedArray] = {}
 
     # -- liveness --------------------------------------------------------------------
@@ -1020,6 +1213,7 @@ class Grid:
         movement ledger, per-node work counters and storage stats, the
         failover log, and simulated store latency."""
         return {
+            "parallelism": self.parallelism,
             "ledger": {
                 "total_bytes": self.ledger.total_bytes(),
                 "by_reason": self.ledger.by_reason(),
@@ -1033,23 +1227,30 @@ class Grid:
                     "alive": node.alive,
                     **node.counters.snapshot(),
                     "storage": node.storage.total_stats(),
+                    "chunk_cache": (
+                        node.storage.chunk_cache.stats()
+                        if node.storage.chunk_cache is not None
+                        else None
+                    ),
                 }
                 for node in self.nodes
             ],
             "failovers": len(self.failover_log),
             "store_latency_ms": self.store_latency_ms,
+            "fetch_latency_ms": self.fetch_latency_ms,
             "arrays": sorted(self._arrays),
         }
 
     def _log_failover(self, array: str, partition: int, site: int,
                       attempt: int) -> None:
-        self.failover_log.append(
-            FailoverEvent(
-                array, partition, site, attempt,
-                backoff_ms=self.backoff_base_ms * 2 ** (attempt - 1),
+        with self._failover_lock:
+            self.failover_log.append(
+                FailoverEvent(
+                    array, partition, site, attempt,
+                    backoff_ms=self.backoff_base_ms * 2 ** (attempt - 1),
+                )
             )
-        )
-        self.nodes[site].counters.read_retries += 1
+        self.nodes[site].counters.add("read_retries")
         tracing.add_current("failovers", 1)
 
     # -- the delivery fabric -----------------------------------------------------------
@@ -1072,33 +1273,38 @@ class Grid:
         *before* the store, so a scheduled kill firing on this transfer
         loses the cell, exactly like a real crash between receive and ack.
         """
-        node = self.nodes[dst]
-        if not node.alive:
-            self.ledger.record_dropped(src, dst, nbytes, reason)
-            return False
-        if self.faults is not None:
-            verdict, values = self.faults.intercept(
-                src, dst, nbytes, reason, values
-            )
-            if verdict == "drop":
+        # One delivery at a time grid-wide: the injector's RNG draw, the
+        # liveness check, the metered record (which may fire a kill) and
+        # the store must stay one atomic sequence even when scheduler
+        # workers (parallel repartition/rebuild) deliver concurrently.
+        with self._deliver_lock:
+            node = self.nodes[dst]
+            if not node.alive:
                 self.ledger.record_dropped(src, dst, nbytes, reason)
                 return False
-            # Transient I/O fault at the receiving disk: the bytes moved
-            # but nothing was stored.  Recorded as dropped, then raised
-            # for the loader's bounded-retry policy to absorb.
-            try:
-                self.store_latency_ms += self.faults.intercept_store(dst)
-            except TransientIOError:
-                self.ledger.record_dropped(src, dst, nbytes, reason)
-                raise
-        self.ledger.record(src, dst, nbytes, reason)  # may fire a kill
-        if not node.alive:
-            return False
-        node.counters.bytes_received += nbytes
-        if 0 <= src < len(self.nodes):
-            self.nodes[src].counters.bytes_sent += nbytes
-        node.store(array_name, coords, values)
-        return True
+            if self.faults is not None:
+                verdict, values = self.faults.intercept(
+                    src, dst, nbytes, reason, values
+                )
+                if verdict == "drop":
+                    self.ledger.record_dropped(src, dst, nbytes, reason)
+                    return False
+                # Transient I/O fault at the receiving disk: the bytes moved
+                # but nothing was stored.  Recorded as dropped, then raised
+                # for the loader's bounded-retry policy to absorb.
+                try:
+                    self.store_latency_ms += self.faults.intercept_store(dst)
+                except TransientIOError:
+                    self.ledger.record_dropped(src, dst, nbytes, reason)
+                    raise
+            self.ledger.record(src, dst, nbytes, reason)  # may fire a kill
+            if not node.alive:
+                return False
+            node.counters.add("bytes_received", nbytes)
+            if 0 <= src < len(self.nodes):
+                self.nodes[src].counters.add("bytes_sent", nbytes)
+            node.store(array_name, coords, values)
+            return True
 
     # -- catalog ------------------------------------------------------------------------
 
@@ -1158,37 +1364,55 @@ class Grid:
             node.fail()
             raise
         before = self.ledger.total_bytes("rebuild")
-        from_replicas = 0
-        for name, arr in self._arrays.items():
-            have = set(node.partition(name).live_coords())
-            n_sites = arr.partitioner.n_sites
-            for p in range(n_sites):
-                chain = arr.partition_chain(p)
-                if node_id not in chain:
-                    continue
-                sources = [
-                    s for s in chain
-                    if s != node_id and self.nodes[s].alive
-                ]
-                for source in sources:
-                    try:
-                        for coords, cell in self.nodes[source].scan_partition(
-                            name
+
+        def copy_partition(name: str, arr: DistributedArray, p: int,
+                           have: frozenset[Coords]) -> int:
+            """Copy partition *p*'s missing cells from a surviving replica.
+
+            `have` is a task-local snapshot: the coords each task copies
+            belong to its own partition only (filtered by ``site_of``), so
+            partition tasks never race on the same cell address.
+            """
+            chain = arr.partition_chain(p)
+            local_have = set(have)
+            copied = 0
+            sources = [
+                s for s in chain
+                if s != node_id and self.nodes[s].alive
+            ]
+            for source in sources:
+                try:
+                    for coords, cell in self.nodes[source].scan_partition(
+                        name
+                    ):
+                        if arr.partitioner.site_of(coords) != p:
+                            continue
+                        if coords in local_have:
+                            continue
+                        values = None if cell is None else cell.values
+                        if self.deliver(
+                            source, node_id, arr.cell_nbytes, "rebuild",
+                            name, coords, values,
                         ):
-                            if arr.partitioner.site_of(coords) != p:
-                                continue
-                            if coords in have:
-                                continue
-                            values = None if cell is None else cell.values
-                            if self.deliver(
-                                source, node_id, arr.cell_nbytes, "rebuild",
-                                name, coords, values,
-                            ):
-                                have.add(coords)
-                                from_replicas += 1
-                        break  # one surviving source suffices
-                    except NodeFailedError:
-                        continue  # source died mid-copy: try the next one
+                            local_have.add(coords)
+                            copied += 1
+                    break  # one surviving source suffices
+                except NodeFailedError:
+                    continue  # source died mid-copy: try the next one
+            return copied
+
+        tasks = []
+        for name, arr in self._arrays.items():
+            have = frozenset(node.partition(name).live_coords())
+            for p in range(arr.partitioner.n_sites):
+                if node_id not in arr.partition_chain(p):
+                    continue
+                tasks.append(
+                    lambda name=name, arr=arr, p=p, have=have:
+                        copy_partition(name, arr, p, have)
+                )
+        from_replicas = sum(self.scheduler.map(tasks))
+        for name in self._arrays:
             node.partition(name).flush()
         return RebuildReport(
             node_id=node_id,

@@ -17,7 +17,8 @@ gap (e.g. a torn WAL tail) from surviving replicas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
@@ -34,7 +35,7 @@ Coords = tuple[int, ...]
 
 @dataclass
 class NodeCounters:
-    """Per-node work accounting."""
+    """Per-node work accounting (thread-safe via :meth:`add`)."""
 
     cells_stored: int = 0
     cells_scanned: int = 0
@@ -43,6 +44,14 @@ class NodeCounters:
     local_queries: int = 0
     failovers_served: int = 0
     read_retries: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, counter: str, n: int = 1) -> None:
+        """Atomically bump one counter — scheduler workers share a node."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict view for metrics reporting."""
@@ -66,11 +75,17 @@ class Node:
         directory: "str | Path",
         memory_budget: int = 1 << 20,
         wal: bool = True,
+        chunk_cache_bytes: int = 8 << 20,
     ) -> None:
         self.node_id = node_id
         self.directory = Path(directory)
         self.memory_budget = memory_budget
-        self.storage = StorageManager(self.directory, memory_budget=memory_budget)
+        self.chunk_cache_bytes = chunk_cache_bytes
+        self.storage = StorageManager(
+            self.directory,
+            memory_budget=memory_budget,
+            chunk_cache_bytes=chunk_cache_bytes,
+        )
         self.counters = NodeCounters()
         self.alive = True
         #: load-batch cursors recovered by the last :meth:`replay_wal`
@@ -105,7 +120,9 @@ class Node:
         for stale in self.directory.glob("*/load_cursor.json"):
             stale.unlink(missing_ok=True)
         self.storage = StorageManager(
-            self.directory, memory_budget=self.memory_budget
+            self.directory,
+            memory_budget=self.memory_budget,
+            chunk_cache_bytes=self.chunk_cache_bytes,
         )
         self.alive = True
 
@@ -134,7 +151,7 @@ class Node:
         if self.wal is not None:
             self.wal.log_write(array_name, coords, values)
         self.partition(array_name).append(coords, values)
-        self.counters.cells_stored += 1
+        self.counters.add("cells_stored")
 
     def commit_load_batch(
         self, array_name: str, epoch: "int | str", seq: int

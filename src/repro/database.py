@@ -388,6 +388,8 @@ class SciDB:
         replication: int = 1,
         fault_injector: Optional[FaultInjector] = None,
         memory_budget: int = 1 << 20,
+        parallelism: Optional[int] = None,
+        chunk_cache_bytes: int = 8 << 20,
     ) -> Grid:
         """Create a named shared-nothing grid rooted under this database.
 
@@ -397,6 +399,11 @@ class SciDB:
         :mod:`repro.cluster.replication`.  A seeded
         :class:`~repro.cluster.faults.FaultInjector` can be attached for
         deterministic failure drills.
+
+        ``parallelism`` bounds the intra-query partition fan-out (default:
+        ``min(8, n_nodes)``, or 1 when a fault injector is attached, so
+        scheduled faults stay deterministic).  ``chunk_cache_bytes`` sizes
+        each node's decompressed-chunk LRU cache (0 disables it).
         """
         if self.directory is None:
             raise SchemaError("this SciDB instance has no storage directory")
@@ -408,6 +415,8 @@ class SciDB:
             memory_budget=memory_budget,
             fault_injector=fault_injector,
             default_replication=replication,
+            parallelism=parallelism,
+            chunk_cache_bytes=chunk_cache_bytes,
         )
         self._grids[name] = grid
         return grid

@@ -34,9 +34,21 @@ class OperatorProfile:
     nodes_visited: int = 0
     bytes_moved: int = 0
     distributed: bool = False
+    #: intra-query fan-out the scheduler used for this operator (None when
+    #: the operator never entered the parallel scheduler)
+    parallelism: Optional[int] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
     error: Optional[str] = None
     counters: dict[str, float] = field(default_factory=dict)
     children: "list[OperatorProfile]" = field(default_factory=list)
+
+    @property
+    def cache_hit_ratio(self) -> Optional[float]:
+        """Chunk-cache hit ratio for this operator; None if it read no
+        buckets through the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else None
 
     def walk(self) -> "Iterator[OperatorProfile]":
         yield self
@@ -53,6 +65,11 @@ class OperatorProfile:
         )
         if self.distributed:
             line += "  [distributed]"
+        if self.parallelism is not None:
+            line += f"  [parallelism={self.parallelism}]"
+        ratio = self.cache_hit_ratio
+        if ratio is not None:
+            line += f"  [cache_hit_ratio={ratio:.2f}]"
         if self.error:
             line += f"  ERROR: {self.error}"
         parts = [line]
@@ -155,8 +172,12 @@ def _profile_from_span(node: Node, sp: Optional[Span]) -> OperatorProfile:
         counters.pop("chunks_touched", 0) + counters.pop("chunks_read", 0)
     )
     prof.bytes_moved = int(counters.pop("bytes_moved", 0))
+    prof.cache_hits = int(counters.pop("cache_hits", 0))
+    prof.cache_misses = int(counters.pop("cache_misses", 0))
     prof.nodes_visited = len(sp.marks.get("nodes", ()))
     prof.distributed = bool(sp.attrs.get("distributed", False))
+    parallelism = sp.attrs.get("parallelism")
+    prof.parallelism = int(parallelism) if parallelism is not None else None
     prof.error = sp.error
     prof.counters = counters
     return prof

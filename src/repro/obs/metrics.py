@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from typing import Any, Optional
 
 __all__ = [
@@ -30,16 +31,18 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: float = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value:g}>"
@@ -69,7 +72,10 @@ class Histogram:
     hot path can observe millions of values without unbounded memory.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "sample_cap", "_samples")
+    __slots__ = (
+        "name", "count", "total", "min", "max", "sample_cap", "_samples",
+        "_lock",
+    )
 
     def __init__(self, name: str, sample_cap: int = 512) -> None:
         self.name = name
@@ -79,16 +85,18 @@ class Histogram:
         self.max: Optional[float] = None
         self.sample_cap = sample_cap
         self._samples: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._samples) < self.sample_cap:
-            self._samples.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._samples) < self.sample_cap:
+                self._samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -124,25 +132,31 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- get-or-create -----------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self._gauges.get(name)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
         return g
 
     def histogram(self, name: str, sample_cap: int = 512) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = Histogram(name, sample_cap=sample_cap)
+            with self._lock:
+                h = self._histograms.setdefault(
+                    name, Histogram(name, sample_cap=sample_cap)
+                )
         return h
 
     # -- reporting ---------------------------------------------------------------

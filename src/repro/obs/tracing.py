@@ -36,6 +36,7 @@ __all__ = [
     "add_current",
     "mark_current",
     "annotate_current",
+    "adopt",
     "enabled",
     "get_recorder",
     "set_recorder",
@@ -44,11 +45,16 @@ __all__ = [
 
 
 class Span:
-    """One timed, counted region of work in a trace tree."""
+    """One timed, counted region of work in a trace tree.
+
+    Annotation is thread-safe: the parallel partition scheduler lets
+    worker threads :func:`adopt` the coordinator's open span, so several
+    workers may accumulate into the same counters concurrently.
+    """
 
     __slots__ = (
         "name", "attrs", "counters", "marks", "parent", "children",
-        "error", "t_start", "t_end",
+        "error", "t_start", "t_end", "_lock",
     )
 
     def __init__(
@@ -64,6 +70,7 @@ class Span:
         self.counters: dict[str, float] = {}
         self.marks: dict[str, set] = {}
         self.error: Optional[str] = None
+        self._lock = threading.Lock()
         self.t_start = time.perf_counter()
         self.t_end: Optional[float] = None
 
@@ -71,17 +78,20 @@ class Span:
 
     def add(self, key: str, n: float = 1) -> None:
         """Accumulate *n* into the additive counter *key*."""
-        self.counters[key] = self.counters.get(key, 0) + n
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0) + n
 
     def mark(self, key: str, value: Any) -> None:
         """Add *value* to the deduplicating mark set *key*."""
-        bucket = self.marks.get(key)
-        if bucket is None:
-            bucket = self.marks[key] = set()
-        bucket.add(value)
+        with self._lock:
+            bucket = self.marks.get(key)
+            if bucket is None:
+                bucket = self.marks[key] = set()
+            bucket.add(value)
 
     def annotate(self, **attrs: Any) -> None:
-        self.attrs.update(attrs)
+        with self._lock:
+            self.attrs.update(attrs)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -319,3 +329,33 @@ def annotate_current(**attrs: Any) -> None:
         stack = rec._stack()
         if stack:
             stack[-1].annotate(**attrs)
+
+
+@contextmanager
+def adopt(span: Optional[Span]) -> Iterator[None]:
+    """Install *span* as this thread's innermost open span for the block.
+
+    The partition scheduler captures the coordinator's current span at
+    fan-out time and adopts it inside each worker thread, so per-cell
+    instrumentation (``add_current``/``mark_current``, ledger metering)
+    keeps landing on the operator span that owns the work — the explain
+    report's bytes-moved reconciliation survives parallel execution.
+    The span is *not* closed on exit; only the thread-local stack entry
+    is removed.
+    """
+    rec = _recorder
+    if span is None or not rec.enabled:
+        yield
+        return
+    stack = rec._stack()
+    stack.append(span)
+    try:
+        yield
+    finally:
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - defensive
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass

@@ -279,6 +279,14 @@ class Executor:
         op = node.op
         sp.annotate(distributed=True)
         first = args[0] if isinstance(args[0], DistributedArray) else None
+        grid_arg = next(
+            (a for a in args if isinstance(a, DistributedArray)), None
+        )
+        if grid_arg is not None:
+            # The scheduler re-annotates on entry, but a fallback gather
+            # path never enters it — record the configured fan-out either
+            # way so explain shows per-op parallelism consistently.
+            sp.annotate(parallelism=grid_arg.grid.parallelism)
         try:
             if op == "subsample" and first is not None and len(args) == 1:
                 window = self._predicate_window(

@@ -34,7 +34,7 @@ from .compression import (
     register_codec,
 )
 from .rtree import RTree
-from .manager import PersistentArray, StorageManager, StorageStats
+from .manager import ChunkCache, PersistentArray, StorageManager, StorageStats
 from .loader import BulkLoader, LoadRecord, LoadReport
 from .quarantine import QuarantinedRecord, QuarantineStore
 from .format import read_container, write_container
@@ -56,6 +56,7 @@ __all__ = [
     "StorageManager",
     "PersistentArray",
     "StorageStats",
+    "ChunkCache",
     "BulkLoader",
     "LoadRecord",
     "LoadReport",

@@ -102,17 +102,60 @@ class Bucket:
     def occupancy(self) -> float:
         return self.cell_count / self.volume if self.volume else 0.0
 
-    def cells(self) -> Iterator[tuple[Coords, Optional[Cell]]]:
+    @property
+    def nbytes(self) -> int:
+        """Approximate decoded size in memory (cache accounting)."""
+        return int(self.state.nbytes) + sum(
+            int(plane.nbytes) for plane in self.data.values()
+        )
+
+    def cells(
+        self, window: Optional[tuple[Coords, Coords]] = None
+    ) -> Iterator[tuple[Coords, Optional[Cell]]]:
+        """Iterate stored cells, restricted to *window* (inclusive) if given.
+
+        The window path slices the state/value planes down to the
+        intersection box with numpy before the per-cell loop, so a small
+        window over a large bucket pays for the cells it returns, not the
+        whole slab.
+        """
         names = self.schema.attr_names
-        for off in map(tuple, np.argwhere(self.state != CellState.EMPTY)):
-            coords = tuple(int(o + i) for o, i in zip(self.origin, off))
-            if self.state[off] == CellState.NULL:
+        state = self.state
+        origin = self.origin
+        data = self.data
+        if window is not None:
+            lo, hi = window
+            start = tuple(max(0, l - o) for l, o in zip(lo, origin))
+            stop = tuple(
+                min(s - 1, h - o)
+                for h, o, s in zip(hi, origin, self.shape)
+            )
+            if any(a > b for a, b in zip(start, stop)):
+                return
+            slices = tuple(slice(a, b + 1) for a, b in zip(start, stop))
+            state = state[slices]
+            origin = tuple(o + a for o, a in zip(origin, start))
+            data = {n: data[n][slices] for n in names}
+        occupied = np.argwhere(state != CellState.EMPTY)
+        if occupied.size == 0:
+            return
+        # Bulk extraction: one fancy-index + tolist() per plane converts
+        # every occupied value at C speed, instead of a per-cell, per-
+        # attribute .item() loop (the old read path's hottest line).
+        coords_list = (occupied + np.asarray(origin)).tolist()
+        idx = tuple(occupied[:, d] for d in range(occupied.shape[1]))
+        nulls = (state[idx] == CellState.NULL).tolist()
+        columns = [data[n][idx].tolist() for n in names]
+        value_rows = (
+            zip(*columns) if columns else iter(() for _ in coords_list)
+        )
+        for coords, is_null, values in zip(
+            coords_list, nulls, value_rows
+        ):
+            coords = tuple(coords)
+            if is_null:
                 yield coords, None
             else:
-                values = tuple(self.data[n][off] for n in names)
-                values = tuple(
-                    v.item() if isinstance(v, np.generic) else v for v in values
-                )
                 yield coords, Cell(names, values)
 
     def merge(self, other: "Bucket") -> "Bucket":

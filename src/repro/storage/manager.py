@@ -22,6 +22,7 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
@@ -38,9 +39,123 @@ from .bucket import Bucket
 from .compression import Codec
 from .rtree import RTree
 
-__all__ = ["StorageStats", "PersistentArray", "StorageManager"]
+__all__ = ["ChunkCache", "StorageStats", "PersistentArray", "StorageManager"]
 
 Coords = tuple[int, ...]
+
+#: Cache key: (array directory, bucket id, codec generation).  The
+#: generation distinguishes logically different buckets that reuse a
+#: (directory, id) pair — e.g. after a merge rewrote the file set.
+CacheKey = tuple[str, int, int]
+
+
+class ChunkCache:
+    """A byte-budgeted LRU cache of *decompressed* buckets.
+
+    The SS-DB-style observation (PAPERS.md): cooked-data query time is
+    dominated by repeatedly decompressing the same chunks.  This cache
+    keeps decoded :class:`~repro.storage.bucket.Bucket` objects keyed by
+    ``(array, bucket, codec_generation)`` so a hot window pays codec cost
+    once.  Bucket files are immutable once written, so coherence reduces
+    to invalidating on the few events that delete or reuse files: merge,
+    ``drop_array`` (which repartition rides on) and node restart (which
+    builds a fresh manager, hence a fresh cache).
+
+    Thread-safe: the parallel partition scheduler reads through it from
+    several worker threads at once.
+    """
+
+    def __init__(self, budget_bytes: int = 8 << 20) -> None:
+        if budget_bytes <= 0:
+            raise StorageError(
+                f"chunk cache budget must be positive, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[CacheKey, tuple[Bucket, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: CacheKey) -> Optional[Bucket]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                get_registry().counter("cache.miss").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        get_registry().counter("cache.hit").inc()
+        return entry[0]
+
+    def put(self, key: CacheKey, bucket: Bucket) -> None:
+        nbytes = bucket.nbytes
+        if nbytes > self.budget_bytes:
+            return  # would evict everything and still not fit
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (bucket, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.budget_bytes and self._entries:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            get_registry().counter("cache.evict").inc(evicted)
+
+    def invalidate(self, array_prefix: str) -> int:
+        """Drop every entry whose array directory equals *array_prefix*."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == array_prefix]
+            for key in doomed:
+                _, nbytes = self._entries.pop(key)
+                self._bytes -= nbytes
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    @property
+    def bytes_cached(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, "int | float"]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_ratio": self.hit_ratio,
+            }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChunkCache {len(self._entries)} buckets "
+            f"{self._bytes}/{self.budget_bytes} B "
+            f"hit_ratio={self.hit_ratio:.2f}>"
+        )
 
 
 @dataclass
@@ -55,6 +170,8 @@ class StorageStats:
     buckets_pruned: int = 0
     spills: int = 0
     merges: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -77,6 +194,8 @@ class PersistentArray:
         stride-aligned rectangles at spill time.
     codec:
         Codec name, :class:`Codec`, or ``"auto"`` (per-plane best choice).
+    cache:
+        Optional shared :class:`ChunkCache` of decompressed buckets.
     """
 
     def __init__(
@@ -86,6 +205,7 @@ class PersistentArray:
         memory_budget: int = 1 << 20,
         stride: Optional[Sequence[int]] = None,
         codec: "str | Codec" = "auto",
+        cache: Optional[ChunkCache] = None,
     ) -> None:
         self.schema = schema
         self.directory = Path(directory)
@@ -105,6 +225,10 @@ class PersistentArray:
         self._cell_cost = 8 * schema.ndim + 16 * len(schema.attributes)
         self._rtree = RTree(max_entries=8)
         self._next_bucket = 0
+        self._cache = cache
+        # Bumped whenever bucket files are deleted/rewritten (merge), so
+        # stale cache entries for reused (directory, id) pairs can't hit.
+        self.codec_generation = 0
         self._lock = threading.RLock()
         self._merger: Optional[threading.Thread] = None
         self._merger_stop = threading.Event()
@@ -238,17 +362,39 @@ class PersistentArray:
     def _read_bucket(self, bucket_id: int) -> Bucket:
         path = self._bucket_path(bucket_id)
         payload = path.read_bytes()
-        self.stats.bytes_read += len(payload)
-        self.stats.buckets_read += 1
         t0 = time.perf_counter()
         bucket = Bucket.from_bytes(self.schema, payload)
         codec_ms = (time.perf_counter() - t0) * 1e3
+        with self._lock:
+            self.stats.bytes_read += len(payload)
+            self.stats.buckets_read += 1
         registry = get_registry()
         registry.counter("storage.buckets_read").inc()
         registry.counter("storage.bytes_read").inc(len(payload))
         registry.histogram("storage.codec_decode_ms").observe(codec_ms)
         tracing.add_current("chunks_read", 1)
         tracing.add_current("codec_ms", codec_ms)
+        return bucket
+
+    def _cache_key(self, bucket_id: int) -> CacheKey:
+        return (str(self.directory), bucket_id, self.codec_generation)
+
+    def _load_bucket(self, bucket_id: int) -> Bucket:
+        """Read a bucket through the decompressed-chunk cache, if any."""
+        if self._cache is None:
+            return self._read_bucket(bucket_id)
+        key = self._cache_key(bucket_id)
+        bucket = self._cache.get(key)
+        if bucket is not None:
+            with self._lock:
+                self.stats.cache_hits += 1
+            tracing.add_current("cache_hits", 1)
+            return bucket
+        with self._lock:
+            self.stats.cache_misses += 1
+        tracing.add_current("cache_misses", 1)
+        bucket = self._read_bucket(bucket_id)
+        self._cache.put(key, bucket)
         return bucket
 
     @property
@@ -289,10 +435,8 @@ class PersistentArray:
         entries.sort(key=lambda e: e[1], reverse=True)
         seen: set[Coords] = set()
         for _box, bucket_id in entries:
-            bucket = self._read_bucket(bucket_id)
-            for coords, cell in bucket.cells():
-                if window is not None and not _in_window(coords, window):
-                    continue
+            bucket = self._load_bucket(bucket_id)
+            for coords, cell in bucket.cells(window):
                 if coords in buffered or coords in seen:
                     continue  # newest version wins (buffer > disk)
                 seen.add(coords)
@@ -370,6 +514,11 @@ class PersistentArray:
                 self._write_bucket(merged)
                 merges += 1
             self.stats.merges += merges
+            if merges and self._cache is not None:
+                # File set changed under existing ids: retire the whole
+                # generation so no stale decoded bucket can ever hit.
+                self.codec_generation += 1
+                self._cache.invalidate(str(self.directory))
             return merges
 
     def start_background_merger(
@@ -403,10 +552,20 @@ def _in_window(coords: Coords, window: tuple[Coords, Coords]) -> bool:
 class StorageManager:
     """A node's catalog of persistent arrays rooted at one directory."""
 
-    def __init__(self, directory: "str | Path", memory_budget: int = 1 << 20) -> None:
+    def __init__(
+        self,
+        directory: "str | Path",
+        memory_budget: int = 1 << 20,
+        chunk_cache_bytes: int = 8 << 20,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.memory_budget = memory_budget
+        # One decompressed-chunk cache shared by every array of the node;
+        # 0 (or negative) disables caching entirely.
+        self.chunk_cache: Optional[ChunkCache] = (
+            ChunkCache(chunk_cache_bytes) if chunk_cache_bytes > 0 else None
+        )
         self._arrays: dict[str, PersistentArray] = {}
 
     def create_array(
@@ -425,6 +584,7 @@ class StorageManager:
             memory_budget=memory_budget or self.memory_budget,
             stride=stride,
             codec=codec,
+            cache=self.chunk_cache,
         )
         self._arrays[name] = arr
         return arr
@@ -467,6 +627,11 @@ class StorageManager:
         for path in arr.directory.glob("bucket_*.bkt"):
             path.unlink()
         arr._cursor_path.unlink(missing_ok=True)
+        if self.chunk_cache is not None:
+            # A recreated array reuses the directory and restarts bucket
+            # ids at 0 (repartition does exactly this) — cached decodes of
+            # the dropped files must not survive.
+            self.chunk_cache.invalidate(str(arr.directory))
         del self._arrays[name]
 
     def names(self) -> list[str]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from pathlib import Path
 from typing import Any, Iterator, Optional
@@ -51,6 +52,9 @@ class WriteAheadLog:
         self.sync = sync
         self._fh = open(self.path, "a", encoding="utf-8")
         self.records_appended = 0
+        # Parallel repartition/rebuild can append from several scheduler
+        # workers; interleaved writes to one file handle would tear lines.
+        self._lock = threading.Lock()
 
     # -- logging ----------------------------------------------------------------
 
@@ -202,9 +206,10 @@ class WriteAheadLog:
 
     def commit(self) -> None:
         """Durability point: flush (and optionally fsync) the log."""
-        self._fh.flush()
-        if self.sync:
-            os.fsync(self._fh.fileno())
+        with self._lock:
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
         get_registry().counter("wal.commits").inc()
 
     def _append(self, record: dict[str, Any]) -> None:
@@ -213,8 +218,9 @@ class WriteAheadLog:
         # Splice the checksum in as the final key: the CRC covers exactly
         # the serialization of the record without it, which entries() can
         # reconstruct (json.loads preserves key order).
-        self._fh.write(payload[:-1] + f', "crc": {crc}}}\n')
-        self.records_appended += 1
+        with self._lock:
+            self._fh.write(payload[:-1] + f', "crc": {crc}}}\n')
+            self.records_appended += 1
         get_registry().counter("wal.appends").inc()
         tracing.add_current("wal_appends", 1)
 

@@ -1,0 +1,227 @@
+"""Regression tests for the serial-era read-path correctness sweep.
+
+Four long-standing defects, each pinned here:
+
+* ``scan`` used ``assert`` for quorum control flow — under ``python -O``
+  a dead replica chain became silent data loss instead of a
+  :class:`QuorumError`.
+* ``imbalance()`` averaged over *all* nodes, so dead nodes (which report
+  0 cells because they are unreachable) inflated the metric even when the
+  survivors were perfectly balanced.
+* ``RangePartitioner`` accepted duplicate boundaries like ``[100, 100]``,
+  silently creating an empty site.
+* ``HashPartitioner.site_of`` hashed a per-cell *string* — placements
+  depended on string formatting, and the build cost dominated routing.
+  Now a packed little-endian int64 digest, pinned by golden values.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro import define_array
+from repro.cluster import (
+    Grid,
+    HashPartitioner,
+    QuorumError,
+    RangePartitioner,
+)
+from repro.core.errors import PartitioningError
+from repro.storage.loader import LoadRecord
+
+
+@pytest.fixture
+def schema():
+    return define_array("sky", {"flux": "float"}, ["x", "y"]).bind([100, 100])
+
+
+def records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    seen, out = set(), []
+    while len(out) < n:
+        c = (int(rng.integers(1, 101)), int(rng.integers(1, 101)))
+        if c in seen:
+            continue
+        seen.add(c)
+        out.append(LoadRecord(c, (float(rng.normal()),)))
+    return out
+
+
+class TestScanQuorumIsNotAnAssert:
+    def test_dead_chain_raises_quorum_error(self, tmp_path, schema):
+        grid = Grid(4, tmp_path)  # replication=1: one dead node loses data
+        arr = grid.create_array("sky", schema, HashPartitioner(4))
+        arr.load(records(80))
+        grid.nodes[1].fail()
+        with pytest.raises(QuorumError):
+            list(arr.scan())
+
+    def test_quorum_error_survives_python_O(self, tmp_path):
+        """Under ``python -O`` asserts vanish.  The old control flow
+        (``assert cells is not None``) would then yield a *partial scan
+        with no error* — the worst possible failure mode.  The strict
+        read path must raise :class:`QuorumError` even with assertions
+        stripped."""
+        script = textwrap.dedent(
+            """
+            from repro import define_array
+            from repro.cluster import Grid, HashPartitioner, QuorumError
+            from repro.storage.loader import LoadRecord
+            import sys
+
+            schema = define_array(
+                "sky", {"flux": "float"}, ["x", "y"]
+            ).bind([100, 100])
+            grid = Grid(4, sys.argv[1])
+            arr = grid.create_array("sky", schema, HashPartitioner(4))
+            arr.load([LoadRecord((i, i), (1.0,)) for i in range(1, 41)])
+            grid.nodes[1].fail()
+            try:
+                n = len(list(arr.scan()))
+            except QuorumError:
+                print("QUORUM_ERROR")
+            else:
+                print(f"SILENT_PARTIAL:{n}")
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-O", "-c", script, str(tmp_path / "g")],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "QUORUM_ERROR", proc.stdout
+
+    def test_degraded_scan_still_skips(self, tmp_path, schema):
+        grid = Grid(4, tmp_path)
+        arr = grid.create_array("sky", schema, HashPartitioner(4))
+        recs = records(80)
+        arr.load(recs)
+        grid.nodes[1].fail()
+        got = {c: cell.flux for c, cell in arr.scan(degraded=True)}
+        expect = {
+            r.coords: r.values[0] for r in recs
+            if arr.partitioner.site_of(r.coords) != 1
+        }
+        assert got == expect
+
+
+class TestImbalanceOverAliveNodes:
+    def test_dead_node_does_not_inflate_imbalance(self, tmp_path, schema):
+        """Four nodes, replication 2, perfectly balanced load.  Killing
+        one node must leave imbalance ~1.0 for the three balanced
+        survivors; the old all-nodes mean reported ~4/3."""
+        grid = Grid(4, tmp_path, default_replication=2)
+        arr = grid.create_array("sky", schema, HashPartitioner(4))
+        arr.load(records(200, seed=3))
+        grid.nodes[2].fail()
+        after = arr.imbalance()
+        # Survivors' balance is what the metric reports now.
+        counts = [
+            n.cell_count("sky") for n in grid.nodes if n.alive
+        ]
+        mean = sum(counts) / len(counts)
+        assert after == pytest.approx(max(counts) / mean)
+        # And it is *not* inflated by the dead node's phantom zero: the
+        # old formula divided the same max by a mean dragged down by the
+        # dead node's unreachable 0.
+        all_counts = [
+            n.cell_count("sky") if n.alive else 0 for n in grid.nodes
+        ]
+        old_metric = max(all_counts) / (sum(all_counts) / len(all_counts))
+        assert after < old_metric
+
+    def test_all_nodes_dead_reports_zero(self, tmp_path, schema):
+        grid = Grid(2, tmp_path)
+        arr = grid.create_array("sky", schema, HashPartitioner(2))
+        arr.load(records(20))
+        for node in grid.nodes:
+            node.fail()
+        assert arr.imbalance() == 0.0
+
+
+class TestRangeBoundariesStrictlyAscending:
+    def test_duplicate_boundary_rejected(self):
+        with pytest.raises(PartitioningError, match="strictly ascending"):
+            RangePartitioner(3, dim=0, boundaries=[100, 100])
+
+    def test_descending_rejected(self):
+        with pytest.raises(PartitioningError, match="strictly ascending"):
+            RangePartitioner(4, dim=0, boundaries=[75, 50, 25])
+
+    def test_strictly_ascending_accepted(self):
+        p = RangePartitioner(4, dim=0, boundaries=[25, 50, 75])
+        assert p.site_of((25, 1)) == 0
+        assert p.site_of((26, 1)) == 1
+        assert p.site_of((76, 1)) == 3
+
+
+class TestHashPlacementGoldenValues:
+    """The packed-int digest is part of the on-disk contract: data placed
+    by one process must be found by another.  These golden values pin the
+    placement function; if they ever change, existing grids' data becomes
+    unreachable — treat a failure here as an incompatible format break,
+    not a test to update."""
+
+    COORDS = [
+        (1, 1), (1, 2), (2, 1), (50, 50),
+        (100, 1), (7, 93), (64, 64), (99, 100),
+    ]
+
+    def test_four_sites(self):
+        p = HashPartitioner(4)
+        assert [p.site_of(c) for c in self.COORDS] == [
+            2, 1, 0, 1, 3, 3, 2, 1
+        ]
+
+    def test_eight_sites(self):
+        p = HashPartitioner(8)
+        assert [p.site_of(c) for c in self.COORDS] == [
+            2, 1, 0, 5, 3, 7, 2, 1
+        ]
+
+    def test_dim_subset(self):
+        p = HashPartitioner(4, dims=[0])
+        assert [p.site_of(c) for c in self.COORDS] == [
+            3, 3, 0, 1, 0, 0, 0, 1
+        ]
+
+    def test_three_dims(self):
+        p = HashPartitioner(3)
+        coords = [(1, 2, 3), (10, 20, 30), (5, 5, 5)]
+        assert [p.site_of(c) for c in coords] == [0, 1, 0]
+
+    def test_process_stable(self):
+        """The digest must not depend on PYTHONHASHSEED or string
+        formatting: recompute in a subprocess with a different hash
+        seed and compare."""
+        script = textwrap.dedent(
+            """
+            from repro.cluster import HashPartitioner
+            p = HashPartitioner(8)
+            coords = [(1, 1), (1, 2), (2, 1), (50, 50),
+                      (100, 1), (7, 93), (64, 64), (99, 100)]
+            print(",".join(str(p.site_of(c)) for c in coords))
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=60,
+            env={
+                "PYTHONPATH": "src",
+                "PATH": "/usr/bin:/bin",
+                "PYTHONHASHSEED": "12345",
+            },
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "2,1,0,5,3,7,2,1"
+
+    def test_negative_and_large_coords_routable(self):
+        p = HashPartitioner(5)
+        for c in [(-1, -1), (0, 0), (2**40, 3), (-(2**40), 7)]:
+            assert 0 <= p.site_of(c) < 5
