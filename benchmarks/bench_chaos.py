@@ -1,0 +1,350 @@
+"""E19: the chaos drill — robustness and parallelism composing (Section 2.7).
+
+PR 1 gave the grid replication and failover; PR 5 gave it intra-query
+fan-out.  Until the resilience layer they never ran together: fault
+drills forced ``parallelism=1``.  This experiment drives seeded fault
+schedules — mid-query kills, transient read bursts, slow sites — against
+a mixed workload (scan, windowed subsample, grouped aggregate) running
+at parallelism >= 4 on a 6-node grid with k=2 chained declustering, and
+reports:
+
+* **correctness under chaos** — every query answer compared cell-for-cell
+  against the local truth; the drill's headline number is *wrong
+  answers*, and it must be zero at every seed;
+* **bounded latency** — a deadline query against one dead + one slow
+  node, in both ``on_unavailable`` modes, timed against its budget;
+* **hedging** — scan latency against a slow replica with hedged reads
+  off vs. on, plus the hedge/win counters and the exactly-once gather
+  byte check (the losing attempt's meters are discarded);
+* **reconciliation** — failovers vs. per-node retry counters vs. breaker
+  transitions vs. the injector's own event counts.
+
+Results are written to ``BENCH_chaos.json`` (repo root by default) so
+the robustness trajectory is machine-readable across PRs.
+
+Run standalone for the full report::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick]
+        [--seeds N] [--records N] [--json PATH]
+"""
+
+import argparse
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import DeadlineExceededError
+from repro.cluster import (
+    BreakerConfig,
+    Deadline,
+    FaultInjector,
+    Grid,
+    HashPartitioner,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro import define_array
+from repro.storage.loader import LoadRecord
+
+N_NODES = 6
+K = 2
+PARALLELISM = 4
+SIDE = 100
+WINDOW = ((20, 20), (80, 80))
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+
+def records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    seen, out = set(), []
+    while len(out) < n:
+        c = (int(rng.integers(1, SIDE + 1)), int(rng.integers(1, SIDE + 1)))
+        if c in seen:
+            continue
+        seen.add(c)
+        out.append(LoadRecord(c, (float(rng.normal()),)))
+    return out
+
+
+def schema():
+    return define_array("sky", {"flux": "float"}, ["x", "y"]).bind(
+        [SIDE, SIDE]
+    )
+
+
+def build(directory, seed, n_records, hedge_delay_ms=None):
+    inj = FaultInjector(seed=seed)
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=3, seed=seed),
+        breaker=BreakerConfig(failure_threshold=2, cooldown=3),
+    )
+    grid = Grid(
+        N_NODES, directory, fault_injector=inj, parallelism=PARALLELISM,
+        resilience=policy, hedge_delay_ms=hedge_delay_ms,
+    )
+    arr = grid.create_array(
+        "sky", schema(), HashPartitioner(N_NODES), replication=K
+    )
+    recs = records(n_records, seed=seed)
+    arr.load(recs)
+    return grid, arr, inj, {r.coords: r.values[0] for r in recs}
+
+
+def _close(a, b, tol=1e-9):
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def drill(tmp, seed, n_records):
+    """One seeded chaos round: schedule faults, run the workload, count
+    wrong answers (must be zero) and reconcile the counters."""
+    rng = random.Random(seed)
+    grid, arr, inj, truth = build(tmp / f"drill{seed}", seed, n_records)
+
+    # Seeded schedule: one mid-query kill (k=2 survives any single
+    # failure), maybe a transient read burst, maybe a slow site.
+    victim = rng.randrange(N_NODES)
+    inj.schedule_kill(victim, after=rng.randrange(1, 30))
+    if rng.random() < 0.5:
+        inj.schedule_transient_reads(rng.randrange(N_NODES),
+                                     rng.randrange(1, 3))
+    if rng.random() < 0.3:
+        inj.set_slow_reads(rng.randrange(N_NODES), 2.0)
+
+    wrong = 0
+    t0 = time.perf_counter()
+    got = dict((c, cell.flux) for c, cell in arr.scan())
+    wrong += sum(
+        1 for c in truth
+        if c not in got or not _close(got[c], truth[c])
+    )
+    wrong += len(set(got) - set(truth))  # phantom cells
+
+    sub = arr.subsample(WINDOW)
+    window_truth = {
+        c: v for c, v in truth.items()
+        if all(l <= x <= h for x, l, h in zip(c, *WINDOW))
+    }
+    got_w = {c: cell.flux for c, cell in sub.cells(include_null=False)}
+    wrong += sum(
+        1 for c in window_truth
+        if c not in got_w or not _close(got_w[c], window_truth[c])
+    )
+
+    agg = arr.aggregate(["x"], "sum")
+    sums = {}
+    for (x, _y), v in truth.items():
+        sums[(x,)] = sums.get((x,), 0.0) + v
+    got_s = {c: cell.sum for c, cell in agg.cells(include_null=False)}
+    wrong += sum(
+        1 for k in sums
+        if k not in got_s or not _close(got_s[k], sums[k], tol=1e-7)
+    )
+    elapsed_ms = (time.perf_counter() - t0) * 1e3
+
+    snap = grid.resilience_snapshot()
+    counts = inj.counts()
+    retries = sum(
+        node.counters.snapshot().get("read_retries", 0)
+        for node in grid.nodes
+    )
+    return {
+        "seed": seed,
+        "wrong_answers": wrong,
+        "workload_ms": elapsed_ms,
+        "kills": counts.get("node_kill", 0),
+        "transient_read_faults": counts.get("io_transient_read", 0),
+        "slow_reads": counts.get("slow_read", 0),
+        "failovers": snap["failovers"],
+        "breaker_transitions": snap["breaker_transitions"],
+        "breaker_skips": snap["breaker_skips"],
+        "reconciles": snap["failovers"] == retries,
+    }
+
+
+def deadline_probe(tmp, seed, n_records, budget_ms=60.0):
+    """One dead + one slow node: does a deadline bound the answer time?"""
+    rows = {}
+    for mode in ("partial", "raise"):
+        grid, arr, inj, truth = build(
+            tmp / f"deadline_{mode}", seed, n_records
+        )
+        inj.kill(4)
+        inj.set_slow_reads(1, 300.0)
+        t0 = time.perf_counter()
+        outcome = "ok"
+        coverage = 1.0
+        try:
+            got = arr.subsample(
+                WINDOW, deadline=Deadline.after_ms(budget_ms),
+                on_unavailable=mode,
+            )
+            coverage = getattr(got, "coverage", None)
+            coverage = 1.0 if coverage is None else coverage.fraction
+        except DeadlineExceededError:
+            outcome = "DeadlineExceededError"
+            coverage = 0.0
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        rows[mode] = {
+            "outcome": outcome,
+            "elapsed_ms": elapsed_ms,
+            "budget_ms": budget_ms,
+            "within_budget": elapsed_ms < budget_ms + 500.0,
+            "coverage": coverage,
+            "deadline_misses":
+                grid.resilience_snapshot()["deadline_misses"],
+        }
+    return rows
+
+
+def hedging(tmp, seed, n_records, slow_ms=25.0, delay_ms=3.0):
+    """Scan latency against one slow replica, hedged off vs. on."""
+    out = {}
+    for label, hedge in (("unhedged", None), ("hedged", delay_ms)):
+        grid, arr, inj, truth = build(
+            tmp / f"hedge_{label}", seed, n_records, hedge_delay_ms=hedge
+        )
+        inj.set_slow_reads(2, slow_ms)
+        t0 = time.perf_counter()
+        got = dict((c, cell.flux) for c, cell in arr.scan())
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        snap = grid.resilience_snapshot()
+        out[label] = {
+            "scan_ms": elapsed_ms,
+            "hedges": snap["hedges"],
+            "hedge_wins": snap["hedge_wins"],
+            "exact": len(got) == len(truth) and all(
+                _close(got[c], truth[c]) for c in truth
+            ),
+            "gather_bytes": grid.ledger.total_bytes("gather"),
+            "one_logical_copy":
+                grid.ledger.total_bytes("gather")
+                == len(truth) * arr.cell_nbytes,
+        }
+    return out
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+class TestDrillSmoke:
+    def test_zero_wrong_answers_and_reconciles(self, tmp_path):
+        row = drill(tmp_path, seed=0, n_records=80)
+        assert row["wrong_answers"] == 0
+        assert row["kills"] == 1
+        assert row["reconciles"]
+
+    def test_deterministic_per_seed(self, tmp_path):
+        # Answer-level metrics are seed-deterministic.  Retry traffic
+        # (failovers, burst consumption) is not: kills fire on a global
+        # ledger tick, so which in-flight reads observe them depends on
+        # thread interleaving at parallelism 4 — those must only
+        # reconcile internally, which `drill` already checks per run.
+        a = drill(tmp_path / "a", seed=4, n_records=60)
+        b = drill(tmp_path / "b", seed=4, n_records=60)
+        for key in ("wrong_answers", "kills"):
+            assert a[key] == b[key]
+        assert a["reconciles"] and b["reconciles"]
+
+
+class TestDeadlineProbe:
+    def test_both_modes_answer_within_budget(self, tmp_path):
+        rows = deadline_probe(tmp_path, seed=0, n_records=80)
+        assert rows["partial"]["outcome"] == "ok"
+        assert rows["partial"]["within_budget"]
+        assert rows["partial"]["coverage"] < 1.0
+        assert rows["raise"]["outcome"] == "DeadlineExceededError"
+        assert rows["raise"]["within_budget"]
+
+
+class TestHedging:
+    def test_hedges_win_and_stay_exactly_once(self, tmp_path):
+        rows = hedging(tmp_path, seed=0, n_records=80)
+        assert rows["hedged"]["exact"]
+        assert rows["unhedged"]["exact"]
+        assert rows["hedged"]["hedges"] >= 1
+        assert rows["hedged"]["hedge_wins"] >= 1
+        assert rows["hedged"]["one_logical_copy"]
+        assert rows["unhedged"]["one_logical_copy"]
+
+
+# -- standalone report ---------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload smoke run (for CI)")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="drill seeds to sweep (default 10; 3 with "
+                             "--quick)")
+    parser.add_argument("--records", type=int, default=None,
+                        help="cells to load (default 150; 60 with --quick)")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                        help="where to write the machine-readable results "
+                             f"(default {DEFAULT_JSON.name} at the repo "
+                             "root; '-' to skip)")
+    args = parser.parse_args(argv)
+    if args.seeds is not None and args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    if args.records is not None and args.records < 1:
+        parser.error("--records must be >= 1")
+    n = args.records or (60 if args.quick else 150)
+    n_seeds = args.seeds or (3 if args.quick else 10)
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        print(f"E19: chaos drill on a {N_NODES}-node grid, k={K}, "
+              f"parallelism={PARALLELISM} ({n} cells, {n_seeds} seeds)\n")
+
+        print("seeded drills (mixed workload under kills/bursts/slowness):")
+        print(f"  {'seed':>4} {'wrong':>5} {'kills':>5} {'bursts':>6} "
+              f"{'failovers':>9} {'brk skips':>9} {'ms':>8} {'reconciles':>10}")
+        drills = []
+        for seed in range(n_seeds):
+            row = drill(tmp, seed, n)
+            drills.append(row)
+            print(f"  {row['seed']:>4} {row['wrong_answers']:>5} "
+                  f"{row['kills']:>5} {row['transient_read_faults']:>6} "
+                  f"{row['failovers']:>9} {row['breaker_skips']:>9} "
+                  f"{row['workload_ms']:>8.1f} "
+                  f"{str(row['reconciles']):>10}")
+        total_wrong = sum(r["wrong_answers"] for r in drills)
+        print(f"  -> total wrong answers across {n_seeds} seeds: "
+              f"{total_wrong}")
+
+        print("\ndeadline probe (node 4 dead, node 1 slow at 300 ms/read):")
+        probe = deadline_probe(tmp, seed=0, n_records=n)
+        for mode, row in probe.items():
+            print(f"  on_unavailable={mode!r}: {row['outcome']} in "
+                  f"{row['elapsed_ms']:.1f} ms (budget {row['budget_ms']:g}"
+                  f" ms), coverage {row['coverage']:.2f}")
+
+        print("\nhedged reads (node 2 slow at 25 ms/read):")
+        hedge = hedging(tmp, seed=0, n_records=n)
+        for label, row in hedge.items():
+            print(f"  {label:>9}: scan {row['scan_ms']:.1f} ms, "
+                  f"{row['hedges']} hedges / {row['hedge_wins']} wins, "
+                  f"exact={row['exact']}, "
+                  f"one_logical_copy={row['one_logical_copy']}")
+
+        results = {
+            "experiment": "E19-chaos-drill",
+            "grid": {"n_nodes": N_NODES, "k": K,
+                     "parallelism": PARALLELISM, "records": n},
+            "drills": drills,
+            "total_wrong_answers": total_wrong,
+            "deadline_probe": probe,
+            "hedging": hedge,
+        }
+        if str(args.json) != "-":
+            args.json.write_text(json.dumps(results, indent=2) + "\n")
+            print(f"\nwrote {args.json}")
+    return 0 if total_wrong == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

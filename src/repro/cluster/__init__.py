@@ -14,10 +14,12 @@ every design question above is a question about data *placement and
 movement*, which the ledger accounts exactly and deterministically.
 
 At grid scale node failure is the common case, so the cluster layer also
-carries a fault-tolerance stack: a deterministic
+carries a fault-tolerance stack: a deterministic, thread-safe
 :class:`~repro.cluster.faults.FaultInjector`, k-way chunk replication
-(:mod:`~repro.cluster.replication`), failover reads with bounded retries,
-degraded-mode partial results, and WAL-driven node rebuild
+(:mod:`~repro.cluster.replication`), a resilience layer
+(:mod:`~repro.cluster.resilience`) of retry policies with capped seeded
+backoff, query deadlines, per-node circuit breakers and hedged replica
+reads, degraded-mode partial results, and WAL-driven node rebuild
 (:meth:`~repro.cluster.grid.Grid.rebuild_node`).  Cluster failures raise
 the :class:`~repro.core.errors.GridError` family re-exported here.
 """
@@ -38,6 +40,18 @@ from .partitioning import (
     TimeEpochPartitioner,
 )
 from .faults import FaultEvent, FaultInjector, FailoverEvent
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceededError,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
 from .replication import (
     ChainedDeclusteringPlacement,
     CoverageReport,
@@ -83,4 +97,15 @@ __all__ = [
     "CoverageReport",
     "DegradedResult",
     "RebuildReport",
+    # resilience: retries, deadlines, breakers, hedged reads
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "Deadline",
+    "DeadlineExceededError",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "HedgePolicy",
 ]

@@ -24,13 +24,24 @@ supplies the *failures*: a seedable :class:`FaultInjector` that can
 Every injected fault is appended to :attr:`FaultInjector.events`, and the
 same seed reproduces the same fault sequence byte-for-byte — the
 benchmarks rely on that to report deterministic availability numbers.
+
+**Thread-safety and keyed randomness.**  Since the parallel read path
+runs under fault drills (the serial-only special case is gone), the
+injector is mutated concurrently from scheduler workers.  All internal
+state sits behind one re-entrant lock, and Bernoulli draws no longer
+consume a single shared RNG stream (whose draw *order* would depend on
+thread interleaving): each draw is keyed — hashed from ``(seed, kind,
+src, dst, per-key sequence number)`` — so the verdict for the N-th
+delivery on a given edge is a pure function of the seed and that edge's
+history, independent of how deliveries from different edges interleave.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..core.errors import GridError, LoadInterrupted, TransientIOError
 
@@ -46,7 +57,8 @@ class FaultEvent:
     """One injected fault, in injection order."""
 
     kind: str  #: "node_kill" | "transfer_drop" | "transfer_corrupt" |
-    #: "wal_tear" | "io_transient" | "slow_store" | "load_crash"
+    #: "wal_tear" | "io_transient" | "io_transient_read" | "slow_store" |
+    #: "slow_read" | "load_crash"
     tick: int  #: metered-transfer count at injection time
     target: int  #: node id (kills, WAL tears) or destination site (transfers)
     detail: str = ""
@@ -56,8 +68,10 @@ class FaultEvent:
 class FailoverEvent:
     """One failover step a query took around a dead replica.
 
-    ``backoff_ms`` is the *deterministic* exponential backoff the retry
-    policy charges (simulated time — the in-process grid does not sleep).
+    ``backoff_ms`` is the *deterministic* backoff the grid's
+    :class:`~repro.cluster.resilience.RetryPolicy` charges — capped
+    exponential with seeded jitter keyed on ``(array, partition)``
+    (simulated time — the in-process grid does not sleep it).
     """
 
     array: str
@@ -68,11 +82,13 @@ class FailoverEvent:
 
 
 class FaultInjector:
-    """Seedable source of node, network, and log faults.
+    """Seedable source of node, network, and log faults (thread-safe).
 
     Attach to a grid either via ``Grid(..., fault_injector=inj)`` or
-    :meth:`attach`.  All randomness flows from one ``random.Random(seed)``
-    so a run is reproducible from ``(workload, seed)`` alone.
+    :meth:`attach`.  All randomness is *keyed* off ``seed`` (see the
+    module docstring) so a run is reproducible from ``(workload, seed)``
+    alone — even when scheduler workers exercise the injector
+    concurrently.
     """
 
     def __init__(
@@ -91,15 +107,35 @@ class FaultInjector:
         self.drop_rate = drop_rate
         self.corrupt_rate = corrupt_rate
         self.io_fault_rate = io_fault_rate
-        self._rng = random.Random(seed)
         self.events: list[FaultEvent] = []
         self.tick = 0
         self._kill_at: dict[int, int] = {}  # node_id -> tick threshold
         self._io_bursts: dict[int, int] = {}  # site -> remaining forced faults
+        self._read_bursts: dict[int, int] = {}  # site -> remaining read faults
         self._slow_sites: dict[int, float] = {}  # site -> penalty_ms per store
+        self._slow_reads: dict[int, float] = {}  # site -> penalty_ms per read
+        self._draw_seq: dict[Any, int] = {}  # draw key -> next sequence number
         self._load_records = 0  # the loader's record clock
         self._load_crash_at: Optional[int] = None
         self.grid: Optional["Grid"] = None
+        # One re-entrant lock over all mutable state: events, clocks,
+        # schedules, and draw sequences are touched from scheduler worker
+        # threads once reads fan out under a drill.  Re-entrant because
+        # on_transfer can fire inside an intercept that already holds it.
+        self._lock = threading.RLock()
+
+    def _draw(self, kind: str, *key: Any) -> float:
+        """One keyed uniform draw in [0, 1).
+
+        The per-key sequence counter makes repeated draws on the same key
+        independent, while keeping the N-th draw for a key a pure function
+        of ``(seed, kind, key, N)`` — no shared RNG stream to race on.
+        """
+        with self._lock:
+            seq = self._draw_seq.get((kind, key), 0)
+            self._draw_seq[(kind, key)] = seq + 1
+        payload = repr((self.seed, kind, key, seq)).encode()
+        return zlib.crc32(payload) / 2**32
 
     # -- wiring ------------------------------------------------------------------
 
@@ -129,11 +165,12 @@ class FaultInjector:
     def kill(self, node_id: int) -> None:
         """Kill a node now: its storage becomes unreachable until rebuilt."""
         node = self._node(node_id)
-        if node.alive:
-            node.fail()
-            self.events.append(
-                FaultEvent("node_kill", self.tick, node_id, "explicit kill")
-            )
+        with self._lock:
+            if node.alive:
+                node.fail()
+                self.events.append(
+                    FaultEvent("node_kill", self.tick, node_id, "explicit kill")
+                )
 
     def schedule_kill(self, node_id: int, after: int) -> None:
         """Kill *node_id* once *after* more transfers have been metered.
@@ -145,26 +182,28 @@ class FaultInjector:
         if after < 0:
             raise GridError("schedule_kill needs after >= 0")
         self._node(node_id)
-        self._kill_at[node_id] = self.tick + after
+        with self._lock:
+            self._kill_at[node_id] = self.tick + after
 
     def on_transfer(self, transfer: "Transfer") -> None:
         """Ledger hook: advance simulated time, firing scheduled kills."""
-        self.tick += 1
-        grid = self.grid
-        if grid is None:
-            return
-        due = [n for n, at in self._kill_at.items() if self.tick >= at]
-        for node_id in due:
-            del self._kill_at[node_id]
-            node = grid.nodes[node_id]
-            if node.alive:
-                node.fail()
-                self.events.append(
-                    FaultEvent(
-                        "node_kill", self.tick, node_id,
-                        f"scheduled at transfer {self.tick}",
+        with self._lock:
+            self.tick += 1
+            grid = self.grid
+            if grid is None:
+                return
+            due = [n for n, at in self._kill_at.items() if self.tick >= at]
+            for node_id in due:
+                del self._kill_at[node_id]
+                node = grid.nodes[node_id]
+                if node.alive:
+                    node.fail()
+                    self.events.append(
+                        FaultEvent(
+                            "node_kill", self.tick, node_id,
+                            f"scheduled at transfer {self.tick}",
+                        )
                     )
-                )
 
     # -- transfer faults -----------------------------------------------------------
 
@@ -182,22 +221,24 @@ class FaultInjector:
         ``"drop"``; a corrupted delivery still arrives, with its float
         payload deterministically perturbed.
         """
-        if self.drop_rate and self._rng.random() < self.drop_rate:
-            self.events.append(
-                FaultEvent("transfer_drop", self.tick, dst, reason)
-            )
+        if self.drop_rate and self._draw("drop", src, dst) < self.drop_rate:
+            with self._lock:
+                self.events.append(
+                    FaultEvent("transfer_drop", self.tick, dst, reason)
+                )
             return "drop", values
         if (
             self.corrupt_rate
             and values is not None
-            and self._rng.random() < self.corrupt_rate
+            and self._draw("corrupt", src, dst) < self.corrupt_rate
         ):
             corrupted = tuple(
                 -v if isinstance(v, float) else v for v in values
             )
-            self.events.append(
-                FaultEvent("transfer_corrupt", self.tick, dst, reason)
-            )
+            with self._lock:
+                self.events.append(
+                    FaultEvent("transfer_corrupt", self.tick, dst, reason)
+                )
             return "deliver", corrupted
         return "deliver", values
 
@@ -222,11 +263,12 @@ class FaultInjector:
         cut = min(nbytes if nbytes is not None else max(1, last_len // 2),
                   len(body))
         path.write_bytes(body[: len(body) - cut])
-        self.events.append(
-            FaultEvent(
-                "wal_tear", self.tick, node.node_id, f"tore {cut} bytes"
+        with self._lock:
+            self.events.append(
+                FaultEvent(
+                    "wal_tear", self.tick, node.node_id, f"tore {cut} bytes"
+                )
             )
-        )
         return cut
 
     # -- transient I/O faults (the ingest path) ----------------------------------
@@ -241,14 +283,16 @@ class FaultInjector:
         if failures < 0:
             raise GridError("schedule_transient_io needs failures >= 0")
         self._node(site)
-        self._io_bursts[site] = self._io_bursts.get(site, 0) + failures
+        with self._lock:
+            self._io_bursts[site] = self._io_bursts.get(site, 0) + failures
 
     def set_slow_site(self, site: int, penalty_ms: float) -> None:
         """Charge *penalty_ms* of simulated latency per store on *site*."""
         if penalty_ms < 0:
             raise GridError("slow-site penalty must be >= 0 ms")
         self._node(site)
-        self._slow_sites[site] = penalty_ms
+        with self._lock:
+            self._slow_sites[site] = penalty_ms
 
     def intercept_store(self, site: int) -> float:
         """Gate one store on *site*: may raise, returns latency charged.
@@ -258,27 +302,98 @@ class FaultInjector:
         site's slow-site penalty (0.0 when healthy) for the caller to
         charge as simulated time.
         """
-        burst = self._io_bursts.get(site, 0)
-        if burst > 0:
-            self._io_bursts[site] = burst - 1
-            self.events.append(
-                FaultEvent("io_transient", self.tick, site, "scheduled burst")
-            )
+        with self._lock:
+            burst = self._io_bursts.get(site, 0)
+            if burst > 0:
+                self._io_bursts[site] = burst - 1
+                self.events.append(
+                    FaultEvent(
+                        "io_transient", self.tick, site, "scheduled burst"
+                    )
+                )
+                raise TransientIOError(
+                    f"site {site}: injected transient append failure"
+                )
+        if self.io_fault_rate and self._draw("io", site) < self.io_fault_rate:
+            with self._lock:
+                self.events.append(
+                    FaultEvent("io_transient", self.tick, site, "bernoulli")
+                )
             raise TransientIOError(
                 f"site {site}: injected transient append failure"
             )
-        if self.io_fault_rate and self._rng.random() < self.io_fault_rate:
-            self.events.append(
-                FaultEvent("io_transient", self.tick, site, "bernoulli")
+        with self._lock:
+            penalty = self._slow_sites.get(site, 0.0)
+            if penalty:
+                self.events.append(
+                    FaultEvent("slow_store", self.tick, site, f"{penalty} ms")
+                )
+        return penalty
+
+    # -- transient faults and latency on the *read* path ---------------------------
+
+    def schedule_transient_reads(self, site: int, failures: int) -> None:
+        """Force the next *failures* partition reads from *site* to fail
+        transiently.
+
+        The read path's counterpart of :meth:`schedule_transient_io`: each
+        gated read raises :class:`TransientIOError`, which the grid's
+        retry policy classifies as transient and absorbs (or fails over
+        past, once the node's circuit breaker opens).
+        """
+        if failures < 0:
+            raise GridError("schedule_transient_reads needs failures >= 0")
+        self._node(site)
+        with self._lock:
+            self._read_bursts[site] = (
+                self._read_bursts.get(site, 0) + failures
             )
-            raise TransientIOError(
-                f"site {site}: injected transient append failure"
-            )
-        penalty = self._slow_sites.get(site, 0.0)
-        if penalty:
-            self.events.append(
-                FaultEvent("slow_store", self.tick, site, f"{penalty} ms")
-            )
+
+    def set_slow_reads(self, site: int, penalty_ms: float) -> None:
+        """Delay every partition read served by *site* by *penalty_ms*.
+
+        Unlike :meth:`set_slow_site` (pure accounting), the read penalty
+        is *slept* by the reader — under a deadline, in deadline-aware
+        slices — so slow-node drills exercise real tail latency and the
+        hedging/deadline machinery, not just a counter.
+        """
+        if penalty_ms < 0:
+            raise GridError("slow-read penalty must be >= 0 ms")
+        self._node(site)
+        with self._lock:
+            self._slow_reads[site] = penalty_ms
+
+    def intercept_read(self, site: int, partition: int, attempt: int) -> float:
+        """Gate one partition read from *site*: may raise, returns the
+        read-latency penalty (ms) the caller must sleep.
+
+        Raises :class:`TransientIOError` while a scheduled read burst
+        remains.  Events are tagged with ``(partition, attempt)`` so a
+        drill can reconcile injected read faults against the retry
+        attempts that absorbed them.
+        """
+        with self._lock:
+            burst = self._read_bursts.get(site, 0)
+            if burst > 0:
+                self._read_bursts[site] = burst - 1
+                self.events.append(
+                    FaultEvent(
+                        "io_transient_read", self.tick, site,
+                        f"p{partition} attempt {attempt}",
+                    )
+                )
+                raise TransientIOError(
+                    f"site {site}: injected transient read failure "
+                    f"(partition {partition}, attempt {attempt})"
+                )
+            penalty = self._slow_reads.get(site, 0.0)
+            if penalty:
+                self.events.append(
+                    FaultEvent(
+                        "slow_read", self.tick, site,
+                        f"{penalty} ms, p{partition} attempt {attempt}",
+                    )
+                )
         return penalty
 
     # -- loader crashes ---------------------------------------------------------------
@@ -293,15 +408,18 @@ class FaultInjector:
         """
         if after_records < 1:
             raise GridError("schedule_load_crash needs after_records >= 1")
-        self._load_crash_at = self._load_records + after_records
+        with self._lock:
+            self._load_crash_at = self._load_records + after_records
 
     def on_load_record(self) -> None:
         """Loader hook: advance the record clock, firing a scheduled crash."""
-        self._load_records += 1
-        if (
-            self._load_crash_at is not None
-            and self._load_records >= self._load_crash_at
-        ):
+        with self._lock:
+            self._load_records += 1
+            if (
+                self._load_crash_at is None
+                or self._load_records < self._load_crash_at
+            ):
+                return
             self._load_crash_at = None
             self.events.append(
                 FaultEvent(
@@ -309,12 +427,15 @@ class FaultInjector:
                     f"loader killed at record {self._load_records}",
                 )
             )
-            raise LoadInterrupted(
-                f"injected loader crash at record {self._load_records}"
-            )
+            n = self._load_records
+        raise LoadInterrupted(f"injected loader crash at record {n}")
 
     def counts(self) -> dict[str, int]:
+        """Injected faults by kind — computed under the lock, over a
+        snapshot, so a drill can reconcile mid-flight without tearing."""
+        with self._lock:
+            events = list(self.events)
         out: dict[str, int] = {}
-        for e in self.events:
+        for e in events:
             out[e.kind] = out.get(e.kind, 0) + 1
         return out

@@ -31,15 +31,24 @@ partitions* — partition ``p`` is the set of cells whose primary site is
 ``p``, and with k-way replication it is stored on every site of
 ``placement.chain(p, n, k)``.  A query that finds a replica dead — even
 mid-scan, when a scheduled fault fires on a metered transfer — retries
-the partition on the next site of the chain, with bounded retries and
-deterministic (simulated) exponential backoff, recorded in
-:attr:`Grid.failover_log`.  Only when *every* replica of some partition is
-dead does the query raise :class:`~repro.core.errors.QuorumError` —
-unless called with ``degraded=True``, which instead returns the partial
-answer plus a :class:`~repro.cluster.replication.CoverageReport`.
+the partition on the next site of the chain under the grid's
+:class:`~repro.cluster.resilience.ResiliencePolicy`: bounded attempts
+with capped, seeded-jitter backoff (recorded in
+:attr:`Grid.failover_log`), per-node circuit breakers that skip
+repeatedly-failing nodes straight to their replicas, optional hedged
+backup reads against the next replica (exactly-once preserved by
+buffered metering — only the winning attempt's meters commit), and
+cooperative deadlines propagated into every per-partition task.  Only
+when *every* replica of some partition is dead does the query raise
+:class:`~repro.core.errors.QuorumError` — unless called with
+``degraded=True`` (or ``on_unavailable="partial"``), which instead
+returns the partial answer plus a
+:class:`~repro.cluster.replication.CoverageReport`.
 :meth:`Grid.rebuild_node` brings a crashed node back by replaying its
 per-node WAL and copying anything missing (metered ``"rebuild"``) from
-surviving replicas.
+surviving replicas.  Fault drills and parallel fan-out compose: the
+injector is thread-safe and keyed-deterministic, so a drill runs at full
+``parallelism`` rather than forcing the grid serial.
 
 The *write* path gets the same treatment via
 :meth:`DistributedArray.load_checkpointed`: the load stream is divided
@@ -54,6 +63,7 @@ resumes from the last committed batch with idempotent replay — see
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 from dataclasses import dataclass
@@ -64,6 +74,8 @@ from ..core.array import SciArray
 from ..core.cells import Cell
 from ..core.datatypes import ScalarType
 from ..core.errors import (
+    DeadlineExceededError,
+    GridError,
     NodeFailedError,
     PartitioningError,
     QuorumError,
@@ -81,6 +93,17 @@ from ..storage.quarantine import QuarantineStore
 from .faults import FailoverEvent, FaultInjector
 from .node import Node
 from .partitioning import Partitioner
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    HedgePolicy,
+    MeterBuffer,
+    ResiliencePolicy,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
+    sleep_under_deadline,
+)
 from .scheduler import PartitionScheduler, default_parallelism
 from .replication import (
     ChainedDeclusteringPlacement,
@@ -96,6 +119,16 @@ Coords = tuple[int, ...]
 
 #: Coordinator pseudo-site in ledger entries.
 COORDINATOR = -1
+
+
+def _wants_partial(on_unavailable: str) -> bool:
+    """Validate an ``on_unavailable`` mode; True for ``"partial"``."""
+    if on_unavailable not in ("raise", "partial"):
+        raise GridError(
+            f"on_unavailable must be 'raise' or 'partial', "
+            f"got {on_unavailable!r}"
+        )
+    return on_unavailable == "partial"
 
 #: Merge functions for algebraic built-in aggregates (state x state -> state).
 _ALGEBRAIC_MERGES: dict[str, Callable[[Any, Any], Any]] = {
@@ -336,6 +369,7 @@ class DistributedArray:
             quarantine=quarantine,
             max_retries=max_retries,
             backoff_base_ms=self.grid.backoff_base_ms,
+            backoff_max_ms=self.grid.backoff_max_ms,
             on_record=faults.on_load_record if faults is not None else None,
         )
         with loader:
@@ -387,6 +421,210 @@ class DistributedArray:
 
     # -- partition reads with failover ---------------------------------------------
 
+    def _attempt_read(
+        self,
+        site: int,
+        p: int,
+        window: Optional[tuple[Coords, Coords]],
+        per_cell_reason: Optional[str],
+        attempt: int,
+        deadline: Optional[Deadline],
+        buf: Optional[MeterBuffer] = None,
+    ) -> list[tuple[Coords, Optional[Cell]]]:
+        """One read attempt of partition *p* against a single *site*.
+
+        Sleeps the modeled fetch latency plus any injected slow-read
+        penalty (deadline-aware slices), then scans the site's partition
+        restricted to coordinates whose primary is *p*.  Metering goes to
+        the grid's ledger/counters directly, or into *buf* when this is a
+        hedged attempt whose meters must stay private until it wins.
+
+        Raises :class:`NodeFailedError` (node died, possibly mid-scan),
+        :class:`TransientIOError` (injected read fault), or
+        :class:`DeadlineExceededError` — classification is the caller's
+        job.
+        """
+        grid = self.grid
+        node = grid.nodes[site]
+        faults = grid.faults
+        penalty_ms = 0.0
+        if faults is not None:
+            # May raise TransientIOError (scheduled read burst).
+            penalty_ms = faults.intercept_read(site, p, attempt)
+        wait_ms = grid.fetch_latency_ms + penalty_ms
+        if wait_ms > 0.0:
+            # Modeled RPC round trip (plus injected slowness) to the
+            # serving site.  A real sleep (not accounting): it releases
+            # the GIL, so concurrent partition fetches overlap under the
+            # scheduler exactly as network waits would — and it is sliced
+            # so a slow site cannot carry the query past its deadline.
+            sleep_under_deadline(
+                wait_ms, deadline,
+                what=f"fetch of partition {p} from node {site}",
+            )
+        # Per-cell metering exists so the injector's transfer clock
+        # ticks *during* the scan — a scheduled kill can land
+        # mid-read and exercise the partial-read-discard path.
+        # Without an injector the clock has no observer, and the
+        # per-cell ledger/counter locks become the contention
+        # hot-spot under parallel fan-out — so gathers are metered
+        # as one bulk transfer per partition (same total bytes).
+        meter_per_cell = per_cell_reason is not None and faults is not None
+        if buf is None:
+            record = grid.ledger.record
+            bump = node.counters.add
+        else:
+            record = buf.record
+            bump = lambda name, n=1: buf.counter(node, name, n)  # noqa: E731
+        cells: list[tuple[Coords, Optional[Cell]]] = []
+        seen = 0
+        for coords, cell in node.scan_partition(self.name, window):
+            seen += 1
+            if deadline is not None and seen % 64 == 0:
+                deadline.check(f"scan of partition {p} on node {site}")
+            if self.partitioner.site_of(coords) != p:
+                continue  # replica of another partition
+            if meter_per_cell:
+                bump("cells_scanned")
+                record(
+                    site, COORDINATOR, self.cell_nbytes, per_cell_reason
+                )
+            cells.append((coords, cell))
+        if not meter_per_cell:
+            # Local (un-gathered) reads count as scans too.
+            bump("cells_scanned", len(cells))
+            if per_cell_reason is not None and cells:
+                record(
+                    site, COORDINATOR,
+                    len(cells) * self.cell_nbytes, per_cell_reason,
+                )
+        return cells
+
+    def _hedge_backup_site(
+        self, chain: tuple[int, ...], primary: int
+    ) -> Optional[int]:
+        """The replica a hedged read would back *primary* up with: the
+        next alive site of the chain (wrapping) whose breaker admits a
+        request; ``None`` when the chain offers no backup."""
+        grid = self.grid
+        start = chain.index(primary)
+        for offset in range(1, len(chain)):
+            site = chain[(start + offset) % len(chain)]
+            if site == primary or not grid.nodes[site].alive:
+                continue
+            if grid.breakers[site].allow():
+                return site
+        return None
+
+    def _hedged_attempt(
+        self,
+        site: int,
+        backup: int,
+        p: int,
+        window: Optional[tuple[Coords, Coords]],
+        per_cell_reason: Optional[str],
+        attempt: int,
+        deadline: Optional[Deadline],
+    ) -> tuple[int, list[tuple[Coords, Optional[Cell]]]]:
+        """Read partition *p* from *site*, hedging against *backup*.
+
+        The primary attempt runs in a helper thread, metering into a
+        private :class:`MeterBuffer`.  If it has not answered within the
+        hedge delay, a backup attempt is launched against *backup* and
+        the first success wins; the winner's buffer is committed (on this
+        thread, so the open operator span absorbs the movement) and the
+        loser's is discarded — exactly-once accounting by construction.
+        Each attempt settles its own site's breaker.  Raises the primary
+        attempt's failure only after *both* attempts have failed.
+        """
+        grid = self.grid
+        policy = grid.resilience
+        results: "queue.Queue[tuple[int, Any, Optional[BaseException]]]" = (
+            queue.Queue()
+        )
+
+        def run(attempt_site: int) -> None:
+            buf = MeterBuffer()
+            try:
+                cells = self._attempt_read(
+                    attempt_site, p, window, per_cell_reason,
+                    attempt, deadline, buf,
+                )
+            except BaseException as exc:  # classified by the consumer
+                results.put((attempt_site, None, exc))
+            else:
+                results.put((attempt_site, (cells, buf), None))
+
+        threading.Thread(
+            target=run, args=(site,),
+            name=f"repro-hedge-p{p}", daemon=True,
+        ).start()
+        launched = [site]
+        delay_s = (policy.hedge.delay_ms or 0.0) / 1e3
+        failures: list[tuple[int, BaseException]] = []
+        deadline_exc: Optional[DeadlineExceededError] = None
+        while True:
+            try:
+                timeout: Optional[float]
+                if len(launched) == 1:
+                    timeout = delay_s
+                elif deadline is not None:
+                    timeout = max(deadline.remaining_ms(), 1.0) / 1e3
+                else:
+                    timeout = None
+                got = results.get(timeout=timeout)
+            except queue.Empty:
+                if len(launched) == 1:
+                    # Hedge delay elapsed: launch the backup read.
+                    grid._count_resilience("hedges")
+                    tracing.add_current("hedges", 1)
+                    threading.Thread(
+                        target=run, args=(backup,),
+                        name=f"repro-hedge-p{p}b", daemon=True,
+                    ).start()
+                    launched.append(backup)
+                    continue
+                # Both in flight and the deadline ran out while waiting.
+                grid._count_resilience("deadline_misses")
+                raise DeadlineExceededError(
+                    deadline.budget_ms if deadline is not None else 0.0,
+                    f"hedged read of partition {p}",
+                )
+            attempt_site, payload, exc = got
+            if exc is None:
+                cells, buf = payload
+                buf.commit(grid)
+                grid.breakers[attempt_site].record_success()
+                if attempt_site != site:
+                    grid._count_resilience("hedge_wins")
+                    tracing.add_current("hedge_wins", 1)
+                return attempt_site, cells
+            if isinstance(exc, DeadlineExceededError):
+                grid.breakers[attempt_site].abandon()
+                deadline_exc = exc
+            elif policy.retry.retryable(exc):
+                grid.breakers[attempt_site].record_failure()
+                failures.append((attempt_site, exc))
+            else:
+                grid.breakers[attempt_site].abandon()
+                raise exc
+            if len(launched) == 1:
+                # Primary failed before the hedge fired: no point hedging
+                # a request we can simply retry on the next chain site.
+                break
+            if len(failures) + (deadline_exc is not None) >= len(launched):
+                break
+        # The caller logs the *primary* site's failover when we raise; any
+        # other failed attempt is logged here, attributed to its own site.
+        for failed_site, _exc in failures:
+            if failed_site != site:
+                grid._log_failover(self.name, p, failed_site, attempt)
+        if deadline_exc is not None:
+            # Out of time beats out of retries: the deadline propagates.
+            grid._count_resilience("deadline_misses")
+            raise deadline_exc
+        raise next((e for s, e in failures if s == site), failures[0][1])
+
     def _read_partition(
         self,
         p: int,
@@ -394,75 +632,92 @@ class DistributedArray:
         per_cell_reason: Optional[str] = None,
         degraded: bool = False,
     ) -> tuple[Optional[int], Optional[list[tuple[Coords, Optional[Cell]]]]]:
-        """Read logical partition *p* from the first surviving replica.
+        """Read logical partition *p* from the first surviving replica,
+        under the grid's :class:`~repro.cluster.resilience.ResiliencePolicy`.
 
-        Walks the replica chain (bounded to ``grid.max_read_retries``
-        passes, with deterministic exponential backoff recorded per failed
-        attempt); a node dying *mid-scan* discards the partial read and
-        fails over.  Returns ``(serving_site, cells)`` where cells are
-        restricted to coordinates whose primary is *p* — which both
-        deduplicates replicas and makes per-partition reads exactly-once
-        for aggregation.  With ``per_cell_reason`` set, each returned cell
-        is metered as a transfer from the serving site to the coordinator.
+        Walks the replica chain for up to ``retry.max_attempts`` passes.
+        Per attempt: the ambient deadline is checked (cooperative
+        cancellation), dead nodes are skipped (logged as failovers with
+        capped, seeded-jitter backoff), nodes whose circuit breaker is
+        open are skipped straight to their replicas (except on the final
+        pass, where the breaker is forced as a half-open probe so an open
+        breaker can never manufacture a :class:`QuorumError` against a
+        reachable replica), and — when hedging is enabled and a backup
+        replica exists — a backup read races the primary after the hedge
+        delay.  A node dying *mid-scan* discards the partial read and
+        fails over; transient read faults are absorbed the same way.
+
+        Returns ``(serving_site, cells)`` where cells are restricted to
+        coordinates whose primary is *p* — which both deduplicates
+        replicas and makes per-partition reads exactly-once for
+        aggregation.  With ``per_cell_reason`` set, each returned cell is
+        metered as a transfer from the serving site to the coordinator.
 
         Raises :class:`QuorumError` when the chain is exhausted, or
-        returns ``(None, None)`` instead if *degraded* is True.
+        returns ``(None, None)`` instead if *degraded* is True;
+        :class:`DeadlineExceededError` always propagates.
         """
         chain = self.partition_chain(p)
         grid = self.grid
+        policy = grid.resilience
+        deadline = current_deadline()
         attempt = 0
-        for _ in range(grid.max_read_retries):
+        for pass_no in range(1, policy.retry.max_attempts + 1):
+            final_pass = pass_no == policy.retry.max_attempts
             for site in chain:
                 attempt += 1
+                if deadline is not None and deadline.expired:
+                    grid._count_resilience("deadline_misses")
+                    tracing.add_current("deadline_misses", 1)
+                    deadline.check(f"read of partition {p}")
                 node = grid.nodes[site]
                 if not node.alive:
                     grid._log_failover(self.name, p, site, attempt)
                     continue
-                if grid.fetch_latency_ms > 0.0:
-                    # Modeled RPC round trip to the serving site.  A real
-                    # sleep (not accounting): it releases the GIL, so
-                    # concurrent partition fetches overlap under the
-                    # scheduler exactly as network waits would.
-                    time.sleep(grid.fetch_latency_ms / 1000.0)
-                cells: list[tuple[Coords, Optional[Cell]]] = []
-                # Per-cell metering exists so the injector's transfer clock
-                # ticks *during* the scan — a scheduled kill can land
-                # mid-read and exercise the partial-read-discard path.
-                # Without an injector the clock has no observer, and the
-                # per-cell ledger/counter locks become the contention
-                # hot-spot under parallel fan-out — so gathers are metered
-                # as one bulk transfer per partition (same total bytes).
-                meter_per_cell = (
-                    per_cell_reason is not None and grid.faults is not None
+                breaker = grid.breakers[site]
+                if not breaker.allow(force=final_pass):
+                    grid._count_resilience("breaker_skips")
+                    tracing.add_current("breaker_skips", 1)
+                    continue
+                backup = (
+                    self._hedge_backup_site(chain, site)
+                    if policy.hedge.enabled else None
                 )
                 try:
-                    for coords, cell in node.scan_partition(self.name, window):
-                        if self.partitioner.site_of(coords) != p:
-                            continue  # replica of another partition
-                        if meter_per_cell:
-                            node.counters.add("cells_scanned")
-                            grid.ledger.record(
-                                site, COORDINATOR, self.cell_nbytes,
-                                per_cell_reason,
-                            )
-                        cells.append((coords, cell))
-                except NodeFailedError:
-                    # Died under the scan: drop the partial read, fail over.
+                    if backup is not None:
+                        served, cells = self._hedged_attempt(
+                            site, backup, p, window, per_cell_reason,
+                            attempt, deadline,
+                        )
+                    else:
+                        cells = self._attempt_read(
+                            site, p, window, per_cell_reason,
+                            attempt, deadline,
+                        )
+                        breaker.record_success()
+                        served = site
+                except DeadlineExceededError:
+                    if backup is None:
+                        # The budget ran out, not the node: don't judge it.
+                        breaker.abandon()
+                        grid._count_resilience("deadline_misses")
+                    tracing.add_current("deadline_misses", 1)
+                    raise
+                except Exception as exc:
+                    if not policy.retry.retryable(exc):
+                        if backup is None:
+                            breaker.abandon()
+                        raise
+                    if backup is None:
+                        breaker.record_failure()
+                    # Failed over: charge the policy's capped backoff.
                     grid._log_failover(self.name, p, site, attempt)
                     continue
-                if not meter_per_cell:
-                    # Local (un-gathered) reads count as scans too.
-                    node.counters.add("cells_scanned", len(cells))
-                    if per_cell_reason is not None and cells:
-                        grid.ledger.record(
-                            site, COORDINATOR,
-                            len(cells) * self.cell_nbytes, per_cell_reason,
-                        )
-                if site != chain[0]:
-                    node.counters.add("failovers_served")
-                tracing.mark_current("nodes", site)
+                if served != chain[0]:
+                    grid.nodes[served].counters.add("failovers_served")
+                tracing.mark_current("nodes", served)
                 tracing.add_current("cells_scanned", len(cells))
-                return site, cells
+                return served, cells
         if degraded:
             return None, None
         raise QuorumError(
@@ -476,6 +731,7 @@ class DistributedArray:
         per_cell_reason: Optional[str] = None,
         degraded: bool = False,
         partitions: Optional[Sequence[int]] = None,
+        tolerate_deadline: bool = False,
     ) -> list[tuple[Optional[int], Optional[list[tuple[Coords, Optional[Cell]]]]]]:
         """Fan :meth:`_read_partition` across partitions via the scheduler.
 
@@ -483,17 +739,24 @@ class DistributedArray:
         finished first, so every caller merges exactly as the serial path
         did.  A fully dead chain raises :class:`QuorumError` (first failing
         partition wins deterministically) unless *degraded* is set, in
-        which case its slot is ``(None, None)``.
+        which case its slot is ``(None, None)``.  With *tolerate_deadline*
+        (the ``on_unavailable="partial"`` path) a partition whose read ran
+        out of deadline budget is likewise returned as ``(None, None)`` —
+        partial coverage instead of a failed query.
         """
         if partitions is None:
             partitions = range(self.partitioner.n_sites)
+
+        def read_one(p: int) -> tuple:
+            try:
+                return self._read_partition(p, window, per_cell_reason, degraded)
+            except DeadlineExceededError:
+                if not tolerate_deadline:
+                    raise
+                return None, None
+
         return self.grid.scheduler.map(
-            [
-                (lambda p=p: self._read_partition(
-                    p, window, per_cell_reason, degraded
-                ))
-                for p in partitions
-            ]
+            [(lambda p=p: read_one(p)) for p in partitions]
         )
 
     # -- reads -------------------------------------------------------------------
@@ -559,24 +822,36 @@ class DistributedArray:
         self,
         window: tuple[Coords, Coords],
         degraded: bool = False,
+        deadline: Optional[Deadline] = None,
+        on_unavailable: str = "raise",
     ) -> "SciArray | DegradedResult":
         """Window query executed with per-node bucket pruning.
 
         With ``degraded=True``, partitions that lost every replica are
         skipped and the partial answer comes back with a coverage report
-        instead of a :class:`QuorumError`.
+        instead of a :class:`QuorumError`.  *deadline* bounds the query's
+        wall time (installed as the ambient deadline for every partition
+        task); *on_unavailable* decides what an unservable partition —
+        dead chain or deadline-starved read — does: ``"raise"`` (default)
+        propagates the error, ``"partial"`` marks the partition missing
+        and returns a :class:`DegradedResult` within the budget.
         """
+        partial = degraded or _wants_partial(on_unavailable)
         out = SciArray(self.schema, name=f"{self.name}_window")
         missing: list[tuple[str, int]] = []
-        for p, (_site, cells) in enumerate(
-            self._read_partitions(window, "gather", degraded)
-        ):
-            if cells is None:
-                missing.append((self.name, p))
-                continue
-            for coords, cell in cells:
-                out.set(coords, cell)
-        if degraded:
+        with deadline_scope(deadline):
+            for p, (_site, cells) in enumerate(
+                self._read_partitions(
+                    window, "gather", partial,
+                    tolerate_deadline=_wants_partial(on_unavailable),
+                )
+            ):
+                if cells is None:
+                    missing.append((self.name, p))
+                    continue
+                for coords, cell in cells:
+                    out.set(coords, cell)
+        if partial:
             report = CoverageReport(self.partitioner.n_sites, tuple(missing))
             return DegradedResult(out, report)
         return out
@@ -595,27 +870,71 @@ class DistributedArray:
         agg: "str | UserAggregate",
         attr: Optional[str] = None,
         degraded: bool = False,
+        deadline: Optional[Deadline] = None,
+        on_unavailable: str = "raise",
     ) -> "SciArray | DegradedResult":
         """Grouped aggregation with local partials where algebraic.
 
         Each logical partition is aggregated exactly once, at the serving
         site of its replica chain — so the partials stay node-local even
         when the primary is dead, and replicas are never double-counted.
+        *deadline* / *on_unavailable* behave as in :meth:`subsample`.
         """
         aggregate_fn = agg if isinstance(agg, UserAggregate) else get_aggregate(agg)
         attr_name = attr or self.schema.attr_names[0]
         positions = [self.schema.dim_index(d) for d in group_dims]
         merge = _ALGEBRAIC_MERGES.get(aggregate_fn.name)
+        tolerate_deadline = _wants_partial(on_unavailable)
+        partial_mode = degraded or tolerate_deadline
 
         merged: dict[Coords, Any] = {}
         missing: list[tuple[str, int]] = []
+        with deadline_scope(deadline):
+            self._aggregate_partials(
+                merge, aggregate_fn, attr_name, positions,
+                partial_mode, tolerate_deadline, merged, missing,
+            )
+
+        from ..core.schema import Attribute
+        from ..core.ops.content import _result_type
+
+        out_schema = ArraySchema(
+            name=f"{self.name}_agg",
+            attributes=(Attribute(aggregate_fn.name, _result_type(aggregate_fn)),),
+            dimensions=tuple(self.schema.dimensions[p] for p in positions),
+        )
+        out = SciArray(out_schema, name=f"{self.name}_agg")
+        for key, state in merged.items():
+            out.set(key, aggregate_fn.final(state))
+        if partial_mode:
+            report = CoverageReport(self.partitioner.n_sites, tuple(missing))
+            return DegradedResult(out, report)
+        return out
+
+    def _aggregate_partials(
+        self,
+        merge: Optional[Callable[[Any, Any], Any]],
+        aggregate_fn: UserAggregate,
+        attr_name: str,
+        positions: list[int],
+        degraded: bool,
+        tolerate_deadline: bool,
+        merged: dict[Coords, Any],
+        missing: list[tuple[str, int]],
+    ) -> None:
+        """Run :meth:`aggregate`'s read/transition phase into *merged*."""
         if merge is not None:
             # Algebraic: the local phase (scan + per-group transitions)
             # runs in scheduler workers; the coordinator merges partial
             # states in partition order, so float accumulation order — and
             # therefore the result, bit for bit — matches the serial path.
             def local_phase(p: int) -> Optional[tuple[int, dict[Coords, Any]]]:
-                site, cells = self._read_partition(p, degraded=degraded)
+                try:
+                    site, cells = self._read_partition(p, degraded=degraded)
+                except DeadlineExceededError:
+                    if not tolerate_deadline:
+                        raise
+                    return None
                 if cells is None:
                     return None
                 local: dict[Coords, Any] = {}
@@ -657,7 +976,9 @@ class DistributedArray:
             # side and in partition order (holistic state is not mergeable,
             # and order-dependent aggregates must see the serial order).
             for p, (site, cells) in enumerate(
-                self._read_partitions(degraded=degraded)
+                self._read_partitions(
+                    degraded=degraded, tolerate_deadline=tolerate_deadline
+                )
             ):
                 if cells is None:
                     missing.append((self.name, p))
@@ -675,22 +996,6 @@ class DistributedArray:
                     merged[key] = aggregate_fn.transition(
                         state, getattr(cell, attr_name)
                     )
-
-        from ..core.schema import Attribute
-        from ..core.ops.content import _result_type
-
-        out_schema = ArraySchema(
-            name=f"{self.name}_agg",
-            attributes=(Attribute(aggregate_fn.name, _result_type(aggregate_fn)),),
-            dimensions=tuple(self.schema.dimensions[p] for p in positions),
-        )
-        out = SciArray(out_schema, name=f"{self.name}_agg")
-        for key, state in merged.items():
-            out.set(key, aggregate_fn.final(state))
-        if degraded:
-            report = CoverageReport(self.partitioner.n_sites, tuple(missing))
-            return DegradedResult(out, report)
-        return out
 
     def sjoin(
         self,
@@ -1150,9 +1455,12 @@ class Grid:
         default_replication: int = 1,
         max_read_retries: int = 2,
         backoff_base_ms: float = 1.0,
+        backoff_max_ms: float = 64.0,
         parallelism: Optional[int] = None,
         chunk_cache_bytes: int = 8 << 20,
         fetch_latency_ms: float = 0.0,
+        resilience: Optional[ResiliencePolicy] = None,
+        hedge_delay_ms: Optional[float] = None,
     ) -> None:
         if n_nodes < 1:
             raise PartitioningError("a grid needs at least one node")
@@ -1168,8 +1476,41 @@ class Grid:
         ]
         self.ledger = DataMovementLedger()
         self.default_replication = default_replication
-        self.max_read_retries = max_read_retries
-        self.backoff_base_ms = backoff_base_ms
+        # The resilience bundle: an explicit policy wins; otherwise one is
+        # assembled from the legacy knobs (max_read_retries, backoff_*),
+        # seeded from the fault injector so jitter is drill-reproducible.
+        if resilience is None:
+            resilience = ResiliencePolicy(
+                retry=RetryPolicy(
+                    max_attempts=max_read_retries,
+                    backoff_base_ms=backoff_base_ms,
+                    backoff_max_ms=backoff_max_ms,
+                    seed=fault_injector.seed if fault_injector is not None
+                    else 0,
+                ),
+                hedge=HedgePolicy(delay_ms=hedge_delay_ms),
+            )
+        elif hedge_delay_ms is not None:
+            resilience = ResiliencePolicy(
+                retry=resilience.retry,
+                breaker=resilience.breaker,
+                hedge=HedgePolicy(delay_ms=hedge_delay_ms),
+            )
+        self.resilience = resilience
+        self.max_read_retries = resilience.retry.max_attempts
+        self.backoff_base_ms = resilience.retry.backoff_base_ms
+        self.backoff_max_ms = resilience.retry.backoff_max_ms
+        self.breakers = [
+            CircuitBreaker(f"node_{i}", resilience.breaker)
+            for i in range(n_nodes)
+        ]
+        self._resilience_lock = threading.Lock()
+        self.resilience_counters: dict[str, int] = {
+            "hedges": 0,
+            "hedge_wins": 0,
+            "breaker_skips": 0,
+            "deadline_misses": 0,
+        }
         self.failover_log: list[FailoverEvent] = []
         #: simulated latency charged by slow-site faults (the grid never sleeps)
         self.store_latency_ms = 0.0
@@ -1184,16 +1525,13 @@ class Grid:
         self.faults: Optional[FaultInjector] = None
         if fault_injector is not None:
             fault_injector.attach(self)
-        # Intra-query fan-out.  Fault-drill grids default to serial
-        # execution: scheduled kills fire on the Nth metered transfer, so
-        # "which transfer is Nth" must stay a deterministic function of
-        # the query — stress tests that want faults *and* parallelism opt
-        # in explicitly.
+        # Intra-query fan-out.  Fault drills run at full parallelism too:
+        # the injector is thread-safe and its randomness is keyed (not a
+        # shared stream), so a drill is reproducible from (workload, seed)
+        # even when scheduler workers race — the old force-serial special
+        # case for fault-injected grids is gone.
         if parallelism is None:
-            parallelism = (
-                1 if fault_injector is not None
-                else default_parallelism(n_nodes)
-            )
+            parallelism = default_parallelism(n_nodes)
         self.parallelism = parallelism
         self.scheduler = PartitionScheduler(parallelism)
         # Writes and failover logging are cross-node critical sections.
@@ -1238,17 +1576,40 @@ class Grid:
             "failovers": len(self.failover_log),
             "store_latency_ms": self.store_latency_ms,
             "fetch_latency_ms": self.fetch_latency_ms,
+            "resilience": self.resilience_snapshot(),
             "arrays": sorted(self._arrays),
         }
 
+    def resilience_snapshot(self) -> dict[str, Any]:
+        """Retry/breaker/hedge accounting for reconciliation: policy
+        parameters, the grid-wide counters, and per-node breaker states
+        (with their full transition counts)."""
+        with self._resilience_lock:
+            counters = dict(self.resilience_counters)
+        return {
+            "policy": self.resilience.describe(),
+            "failovers": len(self.failover_log),
+            **counters,
+            "breaker_transitions": sum(
+                len(b.transitions) for b in self.breakers
+            ),
+            "breakers": [b.snapshot() for b in self.breakers],
+        }
+
+    def _count_resilience(self, name: str, n: int = 1) -> None:
+        with self._resilience_lock:
+            self.resilience_counters[name] = (
+                self.resilience_counters.get(name, 0) + n
+            )
+
     def _log_failover(self, array: str, partition: int, site: int,
                       attempt: int) -> None:
+        backoff_ms = self.resilience.retry.backoff_ms(
+            attempt, key=(array, partition)
+        )
         with self._failover_lock:
             self.failover_log.append(
-                FailoverEvent(
-                    array, partition, site, attempt,
-                    backoff_ms=self.backoff_base_ms * 2 ** (attempt - 1),
-                )
+                FailoverEvent(array, partition, site, attempt, backoff_ms)
             )
         self.nodes[site].counters.add("read_retries")
         tracing.add_current("failovers", 1)
@@ -1414,6 +1775,9 @@ class Grid:
         from_replicas = sum(self.scheduler.map(tasks))
         for name in self._arrays:
             node.partition(name).flush()
+        # A rebuilt node is healthy by construction: close its breaker so
+        # queries stop detouring past it for a stale cooldown.
+        self.breakers[node_id].record_success()
         return RebuildReport(
             node_id=node_id,
             cells_from_wal=from_wal,

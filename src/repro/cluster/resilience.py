@@ -1,0 +1,441 @@
+"""Resilience policies for the parallel grid read path (Section 2.7).
+
+The paper's shared-nothing requirement assumes queries keep answering —
+fast and correctly — while individual nodes misbehave.  Replication
+(PR 1) supplies the *copies*; this module supplies the *policies* that
+decide how a query spends its time among them:
+
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  seeded jitter and a transient-error classifier, replacing the ad-hoc
+  unbounded ``base * 2**(attempt-1)`` failover accounting.  Only
+  *transient* failures (a node dying under a scan, an intermittent I/O
+  fault) are worth retrying; programming and quorum errors propagate
+  immediately.
+* :class:`Deadline` — an absolute time budget propagated from
+  :class:`~repro.database.SciDB` entry points through the
+  :class:`~repro.cluster.scheduler.PartitionScheduler` into every
+  per-partition task, checked cooperatively at operator boundaries and
+  inside partition scans, surfacing as the typed
+  :class:`~repro.core.errors.DeadlineExceededError`.
+* :class:`CircuitBreaker` — per-node closed/open/half-open state so a
+  node that keeps failing is skipped straight to its replicas instead of
+  paying a fresh retry storm for every partition that touches it.  An
+  open breaker cools down over a fixed number of skipped requests, then
+  admits a single half-open probe; the probe's outcome closes or
+  re-opens it.  Request-count cooldowns (not wall-clock) keep drills
+  deterministic on the simulated grid.
+* :class:`HedgePolicy` — after ``delay_ms`` without an answer from the
+  serving replica, a backup read is launched against the next replica in
+  the chain and the first success wins.  Exactly-once accounting is
+  preserved because each hedged attempt meters into a private
+  :class:`MeterBuffer`; only the winner's buffer is committed to the
+  movement ledger and node counters — the loser's meters are discarded.
+
+All policies are bundled in a :class:`ResiliencePolicy` attached to each
+:class:`~repro.cluster.grid.Grid`.  Defaults are conservative: retries
+capped and jittered, breakers armed, hedging off (it trades extra reads
+for latency — benchmarks and latency-sensitive callers opt in).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from ..core.errors import (
+    DeadlineExceededError,
+    GridError,
+    NodeFailedError,
+    TransientIOError,
+)
+
+if TYPE_CHECKING:
+    from .grid import Grid
+    from .node import Node
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "DeadlineExceededError",
+    "current_deadline",
+    "deadline_scope",
+    "check_deadline",
+    "sleep_under_deadline",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "BreakerOpenError",
+    "HedgePolicy",
+    "ResiliencePolicy",
+    "MeterBuffer",
+]
+
+
+def _unit_hash(*key: Any) -> float:
+    """Deterministic uniform draw in [0, 1) from a structured key.
+
+    crc32-based (like :class:`~repro.cluster.replication.ScatterPlacement`)
+    so the value is stable across processes and interpreter hash seeds —
+    the property that makes jitter reproducible per ``(partition,
+    attempt)`` even when worker threads interleave arbitrarily.
+    """
+    return zlib.crc32(repr(key).encode()) / 2**32
+
+
+# -- retry policy ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped, seeded-jitter exponential backoff over transient failures.
+
+    ``max_attempts`` bounds the number of passes a read makes over a
+    partition's replica chain.  Backoff for attempt *n* is
+    ``min(base * 2**(n-1), cap)`` scaled by a deterministic jitter drawn
+    from ``(seed, key, n)`` — the same attempt against the same partition
+    always charges the same backoff, regardless of thread interleaving.
+    """
+
+    max_attempts: int = 2
+    backoff_base_ms: float = 1.0
+    backoff_max_ms: float = 64.0
+    jitter_frac: float = 0.1
+    seed: int = 0
+    #: transient failures worth retrying; everything else propagates
+    retryable_types: tuple = (NodeFailedError, TransientIOError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise GridError("retry policy needs max_attempts >= 1")
+        if self.backoff_base_ms < 0 or self.backoff_max_ms < 0:
+            raise GridError("backoff must be >= 0 ms")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise GridError("jitter_frac must be in [0, 1]")
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Is *exc* a transient failure a retry could outlive?"""
+        return isinstance(exc, self.retryable_types)
+
+    def backoff_ms(self, attempt: int, key: Any = None) -> float:
+        """Backoff charged before retry *attempt* (1-based), capped and
+        deterministically jittered per ``(seed, key, attempt)``."""
+        if attempt < 1:
+            raise GridError("backoff attempts are 1-based")
+        raw = self.backoff_base_ms * 2 ** (attempt - 1)
+        if self.jitter_frac:
+            raw *= 1.0 + self.jitter_frac * _unit_hash(self.seed, key, attempt)
+        # The cap is a hard ceiling, jitter included: the recorded value
+        # never exceeds backoff_max_ms no matter the attempt count.
+        return min(raw, self.backoff_max_ms)
+
+
+# -- deadlines --------------------------------------------------------------------
+
+
+class Deadline:
+    """An absolute wall-clock budget for one query.
+
+    Created at an entry point (``Deadline.after_ms(250)``), propagated
+    through the scheduler into worker threads, and checked cooperatively:
+    at operator boundaries, before every replica attempt, and every few
+    dozen cells inside a partition scan.  Expiry raises
+    :class:`~repro.core.errors.DeadlineExceededError`.
+    """
+
+    __slots__ = ("budget_ms", "t_deadline")
+
+    def __init__(self, budget_ms: float) -> None:
+        if budget_ms <= 0:
+            raise GridError(f"deadline budget must be > 0 ms, got {budget_ms}")
+        self.budget_ms = float(budget_ms)
+        self.t_deadline = time.perf_counter() + self.budget_ms / 1e3
+
+    @classmethod
+    def after_ms(cls, budget_ms: float) -> "Deadline":
+        return cls(budget_ms)
+
+    def remaining_ms(self) -> float:
+        return max(0.0, (self.t_deadline - time.perf_counter()) * 1e3)
+
+    @property
+    def expired(self) -> bool:
+        return time.perf_counter() >= self.t_deadline
+
+    def check(self, what: str = "") -> None:
+        if self.expired:
+            raise DeadlineExceededError(self.budget_ms, what)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Deadline {self.budget_ms:g} ms, "
+            f"{self.remaining_ms():.1f} ms remaining>"
+        )
+
+
+_local = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline governing this thread, if any."""
+    return getattr(_local, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install *deadline* as this thread's ambient deadline for the block.
+
+    ``None`` is a pass-through: an enclosing scope's deadline (if any)
+    stays in force, so nested calls can always wrap unconditionally.
+    """
+    prev = current_deadline()
+    _local.deadline = deadline if deadline is not None else prev
+    try:
+        yield current_deadline()
+    finally:
+        _local.deadline = prev
+
+
+def check_deadline(what: str = "") -> None:
+    """Cooperative cancellation point: raise if the ambient deadline
+    expired; free when none is set."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(what)
+
+
+def sleep_under_deadline(
+    ms: float,
+    deadline: Optional[Deadline] = None,
+    slice_ms: float = 5.0,
+    what: str = "",
+) -> None:
+    """Really sleep *ms* (GIL released), but wake for deadline expiry.
+
+    Sleeps in ``slice_ms`` slices so a modeled slow site cannot carry a
+    query past its budget: the moment the deadline expires mid-wait, a
+    :class:`~repro.core.errors.DeadlineExceededError` is raised instead
+    of finishing the nap.
+    """
+    if ms <= 0:
+        return
+    if deadline is None:
+        time.sleep(ms / 1e3)
+        return
+    remaining = ms
+    while remaining > 0:
+        deadline.check(what)
+        step = min(remaining, slice_ms, deadline.remaining_ms() + 0.1)
+        time.sleep(step / 1e3)
+        remaining -= step
+    deadline.check(what)
+
+
+# -- circuit breakers -------------------------------------------------------------
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BreakerOpenError(GridError):
+    """A read was short-circuited past a node whose breaker is open."""
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning for per-node circuit breakers.
+
+    ``failure_threshold`` consecutive failures open the breaker;
+    ``cooldown`` requests are then skipped before a single half-open
+    probe is admitted.  Counts, not wall-clock: the simulated grid never
+    sleeps, and count-based cooldowns keep drills deterministic.
+    """
+
+    failure_threshold: int = 3
+    cooldown: int = 8
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise GridError("breaker failure_threshold must be >= 1")
+        if self.cooldown < 1:
+            raise GridError("breaker cooldown must be >= 1")
+
+
+class CircuitBreaker:
+    """Closed/open/half-open failure gate for one grid node (thread-safe).
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip it open.
+    * **open** — :meth:`allow` refuses the next ``cooldown`` requests
+      (counted as *skips* — the read goes straight to a replica), then
+      transitions to half-open.
+    * **half-open** — exactly one probe request is admitted; its success
+      closes the breaker, its failure re-opens it for another cooldown.
+
+    Every state change is appended to :attr:`transitions` so drills can
+    reconcile breaker activity against injected faults.
+    """
+
+    def __init__(self, name: str, config: Optional[BreakerConfig] = None) -> None:
+        self.name = name
+        self.config = config or BreakerConfig()
+        self.state = CLOSED
+        self.transitions: list[tuple[str, str]] = []
+        self.skips = 0
+        self._consecutive_failures = 0
+        self._skips_left = 0
+        self._probe_in_flight = False
+        self._lock = threading.Lock()
+
+    def _transition(self, new_state: str) -> None:
+        self.transitions.append((self.state, new_state))
+        self.state = new_state
+
+    def allow(self, force: bool = False) -> bool:
+        """May a request proceed against this node right now?
+
+        *force* admits the request regardless (used on a read's final
+        pass so an open breaker can never turn a reachable replica into
+        a wrong :class:`~repro.core.errors.QuorumError`); it counts as a
+        half-open probe.
+        """
+        with self._lock:
+            if self.state == CLOSED:
+                return True
+            if self.state == OPEN:
+                if not force:
+                    self._skips_left -= 1
+                    if self._skips_left > 0:
+                        self.skips += 1
+                        return False
+                self._transition(HALF_OPEN)
+                self._probe_in_flight = True
+                return True
+            # HALF_OPEN: one probe at a time.
+            if force or not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            self.skips += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self.state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self.state == HALF_OPEN:
+                self._transition(OPEN)
+                self._skips_left = self.config.cooldown
+                return
+            self._consecutive_failures += 1
+            if (
+                self.state == CLOSED
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._transition(OPEN)
+                self._skips_left = self.config.cooldown
+
+    def abandon(self) -> None:
+        """Release an admitted probe without judging the node (e.g. the
+        query's deadline expired mid-read: that is the budget's fault,
+        not the node's)."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state,
+                "transitions": len(self.transitions),
+                "skips": self.skips,
+                "consecutive_failures": self._consecutive_failures,
+            }
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.name} {self.state}>"
+
+
+# -- hedged reads -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Backup-read policy: after ``delay_ms`` without an answer from the
+    serving replica, read the next replica too and take the first
+    success.  ``None`` disables hedging (the default — hedges trade
+    duplicate reads for tail latency)."""
+
+    delay_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.delay_ms is not None and self.delay_ms < 0:
+            raise GridError("hedge delay must be >= 0 ms")
+
+    @property
+    def enabled(self) -> bool:
+        return self.delay_ms is not None
+
+
+class MeterBuffer:
+    """Deferred metering for one hedged read attempt.
+
+    Hedging launches two reads for one logical partition, but the
+    accounting contract is exactly-once: each attempt meters into its own
+    buffer, and only the *winning* attempt's buffer is committed to the
+    movement ledger and node counters.  The loser's buffer is simply
+    dropped — its bytes never existed as far as the ledger, the explain
+    report, or the fault injector's transfer clock are concerned.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[tuple[int, int, int, str]] = []
+        self.counters: list[tuple["Node", str, int]] = []
+
+    def record(self, src: int, dst: int, nbytes: int, reason: str) -> None:
+        self.records.append((src, dst, nbytes, reason))
+
+    def counter(self, node: "Node", name: str, n: int = 1) -> None:
+        self.counters.append((node, name, n))
+
+    def commit(self, grid: "Grid") -> None:
+        """Replay the buffered meters for the winning attempt."""
+        for src, dst, nbytes, reason in self.records:
+            grid.ledger.record(src, dst, nbytes, reason)
+        for node, name, n in self.counters:
+            node.counters.add(name, n)
+
+
+# -- the bundle -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything the grid read path consults when nodes misbehave."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    hedge: HedgePolicy = field(default_factory=HedgePolicy)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "retry": {
+                "max_attempts": self.retry.max_attempts,
+                "backoff_base_ms": self.retry.backoff_base_ms,
+                "backoff_max_ms": self.retry.backoff_max_ms,
+                "jitter_frac": self.retry.jitter_frac,
+            },
+            "breaker": {
+                "failure_threshold": self.breaker.failure_threshold,
+                "cooldown": self.breaker.cooldown,
+            },
+            "hedge": {"delay_ms": self.hedge.delay_ms},
+        }

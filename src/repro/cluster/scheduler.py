@@ -16,9 +16,17 @@ of per-partition (or per-node) thunks out across threads:
 * **Failure policy** — every task runs to completion (or failure); if
   any raised, the exception of the *lowest-indexed* failing task is
   re-raised, so a multi-partition :class:`~repro.core.errors.QuorumError`
-  is attributed deterministically.  Degraded-mode reads never raise —
-  their tasks return ``(None, None)`` markers that the coordinator folds
-  into a coverage report.
+  is attributed deterministically.  The *other* tasks' failures are not
+  dropped: they are attached to the re-raised exception as ``__notes__``
+  (:meth:`BaseException.add_note`, where available) and as a
+  ``sibling_failures`` attribute, so multi-partition fault diagnostics
+  survive.  Degraded-mode reads never raise — their tasks return
+  ``(None, None)`` markers that the coordinator folds into a coverage
+  report.
+* **Deadline propagation** — the calling thread's ambient
+  :class:`~repro.cluster.resilience.Deadline` (if any) is re-installed
+  inside every worker, so per-partition tasks observe the same
+  cooperative cancellation budget the coordinator does.
 * **Observability** — the batch is metered through the process registry
   (``scheduler.tasks``, ``scheduler.batches``) and the coordinator's
   open operator span is adopted inside each worker
@@ -41,6 +49,7 @@ from typing import Any, Callable, List, Optional, Sequence
 from ..core.errors import GridError
 from ..obs import tracing
 from ..obs.metrics import get_registry
+from .resilience import current_deadline, deadline_scope
 
 __all__ = ["PartitionScheduler", "default_parallelism"]
 
@@ -78,26 +87,39 @@ class PartitionScheduler:
             return [task() for task in tasks]
 
         parent = tracing.current_span()
+        deadline = current_deadline()
 
         def run(task: Callable[[], Any]) -> Any:
-            with tracing.adopt(parent):
+            with tracing.adopt(parent), deadline_scope(deadline):
                 return task()
 
         workers = min(self.parallelism, len(tasks))
         results: List[Any] = []
         first_error: Optional[BaseException] = None
+        siblings: List[tuple[int, BaseException]] = []
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-sched"
         ) as pool:
             futures = [pool.submit(run, task) for task in tasks]
-            for future in futures:
+            for i, future in enumerate(futures):
                 try:
                     results.append(future.result())
                 except BaseException as exc:  # deterministic: lowest index wins
                     if first_error is None:
                         first_error = exc
+                    else:
+                        siblings.append((i, exc))
                     results.append(None)
         if first_error is not None:
+            # The lowest-indexed failure is raised; the rest ride along as
+            # notes + a structured attribute instead of vanishing.
+            first_error.sibling_failures = tuple(e for _, e in siblings)
+            if hasattr(first_error, "add_note"):  # py >= 3.11
+                for i, exc in siblings:
+                    first_error.add_note(
+                        f"[scheduler] task {i} also failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
             raise first_error
         return results
 

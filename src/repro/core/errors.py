@@ -14,7 +14,9 @@ or partitioning spec):
 * :class:`QuorumError` — no surviving replica could serve a partition
   (after bounded, deterministic failover retries);
 * :class:`ReplicationError` — invalid replication configuration (e.g.
-  a replication factor larger than the grid).
+  a replication factor larger than the grid);
+* :class:`DeadlineExceededError` — a query ran past its deadline budget
+  and was cooperatively cancelled.
 """
 
 from __future__ import annotations
@@ -113,6 +115,22 @@ class NodeFailedError(GridError):
 
 class QuorumError(GridError):
     """No surviving replica could serve a partition (or accept a write)."""
+
+
+class DeadlineExceededError(GridError):
+    """A query ran past its deadline budget.
+
+    Raised cooperatively — at operator boundaries, before replica
+    attempts, and inside partition scans — once the ambient
+    :class:`~repro.cluster.resilience.Deadline` expires.  Carries the
+    original budget and, when known, what the query was doing.
+    """
+
+    def __init__(self, budget_ms: float, what: str = "") -> None:
+        self.budget_ms = budget_ms
+        self.what = what
+        doing = f" during {what}" if what else ""
+        super().__init__(f"deadline of {budget_ms:g} ms exceeded{doing}")
 
 
 class ReplicationError(GridError):

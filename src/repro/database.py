@@ -21,6 +21,7 @@ from typing import Any, Iterable, Optional, Sequence, Union
 
 from .cluster.faults import FaultInjector
 from .cluster.grid import Grid
+from .cluster.resilience import Deadline, ResiliencePolicy, deadline_scope
 from .core.array import SciArray
 from .core.errors import PlanError, ProvenanceError, SchemaError, VersionError
 from .core.schema import ArraySchema
@@ -102,27 +103,52 @@ class SciDB:
 
     # -- statements (both bindings) ---------------------------------------------
 
-    def execute(self, statement: "str | Node") -> ExecutionResult:
-        """Run one statement: textual AQL or a parse tree (Section 2.4)."""
-        return self.executor.run(statement)
+    def execute(
+        self,
+        statement: "str | Node",
+        timeout_ms: Optional[float] = None,
+    ) -> ExecutionResult:
+        """Run one statement: textual AQL or a parse tree (Section 2.4).
 
-    def query(self, statement: "str | Node") -> SciArray:
+        *timeout_ms* installs a :class:`~repro.cluster.resilience.Deadline`
+        for the statement: the executor checks it cooperatively at every
+        operator boundary and the grid read path checks it per replica
+        attempt and mid-scan, raising
+        :class:`~repro.core.errors.DeadlineExceededError` on expiry.
+        """
+        with deadline_scope(
+            Deadline.after_ms(timeout_ms) if timeout_ms is not None else None
+        ):
+            return self.executor.run(statement)
+
+    def query(
+        self,
+        statement: "str | Node",
+        timeout_ms: Optional[float] = None,
+    ) -> SciArray:
         """Like :meth:`execute`, returning the result array directly."""
-        return self.execute(statement).array
+        return self.execute(statement, timeout_ms=timeout_ms).array
 
     def execute_script(self, text: str) -> list[ExecutionResult]:
         return self.executor.run_script(text)
 
     # -- observability (EXPLAIN ANALYZE, metrics, slow queries) -------------------
 
-    def explain(self, statement: "str | Node") -> ExplainReport:
+    def explain(
+        self,
+        statement: "str | Node",
+        timeout_ms: Optional[float] = None,
+    ) -> ExplainReport:
         """Execute *statement* under tracing and return the plan tree
         annotated with actual measurements.
 
         Every operator node carries its wall time, cells scanned, chunks
-        touched, nodes visited and bytes moved; the report also records
-        the movement-ledger delta the query caused, which the per-operator
-        ``bytes_moved`` figures reconcile with.
+        touched, nodes visited and bytes moved — plus resilience counters
+        (failovers, breaker skips, hedges, deadline misses) when the grid
+        read path took evasive action; the report also records the
+        movement-ledger delta the query caused, which the per-operator
+        ``bytes_moved`` figures reconcile with.  *timeout_ms* behaves as
+        in :meth:`execute`.
         """
         if isinstance(statement, str):
             node = parse_statement(statement)  # typed ParseError on junk
@@ -142,7 +168,9 @@ class SciDB:
         before = _ledger_totals(grids)
         recorder = SpanRecorder()
         t0 = time.perf_counter()
-        with tracing.use(recorder):
+        with tracing.use(recorder), deadline_scope(
+            Deadline.after_ms(timeout_ms) if timeout_ms is not None else None
+        ):
             result = self.executor.run_planned(planned, statement_text=text)
         total_ms = (time.perf_counter() - t0) * 1e3
         after = _ledger_totals(grids)
@@ -390,6 +418,8 @@ class SciDB:
         memory_budget: int = 1 << 20,
         parallelism: Optional[int] = None,
         chunk_cache_bytes: int = 8 << 20,
+        resilience: Optional[ResiliencePolicy] = None,
+        hedge_delay_ms: Optional[float] = None,
     ) -> Grid:
         """Create a named shared-nothing grid rooted under this database.
 
@@ -398,12 +428,16 @@ class SciDB:
         (k - 1)-site failures per replica chain; see
         :mod:`repro.cluster.replication`.  A seeded
         :class:`~repro.cluster.faults.FaultInjector` can be attached for
-        deterministic failure drills.
+        deterministic failure drills; drills run at full parallelism (the
+        injector is thread-safe with keyed randomness).
 
         ``parallelism`` bounds the intra-query partition fan-out (default:
-        ``min(8, n_nodes)``, or 1 when a fault injector is attached, so
-        scheduled faults stay deterministic).  ``chunk_cache_bytes`` sizes
-        each node's decompressed-chunk LRU cache (0 disables it).
+        ``min(8, n_nodes)``).  ``chunk_cache_bytes`` sizes each node's
+        decompressed-chunk LRU cache (0 disables it).  ``resilience``
+        overrides the grid's retry/breaker/hedge bundle
+        (:class:`~repro.cluster.resilience.ResiliencePolicy`);
+        ``hedge_delay_ms`` enables hedged backup reads against the next
+        replica after that many milliseconds without an answer.
         """
         if self.directory is None:
             raise SchemaError("this SciDB instance has no storage directory")
@@ -417,6 +451,8 @@ class SciDB:
             default_replication=replication,
             parallelism=parallelism,
             chunk_cache_bytes=chunk_cache_bytes,
+            resilience=resilience,
+            hedge_delay_ms=hedge_delay_ms,
         )
         self._grids[name] = grid
         return grid

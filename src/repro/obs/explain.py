@@ -70,6 +70,15 @@ class OperatorProfile:
         ratio = self.cache_hit_ratio
         if ratio is not None:
             line += f"  [cache_hit_ratio={ratio:.2f}]"
+        # Resilience activity: shown only when the read path took evasive
+        # action, so healthy plans stay uncluttered.
+        for key in (
+            "failovers", "breaker_skips", "hedges", "hedge_wins",
+            "deadline_misses",
+        ):
+            value = self.counters.get(key, 0)
+            if value:
+                line += f"  [{key}={int(value)}]"
         if self.error:
             line += f"  ERROR: {self.error}"
         parts = [line]

@@ -19,6 +19,7 @@ from typing import Any, Optional
 
 import itertools
 
+from ..cluster.resilience import check_deadline
 from ..core.array import SciArray
 from ..core.enhance import enhance as attach_enhancement
 from ..core.errors import PlanError, SchemaError
@@ -213,6 +214,8 @@ class Executor:
             # span's time and counters exclusive to its operator.
             input_names = [self._name_of(a, result) for a in node.args]
             output = output_name or f"__q{next(self._temp_counter)}"
+            # Operator boundary: cooperative cancellation under a deadline.
+            check_deadline(f"operator {node.op}")
             with tracing.span("op:" + node.op, op=node.op, node_id=id(node)) as sp:
                 value = self.provenance.execute(
                     node.op, input_names, output, **kwargs
@@ -222,6 +225,7 @@ class Executor:
                 )
             return value
         args = [self._eval(a, result) for a in node.args]
+        check_deadline(f"operator {node.op}")
         with tracing.span("op:" + node.op, op=node.op, node_id=id(node)) as sp:
             value = self._apply_op(node, args, kwargs, sp)
             self._annotate_local(sp, args, value)

@@ -143,8 +143,9 @@ class BulkLoader:
         Quarantine malformed records instead of raising.
     quarantine:
         Dead-letter store for tolerant mode (one is created on demand).
-    max_retries / backoff_base_ms:
-        Bounded-retry policy for :class:`TransientIOError` from a site.
+    max_retries / backoff_base_ms / backoff_max_ms:
+        Bounded-retry policy for :class:`TransientIOError` from a site;
+        the exponential backoff is capped at ``backoff_max_ms``.
     on_record:
         Optional hook invoked once per consumed record — the fault
         injector's crash clock
@@ -166,6 +167,7 @@ class BulkLoader:
         quarantine: Optional[QuarantineStore] = None,
         max_retries: int = 3,
         backoff_base_ms: float = 1.0,
+        backoff_max_ms: float = 64.0,
         on_record: Optional[Callable[[], None]] = None,
     ) -> None:
         if not sites:
@@ -188,6 +190,7 @@ class BulkLoader:
         )
         self.max_retries = max_retries
         self.backoff_base_ms = backoff_base_ms
+        self.backoff_max_ms = backoff_max_ms
         self.on_record = on_record
         self.schema = getattr(next(iter(self.sites.values())), "schema", None)
         self.records_loaded = 0
@@ -320,8 +323,12 @@ class BulkLoader:
                         f"{self.max_retries} retries"
                     ) from exc
                 self.stats.records_retried += 1
-                self.stats.backoff_ms += (
-                    self.backoff_base_ms * 2 ** (attempt - 1)
+                # Capped: the uncapped doubling overflows semantically for
+                # large attempt budgets (attempt 60 would charge ~18 years
+                # of simulated backoff to the report).
+                self.stats.backoff_ms += min(
+                    self.backoff_base_ms * 2 ** (attempt - 1),
+                    self.backoff_max_ms,
                 )
 
     # -- the load loop -------------------------------------------------------------

@@ -181,17 +181,34 @@ class TestFailoverReads:
         with pytest.raises(QuorumError):
             arr.aggregate(["x"], "sum")
 
-    def test_backoff_is_deterministic_and_exponential(self, tmp_path):
+    def test_backoff_is_deterministic_capped_and_jittered(self, tmp_path):
         inj = FaultInjector(seed=0)
         grid, arr = loaded_grid(tmp_path, "k1", inj, k=1)
         inj.kill(0)
         with pytest.raises(QuorumError):
             arr.subsample(WINDOW)
         events = [e for e in grid.failover_log if e.partition == 0]
+        policy = grid.resilience.retry
+        # Recorded backoff is exactly what the policy charges: capped
+        # exponential with seeded jitter keyed on (array, partition).
         assert [e.backoff_ms for e in events] == [
-            grid.backoff_base_ms * 2 ** (e.attempt - 1) for e in events
+            policy.backoff_ms(e.attempt, key=(e.array, e.partition))
+            for e in events
         ]
+        for e in events:
+            base = grid.backoff_base_ms * 2 ** (e.attempt - 1)
+            assert base <= e.backoff_ms <= min(
+                base * (1 + policy.jitter_frac), policy.backoff_max_ms
+            )
         assert len(events) == grid.max_read_retries
+
+    def test_backoff_never_exceeds_cap(self, tmp_path):
+        inj = FaultInjector(seed=0)
+        grid, arr = loaded_grid(tmp_path, "k1", inj, k=1)
+        policy = grid.resilience.retry
+        # Attempt counts far past the doubling range stay at the ceiling
+        # (the old unbounded formula overflowed semantically here).
+        assert policy.backoff_ms(60, key=("sky", 0)) == policy.backoff_max_ms
 
 
 class TestDegradedMode:

@@ -75,9 +75,11 @@ class TestParallelSerialEquivalence:
         assert Grid(N, tmp_path / "a").parallelism == 8
         assert Grid(2, tmp_path / "b").parallelism == 2
         assert Grid(16, tmp_path / "c").parallelism == 8
-        # Fault-drill grids stay serial unless explicitly overridden.
+        # Fault-drill grids run at full parallelism too: the injector is
+        # thread-safe with keyed randomness, so the old force-serial
+        # special case is gone.
         assert Grid(N, tmp_path / "d",
-                    fault_injector=FaultInjector(seed=1)).parallelism == 1
+                    fault_injector=FaultInjector(seed=1)).parallelism == 8
         assert Grid(N, tmp_path / "e", parallelism=4,
                     fault_injector=FaultInjector(seed=1)).parallelism == 4
 
