@@ -34,7 +34,9 @@ from .node import Node
 from .partitioning import (
     BlockCyclicPartitioner,
     BlockPartitioner,
+    ConsistentHashPartitioner,
     HashPartitioner,
+    HashRing,
     Partitioner,
     RangePartitioner,
     TimeEpochPartitioner,
@@ -61,9 +63,15 @@ from .replication import (
     ScatterPlacement,
 )
 from .grid import DataMovementLedger, DistributedArray, Grid
+from .rebalance import Migration, RebalanceReport, Rebalancer
 from .scheduler import PartitionScheduler, default_parallelism
 from .copartition import copartition, is_copartitioned
-from .designer import DesignCandidate, WorkloadQuery, AutomaticDesigner
+from .designer import (
+    AutomaticDesigner,
+    DesignCandidate,
+    RebalanceAdvisor,
+    WorkloadQuery,
+)
 
 __all__ = [
     "Node",
@@ -73,6 +81,8 @@ __all__ = [
     "BlockPartitioner",
     "BlockCyclicPartitioner",
     "TimeEpochPartitioner",
+    "ConsistentHashPartitioner",
+    "HashRing",
     "Grid",
     "DistributedArray",
     "DataMovementLedger",
@@ -83,6 +93,11 @@ __all__ = [
     "AutomaticDesigner",
     "WorkloadQuery",
     "DesignCandidate",
+    "RebalanceAdvisor",
+    # elastic rebalancing
+    "Rebalancer",
+    "RebalanceReport",
+    "Migration",
     # fault tolerance & replication
     "GridError",
     "NodeFailedError",

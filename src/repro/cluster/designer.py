@@ -22,12 +22,21 @@ exactly the paper's periodic re-design loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from ..core.errors import PartitioningError
-from .partitioning import Partitioner
+from .partitioning import ConsistentHashPartitioner, Partitioner
+from .rebalance import RebalanceReport
 
-__all__ = ["WorkloadQuery", "DesignCandidate", "AutomaticDesigner"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .grid import DistributedArray, Grid
+
+__all__ = [
+    "WorkloadQuery",
+    "DesignCandidate",
+    "AutomaticDesigner",
+    "RebalanceAdvisor",
+]
 
 Coords = tuple[int, ...]
 
@@ -184,3 +193,117 @@ class AutomaticDesigner:
         if current_score.cost - best.cost > improvement_threshold:
             return best
         return None
+
+
+class RebalanceAdvisor:
+    """The periodic re-design loop, closed: watch ``imbalance()`` and
+    auto-trigger a throttled online rebalance when it drifts too far.
+
+    "This designer can be run periodically on the actual workload, and
+    suggest modifications" — here the suggestion is *acted on*: when an
+    array's max/mean stored-cells ratio exceeds *threshold* (a skewed
+    ingest hotspot, a membership change that was never rebalanced), the
+    advisor samples the stored coordinates, asks an
+    :class:`AutomaticDesigner` to pick the best-balanced consistent-hash
+    layout for that population from a pool of ring seeds, and migrates
+    the array to it with :meth:`Grid.rebalance
+    <repro.cluster.grid.Grid.rebalance>` — throttled, interleaved with
+    serving traffic, abortable.  Every check lands in :attr:`history`
+    (the imbalance trajectory E20 plots).
+    """
+
+    def __init__(
+        self,
+        grid: "Grid",
+        threshold: float = 1.25,
+        max_transfer_cells_per_tick: int = 64,
+        vnodes: int = 96,
+        ring_seeds: Sequence[int] = (0, 1, 2, 3),
+        min_cells: int = 32,
+    ) -> None:
+        if threshold < 1.0:
+            raise PartitioningError(
+                "imbalance threshold below 1.0 can never be satisfied"
+            )
+        self.grid = grid
+        self.threshold = float(threshold)
+        self.max_transfer_cells_per_tick = int(max_transfer_cells_per_tick)
+        self.vnodes = int(vnodes)
+        self.ring_seeds = tuple(ring_seeds)
+        self.min_cells = int(min_cells)
+        #: one record per check: array, imbalance, triggered, and (when
+        #: a migration ran) the imbalance it recovered to
+        self.history: list[dict] = []
+
+    def _sample_coords(self, arr: "DistributedArray") -> list[Coords]:
+        """The stored population, coordinator-side: coordinates only, no
+        values, no metered movement (placement metadata, not a query)."""
+        seen: set[Coords] = set()
+        for node in self.grid.alive_nodes():
+            try:
+                seen.update(node.partition(arr.name).live_coords())
+            except Exception:
+                continue  # not created here / raced a drop: skip
+        return sorted(seen)
+
+    def _target_for(
+        self, arr: "DistributedArray", cells: Sequence[Coords]
+    ) -> Optional[Partitioner]:
+        """The best-balanced ring over current members for *cells*."""
+        members = self.grid.members()
+        if len(members) < arr.replication:
+            return None
+        pool = [
+            ConsistentHashPartitioner(
+                len(self.grid.nodes), members=members,
+                vnodes=self.vnodes, seed=s,
+            )
+            for s in self.ring_seeds
+        ]
+        designer = AutomaticDesigner(cells, pool)
+        return designer.suggest([])[0].partitioner
+
+    def check(
+        self,
+        array_name: str,
+        interleave: Optional[Callable[[], None]] = None,
+    ) -> Optional[RebalanceReport]:
+        """One tick of the loop: measure, and migrate if drifted.
+
+        Returns the migration report when one ran, else None.  A check
+        never stacks migrations: an array already mid-rebalance just
+        records its trajectory point.
+        """
+        arr = self.grid.get_array(array_name)
+        imbalance = arr.imbalance()
+        entry: dict = {
+            "array": array_name,
+            "imbalance": imbalance,
+            "threshold": self.threshold,
+            "triggered": False,
+        }
+        cells = self._sample_coords(arr)
+        if (
+            imbalance <= self.threshold
+            or arr._migration is not None
+            or len(cells) < self.min_cells
+        ):
+            self.history.append(entry)
+            return None
+        target = self._target_for(arr, cells)
+        if (
+            target is None
+            or target.descriptor() == arr.partitioner.descriptor()
+        ):
+            self.history.append(entry)
+            return None
+        report = self.grid.rebalance(
+            array_name, target,
+            max_transfer_cells_per_tick=self.max_transfer_cells_per_tick,
+            interleave=interleave,
+        )
+        entry["triggered"] = True
+        entry["aborted"] = report.aborted
+        entry["imbalance_after"] = arr.imbalance()
+        self.history.append(entry)
+        return report

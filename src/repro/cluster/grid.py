@@ -66,7 +66,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
@@ -104,6 +104,7 @@ from .resilience import (
     deadline_scope,
     sleep_under_deadline,
 )
+from .rebalance import Migration, Rebalancer, RebalanceReport
 from .scheduler import PartitionScheduler, default_parallelism
 from .replication import (
     ChainedDeclusteringPlacement,
@@ -245,18 +246,54 @@ class DistributedArray:
         self.replication = replication
         self.placement = placement or ChainedDeclusteringPlacement()
         # Validate the chain for every partition up front.
-        for p in range(partitioner.n_sites):
-            self.placement.chain(p, partitioner.n_sites, replication)
+        for p in partitioner.sites():
+            self.chain_under(partitioner, p)
         self.cell_nbytes = _cell_nbytes(schema)
+        #: in-flight elastic migration (cluster/rebalance.py), or None.
+        #: While set, writes land in both homes and reads may
+        #: dual-resolve against the new placement.
+        self._migration: Optional["Migration"] = None
+        # Per-dimension high-water marks for unbounded dimensions,
+        # maintained on every stored delivery (under the grid's deliver
+        # lock) — so _extent() is O(1) instead of a full rescan.
+        self._dim_highwater: list[int] = [0] * schema.ndim
 
     # -- replica routing ---------------------------------------------------------
 
+    def partitions(self) -> tuple[int, ...]:
+        """Logical partition ids that can hold cells — every site for the
+        classic partitioners, only ring members for membership-aware
+        ones (a drained node's partition is empty by construction and
+        must not be read or counted against coverage)."""
+        return tuple(self.partitioner.sites())
+
+    def chain_under(self, partitioner: Partitioner, p: int) -> tuple[int, ...]:
+        """Replica chain for partition *p* under an arbitrary scheme.
+
+        Membership-aware partitioners own their chains (chained
+        declustering over ring members, never placing a replica on a
+        drained site); the classic ones use the array's placement over
+        the full site range.
+        """
+        chain_sites = getattr(partitioner, "chain_sites", None)
+        if chain_sites is not None:
+            return chain_sites(p, self.replication)
+        return self.placement.chain(p, partitioner.n_sites, self.replication)
+
     def partition_chain(self, p: int) -> tuple[int, ...]:
         """Replica chain (primary first) for logical partition *p*."""
-        return self.placement.chain(p, self.partitioner.n_sites, self.replication)
+        return self.chain_under(self.partitioner, p)
 
     def replica_sites(self, coords: Coords) -> tuple[int, ...]:
         return self.partition_chain(self.partitioner.site_of(coords))
+
+    def _note_coords(self, coords: Coords) -> None:
+        """Advance the per-dimension high-water marks (grid.deliver calls
+        this under its delivery lock for every stored cell)."""
+        hw = self._dim_highwater
+        for i, c in enumerate(coords):
+            if c > hw[i]:
+                hw[i] = c
 
     # -- writes ------------------------------------------------------------------
 
@@ -282,6 +319,31 @@ class DistributedArray:
                 COORDINATOR, site, self.cell_nbytes, reason,
                 self.name, coords, values,
             )
+        self._dual_write(coords, values)
+
+    def _dual_write(self, coords: Coords, values: Optional[tuple]) -> None:
+        """During an elastic migration, land the write in its *new* homes
+        too (metered ``"rebalance_dual"``), so no interleaving of ticks
+        and writes can lose an update: whichever placement ends up
+        serving after cutover-or-abort already has the cell."""
+        mig = self._migration
+        if mig is None:
+            return
+        old_sites = set(self.replica_sites(coords))
+        for site in mig.new_chain(coords):
+            if site in old_sites:
+                continue
+            try:
+                if self.grid.deliver(
+                    COORDINATOR, site, self.cell_nbytes, "rebalance_dual",
+                    self.name, coords, values,
+                ):
+                    mig.note_delivered(coords, site)
+            except TransientIOError:
+                # Copy lost at the receiving disk: pre-cutover
+                # verification re-queues it from the old home.
+                pass
+        mig.note_write(coords)
 
     def load(self, records: Iterable[LoadRecord]) -> int:
         n = 0
@@ -323,6 +385,7 @@ class DistributedArray:
                 COORDINATOR, site, self.cell_nbytes, reason,
                 self.name, coords, values,
             )
+        self._dual_write(coords, values)
         return serving, failed_over
 
     def load_checkpointed(
@@ -356,7 +419,7 @@ class DistributedArray:
         """
         sinks = {
             p: _PartitionLoadSink(self, p)
-            for p in range(self.partitioner.n_sites)
+            for p in self.partitions()
         }
         faults = self.grid.faults
         latency_before = self.grid.store_latency_ms
@@ -718,12 +781,114 @@ class DistributedArray:
                 tracing.mark_current("nodes", served)
                 tracing.add_current("cells_scanned", len(cells))
                 return served, cells
+        fallback = self._dual_resolve_read(p, window, per_cell_reason)
+        if fallback is not None:
+            return fallback
         if degraded:
             return None, None
         raise QuorumError(
             f"partition {p} of {self.name!r}: no surviving replica among "
             f"sites {chain} after {attempt} attempts"
         )
+
+    def _dual_resolve_read(
+        self,
+        p: int,
+        window: Optional[tuple[Coords, Coords]],
+        per_cell_reason: Optional[str],
+    ) -> Optional[tuple[int, list[tuple[Coords, Optional[Cell]]]]]:
+        """Serve partition *p* from the migration's *new* homes after the
+        old chain is exhausted.
+
+        During an elastic migration every already-moved (or dual-written)
+        cell also lives at its new-placement sites; when the old chain is
+        fully dead the read fails over to those copies.  Exactly-once is
+        preserved: only cells whose *old* primary is *p* are served (the
+        same dedup rule every chain read applies), each at most once; and
+        metering follows the PR-6 :class:`MeterBuffer` pattern — buffered
+        per contributing site and committed all-or-nothing, so a partial
+        union scan that cannot cover the partition meters nothing.
+
+        Returns ``None`` (not an error) when there is no migration or the
+        new homes cannot account for every known cell of *p* — the caller
+        then degrades or raises :class:`QuorumError` exactly as before.
+        """
+        mig = self._migration
+        if mig is None:
+            return None
+        grid = self.grid
+        deadline = current_deadline()
+        buf = MeterBuffer()
+        got: dict[Coords, tuple[int, Optional[Cell]]] = {}
+        for site in mig.new_partitioner.sites():
+            node = grid.nodes[site]
+            if not node.alive:
+                continue
+            try:
+                for coords, cell in node.scan_partition(self.name, window):
+                    if deadline is not None and len(got) % 64 == 0:
+                        deadline.check(
+                            f"dual-resolve of partition {p} on node {site}"
+                        )
+                    if self.partitioner.site_of(coords) != p:
+                        continue  # belongs to another old partition
+                    if coords in got:
+                        continue  # already served by an earlier member
+                    if not mig.trusted(coords, site):
+                        continue  # stale resurrection: never serve it
+                    got[coords] = (site, cell)
+            except (NodeFailedError, TransientIOError):
+                continue  # another member may still cover these cells
+        # Completeness: every cell the migration knows belongs to p (and
+        # the window) must have been found, else the answer would be
+        # silently partial — fall back to the ordinary failure path.
+        with mig._lock:
+            known = list(mig.known)
+        for coords in known:
+            if self.partitioner.site_of(coords) != p:
+                continue
+            if window is not None and not all(
+                l <= c <= h
+                for c, l, h in zip(coords, window[0], window[1])
+            ):
+                continue
+            if coords not in got:
+                return None
+        # Commit the buffered accounting only now that the read is known
+        # complete: per-site bulk meters plus scan counters.
+        per_site: dict[int, int] = {}
+        for site, _cell in got.values():
+            per_site[site] = per_site.get(site, 0) + 1
+        for site, count in per_site.items():
+            buf.counter(grid.nodes[site], "cells_scanned", count)
+            if per_cell_reason is not None:
+                buf.record(
+                    site, COORDINATOR,
+                    count * self.cell_nbytes, per_cell_reason,
+                )
+        buf.commit(grid)
+        grid._count_resilience("dual_reads")
+        served = (
+            max(per_site, key=lambda s: (per_site[s], -s))
+            if per_site
+            else next(
+                (
+                    s for s in mig.new_partitioner.sites()
+                    if grid.nodes[s].alive
+                ),
+                None,
+            )
+        )
+        if served is None:
+            return None
+        cells = sorted(
+            ((coords, cell) for coords, (_s, cell) in got.items()),
+        )
+        tracing.mark_current("nodes", served)
+        tracing.add_current("cells_scanned", len(cells))
+        tracing.add_current("dual_reads", 1)
+        grid.nodes[served].counters.add("failovers_served")
+        return served, cells
 
     def _read_partitions(
         self,
@@ -745,7 +910,7 @@ class DistributedArray:
         partial coverage instead of a failed query.
         """
         if partitions is None:
-            partitions = range(self.partitioner.n_sites)
+            partitions = self.partitions()
 
         def read_one(p: int) -> tuple:
             try:
@@ -774,8 +939,9 @@ class DistributedArray:
         :class:`~repro.core.errors.QuorumError` — or, with
         ``degraded=True``, is silently skipped (partial answer).
         """
-        for p, (_site, cells) in enumerate(
-            self._read_partitions(window, "gather", degraded)
+        for p, (_site, cells) in zip(
+            self.partitions(),
+            self._read_partitions(window, "gather", degraded),
         ):
             if cells is None:
                 if degraded:
@@ -840,11 +1006,12 @@ class DistributedArray:
         out = SciArray(self.schema, name=f"{self.name}_window")
         missing: list[tuple[str, int]] = []
         with deadline_scope(deadline):
-            for p, (_site, cells) in enumerate(
+            for p, (_site, cells) in zip(
+                self.partitions(),
                 self._read_partitions(
                     window, "gather", partial,
                     tolerate_deadline=_wants_partial(on_unavailable),
-                )
+                ),
             ):
                 if cells is None:
                     missing.append((self.name, p))
@@ -852,7 +1019,7 @@ class DistributedArray:
                 for coords, cell in cells:
                     out.set(coords, cell)
         if partial:
-            report = CoverageReport(self.partitioner.n_sites, tuple(missing))
+            report = CoverageReport(len(self.partitions()), tuple(missing))
             return DegradedResult(out, report)
         return out
 
@@ -907,7 +1074,7 @@ class DistributedArray:
         for key, state in merged.items():
             out.set(key, aggregate_fn.final(state))
         if partial_mode:
-            report = CoverageReport(self.partitioner.n_sites, tuple(missing))
+            report = CoverageReport(len(self.partitions()), tuple(missing))
             return DegradedResult(out, report)
         return out
 
@@ -953,11 +1120,11 @@ class DistributedArray:
             partials = self.grid.scheduler.map(
                 [
                     (lambda p=p: local_phase(p))
-                    for p in range(self.partitioner.n_sites)
+                    for p in self.partitions()
                 ]
             )
             state_nbytes = 24  # partial-state wire estimate
-            for p, partial in enumerate(partials):
+            for p, partial in zip(self.partitions(), partials):
                 if partial is None:
                     missing.append((self.name, p))
                     continue
@@ -975,10 +1142,11 @@ class DistributedArray:
             # Reads fan out; the transitions themselves stay coordinator-
             # side and in partition order (holistic state is not mergeable,
             # and order-dependent aggregates must see the serial order).
-            for p, (site, cells) in enumerate(
+            for p, (site, cells) in zip(
+                self.partitions(),
                 self._read_partitions(
                     degraded=degraded, tolerate_deadline=tolerate_deadline
-                )
+                ),
             ):
                 if cells is None:
                     missing.append((self.name, p))
@@ -1021,15 +1189,14 @@ class DistributedArray:
                 "local sjoin for partial-dimension joins"
             )
 
-        n_sites = self.partitioner.n_sites
         missing: list[tuple[str, int]] = []
         copartitioned = self.partitioner == other.partitioner
 
         # Read every left partition in parallel (no per-cell metering: the
         # join runs at the serving site, which holds the cells locally).
         left_served: dict[int, tuple[int, list]] = {}
-        for p, (site, cells) in enumerate(
-            self._read_partitions(degraded=degraded)
+        for p, (site, cells) in zip(
+            self.partitions(), self._read_partitions(degraded=degraded)
         ):
             if cells is None:
                 missing.append((self.name, p))
@@ -1041,7 +1208,7 @@ class DistributedArray:
             p: SciArray(other.schema, name=f"{other.name}@p{p}")
             for p in left_served
         }
-        total_partitions = n_sites
+        total_partitions = len(self.partitions())
         if copartitioned:
             live = sorted(left_served)
             right_reads = other._read_partitions(
@@ -1062,9 +1229,10 @@ class DistributedArray:
                     right_parts[p].set(coords, cell)
         else:
             # Shuffle right cells to the site joining the matching left cell.
-            total_partitions += other.partitioner.n_sites
-            for q, (r_site, r_cells) in enumerate(
-                other._read_partitions(degraded=degraded)
+            total_partitions += len(other.partitions())
+            for q, (r_site, r_cells) in zip(
+                other.partitions(),
+                other._read_partitions(degraded=degraded),
             ):
                 if r_cells is None:
                     missing.append((other.name, q))
@@ -1144,6 +1312,8 @@ class DistributedArray:
             self.partitioner, replication=self.replication,
             placement=self.placement,
         )
+        # Filter preserves addresses, so the extent high-water carries over.
+        out._dim_highwater = list(self._dim_highwater)
 
         def filter_node(node: Node) -> None:
             try:
@@ -1187,6 +1357,7 @@ class DistributedArray:
             self.partitioner, replication=self.replication,
             placement=self.placement,
         )
+        out._dim_highwater = list(self._dim_highwater)
         n_out = len(output)
 
         def apply_node(node: Node) -> None:
@@ -1214,7 +1385,7 @@ class DistributedArray:
 
     def _check_coverage(self) -> None:
         """Raise QuorumError if any partition has lost every replica."""
-        for p in range(self.partitioner.n_sites):
+        for p in self.partitions():
             chain = self.partition_chain(p)
             if not any(self.grid.nodes[s].alive for s in chain):
                 raise QuorumError(
@@ -1269,7 +1440,7 @@ class DistributedArray:
         partials = self.grid.scheduler.map(
             [
                 (lambda p=p: local_phase(p))
-                for p in range(self.partitioner.n_sites)
+                for p in self.partitions()
             ]
         )
         merged: dict[Coords, Any] = {}
@@ -1305,13 +1476,9 @@ class DistributedArray:
         declared = self.schema.dimensions[dim_index].size
         if declared is not None:
             return declared
-        # Unbounded: take the max coordinate stored anywhere (replicas
-        # share the max, so alive nodes suffice).
-        hw = 0
-        for node in self.grid.alive_nodes():
-            for coords, _ in node.partition(self.name).scan():
-                hw = max(hw, coords[dim_index])
-        return hw
+        # Unbounded: the per-dimension high-water mark maintained on every
+        # write/ingest (see _note_coords) — O(1), no storage rescans.
+        return self._dim_highwater[dim_index]
 
     # -- repartitioning --------------------------------------------------------------
 
@@ -1325,12 +1492,11 @@ class DistributedArray:
         """
         if new_partitioner.n_sites != len(self.grid.nodes):
             raise PartitioningError("new partitioner targets a different grid size")
-        n_sites = self.partitioner.n_sites
         # Gather every logical cell once (in parallel), remembering who
         # served it; redistribution below stays serial so the delivery —
         # and with it fault ordering — is deterministic.
         collected: list[tuple[int, Coords, Optional[tuple]]] = []
-        for p, (site, cells) in enumerate(self._read_partitions()):
+        for p, (site, cells) in zip(self.partitions(), self._read_partitions()):
             if site is None or cells is None:  # pragma: no cover - defensive
                 raise QuorumError(
                     f"partition {p} of {self.name!r}: no surviving replica"
@@ -1353,7 +1519,7 @@ class DistributedArray:
             new_primary = new_partitioner.site_of(coords)
             if new_primary != self.partitioner.site_of(coords):
                 moved += 1
-            chain = self.placement.chain(new_primary, n_sites, self.replication)
+            chain = self.chain_under(new_partitioner, new_primary)
             for dst in chain:
                 if coords in prior.get(dst, ()):
                     # Already resident before the migration: free.
@@ -1465,6 +1631,11 @@ class Grid:
         if n_nodes < 1:
             raise PartitioningError("a grid needs at least one node")
         directory = Path(directory)
+        # Remembered for elastic growth: add_node() provisions new
+        # workers with the same storage knobs as the founding members.
+        self.directory = directory
+        self.memory_budget = memory_budget
+        self.chunk_cache_bytes = chunk_cache_bytes
         self.nodes = [
             Node(
                 i,
@@ -1510,6 +1681,7 @@ class Grid:
             "hedge_wins": 0,
             "breaker_skips": 0,
             "deadline_misses": 0,
+            "dual_reads": 0,
         }
         self.failover_log: list[FailoverEvent] = []
         #: simulated latency charged by slow-site faults (the grid never sleeps)
@@ -1538,11 +1710,213 @@ class Grid:
         self._deliver_lock = threading.RLock()
         self._failover_lock = threading.Lock()
         self._arrays: dict[str, DistributedArray] = {}
+        # Elastic-operations bookkeeping: in-flight migrations, finished
+        # migration reports, and node rebuild reports — all surfaced in
+        # metrics_snapshot() / explain.
+        self.active_rebalancers: list[Rebalancer] = []
+        self.rebalance_log: list[RebalanceReport] = []
+        self.rebuilds: list[RebuildReport] = []
 
     # -- liveness --------------------------------------------------------------------
 
     def alive_nodes(self) -> list[Node]:
         return [node for node in self.nodes if node.alive]
+
+    def members(self) -> tuple[int, ...]:
+        """Node ids currently part of the grid.  Retired slots are
+        excluded but never renumbered — a node id is forever."""
+        return tuple(n.node_id for n in self.nodes if not n.retired)
+
+    # -- elastic membership ----------------------------------------------------------
+
+    def _ring_target(
+        self, arr: "DistributedArray", members: tuple[int, ...]
+    ) -> Partitioner:
+        """The partitioner *arr* should migrate to for *members*.
+
+        Ring-partitioned arrays keep their ring with the membership
+        delta applied — that is what bounds movement at ~1/(N+1) per
+        added/removed member.  Any other scheme converts to a consistent
+        hash ring, a one-time full reshuffle that buys every later
+        membership change the cheap path.
+        """
+        from .partitioning import ConsistentHashPartitioner
+
+        if len(members) < arr.replication:
+            raise PartitioningError(
+                f"array {arr.name!r} needs {arr.replication} members for "
+                f"its replica chains; membership would be {members}"
+            )
+        current = arr.partitioner
+        if isinstance(current, ConsistentHashPartitioner):
+            out = current
+            for m in sorted(set(members) - set(current.members)):
+                out = out.with_member(m)
+            for m in sorted(set(current.members) - set(members)):
+                out = out.without_member(m)
+            return out
+        return ConsistentHashPartitioner(len(self.nodes), members=members)
+
+    def add_node(
+        self,
+        max_transfer_cells_per_tick: int = 64,
+        interleave: Optional[Callable[[], None]] = None,
+    ) -> tuple[int, list[RebalanceReport]]:
+        """Grow the grid by one worker, online.
+
+        Provisions the node with the grid's storage knobs, then migrates
+        every array to a ring including the new member — throttled
+        background copies (metered ``"rebalance"``) interleaved with
+        serving traffic, moving only ~1/(N+1) of each array's cells.
+        Returns the new node id and one report per migrated array.
+        """
+        nid = len(self.nodes)
+        node = Node(
+            nid,
+            self.directory / f"node_{nid:03d}",
+            memory_budget=self.memory_budget,
+            chunk_cache_bytes=self.chunk_cache_bytes,
+        )
+        self.nodes.append(node)
+        self.breakers.append(
+            CircuitBreaker(f"node_{nid}", self.resilience.breaker)
+        )
+        for name in self.names():
+            node.create_partition(name, self._arrays[name].schema)
+        members = self.members()
+        reports: list[RebalanceReport] = []
+        for name in self.names():
+            arr = self._arrays[name]
+            reports.append(
+                self.rebalance(
+                    name, self._ring_target(arr, members),
+                    max_transfer_cells_per_tick=max_transfer_cells_per_tick,
+                    interleave=interleave,
+                )
+            )
+        return nid, reports
+
+    def drain_node(
+        self,
+        node_id: int,
+        max_transfer_cells_per_tick: int = 64,
+        interleave: Optional[Callable[[], None]] = None,
+    ) -> list[RebalanceReport]:
+        """Move every chunk off *node_id*, online.
+
+        The node stays up as an empty standby (it serves old-chain reads
+        until each array's cutover) — :meth:`remove_node` retires it for
+        good.  Each array migrates to its ring minus the drained member;
+        with replication, sources come from surviving chain copies, so a
+        drain can even evacuate a dead node's logical data.
+        """
+        node = self.nodes[node_id]
+        if node.retired:
+            raise GridError(f"node {node_id} is retired")
+        members = tuple(m for m in self.members() if m != node_id)
+        if not members:
+            raise GridError("cannot drain the grid's last member")
+        reports: list[RebalanceReport] = []
+        for name in self.names():
+            arr = self._arrays[name]
+            target = self._ring_target(arr, members)
+            if target.descriptor() == arr.partitioner.descriptor():
+                continue  # already places nothing on node_id
+            reports.append(
+                self.rebalance(
+                    name, target,
+                    max_transfer_cells_per_tick=max_transfer_cells_per_tick,
+                    interleave=interleave,
+                )
+            )
+        return reports
+
+    def remove_node(
+        self,
+        node_id: int,
+        max_transfer_cells_per_tick: int = 64,
+        interleave: Optional[Callable[[], None]] = None,
+    ) -> list[RebalanceReport]:
+        """Drain *node_id*, then retire it (``alive=False``,
+        ``retired=True``).  If any drain migration aborts the node is
+        left in place, still serving — removal is all-or-nothing."""
+        node = self.nodes[node_id]
+        if node.retired:
+            raise GridError(f"node {node_id} is already retired")
+        reports = self.drain_node(
+            node_id,
+            max_transfer_cells_per_tick=max_transfer_cells_per_tick,
+            interleave=interleave,
+        )
+        failed = [r.array for r in reports if r.aborted]
+        if failed:
+            raise GridError(
+                f"drain of node {node_id} aborted for {failed}; "
+                f"node not removed"
+            )
+        node.retired = True
+        node.alive = False
+        return reports
+
+    # -- online rebalancing ----------------------------------------------------------
+
+    def start_rebalance(
+        self,
+        array_name: str,
+        new_partitioner: Partitioner,
+        max_transfer_cells_per_tick: int = 64,
+    ) -> Rebalancer:
+        """Plan a throttled migration and attach it to the array
+        (dual-homed writes, dual-resolve read fallback) without running
+        it — chaos drills drive ``tick()``/``finalize()`` themselves so
+        kills and scans can land between any two ticks."""
+        arr = self.get_array(array_name)
+        rb = Rebalancer(
+            self, arr, new_partitioner,
+            max_transfer_cells_per_tick=max_transfer_cells_per_tick,
+        )
+        rb.plan()
+        self.active_rebalancers.append(rb)
+        return rb
+
+    def rebalance(
+        self,
+        array_name: str,
+        new_partitioner: Partitioner,
+        max_transfer_cells_per_tick: int = 64,
+        interleave: Optional[Callable[[], None]] = None,
+        max_ticks: Optional[int] = None,
+    ) -> RebalanceReport:
+        """Migrate one array to *new_partitioner* as a throttled
+        background task; *interleave* — the serving traffic the
+        migration must not starve — runs between ticks."""
+        rb = self.start_rebalance(
+            array_name, new_partitioner,
+            max_transfer_cells_per_tick=max_transfer_cells_per_tick,
+        )
+        return rb.run(interleave=interleave, max_ticks=max_ticks)
+
+    def _rebalance_done(
+        self, rebalancer: Rebalancer, report: RebalanceReport
+    ) -> None:
+        if rebalancer in self.active_rebalancers:
+            self.active_rebalancers.remove(rebalancer)
+        self.rebalance_log.append(report)
+
+    def rebalance_snapshot(self) -> dict[str, Any]:
+        """Progress of in-flight migrations plus finished-run totals."""
+        return {
+            "active": [rb.progress() for rb in self.active_rebalancers],
+            "completed": [asdict(r) for r in self.rebalance_log],
+            "cells_moved": sum(r.cells_moved for r in self.rebalance_log),
+            "copies_delivered": sum(
+                r.copies_delivered for r in self.rebalance_log
+            ),
+            "throttle_hits": sum(
+                r.throttle_hits for r in self.rebalance_log
+            ) + sum(rb.throttle_hits for rb in self.active_rebalancers),
+            "aborted": sum(1 for r in self.rebalance_log if r.aborted),
+        }
 
     # -- observability ---------------------------------------------------------------
 
@@ -1563,6 +1937,7 @@ class Grid:
                 {
                     "node_id": node.node_id,
                     "alive": node.alive,
+                    "retired": node.retired,
                     **node.counters.snapshot(),
                     "storage": node.storage.total_stats(),
                     "chunk_cache": (
@@ -1577,6 +1952,8 @@ class Grid:
             "store_latency_ms": self.store_latency_ms,
             "fetch_latency_ms": self.fetch_latency_ms,
             "resilience": self.resilience_snapshot(),
+            "rebalance": self.rebalance_snapshot(),
+            "rebuilds": [asdict(r) for r in self.rebuilds],
             "arrays": sorted(self._arrays),
         }
 
@@ -1665,6 +2042,9 @@ class Grid:
             if 0 <= src < len(self.nodes):
                 self.nodes[src].counters.add("bytes_sent", nbytes)
             node.store(array_name, coords, values)
+            arr = self._arrays.get(array_name)
+            if arr is not None:
+                arr._note_coords(coords)
             return True
 
     # -- catalog ------------------------------------------------------------------------
@@ -1714,6 +2094,8 @@ class Grid:
         replica in each affected chain, metered as ``"rebuild"``.
         """
         node = self.nodes[node_id]
+        if node.retired:
+            raise GridError(f"node {node_id} is retired; nothing to rebuild")
         node.restart()
         try:
             for name, arr in self._arrays.items():
@@ -1765,7 +2147,7 @@ class Grid:
         tasks = []
         for name, arr in self._arrays.items():
             have = frozenset(node.partition(name).live_coords())
-            for p in range(arr.partitioner.n_sites):
+            for p in arr.partitions():
                 if node_id not in arr.partition_chain(p):
                     continue
                 tasks.append(
@@ -1778,10 +2160,12 @@ class Grid:
         # A rebuilt node is healthy by construction: close its breaker so
         # queries stop detouring past it for a stale cooldown.
         self.breakers[node_id].record_success()
-        return RebuildReport(
+        report = RebuildReport(
             node_id=node_id,
             cells_from_wal=from_wal,
             cells_from_replicas=from_replicas,
             bytes_moved=self.ledger.total_bytes("rebuild") - before,
             load_cursors_restored=node.load_cursors_restored,
         )
+        self.rebuilds.append(report)
+        return report

@@ -88,6 +88,9 @@ class Node:
         )
         self.counters = NodeCounters()
         self.alive = True
+        #: removed from the grid for good (post-drain); node ids are
+        #: never renumbered, so a retired node keeps its slot forever.
+        self.retired = False
         #: load-batch cursors recovered by the last :meth:`replay_wal`
         self.load_cursors_restored = 0
         self.wal: Optional[WriteAheadLog] = (
@@ -152,6 +155,28 @@ class Node:
             self.wal.log_write(array_name, coords, values)
         self.partition(array_name).append(coords, values)
         self.counters.add("cells_stored")
+
+    def delete(self, array_name: str, coords: tuple) -> bool:
+        """WAL-then-delete one cell (rebalance cutover cleanup).
+
+        Logged before applying so a crash after the cleanup replays the
+        delete too — otherwise WAL replay would resurrect replica copies
+        the ring no longer places here.
+        """
+        self.check_alive()
+        if self.wal is not None:
+            self.wal.log_delete(array_name, coords)
+        return self.partition(array_name).delete(coords)
+
+    def has_cell(self, array_name: str, coords: tuple) -> bool:
+        """O(1): does this node currently hold *coords*?  False when the
+        node is down — a dead node can't serve anything."""
+        if not self.alive:
+            return False
+        try:
+            return self.storage.get_array(array_name).contains(coords)
+        except Exception:
+            return False
 
     def commit_load_batch(
         self, array_name: str, epoch: "int | str", seq: int
@@ -222,6 +247,14 @@ class Node:
                     record["epoch"], record["seq"]
                 )
                 self.load_cursors_restored += 1
+                continue
+            if op == "delete" and record["array"] in known:
+                # Cutover cleanup must survive a crash: without replaying
+                # deletes, the write records earlier in the log would
+                # resurrect copies the ring has since moved elsewhere.
+                self.partition(record["array"]).delete(
+                    tuple(record["coords"])
+                )
                 continue
             if op != "write" or record["array"] not in known:
                 continue

@@ -14,6 +14,7 @@ lets the grid detect co-partitioned arrays (joins without movement).
 
 from __future__ import annotations
 
+import bisect
 import struct
 import zlib
 from typing import Optional, Sequence
@@ -27,6 +28,8 @@ __all__ = [
     "BlockPartitioner",
     "BlockCyclicPartitioner",
     "TimeEpochPartitioner",
+    "HashRing",
+    "ConsistentHashPartitioner",
 ]
 
 Coords = tuple[int, ...]
@@ -42,6 +45,16 @@ class Partitioner:
 
     def site_of(self, coords: Coords) -> int:
         raise NotImplementedError
+
+    def sites(self) -> tuple[int, ...]:
+        """Site ids this partitioner can route cells to.
+
+        For the classic schemes that is every site; membership-aware
+        schemes (the consistent-hash ring) return only current members,
+        so read paths can skip partitions that are empty by construction
+        — a drained node's partition must not count against coverage.
+        """
+        return tuple(range(self.n_sites))
 
     def descriptor(self) -> tuple:
         """Structural identity; equal descriptors => co-partitioned."""
@@ -235,4 +248,180 @@ class TimeEpochPartitioner(Partitioner):
             self.time_dim,
             tuple((t, p.descriptor()) for t, p in self.epochs),
             self.final.descriptor(),
+        )
+
+
+_MASK64 = (1 << 64) - 1
+#: domain separators so member-position and cell-key hash streams never mix
+_RING_TAG = 0x52494E47  # "RING"
+_CELL_TAG = 0x43454C4C  # "CELL"
+
+
+def _mix64(x: int) -> int:
+    """splitmix64's finalizer: a fast, well-mixed 64-bit permutation."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class HashRing:
+    """A consistent-hash ring over integer member ids (Karger-style).
+
+    Each member owns ``vnodes`` points on a 32-bit ring.  A key is
+    routed to the member owning the first point at or clockwise-after
+    the key's own hash.  Adding or removing one member therefore only
+    reassigns the arcs adjacent to that member's points: an expected
+    ``1/(N+1)`` of keys move on growth, which is the whole reason
+    elastic rebalancing (cluster/rebalance.py) can be cheap.
+
+    Positions come from a splitmix64 finalizer, **not** crc32: crc32 is
+    linear over GF(2), so the vnode positions of member ``a ^ b`` are
+    correlated with those of members ``a`` and ``b`` — a new member
+    would steal arcs lopsidedly from the members its id shares bits
+    with, silently breaking the 1/(N+1) movement bound.  The multiply-
+    xorshift mixer has no such structure (process-stable, deterministic
+    across runs, like every digest this repo uses for placement).
+
+    Position collisions between vnodes are broken by (position, member)
+    sort order, so the layout is a pure function of the member set.
+    """
+
+    def __init__(
+        self, members: Sequence[int], vnodes: int = 96, seed: int = 0
+    ) -> None:
+        if not members:
+            raise PartitioningError("a hash ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise PartitioningError("ring members must be unique")
+        if vnodes < 1:
+            raise PartitioningError("vnodes must be positive")
+        self.members = tuple(sorted(int(m) for m in members))
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        points: list[tuple[int, int]] = []
+        for m in self.members:
+            base = _mix64(_mix64(self.seed ^ _RING_TAG) ^ m)
+            for i in range(self.vnodes):
+                pos = _mix64(base ^ i) & 0xFFFFFFFF
+                points.append((pos, m))
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [m for _, m in points]
+
+    def owner_of(self, point: int) -> int:
+        """The member owning ring position ``point`` (first vnode at or
+        clockwise-after it, wrapping at 2**32)."""
+        idx = bisect.bisect_left(self._positions, point & 0xFFFFFFFF)
+        if idx == len(self._positions):
+            idx = 0
+        return self._owners[idx]
+
+    def with_member(self, member: int) -> "HashRing":
+        if member in self.members:
+            raise PartitioningError(f"member {member} is already on the ring")
+        return HashRing(self.members + (member,), self.vnodes, self.seed)
+
+    def without_member(self, member: int) -> "HashRing":
+        if member not in self.members:
+            raise PartitioningError(f"member {member} is not on the ring")
+        remaining = tuple(m for m in self.members if m != member)
+        return HashRing(remaining, self.vnodes, self.seed)
+
+    def descriptor(self) -> tuple:
+        return ("ring", self.members, self.vnodes, self.seed)
+
+
+class ConsistentHashPartitioner(Partitioner):
+    """Hash partitioning over a consistent-hash ring of member sites.
+
+    Unlike :class:`HashPartitioner` — where growing ``n_sites`` reshuffles
+    nearly every cell — moving between two rings that differ by one
+    member relocates only ~``1/(N+1)`` of cells, making
+    ``Grid.add_node`` / ``drain_node`` incremental operations instead of
+    full repartitions.
+
+    ``n_sites`` stays equal to the *grid* size (every site id the grid
+    knows, including drained ones), preserving the invariant that
+    ``site_of`` returns ids in ``range(n_sites)``; the ring's member set
+    is the subset that actually receives cells.  :meth:`sites` exposes
+    that subset so scans skip structurally-empty partitions.
+
+    Replica chains are member-aware too: :meth:`chain_sites` applies
+    chained declustering *over the sorted member list*, never placing a
+    replica on a drained or retired site.  Keeping the chain a function
+    of the member set (not of ``n_sites``) is what bounds movement when
+    membership changes — see DESIGN.md's placement invariants.
+    """
+
+    def __init__(
+        self,
+        n_sites: int,
+        members: Optional[Sequence[int]] = None,
+        vnodes: int = 96,
+        dims: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_sites)
+        ring = HashRing(
+            members if members is not None else range(n_sites), vnodes, seed
+        )
+        if ring.members[-1] >= n_sites or ring.members[0] < 0:
+            raise PartitioningError(
+                f"ring members {ring.members} fall outside range({n_sites})"
+            )
+        self.ring = ring
+        self.dims = tuple(dims) if dims is not None else None
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return self.ring.members
+
+    def site_of(self, coords: Coords) -> int:
+        key = coords if self.dims is None else tuple(coords[d] for d in self.dims)
+        # A distinct tag keeps cell hashes off the vnode positions' hash
+        # stream, so keys don't pile up on vnode points.
+        h = _mix64(self.ring.seed ^ _CELL_TAG)
+        for c in key:
+            h = _mix64(h ^ (c & _MASK64))
+        return self.ring.owner_of(h & 0xFFFFFFFF)
+
+    def sites(self) -> tuple[int, ...]:
+        return self.ring.members
+
+    def chain_sites(self, primary: int, k: int) -> tuple[int, ...]:
+        """Chained declustering over the sorted members: the ``k`` sites
+        starting at ``primary`` in member order, wrapping."""
+        members = self.ring.members
+        if k > len(members):
+            raise PartitioningError(
+                f"replication {k} exceeds ring membership {len(members)}"
+            )
+        if primary not in members:
+            raise PartitioningError(f"site {primary} is not a ring member")
+        start = members.index(primary)
+        return tuple(members[(start + i) % len(members)] for i in range(k))
+
+    def with_member(self, member: int) -> "ConsistentHashPartitioner":
+        """The ring one grid-growth step ahead: same layout plus one
+        member.  ``n_sites`` grows to cover the new id if needed."""
+        out = ConsistentHashPartitioner.__new__(ConsistentHashPartitioner)
+        Partitioner.__init__(out, max(self.n_sites, member + 1))
+        out.ring = self.ring.with_member(member)
+        out.dims = self.dims
+        return out
+
+    def without_member(self, member: int) -> "ConsistentHashPartitioner":
+        out = ConsistentHashPartitioner.__new__(ConsistentHashPartitioner)
+        Partitioner.__init__(out, self.n_sites)
+        out.ring = self.ring.without_member(member)
+        out.dims = self.dims
+        return out
+
+    def descriptor(self) -> tuple:
+        return (
+            "consistent_hash",
+            self.n_sites,
+            self.ring.descriptor(),
+            self.dims,
         )

@@ -16,6 +16,7 @@ external files.
 from __future__ import annotations
 
 import time
+from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Iterable, Optional, Sequence, Union
 
@@ -55,6 +56,35 @@ def _ledger_totals(grids: "Iterable[Grid]") -> dict[str, int]:
         for reason, nbytes in grid.ledger.by_reason().items():
             totals[reason] = totals.get(reason, 0) + nbytes
     return totals
+
+
+def _grid_status(grids: "Iterable[Grid]") -> dict[str, Any]:
+    """Elastic-operations status across *grids*: in-flight and completed
+    rebalance migrations plus node rebuilds.  Empty when nothing ever
+    moved — idle explains stay clean."""
+    active: list[dict] = []
+    completed: list[dict] = []
+    rebuilds: list[dict] = []
+    for grid in grids:
+        snap = grid.rebalance_snapshot()
+        active.extend(snap["active"])
+        completed.extend(snap["completed"])
+        rebuilds.extend(asdict(r) for r in grid.rebuilds)
+    if not (active or completed or rebuilds):
+        return {}
+    return {
+        "rebalance": {
+            "active": active,
+            "completed": completed,
+            "cells_moved": sum(r["cells_moved"] for r in completed)
+            + sum(p["cells_moved"] for p in active),
+            "cells_remaining": sum(p["cells_remaining"] for p in active),
+            "throttle_hits": sum(r["throttle_hits"] for r in completed)
+            + sum(p["throttle_hits"] for p in active),
+            "aborted": sum(1 for r in completed if r["aborted"]),
+        },
+        "rebuilds": rebuilds,
+    }
 
 
 class SciDB:
@@ -188,6 +218,7 @@ class SciDB:
             ledger_delta=delta,
             cells_examined=result.cells_examined,
             describe_ref=self._describe_ref,
+            grid_status=_grid_status(grids),
         )
 
     def metrics_snapshot(self) -> dict[str, Any]:

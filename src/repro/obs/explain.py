@@ -99,6 +99,10 @@ class ExplainReport:
     ledger_delta: dict[str, int] = field(default_factory=dict)
     #: cells the filter predicates examined (the E2 metric)
     cells_examined: int = 0
+    #: elastic-operations context the query ran under: rebalance
+    #: progress (cells moved / remaining, throttle hits) and node
+    #: rebuilds — empty when the grid is quiescent
+    grid_status: dict[str, Any] = field(default_factory=dict)
 
     def operators(self) -> Iterator[OperatorProfile]:
         return self.root.walk()
@@ -135,6 +139,33 @@ class ExplainReport:
                 f"{k}={v}" for k, v in sorted(self.ledger_delta.items())
             )
             lines.append(f"  ledger delta: {by_reason}")
+        rebalance = self.grid_status.get("rebalance")
+        if rebalance:
+            for prog in rebalance.get("active", ()):
+                lines.append(
+                    f"  rebalance[{prog['array']}]: "
+                    f"{prog['cells_moved']}/{prog['cells_total']} cells "
+                    f"moved, {prog['cells_remaining']} remaining, "
+                    f"{prog['throttle_hits']} throttle hits"
+                )
+            completed = rebalance.get("completed", ())
+            if completed:
+                lines.append(
+                    f"  rebalance: {len(completed)} completed "
+                    f"({rebalance.get('cells_moved', 0)} cells moved, "
+                    f"{rebalance.get('throttle_hits', 0)} throttle hits, "
+                    f"{rebalance.get('aborted', 0)} aborted)"
+                )
+        rebuilds = self.grid_status.get("rebuilds")
+        if rebuilds:
+            restored = sum(
+                r["cells_from_wal"] + r["cells_from_replicas"]
+                for r in rebuilds
+            )
+            lines.append(
+                f"  rebuilds: {len(rebuilds)} node(s), "
+                f"{restored} cells restored"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -201,6 +232,7 @@ def build_report(
     ledger_delta: Optional[dict[str, int]] = None,
     cells_examined: int = 0,
     describe_ref: Optional[Callable[[str], dict[str, Any]]] = None,
+    grid_status: Optional[dict[str, Any]] = None,
 ) -> ExplainReport:
     """Assemble the report for one executed statement.
 
@@ -229,4 +261,5 @@ def build_report(
         total_ms=total_ms,
         ledger_delta=dict(ledger_delta or {}),
         cells_examined=cells_examined,
+        grid_status=dict(grid_status or {}),
     )

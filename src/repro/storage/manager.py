@@ -277,6 +277,30 @@ class PersistentArray:
             if self._buffer:
                 self._spill_locked()
 
+    def delete(self, coords: Coords) -> bool:
+        """Logically remove one cell; returns whether it was stored.
+
+        Spilled bucket files are immutable, so deletion is a tombstone in
+        ``_live_coords``: :meth:`scan` and :meth:`get` filter against the
+        live set and the bytes get dropped for real at the next merge
+        rewrite.  Rebalance cutover (cluster/rebalance.py) uses this to
+        retire a partition's stale replica copies without rewriting disk.
+        """
+        with self._lock:
+            coords = tuple(int(c) for c in coords)
+            if coords not in self._live_coords:
+                return False
+            self._live_coords.discard(coords)
+            if coords in self._buffer:
+                del self._buffer[coords]
+                self._buffer_bytes -= self._cell_cost
+            return True
+
+    def contains(self, coords: Coords) -> bool:
+        """O(1) liveness probe for one cell address."""
+        with self._lock:
+            return tuple(int(c) for c in coords) in self._live_coords
+
     # -- checkpointed load (Section 2.8 ingest) ------------------------------------
 
     @property
@@ -430,6 +454,7 @@ class PersistentArray:
                 entries = list(self._rtree.search(window))
                 self.stats.buckets_pruned += total - len(entries)
             buffered = dict(self._buffer)
+            live = set(self._live_coords)
 
         # Newest bucket wins when a cell was rewritten across spills.
         entries.sort(key=lambda e: e[1], reverse=True)
@@ -439,6 +464,8 @@ class PersistentArray:
             for coords, cell in bucket.cells(window):
                 if coords in buffered or coords in seen:
                     continue  # newest version wins (buffer > disk)
+                if coords not in live:
+                    continue  # tombstoned by delete(); bytes die at merge
                 seen.add(coords)
                 yield coords, cell
         names = self.schema.attr_names

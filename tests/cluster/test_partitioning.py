@@ -143,3 +143,134 @@ class TestTimeEpoch:
         p1, _, _ = self.make()
         p2, _, _ = self.make()
         assert p1 == p2
+
+
+class TestHashRing:
+    def make(self):
+        from repro.cluster.partitioning import HashRing
+
+        return HashRing([0, 1, 2, 3], vnodes=96, seed=0)
+
+    def test_deterministic_ownership(self):
+        from repro.cluster.partitioning import HashRing
+
+        a, b = self.make(), self.make()
+        for point in range(0, 2**32, 2**24):
+            assert a.owner_of(point) == b.owner_of(point)
+        # Member order at construction is irrelevant: the ring is a
+        # function of the member *set*.
+        shuffled = HashRing([3, 1, 0, 2], vnodes=96, seed=0)
+        assert shuffled.members == a.members
+        assert shuffled.owner_of(12345) == a.owner_of(12345)
+
+    def test_needs_members(self):
+        from repro.cluster.partitioning import HashRing
+
+        with pytest.raises(PartitioningError):
+            HashRing([])
+        with pytest.raises(PartitioningError):
+            HashRing([1, 1])
+        with pytest.raises(PartitioningError):
+            HashRing([0], vnodes=0)
+
+    def test_with_without_member_roundtrip(self):
+        ring = self.make()
+        grown = ring.with_member(4)
+        assert grown.members == (0, 1, 2, 3, 4)
+        assert grown.without_member(4).members == ring.members
+        with pytest.raises(PartitioningError):
+            ring.with_member(2)  # already present
+        with pytest.raises(PartitioningError):
+            ring.without_member(9)  # not a member
+        with pytest.raises(PartitioningError):
+            # A ring must never go empty.
+            ring.without_member(0).without_member(1).without_member(
+                2
+            ).without_member(3)
+
+    def test_single_member_owns_everything(self):
+        from repro.cluster.partitioning import HashRing
+
+        ring = HashRing([7], vnodes=4)
+        for point in (0, 1, 2**31, 2**32 - 1):
+            assert ring.owner_of(point) == 7
+
+
+class TestConsistentHash:
+    def make(self, members=(0, 1, 2, 3), n_sites=4, **kw):
+        from repro.cluster.partitioning import ConsistentHashPartitioner
+
+        return ConsistentHashPartitioner(n_sites, members=members, **kw)
+
+    def test_deterministic_and_in_members(self):
+        p = self.make()
+        for c in [(1, 1), (37, 99), (1000, 1), (5,)]:
+            s = p.site_of(c)
+            assert s in p.members
+            assert p.site_of(c) == s
+
+    def test_members_subset_receives_everything(self):
+        """Drained sites are structurally empty: site_of never returns a
+        non-member even though n_sites still covers them."""
+        p = self.make(members=(0, 2), n_sites=4)
+        assert p.sites() == (0, 2)
+        for i in range(1, 50):
+            assert p.site_of((i, i)) in (0, 2)
+
+    def test_members_must_fit_n_sites(self):
+        with pytest.raises(PartitioningError):
+            self.make(members=(0, 5), n_sites=4)
+
+    def test_dims_subset(self):
+        p = self.make(dims=[0])
+        assert p.site_of((7, 1)) == p.site_of((7, 99))
+
+    def test_roughly_balanced(self):
+        p = self.make()
+        counts = [0] * 4
+        for i in range(1, 101):
+            for j in range(1, 101):
+                counts[p.site_of((i, j))] += 1
+        assert max(counts) / (sum(counts) / 4) < 1.25
+
+    def test_chain_sites_member_aware(self):
+        p = self.make(members=(0, 2, 5), n_sites=6)
+        # Chained declustering over sorted members, wrapping.
+        assert p.chain_sites(2, 2) == (2, 5)
+        assert p.chain_sites(5, 2) == (5, 0)
+        with pytest.raises(PartitioningError):
+            p.chain_sites(1, 2)  # not a member
+        with pytest.raises(PartitioningError):
+            p.chain_sites(2, 4)  # k exceeds membership
+
+    def test_equality_structural(self):
+        assert self.make() == self.make()
+        assert self.make() != self.make(members=(0, 1, 2))
+        assert self.make() != self.make(seed=1)
+        assert self.make() != self.make(vnodes=48)
+
+    def test_with_member_grows_n_sites(self):
+        p = self.make()
+        grown = p.with_member(4)
+        assert grown.n_sites == 5
+        assert grown.members == (0, 1, 2, 3, 4)
+        # Dropping a member keeps n_sites: drained ids stay addressable.
+        shrunk = p.without_member(1)
+        assert shrunk.n_sites == 4
+        assert shrunk.members == (0, 2, 3)
+
+    def test_minimal_movement_on_membership_change(self):
+        """The consistent-hash contract: adding one member to an N-member
+        ring re-homes roughly 1/(N+1) of keys — and only *to* the new
+        member, never between old members."""
+        p = self.make()
+        grown = p.with_member(4)
+        keys = [(i, j) for i in range(1, 51) for j in range(1, 51)]
+        moved = 0
+        for c in keys:
+            before, after = p.site_of(c), grown.site_of(c)
+            if before != after:
+                moved += 1
+                assert after == 4, "a key moved between two old members"
+        fraction = moved / len(keys)
+        assert 0.10 <= fraction <= 0.30, fraction

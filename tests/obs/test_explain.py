@@ -205,3 +205,61 @@ class TestExplainTypedErrors:
             db.explain(42)
         with pytest.raises(PlanError):
             db.explain(None)
+
+
+class TestGridStatusInExplain:
+    """Elastic-operations context rides along with every explain."""
+
+    def test_quiescent_grid_reports_nothing(self, grid_db):
+        rep = grid_db.explain("select subsample(D, x >= 2)")
+        assert rep.grid_status == {}
+        assert "rebalance" not in rep.render()
+
+    def test_completed_rebalance_surfaces(self, grid_db):
+        from repro.cluster import ConsistentHashPartitioner
+
+        grid = grid_db.grid()
+        report = grid.rebalance(
+            "D", ConsistentHashPartitioner(4),
+            max_transfer_cells_per_tick=32,
+        )
+        assert not report.aborted
+        rep = grid_db.explain("select subsample(D, x >= 2)")
+        status = rep.grid_status["rebalance"]
+        assert status["active"] == []
+        (done,) = status["completed"]
+        assert done["array"] == "D" and not done["aborted"]
+        assert status["cells_moved"] == done["cells_moved"]
+        text = rep.render()
+        assert "rebalance: 1 completed" in text
+        assert "throttle hits" in text
+
+    def test_active_migration_shows_progress(self, grid_db):
+        from repro.cluster import ConsistentHashPartitioner
+
+        grid = grid_db.grid()
+        rb = grid.start_rebalance(
+            "D", ConsistentHashPartitioner(4, seed=1),
+            max_transfer_cells_per_tick=8,
+        )
+        rb.tick()
+        rep = grid_db.explain("select subsample(D, x >= 2)")
+        (active,) = rep.grid_status["rebalance"]["active"]
+        assert active["array"] == "D"
+        assert active["cells_moved"] > 0
+        assert active["cells_remaining"] > 0
+        text = rep.render()
+        assert "rebalance[D]:" in text
+        assert "remaining" in text
+        # Queries keep answering mid-migration, and the answer is the
+        # same one the quiescent grid gives.
+        assert not rb.run().aborted
+
+    def test_rebuild_surfaces(self, grid_db):
+        grid = grid_db.grid()
+        grid.nodes[2].fail()
+        grid.rebuild_node(2)
+        rep = grid_db.explain("select subsample(D, x >= 2)")
+        rebuilds = rep.grid_status["rebuilds"]
+        assert rebuilds[-1]["node_id"] == 2
+        assert "rebuilds: 1 node(s)" in rep.render()
