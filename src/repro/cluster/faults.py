@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..core.errors import GridError, LoadInterrupted, TransientIOError
+from ..obs.recorder import emit as _flight_emit
 
 if TYPE_CHECKING:
     from .grid import Grid, Transfer
@@ -137,6 +138,21 @@ class FaultInjector:
         payload = repr((self.seed, kind, key, seq)).encode()
         return zlib.crc32(payload) / 2**32
 
+    def _record(self, event: FaultEvent) -> None:
+        """Append *event* and mirror it into the flight recorder.
+
+        The recorder copy carries the same tick/target/detail under the
+        kind ``fault.<kind>``, so a drill's injected-fault ledger can be
+        reconciled 1:1 against ``db.events()`` after the fact.
+        """
+        self.events.append(event)
+        _flight_emit(
+            "fault." + event.kind,
+            node=event.target if event.target >= 0 else None,
+            tick=event.tick,
+            info=event.detail,
+        )
+
     # -- wiring ------------------------------------------------------------------
 
     def attach(self, grid: "Grid") -> "FaultInjector":
@@ -168,7 +184,7 @@ class FaultInjector:
         with self._lock:
             if node.alive:
                 node.fail()
-                self.events.append(
+                self._record(
                     FaultEvent("node_kill", self.tick, node_id, "explicit kill")
                 )
 
@@ -198,7 +214,7 @@ class FaultInjector:
                 node = grid.nodes[node_id]
                 if node.alive:
                     node.fail()
-                    self.events.append(
+                    self._record(
                         FaultEvent(
                             "node_kill", self.tick, node_id,
                             f"scheduled at transfer {self.tick}",
@@ -223,7 +239,7 @@ class FaultInjector:
         """
         if self.drop_rate and self._draw("drop", src, dst) < self.drop_rate:
             with self._lock:
-                self.events.append(
+                self._record(
                     FaultEvent("transfer_drop", self.tick, dst, reason)
                 )
             return "drop", values
@@ -236,7 +252,7 @@ class FaultInjector:
                 -v if isinstance(v, float) else v for v in values
             )
             with self._lock:
-                self.events.append(
+                self._record(
                     FaultEvent("transfer_corrupt", self.tick, dst, reason)
                 )
             return "deliver", corrupted
@@ -264,7 +280,7 @@ class FaultInjector:
                   len(body))
         path.write_bytes(body[: len(body) - cut])
         with self._lock:
-            self.events.append(
+            self._record(
                 FaultEvent(
                     "wal_tear", self.tick, node.node_id, f"tore {cut} bytes"
                 )
@@ -306,7 +322,7 @@ class FaultInjector:
             burst = self._io_bursts.get(site, 0)
             if burst > 0:
                 self._io_bursts[site] = burst - 1
-                self.events.append(
+                self._record(
                     FaultEvent(
                         "io_transient", self.tick, site, "scheduled burst"
                     )
@@ -316,7 +332,7 @@ class FaultInjector:
                 )
         if self.io_fault_rate and self._draw("io", site) < self.io_fault_rate:
             with self._lock:
-                self.events.append(
+                self._record(
                     FaultEvent("io_transient", self.tick, site, "bernoulli")
                 )
             raise TransientIOError(
@@ -325,7 +341,7 @@ class FaultInjector:
         with self._lock:
             penalty = self._slow_sites.get(site, 0.0)
             if penalty:
-                self.events.append(
+                self._record(
                     FaultEvent("slow_store", self.tick, site, f"{penalty} ms")
                 )
         return penalty
@@ -376,7 +392,7 @@ class FaultInjector:
             burst = self._read_bursts.get(site, 0)
             if burst > 0:
                 self._read_bursts[site] = burst - 1
-                self.events.append(
+                self._record(
                     FaultEvent(
                         "io_transient_read", self.tick, site,
                         f"p{partition} attempt {attempt}",
@@ -388,7 +404,7 @@ class FaultInjector:
                 )
             penalty = self._slow_reads.get(site, 0.0)
             if penalty:
-                self.events.append(
+                self._record(
                     FaultEvent(
                         "slow_read", self.tick, site,
                         f"{penalty} ms, p{partition} attempt {attempt}",
@@ -421,7 +437,7 @@ class FaultInjector:
             ):
                 return
             self._load_crash_at = None
-            self.events.append(
+            self._record(
                 FaultEvent(
                     "load_crash", self.tick, -1,
                     f"loader killed at record {self._load_records}",

@@ -88,6 +88,7 @@ from ..core.schema import ArraySchema
 from ..core.udf import UserAggregate, get_aggregate
 from ..core.uncertainty import PositionUncertainty
 from ..obs import tracing
+from ..obs.recorder import emit as _flight_emit
 from ..storage.loader import BulkLoader, LoadRecord, LoadReport
 from ..storage.quarantine import QuarantineStore
 from .faults import FailoverEvent, FaultInjector
@@ -182,8 +183,7 @@ class DataMovementLedger:
             # Whatever operator span is open absorbs this movement, so
             # per-operator bytes_moved reconciles with the ledger delta
             # by construction.
-            tracing.add_current("bytes_moved", nbytes)
-            tracing.add_current("transfers", 1)
+            tracing.add_current_pair("bytes_moved", nbytes, "transfers", 1)
 
     def record_dropped(self, src: int, dst: int, nbytes: int, reason: str) -> None:
         with self._lock:
@@ -1783,6 +1783,7 @@ class Grid:
         )
         for name in self.names():
             node.create_partition(name, self._arrays[name].schema)
+        _flight_emit("node_add", node=nid, members=len(self.nodes))
         members = self.members()
         reports: list[RebalanceReport] = []
         for name in self.names():
@@ -1816,6 +1817,7 @@ class Grid:
         members = tuple(m for m in self.members() if m != node_id)
         if not members:
             raise GridError("cannot drain the grid's last member")
+        _flight_emit("node_drain", node=node_id, remaining=len(members))
         reports: list[RebalanceReport] = []
         for name in self.names():
             arr = self._arrays[name]
@@ -1856,6 +1858,7 @@ class Grid:
             )
         node.retired = True
         node.alive = False
+        _flight_emit("node_remove", node=node_id)
         return reports
 
     # -- online rebalancing ----------------------------------------------------------
@@ -1978,6 +1981,8 @@ class Grid:
             self.resilience_counters[name] = (
                 self.resilience_counters.get(name, 0) + n
             )
+        if name == "deadline_misses":
+            _flight_emit("deadline_miss", count=n)
 
     def _log_failover(self, array: str, partition: int, site: int,
                       attempt: int) -> None:
@@ -2168,4 +2173,11 @@ class Grid:
             load_cursors_restored=node.load_cursors_restored,
         )
         self.rebuilds.append(report)
+        _flight_emit(
+            "node_rebuild",
+            node=node_id,
+            cells_from_wal=from_wal,
+            cells_from_replicas=from_replicas,
+            bytes_moved=report.bytes_moved,
+        )
         return report

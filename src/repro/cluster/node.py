@@ -25,6 +25,7 @@ from typing import Iterator, Optional, Sequence
 from ..core.cells import Cell
 from ..core.errors import NodeFailedError
 from ..core.schema import ArraySchema
+from ..obs.recorder import emit as _flight_emit
 from ..storage.manager import PersistentArray, StorageManager
 from ..storage.wal import WriteAheadLog
 
@@ -106,6 +107,7 @@ class Node:
     def fail(self) -> None:
         """Crash this node: storage unreachable until :meth:`restart`."""
         self.alive = False
+        _flight_emit("node_down", node=self.node_id)
 
     def restart(self) -> None:
         """Come back from a crash with empty storage (the WAL survives).
@@ -128,6 +130,7 @@ class Node:
             chunk_cache_bytes=self.chunk_cache_bytes,
         )
         self.alive = True
+        _flight_emit("node_up", node=self.node_id)
 
     # -- storage ----------------------------------------------------------------------
 

@@ -53,6 +53,7 @@ from ..core.errors import (
     StorageError,
     TransientIOError,
 )
+from ..obs.recorder import emit as _flight_emit
 from .partitioning import Partitioner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -250,6 +251,12 @@ class Rebalancer:
                     mig.enqueue(coords)
         self._planned = True
         arr._migration = mig
+        _flight_emit(
+            "rebalance_plan",
+            array=arr.name,
+            cells_total=len(mig.known),
+            cells_queued=mig.pending_count(),
+        )
         return mig.pending_count()
 
     def tick(self) -> int:
@@ -282,6 +289,13 @@ class Rebalancer:
         for coords in requeue:
             mig.enqueue(coords)
         self.array.flush()
+        _flight_emit(
+            "rebalance_tick",
+            array=self.array.name,
+            tick=self.ticks,
+            moved=moved,
+            pending=mig.pending_count(),
+        )
         return moved
 
     def finalize(self) -> bool:
@@ -360,6 +374,12 @@ class Rebalancer:
         self.finished = True
         self.reason = reason
         self.cells_dropped = rolled_back
+        _flight_emit(
+            "rebalance_abort",
+            array=arr.name,
+            reason=reason,
+            rolled_back=rolled_back,
+        )
         report = self.report()
         grid._rebalance_done(self, report)
         return report
@@ -491,6 +511,13 @@ class Rebalancer:
                     dropped += 1
         self.cells_dropped = dropped
         self.finished = True
+        _flight_emit(
+            "rebalance_cutover",
+            array=arr.name,
+            cells_moved=len(mig.moved_cells),
+            old_copies_dropped=dropped,
+            ticks=self.ticks,
+        )
         report = self.report()
         grid._rebalance_done(self, report)
 

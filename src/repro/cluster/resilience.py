@@ -52,6 +52,7 @@ from ..core.errors import (
     NodeFailedError,
     TransientIOError,
 )
+from ..obs.recorder import emit as _flight_emit
 
 if TYPE_CHECKING:
     from .grid import Grid
@@ -292,6 +293,9 @@ class CircuitBreaker:
 
     def _transition(self, new_state: str) -> None:
         self.transitions.append((self.state, new_state))
+        _flight_emit(
+            "breaker_" + new_state, breaker=self.name, was=self.state
+        )
         self.state = new_state
 
     def allow(self, force: bool = False) -> bool:

@@ -30,7 +30,15 @@ from .history.transactions import UpdatableArray
 from .history.versions import Version, VersionTree
 from .obs import tracing
 from .obs.explain import ExplainReport, build_report
+from .obs.export import events_jsonl, prometheus_text, status_text
+from .obs.health import HealthModel, HealthReport
 from .obs.metrics import get_registry
+from .obs.recorder import (
+    FlightRecorder,
+    QueryProfile,
+    RecordedEvent,
+    get_flight_recorder,
+)
 from .obs.slowlog import SlowQuery, SlowQueryLog
 from .obs.tracing import SpanRecorder
 from .provenance.itemstore import ItemLineageStore
@@ -130,6 +138,7 @@ class SciDB:
         self._version_trees: dict[str, VersionTree] = {}
         self._grids: dict[str, Grid] = {}
         self._quarantines: dict[str, QuarantineStore] = {}
+        self._health = HealthModel()
 
     # -- statements (both bindings) ---------------------------------------------
 
@@ -234,11 +243,75 @@ class SciDB:
             "observed": self.slow_log.observed,
             "logged": len(self.slow_log),
         }
+        snap["flight_recorder"] = get_flight_recorder().summary()
         return snap
 
     def slow_queries(self) -> list[SlowQuery]:
         """Statements that exceeded ``slow_query_ms``, oldest first."""
         return self.slow_log.entries()
+
+    # -- the flight recorder (continuous telemetry) -------------------------------
+
+    @property
+    def flight_recorder(self) -> FlightRecorder:
+        """The process-wide flight recorder this database reports from."""
+        return get_flight_recorder()
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+        since_seq: int = 0,
+    ) -> list[RecordedEvent]:
+        """Retained operational events, oldest first (optionally filtered)."""
+        return get_flight_recorder().events(
+            kind=kind, node=node, since_seq=since_seq
+        )
+
+    def profiles(self, n: Optional[int] = None) -> list[QueryProfile]:
+        """The last *n* completed query profiles, oldest first."""
+        return get_flight_recorder().profiles(n)
+
+    def profile(self, query_id: str) -> Optional[QueryProfile]:
+        """Replay one retained query's profile by its ``q-NNNNNN`` id."""
+        return get_flight_recorder().profile(query_id)
+
+    def sample(self) -> int:
+        """Take one gauge-sampling pass over every watched grid now;
+        returns the number of series updated.  Grids this database
+        created are watched automatically; sampling never runs unless
+        asked (or :meth:`FlightRecorder.start_sampling` was called)."""
+        recorder = get_flight_recorder()
+        self._watch_grids(recorder)
+        return recorder.sample()
+
+    def health(self) -> HealthReport:
+        """Per-node and cluster status rolled up from live grid state
+        and the flight recorder's event history."""
+        return self._health.assess(
+            dict(self._grids), recorder=get_flight_recorder()
+        )
+
+    def status(self) -> str:
+        """The one-screen operational report (health, load, recent
+        events, recent query profiles) — print it."""
+        return status_text(
+            self.health(),
+            recorder=get_flight_recorder(),
+            snapshot=self.metrics_snapshot(),
+        )
+
+    def prometheus(self) -> str:
+        """The unified metrics snapshot in Prometheus text exposition."""
+        return prometheus_text(self.metrics_snapshot())
+
+    def events_jsonl(self) -> str:
+        """The retained event ring as JSON Lines (one event per line)."""
+        return events_jsonl(self.events())
+
+    def _watch_grids(self, recorder: FlightRecorder) -> None:
+        for name, grid in self._grids.items():
+            recorder.watch_grid(name, grid)
 
     def _observed_grids(self) -> list[Grid]:
         """Named grids plus any grid reachable through a registered
@@ -486,6 +559,7 @@ class SciDB:
             hedge_delay_ms=hedge_delay_ms,
         )
         self._grids[name] = grid
+        get_flight_recorder().watch_grid(name, grid)
         return grid
 
     def grid(self, name: str = "grid") -> Grid:

@@ -16,9 +16,38 @@ This package supplies the monitoring half of that contract:
   tree annotated with actual times, cells scanned, chunks touched,
   nodes visited and bytes moved per operator, reconciling with the
   grid's movement ledger.
+* :mod:`repro.obs.recorder` — the **flight recorder**: a bounded ring
+  of typed operational events (kills, rebuilds, breaker flips,
+  rebalance lifecycle, WAL tears …), the last-N
+  :class:`QueryProfile` store, and a fixed-size per-node gauge
+  sampler — the continuous record that outlives any single call.
+* :mod:`repro.obs.health` — events + gauges rolled into per-node and
+  cluster ``ok/degraded/rebalancing/critical`` status with named
+  findings.
+* :mod:`repro.obs.export` — Prometheus text exposition, JSONL event
+  dumps, and the one-screen ``db.status()`` report.
 """
 
 from .explain import ExplainReport, OperatorProfile, build_report
+from .export import (
+    events_jsonl,
+    prometheus_text,
+    status_text,
+    write_events_jsonl,
+)
+from .health import HealthModel, HealthReport, NodeHealth
+from .recorder import (
+    EventLog,
+    FlightRecorder,
+    GaugeSampler,
+    QueryProfile,
+    QueryProfileStore,
+    RecordedEvent,
+    emit,
+    get_flight_recorder,
+    set_flight_recorder,
+    use_flight_recorder,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -47,6 +76,23 @@ __all__ = [
     "ExplainReport",
     "OperatorProfile",
     "build_report",
+    "events_jsonl",
+    "prometheus_text",
+    "status_text",
+    "write_events_jsonl",
+    "HealthModel",
+    "HealthReport",
+    "NodeHealth",
+    "EventLog",
+    "FlightRecorder",
+    "GaugeSampler",
+    "QueryProfile",
+    "QueryProfileStore",
+    "RecordedEvent",
+    "emit",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "use_flight_recorder",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,221 @@
+"""Exporters: Prometheus text exposition, JSONL event dumps, status.
+
+Three ways out of the flight recorder and the metrics registry:
+
+* :func:`prometheus_text` — the unified ``metrics_snapshot`` dict
+  rendered in the Prometheus text exposition format (``# TYPE`` lines,
+  ``_total`` counter suffixes, per-node series labelled
+  ``{grid="...",node="..."}``), so a real scrape target is one HTTP
+  handler away.
+* :func:`events_jsonl` / :func:`write_events_jsonl` — the event ring as
+  one JSON object per line, the interchange format for offline drill
+  reconciliation.
+* :func:`status_text` — the one-screen ``db.status()`` report: health,
+  recent events, recent query profiles and the headline counters.
+
+Everything here is a pure function of already-collected state — an
+export never meters, samples, or mutates anything.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from .health import HealthReport
+from .recorder import FlightRecorder, RecordedEvent
+
+__all__ = [
+    "prometheus_text",
+    "events_jsonl",
+    "write_events_jsonl",
+    "status_text",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name from a dotted instrument name."""
+    return f"{prefix}_{_NAME_OK.sub('_', name)}"
+
+
+def _fmt(value: Any) -> str:
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return "0"
+    return repr(int(v)) if v == int(v) else repr(v)
+
+
+def _labels(**labels: Any) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(snapshot: dict[str, Any], prefix: str = "repro") -> str:
+    """Render one ``metrics_snapshot()`` dict as Prometheus exposition.
+
+    Registry counters become ``<prefix>_<name>_total``, gauges and
+    histogram summaries keep their names, and per-grid node accounting
+    is emitted as labelled series.  The output ends with a newline, as
+    the exposition format requires.
+    """
+    lines: list[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q in ("p50", "p95"):
+            if q in summary:
+                quantile = {"p50": "0.5", "p95": "0.95"}[q]
+                lines.append(
+                    f"{metric}{_labels(quantile=quantile)} {_fmt(summary[q])}"
+                )
+        lines.append(f"{metric}_sum {_fmt(summary.get('sum', 0))}")
+        lines.append(f"{metric}_count {_fmt(summary.get('count', 0))}")
+
+    for gname, grid in snapshot.get("grids", {}).items():
+        ledger = grid.get("ledger", {})
+        metric = _metric_name("grid.ledger.bytes", prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric}{_labels(grid=gname)} {_fmt(ledger.get('total_bytes', 0))}"
+        )
+        for reason, nbytes in sorted(ledger.get("by_reason", {}).items()):
+            lines.append(
+                f"{metric}{_labels(grid=gname, reason=reason)} {_fmt(nbytes)}"
+            )
+        for node in grid.get("nodes", []):
+            nid = node.get("node_id")
+            up = _metric_name("grid.node.alive", prefix)
+            lines.append(
+                f"{up}{_labels(grid=gname, node=nid)} "
+                f"{_fmt(1 if node.get('alive') else 0)}"
+            )
+            for counter in (
+                "cells_stored", "cells_scanned", "bytes_received",
+                "bytes_sent", "failovers_served", "read_retries",
+            ):
+                if counter in node:
+                    metric = _metric_name(f"grid.node.{counter}", prefix)
+                    metric += "_total"
+                    lines.append(
+                        f"{metric}{_labels(grid=gname, node=nid)} "
+                        f"{_fmt(node[counter])}"
+                    )
+        resilience = grid.get("resilience", {})
+        for counter in (
+            "failovers", "hedges", "hedge_wins", "breaker_skips",
+            "deadline_misses", "dual_reads", "breaker_transitions",
+        ):
+            if counter in resilience:
+                metric = _metric_name(f"grid.resilience.{counter}", prefix)
+                metric += "_total"
+                lines.append(
+                    f"{metric}{_labels(grid=gname)} {_fmt(resilience[counter])}"
+                )
+
+    recorder = snapshot.get("flight_recorder")
+    if recorder:
+        metric = _metric_name("flight.events", prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(recorder['events']['emitted'])}")
+        for kind, count in sorted(recorder["events"]["by_kind"].items()):
+            lines.append(f"{metric}{_labels(kind=kind)} {_fmt(count)}")
+        metric = _metric_name("flight.profiles_retained", prefix)
+        lines.append(f"{metric} {_fmt(recorder['profiles']['retained'])}")
+
+    return "\n".join(lines) + "\n"
+
+
+def events_jsonl(events: Iterable[RecordedEvent]) -> str:
+    """The events as JSON Lines (one object per line, oldest first)."""
+    return "".join(e.to_json() + "\n" for e in events)
+
+
+def write_events_jsonl(
+    events: Iterable[RecordedEvent], path: "str | Path"
+) -> int:
+    """Dump *events* to *path* as JSONL; returns the number written."""
+    events = list(events)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(events_jsonl(events), encoding="utf-8")
+    return len(events)
+
+
+def _truncate(text: str, width: int = 56) -> str:
+    text = " ".join(text.split())
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def status_text(
+    health: HealthReport,
+    recorder: Optional[FlightRecorder] = None,
+    snapshot: Optional[dict[str, Any]] = None,
+    events_tail: int = 8,
+    profiles_tail: int = 5,
+) -> str:
+    """The one-screen terminal report behind ``db.status()``."""
+    lines = ["== repro status ==", health.render()]
+
+    if snapshot is not None:
+        counters = snapshot.get("counters", {})
+        hist = snapshot.get("histograms", {}).get("query.latency_ms")
+        bits = [f"queries={int(counters.get('query.statements', 0))}"]
+        if hist:
+            bits.append(f"p50={hist['p50']:.2f}ms")
+            bits.append(f"p95={hist['p95']:.2f}ms")
+        slow = snapshot.get("slow_query_log")
+        if slow:
+            bits.append(f"slow={slow.get('logged', 0)}")
+        total_moved = sum(
+            g.get("ledger", {}).get("total_bytes", 0)
+            for g in snapshot.get("grids", {}).values()
+        )
+        bits.append(f"moved={total_moved}B")
+        lines.append("-- load: " + "  ".join(bits))
+
+    if recorder is not None:
+        summary = recorder.summary()
+        lines.append(
+            f"-- flight recorder: {summary['events']['emitted']} events "
+            f"({summary['events']['retained']} retained), "
+            f"{summary['profiles']['retained']} profiles, "
+            f"{summary['sampler']['passes']} sample passes"
+        )
+        tail = recorder.events()[-events_tail:]
+        if tail:
+            lines.append(f"-- recent events (last {len(tail)}):")
+            for event in tail:
+                lines.append(f"   {event}")
+        profiles = recorder.profiles(profiles_tail)
+        if profiles:
+            lines.append(f"-- recent queries (last {len(profiles)}):")
+            for prof in profiles:
+                extras = []
+                ratio = prof.cache_hit_ratio
+                if ratio is not None:
+                    extras.append(f"cache={ratio:.2f}")
+                if prof.failovers:
+                    extras.append(f"failovers={prof.failovers}")
+                if prof.error:
+                    extras.append("ERROR")
+                suffix = ("  [" + " ".join(extras) + "]") if extras else ""
+                lines.append(
+                    f"   {prof.query_id}  {prof.total_ms:8.2f} ms  "
+                    f"{_truncate(prof.statement)}{suffix}"
+                )
+    return "\n".join(lines)

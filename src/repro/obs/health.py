@@ -1,0 +1,231 @@
+"""The health model: events + gauges rolled into named findings.
+
+:class:`HealthModel` turns the raw operational record — node liveness,
+breaker states, in-flight migrations, rebuild history and the flight
+recorder's recent events — into the four-level status the paper's §2.7
+designer loop acts on:
+
+* ``ok`` — every node serving, no evasive action under way.
+* ``degraded`` — serving, but something is compensating: an open or
+  probing circuit breaker, a WAL tear, deadline misses, quarantined
+  records, cache eviction pressure.
+* ``rebalancing`` — an online migration is moving data right now (the
+  cluster is healthy but placement is in flux; expect dual writes).
+* ``critical`` — at least one non-retired node is down, so replica
+  chains are short and another failure may lose quorum.
+
+Severity composes upward (``critical > rebalancing > degraded > ok``)
+and every non-ok status carries **named findings** — human-readable,
+specific strings like ``"node 3: breaker open (2 transitions)"`` — so
+``db.status()`` explains *why*, not just *what*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .recorder import FlightRecorder
+
+__all__ = ["NodeHealth", "HealthReport", "HealthModel"]
+
+OK = "ok"
+DEGRADED = "degraded"
+REBALANCING = "rebalancing"
+CRITICAL = "critical"
+
+#: composition order: later entries dominate earlier ones
+_SEVERITY = {OK: 0, DEGRADED: 1, REBALANCING: 2, CRITICAL: 3}
+
+
+def _worst(a: str, b: str) -> str:
+    return a if _SEVERITY[a] >= _SEVERITY[b] else b
+
+
+@dataclass
+class NodeHealth:
+    """One node's rolled-up status with its named findings."""
+
+    grid: str
+    node_id: int
+    status: str = OK
+    findings: list[str] = field(default_factory=list)
+
+    def flag(self, status: str, finding: str) -> None:
+        self.status = _worst(self.status, status)
+        self.findings.append(finding)
+
+    def render(self) -> str:
+        line = f"{self.grid}/node{self.node_id}: {self.status}"
+        if self.findings:
+            line += "  (" + "; ".join(self.findings) + ")"
+        return line
+
+
+@dataclass
+class HealthReport:
+    """Cluster-wide status: per-node detail plus cluster findings."""
+
+    status: str = OK
+    nodes: list[NodeHealth] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+
+    def node(self, grid: str, node_id: int) -> Optional[NodeHealth]:
+        for nh in self.nodes:
+            if nh.grid == grid and nh.node_id == node_id:
+                return nh
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "findings": list(self.findings),
+            "nodes": [
+                {
+                    "grid": nh.grid,
+                    "node_id": nh.node_id,
+                    "status": nh.status,
+                    "findings": list(nh.findings),
+                }
+                for nh in self.nodes
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [f"cluster: {self.status}"]
+        for finding in self.findings:
+            lines.append(f"  ! {finding}")
+        for nh in self.nodes:
+            lines.append("  " + nh.render())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class HealthModel:
+    """Assess grids (and the flight recorder's record) into a report.
+
+    Thresholds are deliberately simple and documented: health is a
+    *triage* surface, not an alerting pipeline.  ``imbalance_threshold``
+    matches the :class:`~repro.cluster.designer.RebalanceAdvisor`
+    default, so "degraded: imbalance" and "the advisor would migrate"
+    agree with each other.
+    """
+
+    def __init__(
+        self,
+        imbalance_threshold: float = 1.5,
+        recent_window: int = 256,
+    ) -> None:
+        self.imbalance_threshold = imbalance_threshold
+        #: how many of the newest events count as "recent" for findings
+        self.recent_window = recent_window
+
+    # -- the assessment --------------------------------------------------------
+
+    def assess(
+        self,
+        grids: dict[str, Any],
+        recorder: Optional[FlightRecorder] = None,
+    ) -> HealthReport:
+        report = HealthReport()
+        for gname, grid in sorted(grids.items()):
+            self._assess_grid(gname, grid, report)
+        if recorder is not None and recorder.enabled:
+            self._assess_events(recorder, report)
+        for nh in report.nodes:
+            report.status = _worst(report.status, nh.status)
+        return report
+
+    def _assess_grid(self, gname: str, grid: Any, report: HealthReport) -> None:
+        rebuilt = {r.node_id: r for r in grid.rebuilds}
+        for node in grid.nodes:
+            nh = NodeHealth(gname, node.node_id)
+            if node.retired:
+                nh.findings.append("retired")
+                report.nodes.append(nh)
+                continue
+            if not node.alive:
+                nh.flag(CRITICAL, "down (awaiting rebuild)")
+            breaker = grid.breakers[node.node_id]
+            if breaker.state == "open":
+                nh.flag(
+                    DEGRADED,
+                    f"breaker open ({len(breaker.transitions)} transitions)",
+                )
+            elif breaker.state == "half_open":
+                nh.flag(DEGRADED, "breaker half-open (probing)")
+            last = rebuilt.get(node.node_id)
+            if last is not None and node.alive:
+                nh.findings.append(
+                    f"rebuilt: {last.cells_from_wal} cells from WAL, "
+                    f"{last.cells_from_replicas} from replicas"
+                )
+            report.nodes.append(nh)
+
+        for rb in grid.active_rebalancers:
+            prog = rb.progress()
+            total = prog["cells_total"] or 1
+            pct = 100.0 * prog["cells_moved"] / total
+            report.status = _worst(report.status, REBALANCING)
+            report.findings.append(
+                f"{gname}: rebalance {prog['array']!r} {pct:.0f}% "
+                f"({prog['cells_moved']}/{prog['cells_total']} cells, "
+                f"{prog['cells_remaining']} remaining)"
+            )
+        aborted = [r for r in grid.rebalance_log if r.aborted]
+        if aborted:
+            report.status = _worst(report.status, DEGRADED)
+            report.findings.append(
+                f"{gname}: {len(aborted)} rebalance(s) aborted "
+                f"(last: {aborted[-1].reason})"
+            )
+
+        imbalance = 0.0
+        for name in grid.names():
+            try:
+                imbalance = max(imbalance, grid.get_array(name).imbalance())
+            except Exception:
+                continue  # a chain with no live replica mid-drill
+        if imbalance > self.imbalance_threshold:
+            report.status = _worst(report.status, DEGRADED)
+            report.findings.append(
+                f"{gname}: imbalance {imbalance:.2f} exceeds "
+                f"{self.imbalance_threshold:g} (advisor would migrate)"
+            )
+
+    def _assess_events(
+        self, recorder: FlightRecorder, report: HealthReport
+    ) -> None:
+        recent = recorder.events()[-self.recent_window:]
+        tears = [e for e in recent if e.kind in ("fault.wal_tear", "wal_torn_tail")]
+        for event in tears:
+            if event.node is None:
+                continue
+            for nh in report.nodes:
+                if nh.node_id == event.node and "WAL tear" not in "".join(
+                    nh.findings
+                ):
+                    nh.flag(DEGRADED, "WAL tear in recent history")
+        misses = sum(1 for e in recent if e.kind == "deadline_miss")
+        if misses:
+            report.status = _worst(report.status, DEGRADED)
+            report.findings.append(f"{misses} recent deadline miss(es)")
+        quarantined = sum(
+            int(e.detail.get("count", 1))
+            for e in recent
+            if e.kind == "quarantine"
+        )
+        if quarantined:
+            report.status = _worst(report.status, DEGRADED)
+            report.findings.append(
+                f"{quarantined} record(s) quarantined recently"
+            )
+        pressure = [e for e in recent if e.kind == "cache_pressure"]
+        if pressure:
+            report.status = _worst(report.status, DEGRADED)
+            total = sum(int(e.detail.get("evictions", 0)) for e in pressure)
+            report.findings.append(
+                f"chunk-cache eviction pressure ({total} evictions recently)"
+            )

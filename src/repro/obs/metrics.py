@@ -31,14 +31,22 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing count (thread-safe)."""
+    """A monotonically increasing count (thread-safe).
+
+    A registry-created counter shares the *registry's* lock, so one
+    :meth:`MetricsRegistry.snapshot` call reads every instrument under
+    a single critical section (mutually consistent values); a
+    free-standing counter gets its own lock.
+    """
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, lock: "Optional[threading.RLock]" = None
+    ) -> None:
         self.name = name
         self.value: float = 0
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, n: float = 1) -> None:
         with self._lock:
@@ -49,16 +57,20 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins; thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, lock: "Optional[threading.RLock]" = None
+    ) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def __repr__(self) -> str:
         return f"<Gauge {self.name}={self.value:g}>"
@@ -67,9 +79,19 @@ class Gauge:
 class Histogram:
     """Distribution summary: count/sum/min/max plus bounded samples.
 
-    The first ``sample_cap`` observations are kept verbatim for quantile
-    estimates; past the cap only the scalar summary keeps updating, so a
-    hot path can observe millions of values without unbounded memory.
+    Sampling policy (bounded memory): the **first** ``sample_cap``
+    observations are kept verbatim and are the only basis for
+    :meth:`percentile` — past the cap new values update the scalar
+    summary (``count``/``sum``/``mean`` and the *exact* ``min``/``max``)
+    but are not sampled, so quantiles describe the first ``sample_cap``
+    observations only.  This keeps a hot path free to observe millions
+    of values in constant memory; first-K is deterministic (no RNG on
+    the query path) and honest for steady-state latency distributions,
+    at the cost of under-weighting late drift — callers who care about
+    drift should read ``mean``/``max``, which never stop updating.
+    ``p0``/``p100`` (``percentile(0.0)`` / ``percentile(1.0)``) are
+    served from the exact scalar ``min``/``max``, so the extremes stay
+    correct even after the cap is exceeded.
     """
 
     __slots__ = (
@@ -77,7 +99,12 @@ class Histogram:
         "_lock",
     )
 
-    def __init__(self, name: str, sample_cap: int = 512) -> None:
+    def __init__(
+        self,
+        name: str,
+        sample_cap: int = 512,
+        lock: "Optional[threading.RLock]" = None,
+    ) -> None:
         self.name = name
         self.count = 0
         self.total: float = 0.0
@@ -85,7 +112,7 @@ class Histogram:
         self.max: Optional[float] = None
         self.sample_cap = sample_cap
         self._samples: list[float] = []
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -103,36 +130,62 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate q-quantile (0..1) from the retained samples."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-        return ordered[idx]
+        """Approximate q-quantile (0 <= q <= 1) from retained samples.
+
+        ``q`` outside [0, 1] raises ``ValueError``.  An empty histogram
+        returns 0.0 for any q (there is no distribution to describe).
+        ``q == 0`` and ``q == 1`` return the *exact* observed min/max —
+        tracked as scalars, they stay correct past ``sample_cap``; the
+        interior quantiles come from the first-``sample_cap`` samples
+        (see the class docstring for the sampling policy).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile needs 0 <= q <= 1, got {q!r}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            if q == 0.0:
+                return self.min if self.min is not None else 0.0
+            if q == 1.0:
+                return self.max if self.max is not None else 0.0
+            if not self._samples:  # pragma: no cover - defensive
+                return self.mean
+            ordered = sorted(self._samples)
+            idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+            return ordered[idx]
 
     def summary(self) -> dict[str, float]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.min is not None else 0.0,
-            "max": self.max if self.max is not None else 0.0,
-            "mean": self.mean,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
+                "mean": self.mean,
+                "p50": self.percentile(0.50),
+                "p95": self.percentile(0.95),
+            }
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
 
 
 class MetricsRegistry:
-    """A named catalog of instruments with a JSON-able snapshot."""
+    """A named catalog of instruments with a JSON-able snapshot.
+
+    Every instrument the registry creates shares the registry's (reentrant)
+    lock, so :meth:`snapshot` is **atomic**: it reads all counters, gauges
+    and histogram summaries inside one critical section, and no update can
+    interleave mid-snapshot — two counters bumped together by one code
+    path (say ``cache.hit`` and per-node ``cells_scanned``) can never be
+    observed torn under parallel queries.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
 
     # -- get-or-create -----------------------------------------------------------
 
@@ -140,14 +193,14 @@ class MetricsRegistry:
         c = self._counters.get(name)
         if c is None:
             with self._lock:
-                c = self._counters.setdefault(name, Counter(name))
+                c = self._counters.setdefault(name, Counter(name, self._lock))
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self._gauges.get(name)
         if g is None:
             with self._lock:
-                g = self._gauges.setdefault(name, Gauge(name))
+                g = self._gauges.setdefault(name, Gauge(name, self._lock))
         return g
 
     def histogram(self, name: str, sample_cap: int = 512) -> Histogram:
@@ -155,29 +208,39 @@ class MetricsRegistry:
         if h is None:
             with self._lock:
                 h = self._histograms.setdefault(
-                    name, Histogram(name, sample_cap=sample_cap)
+                    name,
+                    Histogram(name, sample_cap=sample_cap, lock=self._lock),
                 )
         return h
 
     # -- reporting ---------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """A plain-dict view, safe for ``json.dumps``."""
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.summary() for n, h in sorted(self._histograms.items())
-            },
-        }
+        """A plain-dict view, safe for ``json.dumps``.
+
+        Taken under the registry-wide lock (shared by every instrument),
+        so the values are mutually consistent — a single point-in-time
+        cut across all counters, gauges and histograms.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    n: c.value for n, c in sorted(self._counters.items())
+                },
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self._histograms.items())
+                },
+            }
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent)
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def __repr__(self) -> str:
         return (

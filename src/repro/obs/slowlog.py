@@ -5,10 +5,21 @@ the trace counters that were gathered while it ran; statements at or
 above ``threshold_ms`` are kept (newest last) in a bounded deque, so a
 long-running service can always answer "what has been slow lately"
 without unbounded memory.
+
+Entries carry the flight recorder's ``query_id`` when one was assigned,
+so a slowlog line correlates 1:1 with its full
+:class:`~repro.obs.recorder.QueryProfile` — "this was slow" links
+straight to "and here is its operator tree".
+
+Thread safety: :meth:`SlowQueryLog.observe` is called from every
+query's tail, and under ``parallelism > 1`` several statements can
+finish concurrently; the observed counter and the deque append happen
+under one lock so the denominator and the entries never drift apart.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -25,9 +36,13 @@ class SlowQuery:
     elapsed_ms: float
     timestamp: float
     counters: dict[str, Any] = field(default_factory=dict)
+    #: flight-recorder correlation id (``db.profile(query_id)`` replays
+    #: the full operator tree); None when profiling was off
+    query_id: Optional[str] = None
 
     def __str__(self) -> str:
-        return f"[{self.elapsed_ms:.1f} ms] {self.statement}"
+        tag = f" {self.query_id}" if self.query_id else ""
+        return f"[{self.elapsed_ms:.1f} ms]{tag} {self.statement}"
 
 
 class SlowQueryLog:
@@ -43,39 +58,57 @@ class SlowQueryLog:
         self._entries: deque[SlowQuery] = deque(maxlen=capacity)
         #: statements offered (slow or not) — the denominator for rates
         self.observed = 0
+        # observe() runs at every query's tail; under parallelism > 1
+        # the counter bump and the append must be one atomic step.
+        self._lock = threading.Lock()
 
     def observe(
         self,
         statement: str,
         elapsed_ms: float,
         counters: Optional[dict] = None,
+        query_id: Optional[str] = None,
     ) -> Optional[SlowQuery]:
         """Offer one statement; returns the entry if it was slow enough."""
-        self.observed += 1
-        if elapsed_ms < self.threshold_ms:
-            return None
-        entry = SlowQuery(
-            statement=statement,
-            elapsed_ms=elapsed_ms,
-            timestamp=time.time(),
-            counters=dict(counters) if counters else {},
-        )
-        self._entries.append(entry)
+        entry: Optional[SlowQuery] = None
+        if elapsed_ms >= self.threshold_ms:
+            entry = SlowQuery(
+                statement=statement,
+                elapsed_ms=elapsed_ms,
+                timestamp=time.time(),
+                counters=dict(counters) if counters else {},
+                query_id=query_id,
+            )
+        with self._lock:
+            self.observed += 1
+            if entry is not None:
+                self._entries.append(entry)
         return entry
 
     def entries(self) -> list[SlowQuery]:
         """Logged slow queries, oldest first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
+
+    def find(self, query_id: str) -> Optional[SlowQuery]:
+        """The logged entry carrying *query_id*, if still retained."""
+        with self._lock:
+            for entry in self._entries:
+                if entry.query_id == query_id:
+                    return entry
+        return None
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.observed = 0
+        with self._lock:
+            self._entries.clear()
+            self.observed = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return (
             f"<SlowQueryLog >={self.threshold_ms:g} ms: "
-            f"{len(self._entries)}/{self.observed} kept>"
+            f"{len(self)}/{self.observed} kept>"
         )

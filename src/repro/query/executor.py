@@ -27,7 +27,9 @@ from ..core.ops import get_operator
 from ..core.schema import ArraySchema, define_array
 from ..obs import tracing
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.recorder import QueryProfile, get_flight_recorder
 from ..obs.slowlog import SlowQueryLog
+from ..obs.tracing import SpanRecorder
 from .ast import (
     ArrayRef,
     CreateNode,
@@ -139,21 +141,77 @@ class Executor:
         EXPLAIN uses this to run the *exact* planned tree it will later
         annotate (operator spans are matched to plan nodes by identity,
         and re-planning would rebuild the nodes).
+
+        When the process :class:`~repro.obs.recorder.FlightRecorder` is
+        capturing profiles (the default), the statement runs under a
+        span recorder (reusing an already-active one — e.g. EXPLAIN's —
+        rather than stacking a second) and its operator tree is retained
+        as a :class:`~repro.obs.recorder.QueryProfile`, correlated to
+        the slow-query log by ``query_id``.  With the recorder disabled
+        this costs one global read and one attribute check.
         """
+        flight = get_flight_recorder()
+        capture = flight.enabled and flight.capture_profiles
+        text = statement_text or f"<{type(planned.node).__name__}>"
+        query_id: Optional[str] = None
+        span_recorder = None
+        previous = None
+        if capture:
+            query_id = flight.next_query_id()
+            active = tracing.get_recorder()
+            if active.enabled:
+                span_recorder = active  # EXPLAIN (or a test) already records
+            else:
+                span_recorder = SpanRecorder()
+                previous = tracing.set_recorder(span_recorder)
+        started_at = time.time()
         t0 = time.perf_counter()
         result = ExecutionResult(None, rewrites=list(planned.rewrites))
-        with tracing.span("execute"):
-            result.value = self._execute(planned.node, result)
-        elapsed_ms = (time.perf_counter() - t0) * 1e3
-        registry = self.metrics if self.metrics is not None else get_registry()
-        registry.counter("query.statements").inc()
-        registry.histogram("query.latency_ms").observe(elapsed_ms)
-        if self.slow_log is not None:
-            self.slow_log.observe(
-                statement_text or f"<{type(planned.node).__name__}>",
-                elapsed_ms,
-                {"cells_examined": result.cells_examined},
+        error: Optional[str] = None
+        try:
+            with tracing.span("execute"):
+                result.value = self._execute(planned.node, result)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            if previous is not None:
+                tracing.set_recorder(previous)
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+            registry = (
+                self.metrics if self.metrics is not None else get_registry()
             )
+            registry.counter("query.statements").inc()
+            registry.histogram("query.latency_ms").observe(elapsed_ms)
+            if self.slow_log is not None:
+                self.slow_log.observe(
+                    text,
+                    elapsed_ms,
+                    {"cells_examined": result.cells_examined},
+                    query_id=query_id,
+                )
+            if capture and span_recorder is not None:
+                # Imported here: obs.explain imports the AST module, so a
+                # module-level import would close a cycle through
+                # query.__init__ while obs.__init__ is still loading.
+                from ..obs.explain import build_report
+
+                report = build_report(
+                    planned.node, list(planned.rewrites),
+                    span_recorder.roots, text, elapsed_ms,
+                )
+                flight.record_profile(
+                    QueryProfile(
+                        query_id=query_id or "",
+                        statement=text,
+                        started_at=started_at,
+                        total_ms=elapsed_ms,
+                        rewrites=list(planned.rewrites),
+                        root=report.root,
+                        cells_examined=result.cells_examined,
+                        error=error,
+                    )
+                )
         return result
 
     def run_script(self, text: str) -> list[ExecutionResult]:

@@ -54,6 +54,7 @@ from ..core.errors import (
 from ..core.datatypes import ScalarType
 from ..obs import tracing
 from ..obs.metrics import get_registry
+from ..obs.recorder import emit as _flight_emit
 from .quarantine import QuarantineStore
 
 __all__ = ["LoadRecord", "LoadReport", "BulkLoader"]
@@ -323,6 +324,7 @@ class BulkLoader:
                         f"{self.max_retries} retries"
                     ) from exc
                 self.stats.records_retried += 1
+                _flight_emit("load_retry", what=what, attempt=attempt)
                 # Capped: the uncapped doubling overflows semantically for
                 # large attempt budgets (attempt 60 would charge ~18 years
                 # of simulated backoff to the report).
@@ -401,6 +403,12 @@ class BulkLoader:
                 # committed the batch before the crash — replay skips it.
                 self.stats.records_skipped += len(records)
                 self.stats.batches_replayed += 1
+                _flight_emit(
+                    "load_resume",
+                    batch_seq=seq,
+                    site=str(site),
+                    records_skipped=len(records),
+                )
                 continue
 
             def commit(sink=sink, records=records) -> None:

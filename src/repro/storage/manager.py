@@ -35,6 +35,7 @@ from ..core.errors import StorageError
 from ..core.schema import ArraySchema
 from ..obs import tracing
 from ..obs.metrics import get_registry
+from ..obs.recorder import emit as _flight_emit
 from .bucket import Bucket
 from .compression import Codec
 from .rtree import RTree
@@ -65,6 +66,9 @@ class ChunkCache:
     several worker threads at once.
     """
 
+    #: one ``cache_pressure`` flight-recorder event per this many evictions
+    PRESSURE_EVERY = 64
+
     def __init__(self, budget_bytes: int = 8 << 20) -> None:
         if budget_bytes <= 0:
             raise StorageError(
@@ -78,6 +82,10 @@ class ChunkCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Next cumulative-eviction threshold at which a cache_pressure
+        # event fires (rate-limited so a churning cache cannot flood the
+        # flight-recorder ring and push operational events out of it).
+        self._pressure_mark = self.PRESSURE_EVERY
 
     def get(self, key: CacheKey) -> Optional[Bucket]:
         with self._lock:
@@ -109,6 +117,18 @@ class ChunkCache:
                 evicted += 1
         if evicted:
             get_registry().counter("cache.evict").inc(evicted)
+            pressure = False
+            with self._lock:
+                if self.evictions >= self._pressure_mark:
+                    self._pressure_mark = self.evictions + self.PRESSURE_EVERY
+                    pressure = True
+            if pressure:
+                _flight_emit(
+                    "cache_pressure",
+                    evictions=self.evictions,
+                    bytes_cached=self._bytes,
+                    budget_bytes=self.budget_bytes,
+                )
 
     def invalidate(self, array_prefix: str) -> int:
         """Drop every entry whose array directory equals *array_prefix*."""

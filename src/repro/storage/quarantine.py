@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
 
+from ..obs.recorder import emit as _flight_emit
+
 __all__ = ["QuarantinedRecord", "QuarantineStore"]
 
 
@@ -81,6 +83,7 @@ class QuarantineStore:
     ) -> QuarantinedRecord:
         rec = QuarantinedRecord(offset, reason, detail, coords, batch_seq)
         self._records.append(rec)
+        _flight_emit("quarantine", offset=offset, reason=reason)
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as f:

@@ -30,6 +30,7 @@ from ..core.errors import StorageError
 from ..core.schema import ArraySchema, define_array
 from ..obs import tracing
 from ..obs.metrics import get_registry
+from ..obs.recorder import emit as _flight_emit
 
 __all__ = ["WriteAheadLog"]
 
@@ -298,6 +299,11 @@ class WriteAheadLog:
         total = os.path.getsize(self.path)
         with open(self.path, "r+", encoding="utf-8") as f:
             f.truncate(keep_bytes)
+        _flight_emit(
+            "wal_torn_tail",
+            path=self.path.name,
+            bytes_removed=total - keep_bytes,
+        )
         return total - keep_bytes
 
     def recover(self) -> dict[str, SciArray]:

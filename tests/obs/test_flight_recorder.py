@@ -1,0 +1,372 @@
+"""The flight recorder: event ring, query profiles, health, exporters.
+
+Unit coverage for the PR 8 tentpole — the bounded stores in isolation,
+then the assembled system through the :class:`~repro.SciDB` facade
+(``db.events()`` / ``db.profiles()`` / ``db.status()``), including the
+disabled-recorder no-op contract the overhead budget depends on.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import SciDB, define_array
+from repro.cluster import FaultInjector, HashPartitioner
+from repro.obs.export import events_jsonl, prometheus_text, status_text
+from repro.obs.health import HealthModel
+from repro.obs.recorder import (
+    EventLog,
+    FlightRecorder,
+    GaugeSampler,
+    QueryProfile,
+    QueryProfileStore,
+    emit,
+    get_flight_recorder,
+    use_flight_recorder,
+)
+from repro.storage.loader import LoadRecord
+
+
+class TestEventLog:
+    def test_monotonic_seq_and_order(self):
+        log = EventLog(capacity=16)
+        for i in range(5):
+            log.emit("tick", node=i)
+        events = log.events()
+        assert [e.seq for e in events] == [1, 2, 3, 4, 5]
+        assert [e.node for e in events] == [0, 1, 2, 3, 4]
+
+    def test_ring_evicts_oldest_but_counts_survive(self):
+        log = EventLog(capacity=3)
+        for _ in range(10):
+            log.emit("kill")
+        assert len(log) == 3
+        assert log.emitted == 10
+        assert log.evicted == 7
+        assert log.counts() == {"kill": 10}
+        # the retained events are the newest three
+        assert [e.seq for e in log.events()] == [8, 9, 10]
+
+    def test_filters(self):
+        log = EventLog()
+        log.emit("a", node=1)
+        log.emit("b", node=2)
+        log.emit("a", node=2)
+        assert len(log.events(kind="a")) == 2
+        assert len(log.events(node=2)) == 2
+        assert len(log.events(kind="a", node=2)) == 1
+        assert [e.seq for e in log.events(since_seq=2)] == [3]
+
+    def test_clear_keeps_seq_monotonic(self):
+        log = EventLog()
+        log.emit("x")
+        log.clear()
+        assert len(log) == 0
+        assert log.emit("y").seq == 2  # not reset
+
+    def test_detail_round_trips_through_json(self):
+        log = EventLog()
+        e = log.emit("rebalance_plan", array="sky", cells_total=99)
+        parsed = json.loads(e.to_json())
+        assert parsed["kind"] == "rebalance_plan"
+        assert parsed["array"] == "sky"
+        assert parsed["detail"]["cells_total"] == 99
+
+    def test_concurrent_emit_has_unique_ordered_seqs(self):
+        log = EventLog(capacity=10_000)
+        n_threads, per_thread = 8, 250
+
+        def burst():
+            for _ in range(per_thread):
+                log.emit("spam")
+
+        workers = [threading.Thread(target=burst) for _ in range(n_threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        seqs = [e.seq for e in log.events()]
+        assert len(seqs) == n_threads * per_thread
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestModuleEmit:
+    def test_disabled_recorder_emits_nothing(self):
+        rec = FlightRecorder(enabled=False)
+        with use_flight_recorder(rec):
+            assert emit("kill", node=1) is None
+        assert rec.events_log.emitted == 0
+
+    def test_enabled_recorder_receives_module_emits(self):
+        rec = FlightRecorder()
+        with use_flight_recorder(rec):
+            event = emit("kill", node=1, why="test")
+        assert event is not None and event.kind == "kill"
+        assert rec.event_counts() == {"kill": 1}
+
+    def test_use_flight_recorder_restores_previous(self):
+        before = get_flight_recorder()
+        with use_flight_recorder(FlightRecorder()) as rec:
+            assert get_flight_recorder() is rec
+        assert get_flight_recorder() is before
+
+
+class TestQueryProfileStore:
+    def test_ids_are_deterministic(self):
+        store = QueryProfileStore()
+        assert store.next_query_id() == "q-000001"
+        assert store.next_query_id() == "q-000002"
+
+    def test_last_n_retained_and_addressable(self):
+        store = QueryProfileStore(capacity=2)
+        for i in range(1, 4):
+            store.add(
+                QueryProfile(
+                    query_id=f"q-{i:06d}", statement=f"s{i}",
+                    started_at=0.0, total_ms=1.0,
+                )
+            )
+        assert [p.query_id for p in store.profiles()] == [
+            "q-000002", "q-000003",
+        ]
+        assert store.get("q-000001") is None  # evicted with its id index
+        assert store.get("q-000003").statement == "s3"
+
+    def test_estimated_field_reserved_for_cost_model(self):
+        p = QueryProfile(
+            query_id="q-000001", statement="s", started_at=0.0, total_ms=1.0
+        )
+        assert p.estimated is None  # null until the cost model fills it
+        assert "estimated" not in p.render()
+
+
+class TestGaugeSampler:
+    def test_rings_are_bounded(self):
+        s = GaugeSampler(capacity=3)
+        for i in range(10):
+            s.record("k", float(i), seq=i)
+        points = s.series("k")
+        assert len(points) == 3
+        assert [v for _, _, v in points] == [7.0, 8.0, 9.0]
+        assert s.latest("k") == 9.0
+
+    def test_unknown_series_is_empty(self):
+        s = GaugeSampler()
+        assert s.series("nope") == []
+        assert s.latest("nope") is None
+
+
+def _build_grid_db(tmp_path, seed=7):
+    rec = FlightRecorder()
+    ctx = use_flight_recorder(rec)
+    ctx.__enter__()
+    db = SciDB(tmp_path)
+    inj = FaultInjector(seed=seed)
+    grid = db.create_grid("g", n_nodes=3, replication=2, fault_injector=inj)
+    schema = define_array("M", {"v": "float"}, ["I", "J"]).bind([8, 8])
+    arr = grid.create_array("M", schema, HashPartitioner(3), replication=2)
+    arr.load(
+        [
+            LoadRecord((i, j), (float(i * 8 + j),))
+            for i in range(8)
+            for j in range(8)
+        ]
+    )
+    db.register("M", arr)
+    return rec, ctx, db, grid, inj
+
+
+class TestSciDBIntegration:
+    def test_profiles_capture_operator_trees(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            db.execute("select subsample(M, I >= 2)")
+            profiles = db.profiles()
+            assert len(profiles) == 1
+            p = profiles[0]
+            assert p.query_id == "q-000001"
+            assert p.root is not None and p.root.op == "subsample"
+            assert p.cells_scanned > 0
+            assert db.profile("q-000001") is p
+            rendered = p.render()
+            assert "PROFILE q-000001" in rendered
+            assert "subsample" in rendered
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_kill_and_rebuild_land_in_events(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            inj.kill(1)
+            db.execute("select subsample(M, J < 4)")
+            grid.rebuild_node(1)
+            counts = rec.event_counts()
+            assert counts.get("fault.node_kill") == 1
+            assert counts.get("node_down") == 1
+            assert counts.get("node_up") == 1
+            assert counts.get("node_rebuild") == 1
+            kills = db.events(kind="fault.node_kill")
+            rebuilds = db.events(kind="node_rebuild")
+            assert kills[0].node == 1 and rebuilds[0].node == 1
+            assert kills[0].seq < rebuilds[0].seq  # injection-order seq
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_slowlog_correlates_to_profile(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            db.slow_log.threshold_ms = 0.0  # everything is "slow"
+            db.execute("select subsample(M, I >= 2)")
+            entries = db.slow_queries()
+            assert entries and entries[-1].query_id == "q-000001"
+            assert db.profile(entries[-1].query_id) is not None
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_sample_records_per_node_gauges(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            updated = db.sample()
+            assert updated > 0
+            keys = rec.sampler.keys()
+            assert "g.node0.cells" in keys
+            assert "g.node0.wal_depth" in keys
+            assert "g.imbalance" in keys
+            assert rec.sampler.latest("g.alive_nodes") == 3.0
+            total_cells = sum(
+                rec.sampler.latest(f"g.node{i}.cells") for i in range(3)
+            )
+            assert total_cells == 128  # 64 logical cells × k=2 replicas
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_status_is_one_screen_and_names_findings(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            db.execute("select subsample(M, I >= 2)")
+            inj.kill(2)
+            text = db.status()
+            assert text.startswith("== repro status ==")
+            assert "cluster: critical" in text
+            assert "down (awaiting rebuild)" in text
+            assert "q-000001" in text
+            grid.rebuild_node(2)
+            assert "cluster: ok" in db.status()
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_disabled_recorder_is_a_no_op_end_to_end(self, tmp_path):
+        rec = FlightRecorder(enabled=False)
+        with use_flight_recorder(rec):
+            db = SciDB(tmp_path)
+            inj = FaultInjector(seed=3)
+            grid = db.create_grid(
+                "g", n_nodes=3, replication=2, fault_injector=inj
+            )
+            schema = define_array("M", {"v": "float"}, ["I", "J"]).bind([4, 4])
+            arr = grid.create_array(
+                "M", schema, HashPartitioner(3), replication=2
+            )
+            arr.load(
+                [LoadRecord((i, j), (1.0,)) for i in range(4) for j in range(4)]
+            )
+            db.register("M", arr)
+            inj.kill(1)
+            db.execute("select subsample(M, I >= 1)")
+            grid.rebuild_node(1)
+            assert rec.events_log.emitted == 0
+            assert db.profiles() == []
+            # fault-injector bookkeeping is unaffected by the recorder
+            assert inj.counts().get("node_kill") == 1
+
+
+class TestHealthModel:
+    def test_all_ok(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            report = db.health()
+            assert report.status == "ok"
+            assert all(nh.status == "ok" for nh in report.nodes)
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_dead_node_is_critical_with_finding(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            inj.kill(0)
+            report = db.health()
+            assert report.status == "critical"
+            nh = report.node("g", 0)
+            assert nh.status == "critical"
+            assert any("down" in f for f in nh.findings)
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_active_rebalance_reported(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            rb = grid.start_rebalance(
+                "M", HashPartitioner(3, dims=[0]),
+                max_transfer_cells_per_tick=4,
+            )
+            rb.tick()
+            report = db.health()
+            assert report.status == "rebalancing"
+            assert any("rebalance 'M'" in f for f in report.findings)
+            rb.run()  # drain it so teardown is clean
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_quarantine_events_degrade(self):
+        rec = FlightRecorder()
+        rec.emit("quarantine", offset=4, reason="malformed")
+        report = HealthModel().assess({}, recorder=rec)
+        assert report.status == "degraded"
+        assert any("quarantined" in f for f in report.findings)
+
+    def test_to_dict_is_json_serialisable(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            json.dumps(db.health().to_dict())
+        finally:
+            ctx.__exit__(None, None, None)
+
+
+class TestExporters:
+    def test_prometheus_text_shape(self, tmp_path):
+        rec, ctx, db, grid, inj = _build_grid_db(tmp_path)
+        try:
+            db.execute("select subsample(M, I >= 2)")
+            text = db.prometheus()
+            assert text.endswith("\n")
+            assert "# TYPE repro_query_statements_total counter" in text
+            assert 'repro_grid_node_alive{grid="g",node="0"} 1' in text
+            assert "repro_query_latency_ms{quantile=" in text
+            # every sample line is "name[{labels}] value"
+            for line in text.splitlines():
+                if line.startswith("#"):
+                    continue
+                assert len(line.rsplit(" ", 1)) == 2
+        finally:
+            ctx.__exit__(None, None, None)
+
+    def test_events_jsonl_round_trip(self):
+        rec = FlightRecorder()
+        rec.emit("a", node=1)
+        rec.emit("b", array="sky", n=2)
+        lines = events_jsonl(rec.events()).splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(l) for l in lines]
+        assert parsed[0]["kind"] == "a" and parsed[1]["detail"]["n"] == 2
+
+    def test_status_text_without_optional_parts(self):
+        report = HealthModel().assess({})
+        text = status_text(report)
+        assert "== repro status ==" in text
+        assert "cluster: ok" in text

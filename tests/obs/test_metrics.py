@@ -103,3 +103,120 @@ class TestSlowQueryLog:
             SlowQueryLog(threshold_ms=-1)
         with pytest.raises(ValueError):
             SlowQueryLog(capacity=0)
+
+
+class TestPercentileEdges:
+    """Histogram.percentile edge cases (PR 8 satellite)."""
+
+    def test_empty_returns_zero_for_any_q(self):
+        h = Histogram("empty")
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 0.0
+
+    def test_q_bounds_are_exact_min_max(self):
+        h = Histogram("lat", sample_cap=4)
+        for v in (5.0, 1.0, 9.0, 3.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(1.0) == 9.0
+
+    def test_extremes_stay_exact_past_sample_cap(self):
+        # Values past the cap are not sampled, but min/max are scalars
+        # that never stop updating — p0/p100 must reflect them.
+        h = Histogram("lat", sample_cap=2)
+        h.observe(10.0)
+        h.observe(20.0)
+        h.observe(0.5)    # past cap: not sampled
+        h.observe(99.0)   # past cap: not sampled
+        assert h.percentile(0.0) == 0.5
+        assert h.percentile(1.0) == 99.0
+        # interior quantiles still come from the first-K samples
+        assert h.percentile(0.5) in (10.0, 20.0)
+
+    def test_out_of_range_q_raises(self):
+        import pytest
+
+        h = Histogram("lat")
+        h.observe(1.0)
+        for bad in (-0.1, 1.1, 2, -3):
+            with pytest.raises(ValueError):
+                h.percentile(bad)
+
+
+class TestAtomicSnapshot:
+    """snapshot() reads all instruments in one critical section."""
+
+    def test_paired_counters_never_torn(self):
+        import threading
+
+        reg = MetricsRegistry()
+        a = reg.counter("pair.a")
+        b = reg.counter("pair.b")
+        stop = threading.Event()
+
+        def bump():
+            # a and b move together under the registry lock; a snapshot
+            # must never observe them apart.
+            while not stop.is_set():
+                with reg._lock:
+                    a.inc()
+                    b.inc()
+
+        workers = [threading.Thread(target=bump) for _ in range(4)]
+        for w in workers:
+            w.start()
+        try:
+            for _ in range(200):
+                snap = reg.snapshot()
+                assert snap["counters"]["pair.a"] == snap["counters"]["pair.b"]
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()
+
+    def test_registry_instruments_share_the_registry_lock(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c")._lock is reg._lock
+        assert reg.gauge("g")._lock is reg._lock
+        assert reg.histogram("h")._lock is reg._lock
+
+    def test_snapshot_includes_histogram_summaries(self):
+        # summary() re-enters the shared lock from inside snapshot();
+        # an RLock makes that legal — this would deadlock with a Lock.
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(7.0)
+        snap = reg.snapshot()
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestSlowLogConcurrency:
+    """SlowQueryLog.observe under parallel statement completion."""
+
+    def test_concurrent_observe_keeps_counts_consistent(self):
+        import threading
+
+        log = SlowQueryLog(threshold_ms=0.0, capacity=10_000)
+        n_threads, per_thread = 8, 200
+
+        def run(tid):
+            for i in range(per_thread):
+                log.observe(f"stmt-{tid}-{i}", 1.0, query_id=f"q-{tid}-{i}")
+
+        workers = [
+            threading.Thread(target=run, args=(t,)) for t in range(n_threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert log.observed == n_threads * per_thread
+        assert len(log) == n_threads * per_thread
+
+    def test_query_id_correlation(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.observe("slow one", 5.0, query_id="q-000042")
+        entry = log.find("q-000042")
+        assert entry is not None and entry.statement == "slow one"
+        assert "q-000042" in str(entry)
+        assert log.find("q-999999") is None
