@@ -1,0 +1,238 @@
+"""E23: cost-based optimizer — chunk-skipping I/O and selective-query speedup.
+
+Section 2.2.1 promises that structural knowledge lets the engine answer
+queries "without reading the data"; the optimizer extends that promise to
+*value* predicates via per-bucket min/max statistics.  This experiment
+measures the payoff on a value-clustered array (flux monotone in x, so
+bucket ranges are tight) with a selective filter whose true match set
+lives in ≤10 % of the buckets:
+
+* **chunk skipping** — buckets actually read by the pruned plan vs. the
+  pruning-disabled control arm (``PlannerConfig(enable_pruning=False)``),
+  chunk caches off so every served bucket is a real read.  Acceptance:
+  the pruned plan reads ≤ **25 %** of the control's chunks.
+* **speedup** — median wall time of the same selective statement, both
+  arms interleaved round by round so machine drift cancels.  Acceptance:
+  ≥ **2×**.
+* **estimate accuracy** — after a warm-up run, ``explain``'s estimated
+  chunks-to-read is compared against the chunks the scan then actually
+  served (k=1, so logical == physical).
+
+Results land in ``BENCH_optimizer.json`` (repo root by default) so the
+optimizer trajectory is machine-readable across PRs.
+
+Run standalone for the full report::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer.py [--quick]
+        [--rounds N] [--json PATH]
+"""
+
+import argparse
+import json
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro import SciDB, define_array
+from repro.cluster import HashPartitioner
+from repro.query import PlannerConfig
+from repro.query.binding import array, attr
+from repro.storage.loader import LoadRecord
+
+N_NODES = 4
+PARALLELISM = 4
+STRIDE = (8, 8)
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_optimizer.json"
+
+UNPRUNED = PlannerConfig(enable_pruning=False)
+
+
+def make_db(tmp, side):
+    """A SciDB grid holding a dense value-clustered array.
+
+    ``flux = x*side + y`` makes bucket min/max ranges tight and disjoint
+    along x — the statistics' best case, and the shape real telescope
+    data (time-monotone, spatially smooth) approximates.  Chunk caches
+    are disabled so chunks-read counters mean real bucket decodes.
+    """
+    db = SciDB(tmp / "e23")
+    grid = db.create_grid(
+        "g", n_nodes=N_NODES, parallelism=PARALLELISM, chunk_cache_bytes=0,
+    )
+    schema = define_array("sky", {"flux": "float"}, ["x", "y"]).bind(
+        [side, side]
+    )
+    arr = grid.create_array(
+        "sky", schema, HashPartitioner(N_NODES), stride=STRIDE
+    )
+    arr.load(
+        LoadRecord((x, y), (float(x * side + y),))
+        for x in range(1, side + 1)
+        for y in range(1, side + 1)
+    )
+    db.executor.register("sky", arr)
+    return db, grid, arr
+
+
+def selective_query(side):
+    # flux = x*side + y, so this threshold matches exactly the last
+    # stride-row of x (x > side - STRIDE[0]): 8/side of the cells, and
+    # — because flux is clustered — the same fraction of the buckets.
+    threshold = float((side - STRIDE[0] + 1) * side)
+    return array("sky").filter(attr("flux") > threshold).node
+
+
+def selectivity(side):
+    return STRIDE[0] / side
+
+
+def _buckets_read(grid):
+    return sum(
+        node.partition("sky").stats.buckets_read
+        for node in grid.nodes
+        if node.alive
+    )
+
+
+def _buckets_total(grid):
+    return sum(
+        node.partition("sky").bucket_count()
+        for node in grid.nodes
+        if node.alive
+    )
+
+
+def pruning_probe(tmp, side, rounds):
+    """Chunks read and wall time, pruned vs. control, interleaved."""
+    db, grid, arr = make_db(tmp, side)
+    query = lambda: selective_query(side)  # noqa: E731
+
+    # Warm both arms once (imports, planner, cost-model seeds).
+    db.execute(query())
+    db.execute(query(), planner=UNPRUNED)
+
+    def run(planner):
+        before = _buckets_read(grid)
+        t0 = time.perf_counter()
+        db.execute(query(), planner=planner)
+        ms = (time.perf_counter() - t0) * 1e3
+        return ms, _buckets_read(grid) - before
+
+    pruned_ms, pruned_chunks = [], []
+    control_ms, control_chunks = [], []
+    for i in range(rounds):
+        arms = [(None, pruned_ms, pruned_chunks),
+                (UNPRUNED, control_ms, control_chunks)]
+        if i % 2:
+            arms.reverse()
+        for planner, acc_ms, acc_chunks in arms:
+            ms, chunks = run(planner)
+            acc_ms.append(ms)
+            acc_chunks.append(chunks)
+
+    # Estimate accuracy from the warm plan (stats are stable by now).
+    report = db.explain(query())
+    est_chunks = report.root.est_chunks
+    est_pruned = report.root.est_chunks_pruned
+
+    chunks_pruned_run = statistics.median(pruned_chunks)
+    chunks_control_run = statistics.median(control_chunks)
+    total = _buckets_total(grid)
+    matched_fraction = chunks_pruned_run / total if total else 1.0
+    return {
+        "buckets_total": total,
+        "chunks_read_pruned": chunks_pruned_run,
+        "chunks_read_unpruned": chunks_control_run,
+        "chunks_read_ratio": (
+            chunks_pruned_run / chunks_control_run
+            if chunks_control_run else 1.0
+        ),
+        "matched_bucket_fraction": matched_fraction,
+        "median_pruned_ms": statistics.median(pruned_ms),
+        "median_unpruned_ms": statistics.median(control_ms),
+        "speedup": (
+            statistics.median(control_ms) / statistics.median(pruned_ms)
+            if statistics.median(pruned_ms) else 1.0
+        ),
+        "est_chunks": est_chunks,
+        "est_chunks_pruned": est_pruned,
+        "est_chunks_error": (
+            abs(est_chunks - chunks_pruned_run) / chunks_pruned_run
+            if est_chunks is not None and chunks_pruned_run else None
+        ),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload smoke run (for CI)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timed rounds per arm (default 9; 5 with "
+                             "--quick)")
+    parser.add_argument("--side", type=int, default=None,
+                        help="array side length (default 96; 80 with "
+                             "--quick)")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                        help="where to write the machine-readable results "
+                             f"(default {DEFAULT_JSON.name} at the repo "
+                             "root; '-' to skip)")
+    args = parser.parse_args(argv)
+    if args.rounds is not None and args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+    if args.side is not None and args.side < 2 * STRIDE[0]:
+        # One bucket row must be a selective fraction of the whole, or
+        # the probe measures nothing.
+        parser.error(f"--side must be >= {2 * STRIDE[0]}")
+    rounds = args.rounds if args.rounds is not None else (
+        5 if args.quick else 9
+    )
+    side = args.side if args.side is not None else (
+        80 if args.quick else 96
+    )
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        print(f"E23: optimizer chunk skipping on a {N_NODES}-node grid, "
+              f"{side}x{side} cells, stride {STRIDE}, "
+              f"filter selectivity {selectivity(side):.1%}\n")
+        res = pruning_probe(tmp, side, rounds)
+
+        selective_ok = res["matched_bucket_fraction"] <= 0.10
+        ratio_ok = res["chunks_read_ratio"] <= 0.25
+        speed_ok = res["speedup"] >= 2.0
+        failures += not (selective_ok and ratio_ok and speed_ok)
+
+        print(f"  buckets: {res['buckets_total']} total, pruned plan read "
+              f"{res['chunks_read_pruned']:.0f} "
+              f"({res['matched_bucket_fraction']:.1%} of buckets, "
+              f"accept <= 10%), control read "
+              f"{res['chunks_read_unpruned']:.0f}")
+        print(f"  chunks_read_ratio {res['chunks_read_ratio']:.3f} "
+              f"(accept <= 0.25)")
+        print(f"  latency: pruned {res['median_pruned_ms']:.2f} ms, "
+              f"unpruned {res['median_unpruned_ms']:.2f} ms -> "
+              f"speedup {res['speedup']:.2f}x (accept >= 2x)")
+        if res["est_chunks"] is not None:
+            print(f"  explain estimated {res['est_chunks']} chunks "
+                  f"(-{res['est_chunks_pruned']} pruned); actual "
+                  f"{res['chunks_read_pruned']:.0f} -> error "
+                  f"{res['est_chunks_error']:.1%}")
+
+        results = {
+            "experiment": "E23-optimizer",
+            "grid": {"n_nodes": N_NODES, "parallelism": PARALLELISM,
+                     "side": side, "stride": list(STRIDE),
+                     "selectivity": selectivity(side), "rounds": rounds},
+            "pruning": res,
+        }
+        if str(args.json) != "-":
+            args.json.write_text(json.dumps(results, indent=2) + "\n")
+            print(f"\nwrote {args.json}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -493,6 +493,7 @@ class DistributedArray:
         attempt: int,
         deadline: Optional[Deadline],
         buf: Optional[MeterBuffer] = None,
+        attr_ranges: Optional[dict] = None,
     ) -> list[tuple[Coords, Optional[Cell]]]:
         """One read attempt of partition *p* against a single *site*.
 
@@ -541,7 +542,9 @@ class DistributedArray:
             bump = lambda name, n=1: buf.counter(node, name, n)  # noqa: E731
         cells: list[tuple[Coords, Optional[Cell]]] = []
         seen = 0
-        for coords, cell in node.scan_partition(self.name, window):
+        for coords, cell in node.scan_partition(
+            self.name, window, attr_ranges
+        ):
             seen += 1
             if deadline is not None and seen % 64 == 0:
                 deadline.check(f"scan of partition {p} on node {site}")
@@ -588,6 +591,7 @@ class DistributedArray:
         per_cell_reason: Optional[str],
         attempt: int,
         deadline: Optional[Deadline],
+        attr_ranges: Optional[dict] = None,
     ) -> tuple[int, list[tuple[Coords, Optional[Cell]]]]:
         """Read partition *p* from *site*, hedging against *backup*.
 
@@ -611,7 +615,7 @@ class DistributedArray:
             try:
                 cells = self._attempt_read(
                     attempt_site, p, window, per_cell_reason,
-                    attempt, deadline, buf,
+                    attempt, deadline, buf, attr_ranges,
                 )
             except BaseException as exc:  # classified by the consumer
                 results.put((attempt_site, None, exc))
@@ -694,6 +698,7 @@ class DistributedArray:
         window: Optional[tuple[Coords, Coords]] = None,
         per_cell_reason: Optional[str] = None,
         degraded: bool = False,
+        attr_ranges: Optional[dict] = None,
     ) -> tuple[Optional[int], Optional[list[tuple[Coords, Optional[Cell]]]]]:
         """Read logical partition *p* from the first surviving replica,
         under the grid's :class:`~repro.cluster.resilience.ResiliencePolicy`.
@@ -750,12 +755,12 @@ class DistributedArray:
                     if backup is not None:
                         served, cells = self._hedged_attempt(
                             site, backup, p, window, per_cell_reason,
-                            attempt, deadline,
+                            attempt, deadline, attr_ranges,
                         )
                     else:
                         cells = self._attempt_read(
                             site, p, window, per_cell_reason,
-                            attempt, deadline,
+                            attempt, deadline, attr_ranges=attr_ranges,
                         )
                         breaker.record_success()
                         served = site
@@ -781,7 +786,9 @@ class DistributedArray:
                 tracing.mark_current("nodes", served)
                 tracing.add_current("cells_scanned", len(cells))
                 return served, cells
-        fallback = self._dual_resolve_read(p, window, per_cell_reason)
+        fallback = self._dual_resolve_read(
+            p, window, per_cell_reason, attr_ranges
+        )
         if fallback is not None:
             return fallback
         if degraded:
@@ -796,6 +803,7 @@ class DistributedArray:
         p: int,
         window: Optional[tuple[Coords, Coords]],
         per_cell_reason: Optional[str],
+        attr_ranges: Optional[dict] = None,
     ) -> Optional[tuple[int, list[tuple[Coords, Optional[Cell]]]]]:
         """Serve partition *p* from the migration's *new* homes after the
         old chain is exhausted.
@@ -825,7 +833,9 @@ class DistributedArray:
             if not node.alive:
                 continue
             try:
-                for coords, cell in node.scan_partition(self.name, window):
+                for coords, cell in node.scan_partition(
+                    self.name, window, attr_ranges
+                ):
                     if deadline is not None and len(got) % 64 == 0:
                         deadline.check(
                             f"dual-resolve of partition {p} on node {site}"
@@ -897,6 +907,7 @@ class DistributedArray:
         degraded: bool = False,
         partitions: Optional[Sequence[int]] = None,
         tolerate_deadline: bool = False,
+        attr_ranges: Optional[dict] = None,
     ) -> list[tuple[Optional[int], Optional[list[tuple[Coords, Optional[Cell]]]]]]:
         """Fan :meth:`_read_partition` across partitions via the scheduler.
 
@@ -914,7 +925,9 @@ class DistributedArray:
 
         def read_one(p: int) -> tuple:
             try:
-                return self._read_partition(p, window, per_cell_reason, degraded)
+                return self._read_partition(
+                    p, window, per_cell_reason, degraded, attr_ranges
+                )
             except DeadlineExceededError:
                 if not tolerate_deadline:
                     raise
@@ -930,6 +943,7 @@ class DistributedArray:
         self,
         window: Optional[tuple[Coords, Coords]] = None,
         degraded: bool = False,
+        attr_ranges: Optional[dict] = None,
     ) -> Iterator[tuple[Coords, Optional[Cell]]]:
         """Gather (windowed) cells at the coordinator, metering the gather.
 
@@ -938,10 +952,15 @@ class DistributedArray:
         A partition with no surviving replica raises
         :class:`~repro.core.errors.QuorumError` — or, with
         ``degraded=True``, is silently skipped (partial answer).
+        *attr_ranges* forwards the planner's value-pruning intervals to
+        every node's storage manager (chunk skipping; pruned buckets'
+        occupied cells come back NULL).
         """
         for p, (_site, cells) in zip(
             self.partitions(),
-            self._read_partitions(window, "gather", degraded),
+            self._read_partitions(
+                window, "gather", degraded, attr_ranges=attr_ranges
+            ),
         ):
             if cells is None:
                 if degraded:
@@ -990,6 +1009,7 @@ class DistributedArray:
         degraded: bool = False,
         deadline: Optional[Deadline] = None,
         on_unavailable: str = "raise",
+        attr_ranges: Optional[dict] = None,
     ) -> "SciArray | DegradedResult":
         """Window query executed with per-node bucket pruning.
 
@@ -1011,22 +1031,30 @@ class DistributedArray:
                 self._read_partitions(
                     window, "gather", partial,
                     tolerate_deadline=_wants_partial(on_unavailable),
+                    attr_ranges=attr_ranges,
                 ),
             ):
                 if cells is None:
                     missing.append((self.name, p))
                     continue
                 for coords, cell in cells:
-                    out.set(coords, cell)
+                    out.set_unchecked(
+                        coords, None if cell is None else cell.values
+                    )
         if partial:
             report = CoverageReport(len(self.partitions()), tuple(missing))
             return DegradedResult(out, report)
         return out
 
-    def materialize(self) -> SciArray:
+    def materialize(self, attr_ranges: Optional[dict] = None) -> SciArray:
+        # Partition reads yield schema-conforming cells at 1-based coords,
+        # so the checked set() path (coord normalisation, bounds, record
+        # coercion) is pure overhead here — and this loop is the gather
+        # hot path for every distributed operator.
         out = SciArray(self.schema, name=self.name)
-        for coords, cell in self.scan():
-            out.set(coords, cell)
+        unchecked = out.set_unchecked
+        for coords, cell in self.scan(attr_ranges=attr_ranges):
+            unchecked(coords, None if cell is None else cell.values)
         return out
 
     # -- distributed operators ----------------------------------------------------

@@ -202,15 +202,22 @@ class Node:
         self,
         array_name: str,
         window: Optional[tuple[Coords, Coords]] = None,
+        attr_ranges: Optional[dict] = None,
     ) -> Iterator[tuple[Coords, Optional[Cell]]]:
         """Scan a partition, re-checking liveness at every cell.
 
         A node killed mid-scan (a scheduled fault firing on a metered
         transfer) raises :class:`NodeFailedError` at the next cell, which
         the grid's failover logic catches and retries on a replica.
+
+        *attr_ranges* enables the storage layer's value pruning: buckets
+        whose statistics prove no cell can satisfy the ranges are skipped
+        without I/O (their occupied coordinates come back as NULL cells).
         """
         self.check_alive()
-        for coords, cell in self.partition(array_name).scan(window):
+        for coords, cell in self.partition(array_name).scan(
+            window, attr_ranges=attr_ranges
+        ):
             self.check_alive()
             yield coords, cell
 

@@ -343,8 +343,24 @@ class SciArray:
         to the schema (e.g. values read out of another array with the same
         record type).  ``None`` stores NULL.
         """
-        chunk = self._chunk_for(coords, create=True)
-        _, off = self._chunk_key(coords)
+        # _chunk_for + _chunk_key would derive the key twice; this loop is
+        # the per-cell floor of every gather and operator inner loop, so
+        # compute it once inline.
+        key = []
+        off = []
+        for c, s in zip(coords, self.chunk_shape):
+            q, r = divmod(c - 1, s)
+            key.append(q)
+            off.append(r)
+        key = tuple(key)
+        off = tuple(off)
+        chunk = self._chunks.get(key)
+        if chunk is None:
+            origin = tuple(
+                k * s + 1 for k, s in zip(key, self.chunk_shape)
+            )
+            chunk = Chunk(origin, self.chunk_shape, self.schema.attributes)
+            self._chunks[key] = chunk
         if values is None:
             chunk.state[off] = CellState.NULL
         else:

@@ -47,7 +47,7 @@ from .provenance.trace import Item, trace_backward, trace_forward
 from .query.ast import Node
 from .query.executor import ExecutionResult, Executor
 from .query.parser import parse_statement
-from .query.planner import Planner
+from .query.planner import Planner, PlannerConfig
 from .storage.insitu import InSituArray, open_in_situ
 from .storage.loader import BulkLoader, LoadRecord, LoadReport
 from .storage.manager import StorageManager
@@ -146,6 +146,7 @@ class SciDB:
         self,
         statement: "str | Node",
         timeout_ms: Optional[float] = None,
+        planner: Optional[PlannerConfig] = None,
     ) -> ExecutionResult:
         """Run one statement: textual AQL or a parse tree (Section 2.4).
 
@@ -154,19 +155,28 @@ class SciDB:
         operator boundary and the grid read path checks it per replica
         attempt and mid-scan, raising
         :class:`~repro.core.errors.DeadlineExceededError` on expiry.
+
+        *planner* overrides the optimizer's switches for this statement
+        only — e.g. ``PlannerConfig(enable_pruning=False)`` forces full
+        scans (the pruning-equivalence test battery's control arm), and
+        ``PlannerConfig(enable_pushdown=False)`` evaluates the tree
+        exactly as written.
         """
         with deadline_scope(
             Deadline.after_ms(timeout_ms) if timeout_ms is not None else None
         ):
-            return self.executor.run(statement)
+            return self.executor.run(statement, config=planner)
 
     def query(
         self,
         statement: "str | Node",
         timeout_ms: Optional[float] = None,
+        planner: Optional[PlannerConfig] = None,
     ) -> SciArray:
         """Like :meth:`execute`, returning the result array directly."""
-        return self.execute(statement, timeout_ms=timeout_ms).array
+        return self.execute(
+            statement, timeout_ms=timeout_ms, planner=planner
+        ).array
 
     def execute_script(self, text: str) -> list[ExecutionResult]:
         return self.executor.run_script(text)
@@ -177,6 +187,7 @@ class SciDB:
         self,
         statement: "str | Node",
         timeout_ms: Optional[float] = None,
+        planner: Optional[PlannerConfig] = None,
     ) -> ExplainReport:
         """Execute *statement* under tracing and return the plan tree
         annotated with actual measurements.
@@ -201,8 +212,9 @@ class SciDB:
                 f"{type(statement).__name__}"
             )
         # Plan ONCE and execute that exact tree: operator spans are
-        # matched back to plan nodes by identity.
-        planned = self.executor.planner.plan(node)
+        # matched back to plan nodes by identity (as are the physical
+        # plan's estimates, joined into the report below).
+        planned = self.executor.planner.plan(node, config=planner)
         grids = self._observed_grids()
         before = _ledger_totals(grids)
         recorder = SpanRecorder()
@@ -228,6 +240,7 @@ class SciDB:
             cells_examined=result.cells_examined,
             describe_ref=self._describe_ref,
             grid_status=_grid_status(grids),
+            planned=planned,
         )
 
     def metrics_snapshot(self) -> dict[str, Any]:

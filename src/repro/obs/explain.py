@@ -39,8 +39,18 @@ class OperatorProfile:
     parallelism: Optional[int] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    #: storage buckets skipped by value-range statistics (never read)
+    chunks_pruned: int = 0
     error: Optional[str] = None
     counters: dict[str, float] = field(default_factory=dict)
+    #: planner estimates (None when no statistics were available at plan
+    #: time) — rendered against the actuals above
+    est_cells: Optional[int] = None
+    est_chunks: Optional[int] = None
+    est_chunks_pruned: Optional[int] = None
+    est_ms: Optional[float] = None
+    #: cost-model strategy choice (partial-aggregate / gather / ...)
+    strategy: str = ""
     children: "list[OperatorProfile]" = field(default_factory=list)
 
     @property
@@ -63,6 +73,17 @@ class OperatorProfile:
             f"cells_out={self.cells_out}, chunks={self.chunks_touched}, "
             f"nodes={self.nodes_visited}, bytes_moved={self.bytes_moved})"
         )
+        if self.chunks_pruned:
+            line += f"  [chunks_pruned={self.chunks_pruned}]"
+        if self.est_cells is not None:
+            est = f"  [estimated: cells={self.est_cells}"
+            if self.est_chunks is not None:
+                est += f", chunks={self.est_chunks}"
+                if self.est_chunks_pruned:
+                    est += f" (-{self.est_chunks_pruned} pruned)"
+            line += est + "]"
+        if self.strategy:
+            line += f"  [strategy={self.strategy}]"
         if self.distributed:
             line += "  [distributed]"
         if self.parallelism is not None:
@@ -214,6 +235,7 @@ def _profile_from_span(node: Node, sp: Optional[Span]) -> OperatorProfile:
     prof.bytes_moved = int(counters.pop("bytes_moved", 0))
     prof.cache_hits = int(counters.pop("cache_hits", 0))
     prof.cache_misses = int(counters.pop("cache_misses", 0))
+    prof.chunks_pruned = int(counters.pop("chunks_pruned", 0))
     prof.nodes_visited = len(sp.marks.get("nodes", ()))
     prof.distributed = bool(sp.attrs.get("distributed", False))
     parallelism = sp.attrs.get("parallelism")
@@ -233,11 +255,15 @@ def build_report(
     cells_examined: int = 0,
     describe_ref: Optional[Callable[[str], dict[str, Any]]] = None,
     grid_status: Optional[dict[str, Any]] = None,
+    planned: Optional[Any] = None,
 ) -> ExplainReport:
     """Assemble the report for one executed statement.
 
     *describe_ref* (optional) annotates ``scan`` leaves from the catalog
     — e.g. cell counts and grid fan-out for a distributed array.
+    *planned* (a :class:`~repro.query.planner.PlannedQuery`, optional)
+    joins the planner's physical annotations onto the measured tree by
+    node identity, so every operator renders estimated next to actual.
     """
     index = _index_spans(roots)
 
@@ -250,6 +276,14 @@ def build_report(
             prof.cells_out = int(info.get("cells", prof.cells_out))
             prof.nodes_visited = int(info.get("nodes", prof.nodes_visited))
             prof.distributed = bool(info.get("distributed", prof.distributed))
+        if planned is not None:
+            phys = planned.physical_for(node)
+            if phys is not None:
+                prof.est_cells = phys.est_cells
+                prof.est_chunks = phys.est_chunks
+                prof.est_chunks_pruned = phys.est_chunks_pruned
+                prof.est_ms = phys.est_ms
+                prof.strategy = phys.strategy
         if isinstance(node, OpNode):
             prof.children = [profile(arg) for arg in node.args]
         return prof

@@ -18,9 +18,10 @@ stores, composed by one :class:`FlightRecorder`:
   :class:`QueryProfile` holding the operator tree
   (:class:`~repro.obs.explain.OperatorProfile`) with per-op time /
   cells / bytes / parallelism / failovers and the cache hit ratio,
-  plus an ``estimated`` field left ``None`` for the future cost model
-  (ROADMAP item 1) to fill — ``db.profiles()`` / ``db.profile(id)``
-  replay any recent query's explain after the fact.
+  plus an ``estimated`` summary of the planner's predictions (cells,
+  ms, chunks, pruned chunks, strategy choices) for estimated-vs-actual
+  history — ``db.profiles()`` / ``db.profile(id)`` replay any recent
+  query's explain after the fact.
 * :class:`GaugeSampler` — fixed-size rings of per-node gauge samples
   (cells stored, WAL depth, cache bytes, breaker state, imbalance), so
   trends survive.  Sampling is **off by default** and explicit: call
@@ -200,9 +201,10 @@ class QueryProfile:
     ``root`` is the same per-operator tree ``EXPLAIN ANALYZE`` renders
     (time / cells / bytes / parallelism / failovers / cache hits per
     operator) — :meth:`render` replays the explain after the fact.
-    ``estimated`` stays ``None`` until the cost model (ROADMAP item 1)
-    fills it with predicted per-operator costs for
-    estimated-vs-actual history.
+    ``estimated`` carries the planner's flattened predictions (cells,
+    ms, chunks to read, chunks to prune, strategy choices) so every
+    retained profile supports estimated-vs-actual comparison; it is
+    ``None`` only when the statement had no physical plan (DDL).
     """
 
     query_id: str
@@ -213,7 +215,8 @@ class QueryProfile:
     root: "Optional[OperatorProfile]" = None
     cells_examined: int = 0
     error: Optional[str] = None
-    #: reserved for the cost model: predicted costs, null until then
+    #: the planner's predictions for this statement (cells/ms/chunks/
+    #: chunks_pruned/strategies); None when nothing was planned (DDL)
     estimated: Optional[dict[str, Any]] = None
 
     def _sum(self, attr: str) -> float:

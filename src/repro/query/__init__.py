@@ -32,7 +32,7 @@ from .ast import (
     SelectNode,
 )
 from .parser import parse, parse_statement
-from .planner import Planner, PlannedQuery
+from .planner import PhysicalOp, PlannedQuery, Planner, PlannerConfig, ScanSpec
 from .executor import ExecutionResult, Executor
 from .binding import array, attr, dim, QueryExpr
 from .unparse import unparse
@@ -52,7 +52,10 @@ __all__ = [
     "parse",
     "parse_statement",
     "Planner",
+    "PlannerConfig",
     "PlannedQuery",
+    "PhysicalOp",
+    "ScanSpec",
     "Executor",
     "ExecutionResult",
     "array",

@@ -113,6 +113,29 @@ class AttrPredicate(Node):
         test = ops[op]
         return lambda cell: test(getattr(cell, attr))
 
+    def bounds(self) -> Optional[tuple[Any, Any, bool, bool]]:
+        """The value interval this term admits: ``(lo, hi, lo_open, hi_open)``.
+
+        ``None`` bounds are unbounded sides.  Returns ``None`` (no interval)
+        for ``!=`` — which excludes a point rather than bounding a range —
+        and for non-numeric comparison values, where interval reasoning
+        over min/max statistics is not meaningful.  The planner's
+        chunk-skipping analysis (:mod:`repro.query.stats`) builds its
+        per-attribute ranges from these.
+        """
+        if self.op == "!=" or isinstance(self.value, bool):
+            return None
+        if not isinstance(self.value, (int, float)):
+            return None
+        v = self.value
+        return {
+            "=": (v, v, False, False),
+            "<": (None, v, False, True),
+            "<=": (None, v, False, False),
+            ">": (v, None, True, False),
+            ">=": (v, None, False, False),
+        }[self.op]
+
 
 @dataclass(frozen=True)
 class PredicateConjunction(Node):

@@ -40,8 +40,9 @@ from .ast import (
     PredicateConjunction,
     SelectNode,
 )
+from .cost import CostModel
 from .parser import parse_statement
-from .planner import PlannedQuery, Planner
+from .planner import PhysicalOp, PlannedQuery, Planner, PlannerConfig
 
 
 def _distributed_type():
@@ -66,6 +67,8 @@ class ExecutionResult:
     rewrites: list[str] = field(default_factory=list)
     #: Cells the filter predicate actually examined (the E2 metric).
     cells_examined: int = 0
+    #: The plan that ran — physical annotations included (PlannedQuery).
+    planned: Optional[PlannedQuery] = None
 
     @property
     def array(self) -> SciArray:
@@ -83,8 +86,22 @@ class Executor:
         provenance: "Optional[ProvenanceEngine]" = None,
         slow_log: Optional[SlowQueryLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
-        self.planner = planner or Planner()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        if planner is None:
+            planner = Planner(
+                catalog=self._describe_for_planner,
+                cost_model=self.cost_model,
+            )
+        else:
+            # A caller-supplied planner keeps its own switches but gains
+            # the executor's catalog/cost model unless it brought its own.
+            if planner.catalog is None:
+                planner.catalog = self._describe_for_planner
+            if planner.cost_model is None:
+                planner.cost_model = self.cost_model
+        self.planner = planner
         self.provenance = provenance
         self.slow_log = slow_log
         self.metrics = metrics
@@ -114,10 +131,68 @@ class Executor:
         except KeyError:
             raise PlanError(f"no array named {name!r} in the catalog") from None
 
+    def _describe_for_planner(self, name: str):
+        """Catalog callback the planner estimates from.
+
+        For a grid-resident array the per-node bucket statistics are
+        merged across alive nodes (an in-memory walk of stats catalogs —
+        no bucket I/O, nothing metered) and the stored totals normalized
+        by the replica factor to *logical* counts, which is what one
+        exactly-once read touches.  Returns ``None`` for unknown names;
+        any failure inside is swallowed by the planner (stats must never
+        fail a query).
+        """
+        from .stats import ArrayDescription, ArrayStats
+
+        arr = self.arrays.get(name)
+        if arr is None:
+            return None
+        DistributedArray = _distributed_type()
+        if isinstance(arr, DistributedArray):
+            parts = []
+            for node in arr.grid.nodes:
+                if not node.alive or node.retired:
+                    continue
+                try:
+                    parts.append(node.partition(arr.name).array_stats())
+                except Exception:
+                    continue  # no partition on this node / racing failure
+            merged = ArrayStats.merged(parts)
+            k = max(1, arr.replication)
+            return ArrayDescription(
+                name=name,
+                kind="distributed",
+                cells=merged.cell_count // k,
+                chunks=-(-merged.chunk_count // k),
+                nodes=len(arr.grid.nodes),
+                replication=k,
+                grid_id=id(arr.grid),
+                partitioner=type(arr.partitioner).__name__,
+                dims=tuple((d.name, d.size) for d in arr.schema.dimensions),
+                stats=merged,
+            )
+        if isinstance(arr, SciArray):
+            return ArrayDescription(
+                name=name,
+                kind="local",
+                cells=arr.count_occupied(),
+                chunks=arr.chunk_count(),
+                dims=tuple((d.name, d.size) for d in arr.schema.dimensions),
+            )
+        return None
+
     # -- entry points ---------------------------------------------------------------
 
-    def run(self, statement: "str | Node") -> ExecutionResult:
-        """Execute one statement (text or a parse tree)."""
+    def run(
+        self,
+        statement: "str | Node",
+        config: Optional[PlannerConfig] = None,
+    ) -> ExecutionResult:
+        """Execute one statement (text or a parse tree).
+
+        *config* overrides the planner's switches for this query only —
+        e.g. ``PlannerConfig(enable_pruning=False)`` forces full scans.
+        """
         text = statement if isinstance(statement, str) else None
         with tracing.span("query"):
             with tracing.span("parse"):
@@ -127,7 +202,7 @@ class Executor:
                     else statement
                 )
             with tracing.span("plan") as sp:
-                planned = self.planner.plan(node)
+                planned = self.planner.plan(node, config=config)
                 sp.add("rewrites", len(planned.rewrites))
             return self.run_planned(planned, statement_text=text)
 
@@ -166,7 +241,9 @@ class Executor:
                 previous = tracing.set_recorder(span_recorder)
         started_at = time.time()
         t0 = time.perf_counter()
-        result = ExecutionResult(None, rewrites=list(planned.rewrites))
+        result = ExecutionResult(
+            None, rewrites=list(planned.rewrites), planned=planned
+        )
         error: Optional[str] = None
         try:
             with tracing.span("execute"):
@@ -199,7 +276,12 @@ class Executor:
                 report = build_report(
                     planned.node, list(planned.rewrites),
                     span_recorder.roots, text, elapsed_ms,
+                    planned=planned,
                 )
+                # Close the calibration loop: measured per-operator times
+                # feed the cost model that estimated them.
+                if error is None and self.cost_model is not None:
+                    self.cost_model.observe(report.root)
                 flight.record_profile(
                     QueryProfile(
                         query_id=query_id or "",
@@ -210,6 +292,7 @@ class Executor:
                         root=report.root,
                         cells_examined=result.cells_examined,
                         error=error,
+                        estimated=_estimated_summary(planned.physical),
                     )
                 )
         return result
@@ -285,9 +368,23 @@ class Executor:
         args = [self._eval(a, result) for a in node.args]
         check_deadline(f"operator {node.op}")
         with tracing.span("op:" + node.op, op=node.op, node_id=id(node)) as sp:
-            value = self._apply_op(node, args, kwargs, sp)
+            value = self._apply_op(node, args, kwargs, sp, self._scan_spec(node, result))
             self._annotate_local(sp, args, value)
         return value
+
+    def _scan_spec(self, node: Node, result: ExecutionResult):
+        """The pruning directive the planner attached to *node*, if any.
+
+        Looked up by node identity in the executed plan — `run_planned`
+        executes the exact tree the planner annotated, so the ids line
+        up.  Returns ``None`` (no pruning) for nodes planned without a
+        spec or trees that never went through :meth:`Planner.plan`.
+        """
+        planned = result.planned
+        if planned is None:
+            return None
+        phys = planned.physical_for(node)
+        return phys.scan if phys is not None else None
 
     def _name_of(self, node: Node, result: ExecutionResult) -> str:
         """Resolve an argument to a provenance catalog name."""
@@ -313,22 +410,36 @@ class Executor:
     # -- distributed dispatch ----------------------------------------------------
 
     def _has_distributed_args(self, node: OpNode) -> bool:
-        """Whether any direct ArrayRef argument is grid-resident."""
-        DistributedArray = _distributed_type()
-        return any(
-            isinstance(a, ArrayRef)
-            and isinstance(self.arrays.get(a.name), DistributedArray)
-            for a in node.args
-        )
+        """Whether any ArrayRef in the subtree is grid-resident.
 
-    def _apply_op(self, node: OpNode, args: list, kwargs: dict, sp) -> Any:
+        Checked over the whole subtree, not just direct arguments: a
+        nested tree like ``filter(subsample(D))`` (which the planner's
+        pushdown rewrite produces routinely) must reach the distributed
+        dispatch for its inner scan, and the provenance engine only
+        understands local :class:`~repro.core.array.SciArray` inputs.
+        """
+        DistributedArray = _distributed_type()
+        stack = list(node.args)
+        while stack:
+            a = stack.pop()
+            if isinstance(a, OpNode):
+                stack.extend(a.args)
+            elif isinstance(a, ArrayRef) and isinstance(
+                self.arrays.get(a.name), DistributedArray
+            ):
+                return True
+        return False
+
+    def _apply_op(
+        self, node: OpNode, args: list, kwargs: dict, sp, scan_spec=None
+    ) -> Any:
         DistributedArray = _distributed_type()
         if any(isinstance(a, DistributedArray) for a in args):
-            return self._dispatch_distributed(node, args, kwargs, sp)
+            return self._dispatch_distributed(node, args, kwargs, sp, scan_spec)
         return get_operator(node.op)(*args, **kwargs)
 
     def _dispatch_distributed(
-        self, node: OpNode, args: list, kwargs: dict, sp
+        self, node: OpNode, args: list, kwargs: dict, sp, scan_spec=None
     ) -> Any:
         """Run an operator over grid-resident inputs.
 
@@ -336,6 +447,12 @@ class Executor:
         subsample, algebraic aggregate/regrid, co-partitioned sjoin) run
         in place on the grid; anything else gathers the operands to the
         coordinator (metered as movement) and runs the local operator.
+
+        *scan_spec* is the planner's chunk-skipping directive for this
+        node (a :class:`~repro.query.planner.ScanSpec`): when the read
+        feeding this operator is a direct grid scan of the spec's array,
+        the per-attribute value intervals are forwarded so every node's
+        storage manager can skip buckets whose statistics rule them out.
         """
         DistributedArray = _distributed_type()
         op = node.op
@@ -349,6 +466,11 @@ class Executor:
             # path never enters it — record the configured fan-out either
             # way so explain shows per-op parallelism consistently.
             sp.annotate(parallelism=grid_arg.grid.parallelism)
+        def ranges_for(darr) -> Optional[dict]:
+            if scan_spec is None or scan_spec.array != darr.name:
+                return None
+            return scan_spec.attr_ranges or None
+
         try:
             if op == "subsample" and first is not None and len(args) == 1:
                 window = self._predicate_window(
@@ -358,7 +480,9 @@ class Executor:
                     # The window is a pruned (R-tree), metered gather of
                     # just the slab; the local operator then applies the
                     # exact Subsample semantics (rebasing, source_index).
-                    slab = first.subsample(window)
+                    slab = first.subsample(
+                        window, attr_ranges=ranges_for(first)
+                    )
                     return get_operator(op)(slab, **kwargs)
             elif op == "aggregate" and first is not None and len(args) == 1:
                 return first.aggregate(
@@ -381,7 +505,9 @@ class Executor:
             # to a metered gather plus the local operator.
             pass
         local = [
-            a.materialize() if isinstance(a, DistributedArray) else a
+            a.materialize(attr_ranges=ranges_for(a))
+            if isinstance(a, DistributedArray)
+            else a
             for a in args
         ]
         return get_operator(op)(*local, **kwargs)
@@ -515,6 +641,41 @@ class Executor:
             return {"fn": node.option("fn"), "output": list(node.option("output"))}
         # Unknown (user-registered) operator: pass options through verbatim.
         return dict(node.options)
+
+
+def _estimated_summary(physical: Optional[PhysicalOp]) -> Optional[dict]:
+    """Fold a physical plan into the flat dict a QueryProfile retains.
+
+    This is the slot PR 8 reserved (``estimated=None``): enough to
+    compare against the profile's actuals after the fact — predicted
+    cells/ms at the root, total chunks the scans expected to touch, and
+    how many of those the planner expected to prune — without keeping
+    the whole plan object alive in the profile ring.
+    """
+    if physical is None:
+        return None
+    out: dict[str, Any] = {}
+    if physical.est_cells is not None:
+        out["cells"] = int(physical.est_cells)
+    if physical.est_ms is not None:
+        out["ms"] = round(float(physical.est_ms), 3)
+    chunks = 0
+    pruned = 0
+    have_chunks = False
+    for p in physical.walk():
+        if p.op == "scan" and p.est_chunks is not None:
+            have_chunks = True
+            chunks += p.est_chunks
+            pruned += p.est_chunks_pruned or 0
+    if have_chunks:
+        out["chunks"] = chunks
+        out["chunks_pruned"] = pruned
+    strategies = {
+        p.op: p.strategy for p in physical.walk() if p.strategy
+    }
+    if strategies:
+        out["strategies"] = strategies
+    return out or None
 
 
 def _as_dim_mapping(pred: Any) -> dict:

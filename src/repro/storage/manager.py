@@ -188,6 +188,7 @@ class StorageStats:
     buckets_written: int = 0
     buckets_read: int = 0
     buckets_pruned: int = 0
+    buckets_value_pruned: int = 0
     spills: int = 0
     merges: int = 0
     cache_hits: int = 0
@@ -246,6 +247,14 @@ class PersistentArray:
         self._rtree = RTree(max_entries=8)
         self._next_bucket = 0
         self._cache = cache
+        # Per-bucket value statistics (min/max/null-count per attribute +
+        # occupancy footprint), keyed by bucket id alongside the R-tree
+        # entries.  Built at write time, dropped with the bucket at merge
+        # time, gone entirely on drop/restart (fresh instance).  The scan
+        # path treats a missing entry as "cannot prune" — staleness can
+        # only cost speed, never answers.
+        self._bucket_stats: dict[int, Any] = {}
+        self.collect_stats = True
         # Bumped whenever bucket files are deleted/rewritten (merge), so
         # stale cache entries for reused (directory, id) pairs can't hit.
         self.codec_generation = 0
@@ -398,6 +407,15 @@ class PersistentArray:
         tracing.add_current("chunks_written", 1)
         tracing.add_current("codec_ms", codec_ms)
         self._rtree.insert(bucket.box, bucket_id)
+        if self.collect_stats:
+            # Lazy import: stats live in query/ (the planner consumes
+            # them) and importing at module scope would cycle through the
+            # partially-initialized query package during boot.
+            from ..query.stats import BucketStats
+
+            self._bucket_stats[bucket_id] = BucketStats.from_bucket(
+                bucket, bucket_id
+            )
         return bucket_id
 
     def _bucket_path(self, bucket_id: int) -> Path:
@@ -458,13 +476,26 @@ class PersistentArray:
     # -- read path ----------------------------------------------------------------
 
     def scan(
-        self, window: Optional[tuple[Coords, Coords]] = None
+        self,
+        window: Optional[tuple[Coords, Coords]] = None,
+        attr_ranges: Optional[dict[str, Any]] = None,
     ) -> Iterator[tuple[Coords, Optional[Cell]]]:
         """Iterate cells, restricted to *window* (inclusive box) if given.
 
         Buckets not intersecting the window are pruned via the R-tree and
         never read from disk — the paper's structural-optimization
         opportunity (experiment E2).
+
+        *attr_ranges* (attribute name -> :class:`repro.query.stats.Interval`,
+        produced by the planner's predicate analysis) additionally prunes
+        buckets whose min/max statistics prove no stored value can satisfy
+        the ranges.  Correctness contract: a downstream ``filter`` turns a
+        failing cell into NULL, not EMPTY — so a value-pruned bucket still
+        yields ``(coords, None)`` for each of its occupied coordinates,
+        decoded from the footprint kept in the stats catalog.  The file is
+        never opened.  Buckets without statistics (stale, invalidated,
+        collection disabled) are read in full — degradation is always
+        toward more I/O, never toward wrong answers.
         """
         with self._lock:
             if window is None:
@@ -475,11 +506,31 @@ class PersistentArray:
                 self.stats.buckets_pruned += total - len(entries)
             buffered = dict(self._buffer)
             live = set(self._live_coords)
+            stats_map = dict(self._bucket_stats) if attr_ranges else {}
 
         # Newest bucket wins when a cell was rewritten across spills.
         entries.sort(key=lambda e: e[1], reverse=True)
         seen: set[Coords] = set()
         for _box, bucket_id in entries:
+            if attr_ranges:
+                bstats = stats_map.get(bucket_id)
+                if bstats is not None and not bstats.can_match(attr_ranges):
+                    with self._lock:
+                        self.stats.buckets_value_pruned += 1
+                    get_registry().counter("storage.buckets_value_pruned").inc()
+                    tracing.add_current("chunks_pruned", 1)
+                    for coords in bstats.occupied_coords():
+                        if window is not None and not _in_window(
+                            coords, window
+                        ):
+                            continue
+                        if coords in buffered or coords in seen:
+                            continue
+                        if coords not in live:
+                            continue
+                        seen.add(coords)
+                        yield coords, None
+                    continue
             bucket = self._load_bucket(bucket_id)
             for coords, cell in bucket.cells(window):
                 if coords in buffered or coords in seen:
@@ -509,6 +560,31 @@ class PersistentArray:
             if c == coords:
                 return cell
         raise StorageError(f"cell {coords} not stored")
+
+    # -- statistics catalog ---------------------------------------------------
+
+    def invalidate_stats(self) -> None:
+        """Forget every bucket's value statistics.
+
+        Subsequent scans read everything (no value pruning) until new
+        buckets are written; existing buckets regain statistics only when
+        a merge rewrites them.  Used by tests and as the escape hatch for
+        externally modified bucket files.
+        """
+        with self._lock:
+            self._bucket_stats.clear()
+
+    def array_stats(self) -> Any:
+        """Snapshot this array's statistics as a
+        :class:`repro.query.stats.ArrayStats` (buffered cells counted
+        without per-bucket detail — they have no statistics yet)."""
+        from ..query.stats import ArrayStats
+
+        with self._lock:
+            return ArrayStats(
+                buckets=list(self._bucket_stats.values()),
+                buffered_cells=len(self._buffer),
+            )
 
     def to_sciarray(self, name: Optional[str] = None) -> SciArray:
         """Materialise the whole persistent array in memory."""
@@ -556,6 +632,7 @@ class PersistentArray:
                     bucket = self._read_bucket(bucket_id)
                     merged = bucket if merged is None else merged.merge(bucket)
                     self._rtree.delete(box, bucket_id)
+                    self._bucket_stats.pop(bucket_id, None)
                     os.unlink(self._bucket_path(bucket_id))
                 assert merged is not None
                 self._write_bucket(merged)
