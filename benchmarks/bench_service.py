@@ -1,0 +1,229 @@
+"""E24: the query service under closed-loop concurrent load.
+
+ROADMAP item 1 asks for "a long-running service fronting the engine";
+this experiment drives that service the way SciDB deployments actually
+see load — N independent clients, each speaking the shim protocol over
+its own HTTP connection, each issuing the next statement only after
+fully draining the previous answer (closed loop).  The workload mixes
+the three statement families every science portal issues constantly:
+window ``subsample``, predicate ``filter``, and grouped ``aggregate``.
+
+Headline numbers:
+
+* **throughput** — completed statements/second across all clients,
+  measured after a warm-up window.
+* **latency** — per-statement p50/p95 (execute + full result drain).
+* **hygiene** — zero failed statements, zero killed statements, and
+  zero leaked sessions once every client has released (the service's
+  session registry must drain to empty).
+
+Throttling (429) is *not* a failure: clients honor ``Retry-After`` and
+the benchmark reports how often admission pushed back.  Each client is
+its own tenant, so the default per-tenant caps leave the closed loop
+unthrottled; ``--shared-tenant`` deliberately funnels every client
+through one tenant to show admission control engaging.
+
+Results land in ``BENCH_service.json``; CI runs ``--quick`` and gates
+on minimum throughput, maximum p95, and the hygiene counters.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+        [--clients N] [--duration S] [--shared-tenant] [--json PATH]
+"""
+
+import argparse
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro import SciDB
+from repro.service import AdmissionConfig, QueryService, ServiceConfig
+from repro.service.client import ShimClient, Throttled
+
+SIDE = 16
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+STATEMENTS = [
+    f"select subsample(M, I >= {SIDE - 3})",
+    "select filter(M, s1 > 200)",
+    "select aggregate(M, {I}, sum(s1))",
+]
+
+
+def make_db():
+    db = SciDB()
+    db.execute("define array Remote (s1 = float) (I, J)")
+    db.execute(f"create M as Remote [{SIDE}, {SIDE}]")
+    m = db.lookup("M")
+    for i in range(1, SIDE + 1):
+        for j in range(1, SIDE + 1):
+            m[i, j] = float(i * SIDE + j)
+    return db
+
+
+class Client(threading.Thread):
+    """One closed-loop simulated client: its own connection + session."""
+
+    def __init__(self, index, host, port, tenant, stop_at, warm_until):
+        super().__init__(name=f"bench-client-{index}")
+        self.index = index
+        self.host, self.port = host, port
+        self.tenant = tenant
+        self.stop_at = stop_at
+        self.warm_until = warm_until
+        self.latencies_ms = []
+        self.errors = 0
+        self.throttled = 0
+
+    def run(self):
+        client = ShimClient(self.host, self.port)
+        session = client.new_session(tenant=self.tenant)
+        i = self.index  # stagger the mix so clients don't march in step
+        try:
+            while time.perf_counter() < self.stop_at:
+                statement = STATEMENTS[i % len(STATEMENTS)]
+                i += 1
+                t0 = time.perf_counter()
+                try:
+                    client.execute_query(session, statement)
+                    client.read_all(session)
+                except Throttled as exc:
+                    self.throttled += 1
+                    time.sleep(min(exc.retry_after_s, 0.5))
+                    continue
+                except Exception:  # noqa: BLE001 — counted, not raised
+                    self.errors += 1
+                    continue
+                if time.perf_counter() >= self.warm_until:
+                    self.latencies_ms.append(
+                        (time.perf_counter() - t0) * 1e3
+                    )
+        finally:
+            try:
+                client.release_session(session)
+            finally:
+                client.close()
+
+
+def drive(n_clients, duration_s, warmup_s, shared_tenant):
+    db = make_db()
+    config = ServiceConfig(
+        admission=AdmissionConfig(
+            max_concurrent=4 if shared_tenant else 8,
+            bytes_per_sec=64_000_000.0,
+            burst_bytes=8_000_000.0,
+        )
+    )
+    with QueryService(db, config) as service:
+        host, port = service.address
+        start = time.perf_counter()
+        warm_until = start + warmup_s
+        stop_at = warm_until + duration_s
+        clients = [
+            Client(
+                i,
+                host,
+                port,
+                "shared" if shared_tenant else f"client-{i}",
+                stop_at,
+                warm_until,
+            )
+            for i in range(n_clients)
+        ]
+        for c in clients:
+            c.start()
+        for c in clients:
+            c.join()
+        leaked = service.sessions.count()
+        killed = service.queries_killed
+        rejected = service.admission.rejected_queries
+
+    latencies = sorted(
+        ms for c in clients for ms in c.latencies_ms
+    )
+    completed = len(latencies)
+    if not latencies:
+        raise SystemExit("no statements completed; cannot measure")
+    p = lambda q: latencies[min(completed - 1, int(q * completed))]  # noqa: E731
+    return {
+        "clients": n_clients,
+        "measured_s": duration_s,
+        "completed": completed,
+        "throughput_qps": completed / duration_s,
+        "p50_ms": statistics.median(latencies),
+        "p95_ms": p(0.95),
+        "p99_ms": p(0.99),
+        "max_ms": latencies[-1],
+        "errors": sum(c.errors for c in clients),
+        "throttled": sum(c.throttled for c in clients),
+        "rejected_queries": rejected,
+        "queries_killed": killed,
+        "leaked_sessions": leaked,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short run for CI (2 s measured window)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients (default 8)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="measured seconds (default 6; 2 with --quick)")
+    parser.add_argument("--shared-tenant", action="store_true",
+                        help="funnel all clients through one tenant so "
+                             "admission control engages")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                        help="where to write machine-readable results "
+                             f"(default {DEFAULT_JSON.name}; '-' to skip)")
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+    duration = args.duration if args.duration is not None else (
+        2.0 if args.quick else 6.0
+    )
+
+    print(f"E24: query service, {args.clients} closed-loop clients, "
+          f"{duration:g} s measured window, mixed "
+          f"subsample/filter/aggregate workload\n")
+    res = drive(args.clients, duration, warmup_s=0.5,
+                shared_tenant=args.shared_tenant)
+
+    # Acceptance: the service must sustain real concurrency (more than
+    # one statement per client per second end-to-end over HTTP), keep
+    # tails bounded, and leak nothing.
+    min_qps = 8.0 if args.quick else 16.0
+    max_p95 = 500.0
+    qps_ok = res["throughput_qps"] >= min_qps
+    p95_ok = res["p95_ms"] <= max_p95
+    clean = (
+        res["errors"] == 0
+        and res["leaked_sessions"] == 0
+        and res["queries_killed"] == 0
+    )
+    failures = int(not (qps_ok and p95_ok and clean))
+
+    print(f"  completed {res['completed']} statements -> "
+          f"{res['throughput_qps']:.1f} q/s (accept >= {min_qps:g})")
+    print(f"  latency p50 {res['p50_ms']:.2f} ms, p95 {res['p95_ms']:.2f} ms "
+          f"(accept <= {max_p95:g}), p99 {res['p99_ms']:.2f} ms, "
+          f"max {res['max_ms']:.2f} ms")
+    print(f"  hygiene: errors={res['errors']} killed={res['queries_killed']} "
+          f"leaked_sessions={res['leaked_sessions']} (accept all 0); "
+          f"throttled={res['throttled']} rejected={res['rejected_queries']}")
+
+    results = {"experiment": "E24-service", "workload": STATEMENTS,
+               "results": res,
+               "acceptance": {"min_throughput_qps": min_qps,
+                              "max_p95_ms": max_p95}}
+    if str(args.json) != "-":
+        args.json.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,7 @@ from ..core.errors import (
     DeadlineExceededError,
     GridError,
     NodeFailedError,
+    QueryCancelledError,
     TransientIOError,
 )
 from ..obs.recorder import emit as _flight_emit
@@ -62,6 +63,7 @@ __all__ = [
     "RetryPolicy",
     "Deadline",
     "DeadlineExceededError",
+    "QueryCancelledError",
     "current_deadline",
     "deadline_scope",
     "check_deadline",
@@ -144,32 +146,66 @@ class Deadline:
     at operator boundaries, before every replica attempt, and every few
     dozen cells inside a partition scan.  Expiry raises
     :class:`~repro.core.errors.DeadlineExceededError`.
+
+    A deadline can also be *cancelled* from another thread
+    (:meth:`cancel`): the next cooperative check raises
+    :class:`~repro.core.errors.QueryCancelledError` instead.  That is
+    how the query service's ``/cancel`` endpoint and slow-query killer
+    stop a running statement — they never interrupt it mid-operator,
+    they just make every subsequent check fail.  ``Deadline.unbounded()``
+    builds a cancel-only deadline (infinite budget) so even statements
+    submitted without a timeout stay killable.
     """
 
-    __slots__ = ("budget_ms", "t_deadline")
+    __slots__ = ("budget_ms", "t_deadline", "_cancelled", "_cancel_reason")
 
     def __init__(self, budget_ms: float) -> None:
         if budget_ms <= 0:
             raise GridError(f"deadline budget must be > 0 ms, got {budget_ms}")
         self.budget_ms = float(budget_ms)
         self.t_deadline = time.perf_counter() + self.budget_ms / 1e3
+        self._cancelled = False
+        self._cancel_reason = ""
 
     @classmethod
     def after_ms(cls, budget_ms: float) -> "Deadline":
         return cls(budget_ms)
 
+    @classmethod
+    def unbounded(cls) -> "Deadline":
+        """A deadline that never expires on its own but can be cancelled."""
+        return cls(float("inf"))
+
     def remaining_ms(self) -> float:
         return max(0.0, (self.t_deadline - time.perf_counter()) * 1e3)
 
+    def cancel(self, reason: str = "") -> None:
+        """Mark the deadline cancelled (idempotent, any thread).
+
+        A plain boolean write — atomic under the GIL, and checked on the
+        hot path without a lock.  The first reason given wins.
+        """
+        if not self._cancelled:
+            self._cancel_reason = reason
+            self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
     @property
     def expired(self) -> bool:
-        return time.perf_counter() >= self.t_deadline
+        return self._cancelled or time.perf_counter() >= self.t_deadline
 
     def check(self, what: str = "") -> None:
-        if self.expired:
+        if self._cancelled:
+            raise QueryCancelledError(self._cancel_reason or what)
+        if time.perf_counter() >= self.t_deadline:
             raise DeadlineExceededError(self.budget_ms, what)
 
     def __repr__(self) -> str:
+        if self._cancelled:
+            return f"<Deadline cancelled ({self._cancel_reason or 'no reason'})>"
         return (
             f"<Deadline {self.budget_ms:g} ms, "
             f"{self.remaining_ms():.1f} ms remaining>"

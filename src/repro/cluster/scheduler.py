@@ -87,10 +87,15 @@ class PartitionScheduler:
             return [task() for task in tasks]
 
         parent = tracing.current_span()
+        recorder = tracing.get_recorder()
         deadline = current_deadline()
 
         def run(task: Callable[[], Any]) -> Any:
-            with tracing.adopt(parent), deadline_scope(deadline):
+            # The active recorder is per-thread (so concurrent queries'
+            # profile trees stay disjoint); re-install the coordinator's
+            # inside each worker before adopting its open span.
+            with tracing.use(recorder), tracing.adopt(parent), \
+                    deadline_scope(deadline):
                 return task()
 
         workers = min(self.parallelism, len(tasks))

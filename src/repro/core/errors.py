@@ -133,6 +133,25 @@ class DeadlineExceededError(GridError):
         super().__init__(f"deadline of {budget_ms:g} ms exceeded{doing}")
 
 
+class QueryCancelledError(DeadlineExceededError):
+    """A running query was cancelled from outside (service ``/cancel``
+    endpoint or the slow-query killer).
+
+    Subclasses :class:`DeadlineExceededError` so every existing
+    cooperative checkpoint and cleanup path that already handles
+    deadline expiry handles cancellation for free; ``budget_ms`` is 0
+    (the query was stopped, not timed out).
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(0.0, reason)
+        self.reason = reason
+        # Overwrite the deadline message with a cancellation one.
+        self.args = (
+            f"query cancelled{f': {reason}' if reason else ''}",
+        )
+
+
 class ReplicationError(GridError):
     """Invalid replication configuration (factor, placement, or chain)."""
 

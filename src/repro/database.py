@@ -178,8 +178,20 @@ class SciDB:
             statement, timeout_ms=timeout_ms, planner=planner
         ).array
 
-    def execute_script(self, text: str) -> list[ExecutionResult]:
-        return self.executor.run_script(text)
+    def execute_script(
+        self,
+        text: str,
+        timeout_ms: Optional[float] = None,
+        planner: Optional[PlannerConfig] = None,
+    ) -> list[ExecutionResult]:
+        """Run a multi-statement script; one deadline covers the whole
+        script, and *planner* overrides apply to every statement — the
+        same contract as :meth:`execute` (previously both were silently
+        dropped here)."""
+        with deadline_scope(
+            Deadline.after_ms(timeout_ms) if timeout_ms is not None else None
+        ):
+            return self.executor.run_script(text, config=planner)
 
     # -- observability (EXPLAIN ANALYZE, metrics, slow queries) -------------------
 

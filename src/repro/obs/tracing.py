@@ -7,13 +7,19 @@ additive *counters* (``span.add("bytes_moved", n)``) and set-valued
 did this touch").  Spans nest through a per-thread stack managed by the
 active :class:`SpanRecorder`.
 
-The module keeps exactly one active recorder (swap it with
-:func:`set_recorder` or the :func:`use` context manager).  The default
-is a :class:`NoopRecorder` whose :meth:`~NoopRecorder.span` hands back a
-shared, stateless null span — the instrumented hot paths then cost one
-function call and allocate nothing.  Instrumentation that would do real
-work to *compute* an annotation (counting cells, say) should guard on
-:func:`enabled` first.
+The active recorder is **per thread** (swap it with
+:func:`set_recorder` or the :func:`use` context manager): two threads
+executing statements concurrently each trace into their own recorder,
+so one query's profile tree can never absorb — or truncate — another's.
+Threads that never installed one fall back to the shared process
+default, a :class:`NoopRecorder` whose :meth:`~NoopRecorder.span` hands
+back a shared, stateless null span — the instrumented hot paths then
+cost one function call and allocate nothing.  The partition scheduler
+captures the coordinator's recorder at fan-out time and installs it
+inside each worker (alongside :func:`adopt`), so parallel partition
+reads keep metering into the owning query's spans.  Instrumentation
+that would do real work to *compute* an annotation (counting cells,
+say) should guard on :func:`enabled` first.
 
 Exception safety is part of the contract: a span whose body raises is
 still closed, records the error on itself, and leaves the recorder's
@@ -281,21 +287,31 @@ class NoopRecorder:
         pass
 
 
-_recorder: "SpanRecorder | NoopRecorder" = NoopRecorder()
+#: Fallback for threads that never installed a recorder: trace nothing.
+_default_recorder: NoopRecorder = NoopRecorder()
+_active = threading.local()
 
 
 def get_recorder() -> "SpanRecorder | NoopRecorder":
-    return _recorder
+    """This thread's active recorder (the no-op default if none set)."""
+    rec = getattr(_active, "recorder", None)
+    return rec if rec is not None else _default_recorder
 
 
 def set_recorder(
     recorder: "SpanRecorder | NoopRecorder",
 ) -> "SpanRecorder | NoopRecorder":
-    """Install *recorder* as the active one; returns the previous."""
-    global _recorder
-    old = _recorder
-    _recorder = recorder
-    return old
+    """Install *recorder* for THIS thread; returns the thread's previous.
+
+    Per-thread scoping is what keeps concurrent statements' profile
+    trees disjoint: a service thread swapping recorders around its query
+    cannot disable (or adopt) the tracing of a query running on another
+    thread.  Worker threads spawned mid-query get the coordinator's
+    recorder installed by the partition scheduler, not ambiently.
+    """
+    old = getattr(_active, "recorder", None)
+    _active.recorder = recorder
+    return old if old is not None else _default_recorder
 
 
 @contextmanager
@@ -314,16 +330,16 @@ def enabled() -> bool:
     Instrumentation whose *annotation itself* costs real work (counting
     cells, hashing) should check this before computing.
     """
-    return _recorder.enabled
+    return get_recorder().enabled
 
 
 def span(name: str, **attrs: Any):
     """Open a span on the active recorder (no-op if tracing is off)."""
-    return _recorder.span(name, **attrs)
+    return get_recorder().span(name, **attrs)
 
 
 def current_span() -> Optional[Span]:
-    return _recorder.current()
+    return get_recorder().current()
 
 
 def add_current(key: str, n: float = 1) -> None:
@@ -333,7 +349,7 @@ def add_current(key: str, n: float = 1) -> None:
     sites), so the enabled path is inlined: thread-local stack lookup
     plus one lock-free write into the span's per-thread counter shard.
     """
-    rec = _recorder
+    rec = getattr(_active, "recorder", None) or _default_recorder
     if rec.enabled:
         stack = getattr(rec._local, "stack", None)
         if stack:
@@ -353,7 +369,7 @@ def add_current_pair(key1: str, n1: float, key2: str, n2: float) -> None:
     tracing cost, which is what keeps always-on query-profile capture
     inside its latency budget (E22).
     """
-    rec = _recorder
+    rec = getattr(_active, "recorder", None) or _default_recorder
     if rec.enabled:
         stack = getattr(rec._local, "stack", None)
         if stack:
@@ -367,7 +383,7 @@ def add_current_pair(key1: str, n1: float, key2: str, n2: float) -> None:
 
 
 def mark_current(key: str, value: Any) -> None:
-    rec = _recorder
+    rec = get_recorder()
     if rec.enabled:
         stack = rec._stack()
         if stack:
@@ -375,7 +391,7 @@ def mark_current(key: str, value: Any) -> None:
 
 
 def annotate_current(**attrs: Any) -> None:
-    rec = _recorder
+    rec = get_recorder()
     if rec.enabled:
         stack = rec._stack()
         if stack:
@@ -394,7 +410,7 @@ def adopt(span: Optional[Span]) -> Iterator[None]:
     The span is *not* closed on exit; only the thread-local stack entry
     is removed.
     """
-    rec = _recorder
+    rec = get_recorder()
     if span is None or not rec.enabled:
         yield
         return

@@ -16,6 +16,7 @@ item-level lineage from it on demand, and
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Mapping, Optional, Sequence
 
@@ -104,6 +105,12 @@ class ProvenanceEngine:
         self.repository = MetadataRepository()
         self.itemstore = itemstore
         self._seq = 0
+        # Concurrent statements (the multi-tenant service, or two threads
+        # sharing one SciDB) register sources and commit derivations at
+        # the same time; the catalog check-and-insert and the seq/log
+        # append must each be one atomic step.  RLock: trace helpers call
+        # back into get() while holding it.
+        self._lock = threading.RLock()
 
     # -- catalog ------------------------------------------------------------------
 
@@ -116,13 +123,26 @@ class ProvenanceEngine:
         inputs: Sequence[str] = (),
         description: str = "",
     ) -> SciArray:
-        """Enter an externally-produced array plus its derivation record."""
-        if name in self.catalog:
-            raise ProvenanceError(f"array {name!r} is already in the catalog")
-        self.catalog[name] = array
-        self.repository.record(
-            name, program, parameters, inputs=inputs, description=description
-        )
+        """Enter an externally-produced array plus its derivation record.
+
+        Re-registering the *same* array object under the same name is a
+        no-op rather than an error: two concurrent statements reading one
+        catalog source both find it unregistered and both try to enter
+        it — the loser of that race must not fail its query.
+        """
+        with self._lock:
+            existing = self.catalog.get(name)
+            if existing is array:
+                return array
+            if existing is not None:
+                raise ProvenanceError(
+                    f"array {name!r} is already in the catalog"
+                )
+            self.catalog[name] = array
+            self.repository.record(
+                name, program, parameters, inputs=inputs,
+                description=description,
+            )
         return array
 
     def get(self, name: str) -> SciArray:
@@ -150,13 +170,18 @@ class ProvenanceEngine:
         inputs are passed positionally, *params* as keywords.  The result
         is registered in the catalog under *output*.
         """
-        if output in self.catalog:
-            raise ProvenanceError(
-                f"output {output!r} already exists; derivations never "
-                "overwrite (create a new name or a named version)"
-            )
-        fn = get_operator(op)
-        arrays = [self.get(n) for n in inputs]
+        with self._lock:
+            if output in self.catalog:
+                raise ProvenanceError(
+                    f"output {output!r} already exists; derivations never "
+                    "overwrite (create a new name or a named version)"
+                )
+            fn = get_operator(op)
+            arrays = [self.get(n) for n in inputs]
+        # The operator itself runs outside the lock: it can be arbitrarily
+        # slow and touches only its input arrays, so concurrent statements
+        # keep overlapping.  Output names are collision-checked above and
+        # unique per statement (the executor's temp counter is atomic).
         result = fn(*arrays, **params)
         if not isinstance(result, SciArray):
             raise ProvenanceError(
@@ -164,16 +189,17 @@ class ProvenanceEngine:
                 "producing commands belong in the derivation log"
             )
         result.name = output
-        self.catalog[output] = result
-        command = LoggedCommand(
-            seq=self._seq,
-            op=op,
-            inputs=tuple(inputs),
-            output=output,
-            params=dict(params),
-        )
-        self._seq += 1
-        self.log.append(command)
+        with self._lock:
+            self.catalog[output] = result
+            command = LoggedCommand(
+                seq=self._seq,
+                op=op,
+                inputs=tuple(inputs),
+                output=output,
+                params=dict(params),
+            )
+            self._seq += 1
+            self.log.append(command)
         if self.itemstore is not None:
             self.itemstore.record_command(command, arrays, result)
         return result

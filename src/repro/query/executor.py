@@ -297,10 +297,12 @@ class Executor:
                 )
         return result
 
-    def run_script(self, text: str) -> list[ExecutionResult]:
+    def run_script(
+        self, text: str, config: "Optional[PlannerConfig]" = None
+    ) -> list[ExecutionResult]:
         from .parser import parse
 
-        return [self.run(node) for node in parse(text)]
+        return [self.run(node, config=config) for node in parse(text)]
 
     # -- statement dispatch ------------------------------------------------------------
 

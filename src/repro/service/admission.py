@@ -1,0 +1,180 @@
+"""Admission control: keep an overloaded service honest (Section 2.7).
+
+Two independent gates, both per tenant:
+
+* **Concurrency** — at most ``max_concurrent`` statements executing at
+  once per tenant.  The (N+1)th ``execute_query`` is rejected *before*
+  any work happens; the client gets a 429 and a ``Retry-After`` hint
+  derived from the tenant's recent statement latency, so well-behaved
+  clients back off proportionally to the actual load.
+* **Read bytes** — a token bucket refilled at ``bytes_per_sec`` with
+  ``burst_bytes`` capacity.  ``read_bytes`` pages are charged as they
+  are produced; an empty bucket yields a 429 whose ``Retry-After`` is
+  exactly the time until the bucket covers the requested page.
+
+Rejection is a *policy outcome*, not an error in the engine: nothing
+below the service layer knows admission exists.  Both gates are plain
+counters under one lock — no background refill thread; tokens accrue
+lazily from the elapsed time at each charge, so the controller is
+deterministic under an injected clock (the tests use one).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.errors import SciDBError
+
+__all__ = ["AdmissionConfig", "AdmissionController", "AdmissionReject"]
+
+
+class AdmissionReject(SciDBError):
+    """The service declined work; carries the back-off hint."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = max(0.0, retry_after_s)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Per-tenant admission limits.
+
+    Defaults are sized for the simulated engine: a handful of
+    concurrent statements per tenant and a read budget generous enough
+    that only a pathological drain loop hits it.
+    """
+
+    max_concurrent: int = 4
+    bytes_per_sec: float = 8_000_000.0
+    burst_bytes: float = 4_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise SciDBError("admission max_concurrent must be >= 1")
+        if self.bytes_per_sec <= 0 or self.burst_bytes <= 0:
+            raise SciDBError("admission byte rates must be > 0")
+
+
+class _TokenBucket:
+    """Lazily-refilled token bucket (tokens are bytes)."""
+
+    __slots__ = ("rate", "capacity", "tokens", "t_last")
+
+    def __init__(self, rate: float, capacity: float, now: float) -> None:
+        self.rate = rate
+        self.capacity = capacity
+        self.tokens = capacity  # start full: first reads are never throttled
+        self.t_last = now
+
+    def charge(self, nbytes: float, now: float) -> Optional[float]:
+        """Take *nbytes*; ``None`` on success, else seconds until possible."""
+        self.tokens = min(
+            self.capacity, self.tokens + (now - self.t_last) * self.rate
+        )
+        self.t_last = now
+        if nbytes <= self.tokens:
+            self.tokens -= nbytes
+            return None
+        # A page larger than the bucket can ever hold would wait forever;
+        # cap the debt at capacity so the hint stays finite and the retry
+        # (with the same page size) succeeds from a full bucket.
+        needed = min(nbytes, self.capacity) - self.tokens
+        return max(needed / self.rate, 0.0)
+
+
+class _TenantState:
+    __slots__ = ("in_flight", "bucket", "ewma_ms")
+
+    def __init__(self, bucket: _TokenBucket) -> None:
+        self.in_flight = 0
+        self.bucket = bucket
+        #: exponentially-weighted statement latency; seeds Retry-After
+        self.ewma_ms = 50.0
+
+
+class AdmissionController:
+    """Both admission gates, one instance per service."""
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+        self.rejected_queries = 0
+        self.rejected_reads = 0
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(
+                _TokenBucket(
+                    self.config.bytes_per_sec,
+                    self.config.burst_bytes,
+                    self._clock(),
+                )
+            )
+            self._tenants[tenant] = state
+        return state
+
+    # -- concurrency gate ---------------------------------------------------------
+
+    def acquire_query(self, tenant: str) -> None:
+        """Admit one statement or raise :class:`AdmissionReject`."""
+        with self._lock:
+            state = self._state(tenant)
+            if state.in_flight >= self.config.max_concurrent:
+                self.rejected_queries += 1
+                # Expect a slot when the typical statement drains.
+                hint = state.ewma_ms / 1e3
+                raise AdmissionReject(
+                    f"tenant {tenant!r} already has "
+                    f"{state.in_flight} statements in flight "
+                    f"(limit {self.config.max_concurrent})",
+                    retry_after_s=hint,
+                )
+            state.in_flight += 1
+
+    def release_query(self, tenant: str, elapsed_ms: float) -> None:
+        with self._lock:
+            state = self._state(tenant)
+            state.in_flight = max(0, state.in_flight - 1)
+            state.ewma_ms = 0.8 * state.ewma_ms + 0.2 * max(elapsed_ms, 1.0)
+
+    # -- byte gate ----------------------------------------------------------------
+
+    def charge_read(self, tenant: str, nbytes: int) -> None:
+        """Charge a result page or raise :class:`AdmissionReject`."""
+        if nbytes <= 0:
+            return
+        with self._lock:
+            wait = self._state(tenant).bucket.charge(
+                float(nbytes), self._clock()
+            )
+            if wait is not None:
+                self.rejected_reads += 1
+                raise AdmissionReject(
+                    f"tenant {tenant!r} read budget exhausted "
+                    f"({nbytes} B requested)",
+                    retry_after_s=wait,
+                )
+
+    # -- introspection ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            return {
+                tenant: {
+                    "in_flight": state.in_flight,
+                    "read_tokens": round(state.bucket.tokens, 1),
+                    "ewma_ms": round(state.ewma_ms, 2),
+                }
+                for tenant, state in self._tenants.items()
+            }

@@ -511,7 +511,13 @@ class PersistentArray:
         # Newest bucket wins when a cell was rewritten across spills.
         entries.sort(key=lambda e: e[1], reverse=True)
         seen: set[Coords] = set()
-        for _box, bucket_id in entries:
+        visited: set[int] = set()
+        pending = list(entries)
+        while pending:
+            _box, bucket_id = pending.pop(0)
+            if bucket_id in visited:
+                continue
+            visited.add(bucket_id)
             if attr_ranges:
                 bstats = stats_map.get(bucket_id)
                 if bstats is not None and not bstats.can_match(attr_ranges):
@@ -531,7 +537,30 @@ class PersistentArray:
                         seen.add(coords)
                         yield coords, None
                     continue
-            bucket = self._load_bucket(bucket_id)
+            try:
+                bucket = self._load_bucket(bucket_id)
+            except FileNotFoundError:
+                # A concurrent merge rewrote this bucket's file set after
+                # we snapshotted the R-tree.  The merged bucket holds the
+                # same cells (merges only combine), so re-resolve: queue
+                # the *current* entries intersecting the stale box that we
+                # have not visited yet, and let the seen-set dedup keep
+                # the yield exactly-once.  Correctness degrades toward
+                # re-reads, never toward dropped cells.
+                with self._lock:
+                    replacements = list(self._rtree.search(_box))
+                    if attr_ranges:
+                        stats_map.update(self._bucket_stats)
+                pending.extend(
+                    (box, bid)
+                    for box, bid in replacements
+                    if bid not in visited
+                )
+                # Keep newest-first: the merged bucket (highest id) must
+                # be read before older survivors so a rewritten cell's
+                # latest value still wins the seen-set dedup.
+                pending.sort(key=lambda e: e[1], reverse=True)
+                continue
             for coords, cell in bucket.cells(window):
                 if coords in buffered or coords in seen:
                     continue  # newest version wins (buffer > disk)
@@ -691,6 +720,10 @@ class StorageManager:
             ChunkCache(chunk_cache_bytes) if chunk_cache_bytes > 0 else None
         )
         self._arrays: dict[str, PersistentArray] = {}
+        # Concurrent ingests (the service's per-request threads) race
+        # ensure_array's check-then-create; without this lock two threads
+        # could build two PersistentArray instances over one directory.
+        self._lock = threading.RLock()
 
     def create_array(
         self,
@@ -700,18 +733,21 @@ class StorageManager:
         codec: "str | Codec" = "auto",
         memory_budget: Optional[int] = None,
     ) -> PersistentArray:
-        if name in self._arrays:
-            raise StorageError(f"array {name!r} already exists in this store")
-        arr = PersistentArray(
-            schema,
-            self.directory / name,
-            memory_budget=memory_budget or self.memory_budget,
-            stride=stride,
-            codec=codec,
-            cache=self.chunk_cache,
-        )
-        self._arrays[name] = arr
-        return arr
+        with self._lock:
+            if name in self._arrays:
+                raise StorageError(
+                    f"array {name!r} already exists in this store"
+                )
+            arr = PersistentArray(
+                schema,
+                self.directory / name,
+                memory_budget=memory_budget or self.memory_budget,
+                stride=stride,
+                codec=codec,
+                cache=self.chunk_cache,
+            )
+            self._arrays[name] = arr
+            return arr
 
     def ensure_array(
         self,
@@ -727,43 +763,52 @@ class StorageManager:
         re-opens the same directory and the new :class:`PersistentArray`
         picks its load cursors back up from disk.
         """
-        if name in self._arrays:
-            existing = self._arrays[name]
-            if existing.schema.attr_names != schema.attr_names:
-                raise StorageError(
-                    f"array {name!r} already exists with different attributes"
-                )
-            return existing
-        return self.create_array(
-            name, schema, stride=stride, codec=codec,
-            memory_budget=memory_budget,
-        )
+        with self._lock:
+            if name in self._arrays:
+                existing = self._arrays[name]
+                if existing.schema.attr_names != schema.attr_names:
+                    raise StorageError(
+                        f"array {name!r} already exists with different "
+                        "attributes"
+                    )
+                return existing
+            return self.create_array(
+                name, schema, stride=stride, codec=codec,
+                memory_budget=memory_budget,
+            )
 
     def get_array(self, name: str) -> PersistentArray:
-        try:
-            return self._arrays[name]
-        except KeyError:
-            raise StorageError(f"no array named {name!r} in this store") from None
+        with self._lock:
+            try:
+                return self._arrays[name]
+            except KeyError:
+                raise StorageError(
+                    f"no array named {name!r} in this store"
+                ) from None
 
     def drop_array(self, name: str) -> None:
-        arr = self.get_array(name)
-        arr.stop_background_merger()
-        for path in arr.directory.glob("bucket_*.bkt"):
-            path.unlink()
-        arr._cursor_path.unlink(missing_ok=True)
-        if self.chunk_cache is not None:
-            # A recreated array reuses the directory and restarts bucket
-            # ids at 0 (repartition does exactly this) — cached decodes of
-            # the dropped files must not survive.
-            self.chunk_cache.invalidate(str(arr.directory))
-        del self._arrays[name]
+        with self._lock:
+            arr = self.get_array(name)
+            arr.stop_background_merger()
+            for path in arr.directory.glob("bucket_*.bkt"):
+                path.unlink()
+            arr._cursor_path.unlink(missing_ok=True)
+            if self.chunk_cache is not None:
+                # A recreated array reuses the directory and restarts
+                # bucket ids at 0 (repartition does exactly this) —
+                # cached decodes of the dropped files must not survive.
+                self.chunk_cache.invalidate(str(arr.directory))
+            del self._arrays[name]
 
     def names(self) -> list[str]:
-        return sorted(self._arrays)
+        with self._lock:
+            return sorted(self._arrays)
 
     def total_stats(self) -> dict[str, int]:
+        with self._lock:
+            arrays = list(self._arrays.values())
         totals: dict[str, int] = {}
-        for arr in self._arrays.values():
+        for arr in arrays:
             for k, v in arr.stats.snapshot().items():
                 totals[k] = totals.get(k, 0) + v
         return totals

@@ -174,3 +174,51 @@ class TestCrashRecovery:
         db = SciDB()
         with pytest.raises(SchemaError):
             db.recover()
+
+
+class TestScriptPlumbing:
+    """execute_script must honor timeout_ms and planner like execute."""
+
+    def _loaded(self):
+        db = SciDB()
+        db.execute("define array Remote (s1 = float) (I, J)")
+        db.execute("create M as Remote [8, 8]")
+        m = db.lookup("M")
+        for i in range(1, 9):
+            for j in range(1, 9):
+                m[i, j] = float(i * 8 + j)
+        return db
+
+    def test_script_timeout_enforced(self):
+        from repro.core.errors import DeadlineExceededError
+
+        db = self._loaded()
+        with pytest.raises(DeadlineExceededError):
+            db.execute_script(
+                "select filter(M, s1 > 0)\nselect subsample(M, I >= 2)",
+                timeout_ms=1e-4,
+            )
+
+    def test_script_planner_override_applies(self):
+        from repro.query.planner import PlannerConfig
+
+        db = self._loaded()
+        results = db.execute_script(
+            "select filter(M, s1 > 40)\nselect filter(M, s1 <= 40)",
+            planner=PlannerConfig(enable_pushdown=False, enable_pruning=False),
+        )
+        assert len(results) == 2
+        assert all(r.planned is not None for r in results)
+        # The override reached every statement's plan, not just the first.
+        for r in results:
+            assert not r.planned.config.enable_pushdown
+
+    def test_script_results_match_statementwise_execution(self):
+        db = self._loaded()
+        script = db.execute_script(
+            "select filter(M, s1 > 40) into Big\nselect subsample(Big, I >= 6)"
+        )
+        other = self._loaded()
+        other.execute("select filter(M, s1 > 40) into Big")
+        direct = other.query("select subsample(Big, I >= 6)")
+        assert script[-1].array.content_equal(direct)

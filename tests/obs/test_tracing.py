@@ -160,20 +160,69 @@ class TestUseContextManager:
 
 
 class TestThreads:
-    def test_each_thread_gets_its_own_stack(self):
+    def test_recorder_is_per_thread(self):
+        # The active recorder is thread-local: a raw spawned thread does
+        # NOT inherit another thread's recorder (the partition scheduler
+        # installs it explicitly at fan-out), so concurrent statements
+        # can never interleave spans into each other's profile trees.
         rec = SpanRecorder()
         seen = {}
 
         def work(label):
+            seen["enabled"] = tracing.enabled()
             with tracing.span(label) as sp:
-                seen[label] = sp.parent
+                seen[label] = sp
 
         with tracing.use(rec):
             with tracing.span("main-root"):
                 t = threading.Thread(target=work, args=("worker",))
                 t.start()
                 t.join()
-        # The worker's span must NOT have nested under the main thread's
-        # open span.
+        assert seen["enabled"] is False
+        assert seen["worker"] is tracing.NULL_SPAN
+        assert {r.name for r in rec.roots} == {"main-root"}
+
+    def test_explicitly_installed_recorder_keeps_stacks_disjoint(self):
+        # A worker that DOES install the coordinator's recorder (what the
+        # scheduler does) records into it, but under its own stack: the
+        # worker's span must not nest under the main thread's open span.
+        rec = SpanRecorder()
+        seen = {}
+
+        def work(label):
+            with tracing.use(rec):
+                with tracing.span(label) as sp:
+                    seen[label] = sp.parent
+
+        with tracing.use(rec):
+            with tracing.span("main-root"):
+                t = threading.Thread(target=work, args=("worker",))
+                t.start()
+                t.join()
         assert seen["worker"] is None
         assert {r.name for r in rec.roots} == {"main-root", "worker"}
+
+    def test_concurrent_recorders_stay_disjoint(self):
+        # Two threads each tracing a statement of their own must end up
+        # with exactly their own roots — the satellite bug had one global
+        # recorder absorbing (then truncating) the other thread's tree.
+        out = {}
+
+        def work(label):
+            rec = SpanRecorder()
+            with tracing.use(rec):
+                with tracing.span(label):
+                    with tracing.span(label + "-child"):
+                        pass
+            out[label] = rec
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for label, rec in out.items():
+            assert [r.name for r in rec.roots] == [label]
+            assert [c.name for c in rec.roots[0].children] == [label + "-child"]

@@ -1,0 +1,295 @@
+"""The HTTP query service: shim verbs, cancellation, admission, killer."""
+
+import threading
+import time
+
+import pytest
+
+from repro import SciDB, define_function
+from repro.cluster.resilience import Deadline
+from repro.service import (
+    AdmissionConfig,
+    QueryService,
+    ServiceConfig,
+    ServiceError,
+    SessionError,
+    ShimClient,
+)
+from repro.service.client import Throttled
+from repro.service.server import ResultPager
+
+
+def make_db(side=8):
+    db = SciDB()
+    db.execute("define array Remote (s1 = float) (I, J)")
+    db.execute(f"create M as Remote [{side}, {side}]")
+    m = db.lookup("M")
+    for i in range(1, side + 1):
+        for j in range(1, side + 1):
+            m[i, j] = float(i * side + j)
+    return db
+
+
+@pytest.fixture
+def service():
+    db = make_db()
+    with QueryService(db, ServiceConfig()) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    host, port = service.address
+    with ShimClient(host, port) as c:
+        yield c
+
+
+def slow_statement(db, delay_ms=4.0):
+    """A two-operator statement where every cell evaluation sleeps.
+
+    Cancellation is cooperative at operator boundaries, so the test
+    statement needs more than one operator — the cancel lands during
+    the inner filter and fires at the boundary before the outer one.
+    """
+    define_function(
+        "Sloth",
+        inputs=[("v", "float")],
+        outputs=[("out", "float")],
+        fn=lambda v: (time.sleep(delay_ms / 1e3), v)[1],
+        replace=True,
+    )
+    return "select apply(apply(M, Sloth(s1)), Sloth(out))"
+
+
+class TestSessionLifecycle:
+    def test_open_execute_read_release(self, client):
+        sid = client.new_session()
+        info = client.execute_query(sid, "select subsample(M, I >= 7)")
+        assert info["session"] == sid
+        assert info["elapsed_ms"] >= 0
+        text = client.read_all(sid)
+        lines = text.strip().splitlines()
+        assert lines[0] == "{I,J} s1"
+        assert len(lines) == 1 + 16  # header + two rows of 8
+        client.release_session(sid)
+        with pytest.raises(ServiceError) as err:
+            client.execute_query(sid, "select subsample(M, I >= 7)")
+        assert err.value.status == 404
+
+    def test_result_matches_direct_execution(self, service, client):
+        expected = {
+            (coords, tuple(cell))
+            for coords, cell in service.db.query(
+                "select filter(M, s1 > 40)"
+            ).cells(include_null=False)
+        }
+        got = set()
+        for line in client.query("select filter(M, s1 > 40)").splitlines()[1:]:
+            pos, vals = line.split(" ")
+            coords = tuple(int(c) for c in pos.strip("{}").split(","))
+            got.add((coords, tuple(float(v) for v in vals.split(","))))
+        assert got == expected
+
+    def test_unknown_session_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.read_bytes("deadbeef")
+        assert err.value.status == 404
+
+    def test_sessions_are_independent(self, client, service):
+        host, port = service.address
+        sid_a = client.new_session()
+        client.execute_query(sid_a, "select subsample(M, I >= 7)")
+        with ShimClient(host, port) as other:
+            sid_b = other.new_session()
+            other.execute_query(sid_b, "select subsample(M, I <= 2)")
+            b_text = other.read_all(sid_b)
+        a_text = client.read_all(sid_a)
+        assert a_text != b_text
+        assert len(a_text.splitlines()) == len(b_text.splitlines())
+
+    def test_idle_sessions_expire(self):
+        db = make_db()
+        cfg = ServiceConfig(idle_timeout_ms=80, sweep_interval_ms=20)
+        with QueryService(db, cfg) as svc:
+            host, port = svc.address
+            with ShimClient(host, port) as c:
+                sid = c.new_session()
+                deadline = time.time() + 5
+                while svc.sessions.count() and time.time() < deadline:
+                    time.sleep(0.02)
+                assert svc.sessions.count() == 0
+                with pytest.raises(ServiceError) as err:
+                    c.execute_query(sid, "select subsample(M, I >= 7)")
+                assert err.value.status == 404
+
+
+class TestPaging:
+    def test_small_pages_reassemble(self, service, client):
+        sid = client.new_session()
+        client.execute_query(sid, "select filter(M, s1 > 0)")
+        chunks, eof = [], False
+        pages = 0
+        while not eof:
+            chunk, eof = client.read_bytes(sid, n=48)
+            chunks.append(chunk)
+            pages += 1
+        text = b"".join(chunks).decode()
+        assert pages > 5  # genuinely paged
+        assert len(text.splitlines()) == 1 + 64
+        client.release_session(sid)
+
+    def test_non_array_results_serialize(self, client):
+        out = client.query("define array T2 (v = float) (x)")
+        assert "T2" in out
+
+    def test_pager_unread_is_lossless(self):
+        pager = ResultPager(None)
+        first = pager.read(3)
+        pager.unread(first)
+        assert pager.read(100) == b"null\n"
+        assert pager.eof
+
+
+class TestErrors:
+    def test_parse_error_is_400(self, client):
+        sid = client.new_session()
+        with pytest.raises(ServiceError) as err:
+            client.execute_query(sid, "select nonsense ,,, from ???")
+        assert err.value.status == 400
+        # ...and the session survives the failed statement.
+        client.execute_query(sid, "select subsample(M, I >= 7)")
+
+    def test_timeout_is_408(self, client):
+        sid = client.new_session()
+        with pytest.raises(ServiceError) as err:
+            client.execute_query(
+                sid, "select filter(M, s1 > 0)", timeout_ms=1e-4
+            )
+        assert err.value.status == 408
+
+    def test_planner_flags_accepted(self, client):
+        sid = client.new_session()
+        client.execute_query(
+            sid, "select filter(M, s1 > 40)", enable_pruning=False
+        )
+        text = client.read_all(sid)
+        assert len(text.splitlines()) > 1
+
+
+class TestCancellation:
+    def test_cancel_stops_running_statement(self, service, client):
+        statement = slow_statement(service.db)
+        host, port = service.address
+        sid = client.new_session()
+        outcome = {}
+
+        def run():
+            try:
+                client.execute_query(sid, statement)
+                outcome["status"] = 200
+            except ServiceError as exc:
+                outcome["status"] = exc.status
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        with ShimClient(host, port) as killer:
+            deadline = time.time() + 5
+            cancelled = False
+            while not cancelled and time.time() < deadline:
+                cancelled = killer.cancel(sid)
+                time.sleep(0.01)
+        worker.join(timeout=10)
+        assert cancelled
+        assert outcome["status"] == 409
+
+    def test_cancel_idle_session_is_noop(self, client):
+        sid = client.new_session()
+        assert client.cancel(sid) is False
+
+    def test_killer_reaps_runaway_statement(self):
+        db = make_db()
+        statement = slow_statement(db, delay_ms=10.0)
+        cfg = ServiceConfig(kill_after_ms=120, sweep_interval_ms=25)
+        with QueryService(db, cfg) as svc:
+            host, port = svc.address
+            with ShimClient(host, port) as c:
+                sid = c.new_session()
+                with pytest.raises(ServiceError) as err:
+                    c.execute_query(sid, statement)
+                assert err.value.status == 409
+                assert "killed by service" in str(err.value)
+            assert svc.queries_killed == 1
+
+
+class TestAdmission:
+    def test_concurrency_cap_yields_429_with_retry_after(self, service):
+        host, port = service.address
+        service.admission.acquire_query("default")
+        try:
+            # Fill the remaining slots, then overflow.
+            for _ in range(service.config.admission.max_concurrent - 1):
+                service.admission.acquire_query("default")
+            with ShimClient(host, port) as c:
+                sid = c.new_session()
+                with pytest.raises(Throttled) as err:
+                    c.execute_query(sid, "select subsample(M, I >= 7)")
+                assert err.value.retry_after_s > 0
+        finally:
+            for _ in range(service.config.admission.max_concurrent):
+                service.admission.release_query("default", 5.0)
+
+    def test_tenants_do_not_share_the_cap(self, service):
+        host, port = service.address
+        cap = service.config.admission.max_concurrent
+        for _ in range(cap):
+            service.admission.acquire_query("tenant-a")
+        try:
+            with ShimClient(host, port) as c:
+                sid = c.new_session(tenant="tenant-b")
+                c.execute_query(sid, "select subsample(M, I >= 7)")  # admitted
+        finally:
+            for _ in range(cap):
+                service.admission.release_query("tenant-a", 5.0)
+
+    def test_read_throttling_recovers(self):
+        db = make_db()
+        cfg = ServiceConfig(
+            admission=AdmissionConfig(
+                max_concurrent=4, bytes_per_sec=1000.0, burst_bytes=64.0
+            )
+        )
+        with QueryService(db, cfg) as svc:
+            host, port = svc.address
+            with ShimClient(host, port) as c:
+                sid = c.new_session()
+                c.execute_query(sid, "select subsample(M, I >= 7)")
+                with pytest.raises(Throttled):
+                    while True:  # burst is 64 B; the result is ~190 B
+                        chunk, eof = c.read_bytes(sid, n=64)
+                        assert not eof
+                # read_all retries after the hinted delay and drains it.
+                rest = c.read_all(sid, page_bytes=64)
+                assert rest
+            assert svc.admission.rejected_reads >= 1
+
+    def test_status_reports_counts(self, service, client):
+        client.query("select subsample(M, I >= 7)")
+        status = client.status()
+        assert status["queries_served"] >= 1
+        assert status["sessions"] == 0  # one-shot released its session
+
+
+class TestSessionManagerUnit:
+    def test_release_unknown_raises(self, service):
+        with pytest.raises(SessionError):
+            service.sessions.release("nope")
+
+    def test_running_sessions_survive_idle_sweep(self, service):
+        session = service.sessions.open()
+        session.deadline = Deadline.unbounded()
+        session.last_used = 0.0  # ancient
+        swept = service.sessions.sweep_idle()
+        assert session not in swept
+        session.deadline = None
+        swept = service.sessions.sweep_idle()
+        assert session in swept
